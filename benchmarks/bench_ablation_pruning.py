@@ -1,0 +1,61 @@
+"""Ablation 4: Vdd/clock-set pruning vs exhaustive outer loops.
+
+Figure 4 wraps the iterative core in loops over *pruned* supply and
+clock sets (procedure from ref. [10]).  This bench compares the pruned
+configuration against a much wider clock set: solution quality must be
+preserved (within noise) while the pruned run visits far fewer
+operating points.
+"""
+
+import time
+
+import pytest
+
+from repro.bench_suite import get_benchmark
+from repro.library import default_library
+from repro.reporting import render_table
+from repro.synthesis import SynthesisConfig, candidate_clocks, synthesize
+
+from conftest import save_result
+
+
+def _run(n_clocks: int):
+    design = get_benchmark("paulin")
+    config = SynthesisConfig(max_moves=6, max_passes=2, n_clocks=n_clocks)
+    started = time.perf_counter()
+    result = synthesize(
+        design, laxity_factor=2.2, objective="power", config=config
+    )
+    return result.power, time.perf_counter() - started, len(result.history)
+
+
+def test_pruned_vs_exhaustive_clock_sets(benchmark):
+    power_pruned, time_pruned, points_pruned = benchmark.pedantic(
+        lambda: _run(n_clocks=2), rounds=1, iterations=1
+    )
+    power_full, time_full, points_full = _run(n_clocks=6)
+
+    save_result(
+        "ablation_pruning",
+        render_table(
+            ["configuration", "power", "op points", "time (s)"],
+            [
+                ["pruned (2 clocks/Vdd)", power_pruned, points_pruned, time_pruned],
+                ["exhaustive (6 clocks/Vdd)", power_full, points_full, time_full],
+            ],
+            title="Ablation: clock-set pruning (paulin, power objective)",
+            digits=3,
+        ),
+    )
+
+    # Pruning visits fewer points and loses at most a sliver of quality.
+    assert points_pruned < points_full
+    assert power_pruned <= power_full * 1.15
+
+
+def test_clock_candidates_ranked_by_waste(benchmark):
+    library = default_library()
+    pruned = benchmark(candidate_clocks, library, 5.0, 300.0, 2)
+    wide = candidate_clocks(library, 5.0, 300.0, 8)
+    # The pruned set is a prefix of the quality ranking.
+    assert set(pruned) <= set(wide)

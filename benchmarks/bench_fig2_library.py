@@ -1,0 +1,78 @@
+"""Figure 2: the library of complex RTL modules.
+
+The paper's library offers pre-characterized complex modules (C1..C5)
+per behavior, with different internal structures (power-optimized
+parallel versions next to compact shared ones).  This bench builds the
+equivalent library for ``test1``'s behaviors and prints the inventory:
+module name, behavior, area, latency and internal capacitance — the
+quantities move A trades off.
+"""
+
+import pytest
+
+from repro.bench_suite import get_benchmark
+from repro.library import default_library
+from repro.reporting import render_table
+from repro.synthesis import SynthesisConfig
+from repro.synthesis.library_gen import build_complex_library
+
+from conftest import save_result
+
+FAST = SynthesisConfig(max_moves=5, max_passes=2, n_clocks=1)
+
+
+@pytest.fixture(scope="module")
+def fig2_library():
+    design = get_benchmark("test1")
+    return build_complex_library(design, default_library(), config=FAST)
+
+
+def test_fig2_module_inventory(benchmark, fig2_library):
+    rows = []
+    for behavior in sorted(fig2_library.complex_behaviors()):
+        for module in fig2_library.complex_modules_for(behavior):
+            profile = module.profile(behavior)
+            rows.append(
+                [
+                    module.name,
+                    behavior,
+                    round(module.area(fig2_library), 1),
+                    round(profile.latency_ns, 1),
+                    round(module.cap_internal(behavior), 2),
+                ]
+            )
+    table = benchmark(
+        render_table,
+        ["module", "behavior", "area", "latency (ns @5V)", "cap"],
+        rows,
+        title="Figure 2: complex RTL module library for test1",
+    )
+    save_result("fig2_complex_library", table)
+
+    behaviors = set(fig2_library.complex_behaviors())
+    assert {"dot3", "sumprod", "macd", "sum4"} <= behaviors
+    # Anisomorphic dot3 variants both present (C1 vs C2 of the paper).
+    assert len(fig2_library.complex_modules_for("dot3")) >= 2
+
+
+def test_area_and_power_corners_differ(benchmark, fig2_library):
+    """The library must actually span the area/power trade-off."""
+    modules = benchmark(fig2_library.complex_modules_for, "macd")
+    areas = {round(m.area(fig2_library), 1) for m in modules}
+    caps = {round(m.cap_internal("macd"), 2) for m in modules}
+    assert len(areas) > 1 or len(caps) > 1
+
+
+def test_library_build_speed(benchmark):
+    design = get_benchmark("test1")
+    benchmark.pedantic(
+        lambda: build_complex_library(
+            design,
+            default_library(),
+            objectives=("area",),
+            laxity_factors=(1.5,),
+            config=FAST,
+        ),
+        rounds=1,
+        iterations=1,
+    )

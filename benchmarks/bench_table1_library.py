@@ -1,0 +1,32 @@
+"""Table 1: the simple-module library (areas and cycle delays).
+
+Regenerates the paper's functional-unit/register table at the reference
+operating point (10 ns clock, 5 V) and benchmarks the synthesis of the
+full characterization database that substitutes for the paper's
+standard-cell flow.
+"""
+
+from repro.library import build_characterization, table1_rows
+from repro.reporting import render_table
+
+from conftest import save_result
+
+
+def test_table1_rows(benchmark):
+    rows = benchmark(table1_rows)
+    table = render_table(
+        ["cell", "Area", "Delay (cycles)"],
+        [[name, area, cycles] for name, area, cycles in rows],
+        title="Table 1: functional unit and register properties (10 ns, 5 V)",
+        digits=0,
+    )
+    save_result("table1_library", table)
+
+    by_name = {name: (area, cycles) for name, area, cycles in rows}
+    assert by_name["add1"] == (30.0, 1)
+    assert by_name["mult2"] == (100.0, 5)
+
+
+def test_characterization_database(benchmark):
+    table = benchmark(build_characterization)
+    assert len(table) >= 42  # 14 cells x 3 supplies

@@ -1,0 +1,97 @@
+"""Figure 3 + Table 2: RTL embedding of two distinct DFGs.
+
+Rebuilds Example 3: the two DFGs are mapped onto RTL modules, the
+modules are overlaid into ``NewRTL`` by the embedding procedure, and
+the component-correspondence table (the paper's Table 2) plus the area
+comparison (RTL1 = 57.94, RTL2 = 53.89, NewRTL = 61.67 in the paper's
+units — merged ≈ the larger constituent, far below the sum) are
+regenerated.  The naive disjoint union is included as the ablation
+baseline for the embedding algorithm.
+"""
+
+import pytest
+
+from repro.bench_suite import example3_dfg1, example3_dfg2, table2_library
+from repro.dfg import Design
+from repro.power import simulate_subgraph, speech_traces
+from repro.reporting import render_table
+from repro.rtl import ComponentKind, embed_netlists, naive_union
+from repro.synthesis import SynthesisEnv, build_netlist, initial_solution
+
+from conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def rtl_pair():
+    library = table2_library()
+    design = Design("ex3")
+    dfg1, dfg2 = example3_dfg1(), example3_dfg2()
+    design.add_dfg(dfg1, top=True)
+    design.add_dfg(dfg2)
+    netlists = []
+    for dfg in (dfg1, dfg2):
+        traces = speech_traces(dfg, n=24, seed=0)
+        sim = simulate_subgraph(design, dfg, [traces[n] for n in dfg.inputs])
+        env = SynthesisEnv(design, library, "area")
+        solution = initial_solution(env, dfg, sim, 10.0, 5.0, 1000.0)
+        netlists.append(build_netlist(solution, name=f"RTL{len(netlists) + 1}"))
+    return library, netlists[0], netlists[1]
+
+
+def test_table2_correspondence(benchmark, rtl_pair):
+    library, rtl1, rtl2 = rtl_pair
+    result = benchmark(embed_netlists, rtl1, rtl2, "NewRTL")
+
+    reverse_b = {v: k for k, v in result.map_b.items()}
+    rows = []
+    for comp in result.netlist.components():
+        if comp.kind == ComponentKind.PORT:
+            continue
+        from_a = comp.comp_id if rtl1.has_component(comp.comp_id) else "-"
+        from_b = reverse_b.get(comp.comp_id, "-")
+        cell = comp.cell
+        area = library.cell(cell).area
+        rows.append([comp.comp_id, from_a, from_b, cell, area])
+    rows.sort(key=lambda r: (r[3], r[0]))
+    table = render_table(
+        ["NewRTL", "RTL1", "RTL2", "Library", "Area"],
+        rows,
+        title="Table 2: labeling NewRTL to implement DFG1 and DFG2",
+        digits=0,
+    )
+    save_result("table2_embedding", table)
+
+    cells = sorted(
+        c.cell for c in result.netlist.components(ComponentKind.FUNCTIONAL)
+    )
+    # The union complement of Table 2: A1 A2 M1 M2 S1.
+    assert cells == ["Add1", "Add1", "Mult1", "Mult1", "Sub1"]
+
+
+def test_table2_area_comparison(benchmark, rtl_pair):
+    library, rtl1, rtl2 = rtl_pair
+    merged = benchmark(embed_netlists, rtl1, rtl2, "NewRTL")
+    union = naive_union(rtl1, rtl2, "Union")
+    a1, a2 = rtl1.area(library), rtl2.area(library)
+    am, au = merged.netlist.area(library), union.netlist.area(library)
+    table = render_table(
+        ["module", "area", "vs sum"],
+        [
+            ["RTL1", a1, a1 / (a1 + a2)],
+            ["RTL2", a2, a2 / (a1 + a2)],
+            ["NewRTL (embedded)", am, am / (a1 + a2)],
+            ["naive union (ablation)", au, au / (a1 + a2)],
+        ],
+        title="Example 3: area of the merged RTL module",
+    )
+    save_result("table2_areas", table)
+
+    # Paper shape: merged close to max constituent, far below the sum.
+    assert am < 0.8 * (a1 + a2)
+    assert am <= au
+    assert am >= max(a1, a2) - 1e-9
+
+
+def test_embedding_speed(benchmark, rtl_pair):
+    _library, rtl1, rtl2 = rtl_pair
+    benchmark(lambda: embed_netlists(rtl1, rtl2, "NewRTL"))

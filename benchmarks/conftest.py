@@ -1,0 +1,61 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every bench regenerates one table or figure of the paper, printing the
+rendered table and writing it under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference stable artifacts.
+
+Environment knobs:
+
+* ``REPRO_FULL_TABLES=1`` — run the complete Table 3/4 sweep (all six
+  circuits × three laxity factors).  The default is a representative
+  subset sized for a few minutes of wall clock.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench_suite import TABLE3_BENCHMARKS
+from repro.reporting import DEFAULT_LAXITY_FACTORS, quick_config, run_sweep
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_tables() -> bool:
+    return os.environ.get("REPRO_FULL_TABLES", "") == "1"
+
+
+def sweep_circuits() -> tuple[str, ...]:
+    if full_tables():
+        return TABLE3_BENCHMARKS
+    return ("lat", "test1")
+
+
+def sweep_laxities() -> tuple[float, ...]:
+    if full_tables():
+        return DEFAULT_LAXITY_FACTORS
+    return (1.2, 2.2)
+
+
+def save_result(name: str, text: str) -> Path:
+    """Persist a rendered table; also echo it for the console log."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def table_sweep():
+    """The Table 3/4 synthesis sweep, run once per benchmark session."""
+    return run_sweep(
+        circuits=sweep_circuits(),
+        laxity_factors=sweep_laxities(),
+        config=quick_config(),
+        verbose=True,
+    )

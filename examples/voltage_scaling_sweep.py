@@ -1,0 +1,75 @@
+"""Joint Vdd selection: how supply voltage shapes the design space.
+
+Synthesizes the lattice filter at each library supply voltage and shows
+the energy/delay mechanics the paper's outer loop explores: lower
+supplies slash energy quadratically but stretch every cell, so the
+schedule must absorb the slowdown.  Also demonstrates post-synthesis
+continuous voltage scaling of an area-optimized circuit ("to just meet
+the sampling period", Table 4).
+
+    python examples/voltage_scaling_sweep.py
+"""
+
+from repro.bench_suite import get_benchmark
+from repro.library import SUPPLY_VOLTAGES, delay_scale, energy_scale
+from repro.reporting import render_table
+from repro.synthesis import SynthesisConfig, synthesize, voltage_scale
+
+
+def main() -> None:
+    print("first-order CMOS scaling relative to 5 V:")
+    print(
+        render_table(
+            ["Vdd (V)", "delay x", "energy x"],
+            [[v, delay_scale(v), energy_scale(v)] for v in SUPPLY_VOLTAGES],
+        )
+    )
+
+    design = get_benchmark("lat")
+    config = SynthesisConfig(max_moves=8, max_passes=3, n_clocks=1)
+
+    print("\npower-optimized synthesis across laxity factors:")
+    rows = []
+    for laxity in (1.2, 2.2, 3.2, 4.5):
+        result = synthesize(
+            design, laxity_factor=laxity, objective="power", config=config
+        )
+        rows.append(
+            [
+                laxity,
+                result.vdd,
+                result.clk_ns,
+                result.solution.schedule().length,
+                result.area,
+                result.power,
+            ]
+        )
+    print(
+        render_table(
+            ["L.F.", "chosen Vdd", "clk (ns)", "cycles", "area", "power"],
+            rows,
+        )
+    )
+    print("-> more slack lets the optimizer buy power with voltage.")
+
+    print("\npost-synthesis scaling of one area-optimized circuit:")
+    area_opt = synthesize(
+        design, laxity_factor=3.2, objective="area", config=config
+    )
+    discrete = voltage_scale(area_opt)
+    continuous = voltage_scale(area_opt, continuous=True)
+    print(
+        render_table(
+            ["variant", "Vdd (V)", "power"],
+            [
+                ["as synthesized (5 V)", area_opt.vdd, area_opt.power],
+                ["discrete scaling", discrete.vdd, discrete.power],
+                ["continuous (just meets period)", continuous.vdd,
+                 continuous.power],
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

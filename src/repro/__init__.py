@@ -1,0 +1,50 @@
+"""repro — reproduction of Lakshminarayana & Jha, DAC 1998.
+
+"Synthesis of Power-Optimized and Area-Optimized Circuits from
+Hierarchical Behavioral Descriptions": a hierarchical high-level
+synthesis system (the paper calls its implementation *H-SYN*) that maps
+hierarchical data flow graphs onto RTL circuits optimized for power or
+area under throughput constraints, via variable-depth iterative
+improvement over module selection, resynthesis, resource sharing
+(including RTL embedding) and resource splitting, with joint clock and
+supply-voltage selection and trace-driven power estimation.
+
+Quick start::
+
+    from repro.bench_suite import get_benchmark
+    from repro.synthesis import synthesize
+
+    design = get_benchmark("dct")
+    result = synthesize(design, laxity_factor=2.2, objective="power")
+    print(result.area, result.power, result.vdd)
+
+Package map: :mod:`repro.dfg` (hierarchical DFGs), :mod:`repro.library`
+(cells + characterization), :mod:`repro.power` (traces, simulation,
+activity, estimation), :mod:`repro.scheduling`, :mod:`repro.rtl`
+(netlists, modules, embedding, FSM), :mod:`repro.synthesis` (the
+algorithm), :mod:`repro.bench_suite` (Table 3 circuits),
+:mod:`repro.reporting` (table regeneration).
+"""
+
+from .errors import (
+    DFGError,
+    EmbeddingError,
+    LibraryError,
+    ParseError,
+    ReproError,
+    ScheduleError,
+    SynthesisError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DFGError",
+    "EmbeddingError",
+    "LibraryError",
+    "ParseError",
+    "ReproError",
+    "ScheduleError",
+    "SynthesisError",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Benchmark designs: the paper's Table 3 suite plus worked examples.
+
+All benchmarks are reconstructed from their published structures (the
+HYPER filters by their filter topology, Paulin by the classic diffeq
+body, ``test1`` from Figure 1(a)); see DESIGN.md for the substitution
+notes.  Use :func:`get_benchmark` / :data:`TABLE3_BENCHMARKS` to
+enumerate them.
+"""
+
+from .avenhaus import avenhaus_cascade_design, avenhaus_section_dfg
+from .dct import butterfly_dfg, dct_design, rotator_dfg
+from .example3 import example3_dfg1, example3_dfg2, table2_library
+from .iir import biquad_dfg, iir_design
+from .lat import lat_design, lattice_stage_dfg
+from .paulin import hier_paulin_design, paulin_design, paulin_iteration_dfg
+from .registry import BENCHMARKS, TABLE3_BENCHMARKS, benchmark_names, get_benchmark
+from .test1 import (
+    dot3_chain_dfg,
+    dot3_tree_dfg,
+    macd_dfg,
+    sum4_dfg,
+    sumprod_dfg,
+    test1_design,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "TABLE3_BENCHMARKS",
+    "avenhaus_cascade_design",
+    "avenhaus_section_dfg",
+    "benchmark_names",
+    "biquad_dfg",
+    "butterfly_dfg",
+    "dct_design",
+    "dot3_chain_dfg",
+    "dot3_tree_dfg",
+    "example3_dfg1",
+    "example3_dfg2",
+    "get_benchmark",
+    "hier_paulin_design",
+    "iir_design",
+    "lat_design",
+    "lattice_stage_dfg",
+    "macd_dfg",
+    "paulin_design",
+    "paulin_iteration_dfg",
+    "rotator_dfg",
+    "sum4_dfg",
+    "sumprod_dfg",
+    "table2_library",
+    "test1_design",
+]

@@ -1,0 +1,89 @@
+"""Avenhaus cascade filter (the HYPER ``avenhaus_cascade`` shape).
+
+The Avenhaus bandpass is the classic "expensive sections" cascade: each
+second-order section is a full state-space update
+
+.. math::
+
+    s_1' = a_{11} s_1 + a_{12} s_2 + b_1 x\\\\
+    s_2' = a_{21} s_1 + a_{22} s_2 + b_2 x\\\\
+    y    = c_1 s_1 + c_2 s_2 + d x
+
+(9 multiplications, 6 additions per section), which gives hierarchical
+synthesis much more internal structure to optimize than the biquad
+cascade.  States are per-sample primary I/O, as throughout the suite.
+"""
+
+from __future__ import annotations
+
+from ..dfg.builder import GraphBuilder
+from ..dfg.graph import DFG
+from ..dfg.hierarchy import Design
+
+__all__ = ["avenhaus_section_dfg", "avenhaus_cascade_design"]
+
+BEHAVIOR_SECTION = "avenhaus_section"
+
+#: Q8 state-space coefficients (a11, a12, a21, a22, b1, b2, c1, c2, d).
+_COEFFS = (180, -90, 90, 180, 40, 25, 120, -60, 30)
+
+
+def avenhaus_section_dfg(
+    name: str = BEHAVIOR_SECTION,
+    coeffs: tuple[int, ...] = _COEFFS,
+) -> DFG:
+    """One state-space section: (x, s1, s2) → (y, s1', s2')."""
+    a11, a12, a21, a22, b1, b2, c1, c2, d = coeffs
+    b = GraphBuilder(name, behavior=BEHAVIOR_SECTION)
+    x, s1, s2 = b.inputs("x", "s1", "s2")
+
+    def k(v: int, tag: str):
+        return b.const(v, name=tag)
+
+    s1n = b.add(
+        b.add(b.mult(s1, k(a11, "ka11"), name="m11"),
+              b.mult(s2, k(a12, "ka12"), name="m12"), name="a1s"),
+        b.mult(x, k(b1, "kb1"), name="mb1"),
+        name="s1n",
+    )
+    s2n = b.add(
+        b.add(b.mult(s1, k(a21, "ka21"), name="m21"),
+              b.mult(s2, k(a22, "ka22"), name="m22"), name="a2s"),
+        b.mult(x, k(b2, "kb2"), name="mb2"),
+        name="s2n",
+    )
+    y = b.add(
+        b.add(b.mult(s1, k(c1, "kc1"), name="mc1"),
+              b.mult(s2, k(c2, "kc2"), name="mc2"), name="cs"),
+        b.mult(x, k(d, "kd"), name="md"),
+        name="ysum",
+    )
+    b.output("y", y)
+    b.output("s1_next", s1n)
+    b.output("s2_next", s2n)
+    return b.build()
+
+
+def avenhaus_cascade_design(n_sections: int = 3) -> Design:
+    """Cascade of state-space sections."""
+    if n_sections < 1:
+        raise ValueError("need at least one section")
+    design = Design("avenhaus_cascade")
+    design.add_dfg(avenhaus_section_dfg())
+
+    b = GraphBuilder("avenhaus_top")
+    x = b.input("x")
+    states = [(b.input(f"s1_{i}"), b.input(f"s2_{i}")) for i in range(n_sections)]
+
+    signal = x
+    for i in range(n_sections):
+        h = b.hier(
+            BEHAVIOR_SECTION, signal, states[i][0], states[i][1],
+            n_outputs=3, name=f"sec{i}",
+        )
+        signal = h[0]
+        b.output(f"s1_next_{i}", h[1])
+        b.output(f"s2_next_{i}", h[2])
+    b.output("y", signal)
+    design.add_dfg(b.build(), top=True)
+    return design

@@ -1,0 +1,105 @@
+"""8-point one-dimensional DCT, hierarchical (Lee-style decomposition).
+
+The paper's ``dct`` comes from the HYPER package.  We build the
+standard fast-DCT structure out of the two classic building blocks the
+paper's introduction names ("butterfly, dot-product, etc."):
+
+* ``butterfly`` — 2 in, 2 out: ``(a + b, a - b)``;
+* ``rotator``   — 2 in, 2 out plane rotation:
+  ``(x·c + y·s, y·c - x·s)`` with constant coefficients (4 mult, 2 add).
+
+The flow is the familiar three butterfly stages on the even half plus
+rotators on the odd half, followed by output scaling multiplications.
+Coefficient values are fixed-point constants; their exact values do not
+matter for synthesis (constants are hardwired), only the operation
+structure does.
+"""
+
+from __future__ import annotations
+
+from ..dfg.builder import GraphBuilder, Wire
+from ..dfg.graph import DFG
+from ..dfg.hierarchy import Design
+
+__all__ = ["butterfly_dfg", "rotator_dfg", "dct_design"]
+
+BEHAVIOR_BUTTERFLY = "butterfly"
+BEHAVIOR_ROTATOR = "rotator"
+
+#: Fixed-point (Q8) stand-ins for the DCT cosine coefficients.
+_COEFFS = {"c1": 251, "s1": 50, "c3": 213, "s3": 142, "c6": 98, "s6": 236}
+
+
+def butterfly_dfg() -> DFG:
+    """(a, b) → (a + b, a − b)."""
+    b = GraphBuilder(BEHAVIOR_BUTTERFLY)
+    a, c = b.inputs("a", "b")
+    b.output("sum", b.add(a, c, name="bsum"))
+    b.output("diff", b.sub(a, c, name="bdiff"))
+    return b.build()
+
+
+def rotator_dfg(name: str = BEHAVIOR_ROTATOR, c: int = 213, s: int = 142) -> DFG:
+    """(x, y) → (x·c + y·s, y·c − x·s): a constant plane rotation."""
+    b = GraphBuilder(name, behavior=BEHAVIOR_ROTATOR)
+    x, y = b.inputs("x", "y")
+    cc = b.const(c, name="kc")
+    ss = b.const(s, name="ks")
+    xc = b.mult(x, cc, name="xc")
+    ys = b.mult(y, ss, name="ys")
+    yc = b.mult(y, cc, name="yc")
+    xs = b.mult(x, ss, name="xs")
+    b.output("u", b.add(xc, ys, name="radd"))
+    b.output("v", b.sub(yc, xs, name="rsub"))
+    return b.build()
+
+
+def dct_design() -> Design:
+    """Hierarchical 8-point DCT: butterflies + rotators + output scaling."""
+    design = Design("dct")
+    design.add_dfg(butterfly_dfg())
+    design.add_dfg(rotator_dfg())
+
+    b = GraphBuilder("dct_top")
+    xs = b.inputs(*[f"x{i}" for i in range(8)])
+
+    def bf(p: Wire, q: Wire, tag: str) -> tuple[Wire, Wire]:
+        h = b.hier(BEHAVIOR_BUTTERFLY, p, q, n_outputs=2, name=f"bf_{tag}")
+        return h[0], h[1]
+
+    def rot(p: Wire, q: Wire, tag: str) -> tuple[Wire, Wire]:
+        h = b.hier(BEHAVIOR_ROTATOR, p, q, n_outputs=2, name=f"rot_{tag}")
+        return h[0], h[1]
+
+    # Stage 1: fold the input vector.
+    s0, d0 = bf(xs[0], xs[7], "s1a")
+    s1, d1 = bf(xs[1], xs[6], "s1b")
+    s2, d2 = bf(xs[2], xs[5], "s1c")
+    s3, d3 = bf(xs[3], xs[4], "s1d")
+
+    # Even half: two more butterfly levels plus one rotation.
+    e0, e1 = bf(s0, s3, "s2a")
+    e2, e3 = bf(s1, s2, "s2b")
+    y0, y4 = bf(e0, e2, "s3a")          # X0, X4 (up to scaling)
+    y2, y6 = rot(e1, e3, "even")        # X2, X6
+
+    # Odd half: rotations then a butterfly recombination.
+    o0, o1 = rot(d0, d3, "odd1")
+    o2, o3 = rot(d1, d2, "odd2")
+    p0, p1 = bf(o0, o2, "s3b")
+    p2, p3 = bf(o1, o3, "s3c")
+
+    # Output scaling multiplications (normalization constants).
+    k = b.const(181, name="knorm")      # ~ 1/sqrt(2) in Q8
+    x1 = b.mult(p0, k, name="sc1")
+    x7 = b.mult(p3, k, name="sc7")
+    x5 = b.add(p1, p2, name="mix5")
+    x3 = b.sub(p1, p2, name="mix3")
+
+    for tag, wire in [
+        ("X0", y0), ("X1", x1), ("X2", y2), ("X3", x3),
+        ("X4", y4), ("X5", x5), ("X6", y6), ("X7", x7),
+    ]:
+        b.output(tag, wire)
+    design.add_dfg(b.build(), top=True)
+    return design

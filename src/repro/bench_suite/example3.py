@@ -1,0 +1,69 @@
+"""Example 3 / Figure 3 / Table 2: the RTL-embedding demonstration pair.
+
+The paper maps two distinct DFGs onto RTL modules RTL1 and RTL2 and
+then constructs ``NewRTL``, which can execute both while preserving
+each DFG's schedule and binding.  Table 2 pins down the resource
+complement of each side:
+
+* RTL1 — registers r1..r5, adders A1 A2, multipliers M1 M2, subtractor S1;
+* RTL2 — registers s1..s6, adders A1 A2, multipliers M1 M2 (no subtractor);
+* NewRTL — six registers q1..q6 plus the union A1 A2 M1 M2 S1.
+
+The exact DFG wiring is not given, so we reconstruct minimal DFGs with
+exactly those operation complements.  ``table2_library()`` provides the
+small cell library whose areas Table 2 lists (reg 5, Add1 20, Mult1 50,
+Sub1 20) so the regenerated table reads like the paper's.
+"""
+
+from __future__ import annotations
+
+from ..dfg.builder import GraphBuilder
+from ..dfg.graph import DFG
+from ..dfg.ops import Operation
+from ..library.cells import CellKind, LibraryCell
+from ..library.library import ModuleLibrary
+
+__all__ = ["example3_dfg1", "example3_dfg2", "table2_library"]
+
+
+def example3_dfg1() -> DFG:
+    """Two adds, two mults, one sub: ``(a·b + c·d) − (a + c)``."""
+    b = GraphBuilder("ex3_dfg1")
+    a, c, d, e = b.inputs("a", "b", "c", "d")
+    m1 = b.mult(a, c, name="M1")
+    m2 = b.mult(d, e, name="M2")
+    a1 = b.add(m1, m2, name="A1")
+    a2 = b.add(a, d, name="A2")
+    s1 = b.sub(a1, a2, name="S1")
+    b.output("out", s1)
+    return b.build()
+
+
+def example3_dfg2() -> DFG:
+    """Two adds, two mults, no sub: ``(a+b)·(c+d)`` and ``(a+b)·c``."""
+    b = GraphBuilder("ex3_dfg2")
+    a, c, d, e = b.inputs("a", "b", "c", "d")
+    a1 = b.add(a, c, name="A1")
+    a2 = b.add(d, e, name="A2")
+    m1 = b.mult(a1, a2, name="M1")
+    m2 = b.mult(a1, d, name="M2")
+    b.output("out0", m1)
+    b.output("out1", m2)
+    return b.build()
+
+
+def table2_library() -> ModuleLibrary:
+    """The miniature library whose areas Table 2 quotes."""
+    cells = [
+        LibraryCell("Add1", CellKind.FUNCTIONAL, frozenset({Operation.ADD}),
+                    area=20.0, delay_ns=9.0, cap=0.8),
+        LibraryCell("Sub1", CellKind.FUNCTIONAL, frozenset({Operation.SUB}),
+                    area=20.0, delay_ns=9.0, cap=0.8),
+        LibraryCell("Mult1", CellKind.FUNCTIONAL, frozenset({Operation.MULT}),
+                    area=50.0, delay_ns=28.0, cap=3.0),
+    ]
+    register = LibraryCell("reg", CellKind.REGISTER, frozenset(),
+                           area=5.0, delay_ns=1.0, cap=0.25)
+    mux = LibraryCell("mux2", CellKind.MUX, frozenset(),
+                      area=2.0, delay_ns=0.6, cap=0.1)
+    return ModuleLibrary(cells, register_cell=register, mux_cell=mux)

@@ -1,0 +1,86 @@
+"""Cascade-form IIR filter (the HYPER ``iir`` benchmark shape).
+
+Each second-order section is a direct-form-II-transposed biquad with
+constant coefficients; per sample it computes
+
+.. math::
+
+    y = b_0 x + s_1,\\qquad
+    s_1' = b_1 x - a_1 y + s_2,\\qquad
+    s_2' = b_2 x - a_2 y
+
+(5 multiplications, 2 additions, 2 subtractions).  The filter states
+are modeled as primary inputs/outputs of the behavior, which keeps each
+per-sample DFG acyclic (Section 2: the system handles loops by cutting
+them at iteration boundaries).
+"""
+
+from __future__ import annotations
+
+from ..dfg.builder import GraphBuilder
+from ..dfg.graph import DFG
+from ..dfg.hierarchy import Design
+
+__all__ = ["biquad_dfg", "iir_design"]
+
+BEHAVIOR_BIQUAD = "biquad"
+
+#: Per-section Q8 coefficients (b0, b1, b2, a1, a2) of a generic
+#: low-pass cascade; values only shape the simulated streams.
+_SECTIONS = [
+    (64, 128, 64, 200, 90),
+    (70, 140, 70, 180, 75),
+    (58, 116, 58, 210, 100),
+]
+
+
+def biquad_dfg(
+    name: str = BEHAVIOR_BIQUAD,
+    coeffs: tuple[int, int, int, int, int] = _SECTIONS[0],
+) -> DFG:
+    """One biquad section: (x, s1, s2) → (y, s1', s2')."""
+    b0, b1, b2, a1, a2 = coeffs
+    b = GraphBuilder(name, behavior=BEHAVIOR_BIQUAD)
+    x, s1, s2 = b.inputs("x", "s1", "s2")
+    kb0 = b.const(b0, name="kb0")
+    kb1 = b.const(b1, name="kb1")
+    kb2 = b.const(b2, name="kb2")
+    ka1 = b.const(a1, name="ka1")
+    ka2 = b.const(a2, name="ka2")
+
+    y = b.add(b.mult(x, kb0, name="mb0"), s1, name="ysum")
+    t1 = b.sub(b.mult(x, kb1, name="mb1"), b.mult(y, ka1, name="ma1"), name="t1")
+    s1n = b.add(t1, s2, name="s1n")
+    s2n = b.sub(b.mult(x, kb2, name="mb2"), b.mult(y, ka2, name="ma2"), name="s2n")
+
+    b.output("y", y)
+    b.output("s1_next", s1n)
+    b.output("s2_next", s2n)
+    return b.build()
+
+
+def iir_design(n_sections: int = 3) -> Design:
+    """Cascade of biquad sections; states enter/leave as top-level I/O."""
+    if not 1 <= n_sections <= len(_SECTIONS):
+        raise ValueError(f"n_sections must be in 1..{len(_SECTIONS)}")
+    design = Design("iir")
+    design.add_dfg(biquad_dfg())
+
+    b = GraphBuilder("iir_top")
+    x = b.input("x")
+    states = []
+    for i in range(n_sections):
+        states.append((b.input(f"s1_{i}"), b.input(f"s2_{i}")))
+
+    signal = x
+    for i in range(n_sections):
+        h = b.hier(
+            BEHAVIOR_BIQUAD, signal, states[i][0], states[i][1],
+            n_outputs=3, name=f"sec{i}",
+        )
+        signal = h[0]
+        b.output(f"s1_next_{i}", h[1])
+        b.output(f"s2_next_{i}", h[2])
+    b.output("y", signal)
+    design.add_dfg(b.build(), top=True)
+    return design

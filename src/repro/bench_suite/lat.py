@@ -1,0 +1,70 @@
+"""Normalized lattice filter (the HYPER ``lat`` benchmark shape).
+
+A lattice filter is a chain of identical two-multiplier stages:
+
+.. math::
+
+    f' = f - k\\,b,\\qquad b' = b + k\\,f'
+
+where *k* is the per-stage reflection coefficient (a constant) and the
+backward values *b* are the filter state, modeled as primary I/O per
+sample.  Each stage is one behavior instance, making ``lat`` the purest
+replicated-block hierarchy in the suite.
+"""
+
+from __future__ import annotations
+
+from ..dfg.builder import GraphBuilder
+from ..dfg.graph import DFG
+from ..dfg.hierarchy import Design
+
+__all__ = ["lattice_stage_dfg", "lat_design"]
+
+BEHAVIOR_STAGE = "lattice_stage"
+
+#: Q8 reflection coefficient used inside the stage behavior.
+_K = 77
+
+
+def lattice_stage_dfg(name: str = BEHAVIOR_STAGE, k: int = _K) -> DFG:
+    """One lattice stage: (f, b) → (f', b')."""
+    b = GraphBuilder(name, behavior=BEHAVIOR_STAGE)
+    f, back = b.inputs("f", "b")
+    kk = b.const(k, name="kk")
+    kb = b.mult(kk, back, name="kb")
+    f_new = b.sub(f, kb, name="fnew")
+    kf = b.mult(kk, f_new, name="kf")
+    b_new = b.add(back, kf, name="bnew")
+    b.output("f_out", f_new)
+    b.output("b_out", b_new)
+    return b.build()
+
+
+def lat_design(n_stages: int = 4) -> Design:
+    """Chain of lattice stages plus an output accumulation."""
+    if n_stages < 2:
+        raise ValueError("lat needs at least two stages")
+    design = Design("lat")
+    design.add_dfg(lattice_stage_dfg())
+
+    b = GraphBuilder("lat_top")
+    x = b.input("x")
+    backs = [b.input(f"b{i}") for i in range(n_stages)]
+
+    f = x
+    b_outs = []
+    for i in range(n_stages):
+        h = b.hier(BEHAVIOR_STAGE, f, backs[i], n_outputs=2, name=f"stage{i}")
+        f = h[0]
+        b_outs.append(h[1])
+
+    # Output tap: the forward residual plus a weighted state sum.
+    acc = b_outs[0]
+    for i, bw in enumerate(b_outs[1:], start=1):
+        acc = b.add(acc, bw, name=f"acc{i}")
+    b.output("residual", f)
+    b.output("tap", acc)
+    for i, bw in enumerate(b_outs):
+        b.output(f"b_next_{i}", bw)
+    design.add_dfg(b.build(), top=True)
+    return design

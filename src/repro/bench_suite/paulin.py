@@ -1,0 +1,94 @@
+"""The Paulin differential-equation benchmark (HAL) and its unrolling.
+
+``paulin`` is the classic second-order differential-equation solver
+used throughout the HLS literature (one Euler iteration):
+
+.. math::
+
+    x_1 = x + dx,\\qquad
+    u_1 = u - 3 x u\\,dx - 3 y\\,dx,\\qquad
+    y_1 = y + u\\,dx,\\qquad
+    c = x_1 < a
+
+``hier_paulin`` is "a hierarchical DFG obtained by unrolling the
+well-known benchmark Paulin" (Section 5): the iteration body becomes a
+behavior and the top level chains several instances, exactly the kind
+of replicated-block hierarchy the paper's algorithm exploits.
+"""
+
+from __future__ import annotations
+
+from ..dfg.builder import GraphBuilder, Wire
+from ..dfg.graph import DFG
+from ..dfg.hierarchy import Design
+
+__all__ = ["paulin_iteration_dfg", "paulin_design", "hier_paulin_design"]
+
+BEHAVIOR_ITER = "diffeq_iter"
+
+
+def _iteration_body(b: GraphBuilder, x: Wire, y: Wire, u: Wire, dx: Wire) -> tuple[Wire, Wire, Wire]:
+    """One Euler step; returns (x1, y1, u1)."""
+    three = b.const(3, name="c3")
+    x1 = b.add(x, dx, name="xadd")
+    t1 = b.mult(three, x, name="m3x")          # 3x
+    t2 = b.mult(u, dx, name="mudx")            # u*dx (reused for y1)
+    t3 = b.mult(t1, u, name="m3xu")            # 3x*u
+    t4 = b.mult(t3, dx, name="m3xudx")         # 3x*u*dx
+    t5 = b.mult(three, y, name="m3y")          # 3y
+    t6 = b.mult(t5, dx, name="m3ydx")          # 3y*dx
+    t7 = b.sub(u, t4, name="subu")             # u - 3xudx
+    u1 = b.sub(t7, t6, name="subu2")           # ... - 3ydx
+    y1 = b.add(y, t2, name="yadd")             # y + u*dx
+    return x1, y1, u1
+
+
+def paulin_iteration_dfg(name: str = BEHAVIOR_ITER) -> DFG:
+    """The iteration body as a behavior: (x, y, u, dx) → (x1, y1, u1)."""
+    b = GraphBuilder(name, behavior=BEHAVIOR_ITER)
+    x, y, u, dx = b.inputs("x", "y", "u", "dx")
+    x1, y1, u1 = _iteration_body(b, x, y, u, dx)
+    b.output("x1", x1)
+    b.output("y1", y1)
+    b.output("u1", u1)
+    return b.build()
+
+
+def paulin_design() -> Design:
+    """Flat Paulin: one iteration plus the loop-exit comparison."""
+    b = GraphBuilder("paulin")
+    x, y, u, dx, a = b.inputs("x", "y", "u", "dx", "a")
+    x1, y1, u1 = _iteration_body(b, x, y, u, dx)
+    c = b.lt(x1, a, name="cmp")
+    b.output("x1", x1)
+    b.output("y1", y1)
+    b.output("u1", u1)
+    b.output("c", c)
+    design = Design("paulin")
+    design.add_dfg(b.build(), top=True)
+    return design
+
+
+def hier_paulin_design(n_iterations: int = 3) -> Design:
+    """Unrolled Paulin: *n_iterations* chained ``diffeq_iter`` blocks."""
+    if n_iterations < 2:
+        raise ValueError("hier_paulin needs at least two iterations")
+    design = Design("hier_paulin")
+    design.add_dfg(paulin_iteration_dfg())
+
+    b = GraphBuilder("hier_paulin_top")
+    x, y, u, dx, a = b.inputs("x", "y", "u", "dx", "a")
+    state: tuple[Wire, Wire, Wire] = (x, y, u)
+    for i in range(n_iterations):
+        h = b.hier(
+            BEHAVIOR_ITER, state[0], state[1], state[2], dx,
+            n_outputs=3, name=f"iter{i}",
+        )
+        state = (h[0], h[1], h[2])
+    c = b.lt(state[0], a, name="cmp")
+    b.output("x_out", state[0])
+    b.output("y_out", state[1])
+    b.output("u_out", state[2])
+    b.output("c", c)
+    design.add_dfg(b.build(), top=True)
+    return design

@@ -1,0 +1,50 @@
+"""Benchmark registry: the six circuits of Table 3 by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..dfg.hierarchy import Design
+from .avenhaus import avenhaus_cascade_design
+from .dct import dct_design
+from .iir import iir_design
+from .lat import lat_design
+from .paulin import hier_paulin_design, paulin_design
+from .test1 import test1_design
+
+__all__ = ["BENCHMARKS", "TABLE3_BENCHMARKS", "get_benchmark", "benchmark_names"]
+
+#: All benchmark constructors by name.
+BENCHMARKS: dict[str, Callable[[], Design]] = {
+    "paulin": paulin_design,
+    "hier_paulin": hier_paulin_design,
+    "dct": dct_design,
+    "iir": iir_design,
+    "lat": lat_design,
+    "avenhaus_cascade": avenhaus_cascade_design,
+    "test1": test1_design,
+}
+
+#: The circuits evaluated in Table 3, in the paper's row order.
+TABLE3_BENCHMARKS: tuple[str, ...] = (
+    "avenhaus_cascade",
+    "lat",
+    "dct",
+    "iir",
+    "hier_paulin",
+    "test1",
+)
+
+
+def get_benchmark(name: str) -> Design:
+    """Construct a benchmark design by name."""
+    try:
+        builder = BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise KeyError(f"unknown benchmark {name!r} (known: {known})") from None
+    return builder()
+
+
+def benchmark_names() -> list[str]:
+    return list(BENCHMARKS)

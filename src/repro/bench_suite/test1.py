@@ -1,0 +1,119 @@
+"""``test1``: the paper's Figure 1(a) hierarchical DFG.
+
+The figure shows a top level with four hierarchical nodes DFG1..DFG4
+mapped to complex modules C1..C4 (Figure 2), with DFG3's output
+consumed late (cycle 9 in the worked example) and a library that
+contains functionally equivalent variants (C1 vs C2 implement the same
+behavior with different structures).  The paper does not tabulate the
+exact sub-DFG contents, so this module reconstructs the example from
+everything the text pins down:
+
+* ``dot3`` — a three-multiplication product behavior with **two
+  anisomorphic variants** (chain and tree), mirroring C1/C2's declared
+  functional equivalence and exercising the variant-swapping side of
+  move A;
+* ``sumprod`` — four inputs, two outputs with markedly different
+  latencies, matching RTL2's profile {0,0,0,0,6,3};
+* ``macd`` — four inputs, one output, latency ≈ 7 (RTL3's profile
+  {0, 0, 2, 4, 7}: staggered expected input arrivals);
+* ``sum4`` — a chain of three additions, matching complex module C5.
+"""
+
+from __future__ import annotations
+
+from ..dfg.builder import GraphBuilder
+from ..dfg.graph import DFG
+from ..dfg.hierarchy import Design
+
+__all__ = [
+    "dot3_chain_dfg",
+    "dot3_tree_dfg",
+    "sumprod_dfg",
+    "macd_dfg",
+    "sum4_dfg",
+    "test1_design",
+]
+
+BEHAVIOR_DOT3 = "dot3"
+BEHAVIOR_SUMPROD = "sumprod"
+BEHAVIOR_MACD = "macd"
+BEHAVIOR_SUM4 = "sum4"
+
+
+def dot3_chain_dfg() -> DFG:
+    """((a·b)·c)·d — the linear-chain product variant (long, few live values)."""
+    b = GraphBuilder("dot3_chain", behavior=BEHAVIOR_DOT3)
+    a, c, d, e = b.inputs("a", "b", "c", "d")
+    m1 = b.mult(a, c, name="m1")
+    m2 = b.mult(m1, d, name="m2")
+    m3 = b.mult(m2, e, name="m3")
+    b.output("p", m3)
+    return b.build()
+
+
+def dot3_tree_dfg() -> DFG:
+    """(a·b)·(c·d) — the balanced-tree product variant (short, parallel)."""
+    b = GraphBuilder("dot3_tree", behavior=BEHAVIOR_DOT3)
+    a, c, d, e = b.inputs("a", "b", "c", "d")
+    m1 = b.mult(a, c, name="m1")
+    m2 = b.mult(d, e, name="m2")
+    m3 = b.mult(m1, m2, name="m3")
+    b.output("p", m3)
+    return b.build()
+
+
+def sumprod_dfg() -> DFG:
+    """(a+b)·(c+d) and a+c: two outputs with unequal latencies."""
+    b = GraphBuilder(BEHAVIOR_SUMPROD)
+    a, c, d, e = b.inputs("a", "b", "c", "d")
+    s1 = b.add(a, c, name="s1")
+    s2 = b.add(d, e, name="s2")
+    p = b.mult(s1, s2, name="p")
+    q = b.add(a, d, name="q")
+    b.output("slow", p)
+    b.output("fast", q)
+    return b.build()
+
+
+def macd_dfg() -> DFG:
+    """(a·b + c)·d: multiply-accumulate-multiply, staggered input needs."""
+    b = GraphBuilder(BEHAVIOR_MACD)
+    a, c, d, e = b.inputs("a", "b", "c", "d")
+    m1 = b.mult(a, c, name="m1")
+    s1 = b.add(m1, d, name="s1")
+    m2 = b.mult(s1, e, name="m2")
+    b.output("r", m2)
+    return b.build()
+
+
+def sum4_dfg() -> DFG:
+    """a+b+c+d as a chain of three additions (complex module C5's DFG)."""
+    b = GraphBuilder(BEHAVIOR_SUM4)
+    a, c, d, e = b.inputs("a", "b", "c", "d")
+    s1 = b.add(a, c, name="s1")
+    s2 = b.add(s1, d, name="s2")
+    s3 = b.add(s2, e, name="s3")
+    b.output("s", s3)
+    return b.build()
+
+
+def test1_design() -> Design:
+    """Figure 1(a): four hierarchical nodes over the behaviors above."""
+    design = Design("test1")
+    design.add_dfg(dot3_chain_dfg())   # first-registered: the default variant
+    design.add_dfg(dot3_tree_dfg())    # the anisomorphic alternative
+    design.add_dfg(sumprod_dfg())
+    design.add_dfg(macd_dfg())
+    design.add_dfg(sum4_dfg())
+
+    b = GraphBuilder("test1_top")
+    ins = b.inputs(*[f"i{k}" for k in range(8)])
+    n1 = b.hier(BEHAVIOR_DOT3, ins[0], ins[1], ins[2], ins[3], name="DFG1")
+    n2 = b.hier(
+        BEHAVIOR_SUMPROD, ins[2], ins[3], ins[4], ins[5], n_outputs=2, name="DFG2"
+    )
+    n3 = b.hier(BEHAVIOR_MACD, n1, n2[0], n2[1], ins[6], name="DFG3")
+    n4 = b.hier(BEHAVIOR_SUM4, n3, n1, ins[7], n2[1], name="DFG4")
+    b.output("out", n4)
+    design.add_dfg(b.build(), top=True)
+    return design

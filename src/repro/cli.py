@@ -1,0 +1,242 @@
+"""Command-line interface (the H-SYN executable equivalent).
+
+Subcommands
+-----------
+``info``   — parse/validate a textual design and print its statistics;
+``synth``  — synthesize a textual design or a built-in benchmark and
+             optionally write the datapath netlist and FSM controller;
+``tables`` — regenerate the paper's Table 3/Table 4 for chosen circuits.
+
+Examples::
+
+    python -m repro info mydesign.dfg
+    python -m repro synth --benchmark dct --laxity 2.2 --objective power \\
+        --netlist dct.v --fsm dct.fsm
+    python -m repro synth mydesign.dfg --sampling-ns 400 --flatten
+    python -m repro tables --circuits lat,test1 --laxity-factors 1.2,2.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .bench_suite import benchmark_names, get_benchmark
+from .dfg import Design, flatten, op_histogram, parse_design, validate_design
+from .errors import ReproError
+from .library import default_library
+from .power import image_traces, speech_traces, white_traces
+from .reporting import quick_config, render_table3, render_table4, run_sweep
+from .rtl import emit_controller, emit_netlist
+from .synthesis import SynthesisConfig, synthesize, synthesize_flat, voltage_scale
+from .synthesis.library_gen import build_complex_library
+
+__all__ = ["main", "build_parser"]
+
+_TRACE_GENERATORS = {
+    "speech": speech_traces,
+    "white": white_traces,
+    "image": image_traces,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Hierarchical power/area high-level synthesis "
+            "(Lakshminarayana & Jha, DAC 1998 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="validate a design and print statistics")
+    info.add_argument("design", type=Path, help="textual .dfg design file")
+
+    synth = sub.add_parser("synth", help="synthesize a design")
+    source = synth.add_mutually_exclusive_group(required=True)
+    source.add_argument("design", nargs="?", type=Path, default=None,
+                        help="textual .dfg design file")
+    source.add_argument(
+        "--benchmark", choices=sorted(benchmark_names()), default=None,
+        help="use a built-in benchmark instead of a file",
+    )
+    constraint = synth.add_mutually_exclusive_group(required=True)
+    constraint.add_argument("--laxity", type=float, default=None,
+                            help="laxity factor (multiple of the minimum period)")
+    constraint.add_argument("--sampling-ns", type=float, default=None,
+                            help="absolute sampling period in nanoseconds")
+    synth.add_argument("--objective", choices=("area", "power"), default="power")
+    synth.add_argument("--flatten", action="store_true",
+                       help="run the flattened baseline instead of hierarchical")
+    synth.add_argument("--no-library", action="store_true",
+                       help="skip pre-building the complex-module library")
+    synth.add_argument("--voltage-scale", action="store_true",
+                       help="voltage-scale the result to just meet the period")
+    synth.add_argument("--traces", choices=sorted(_TRACE_GENERATORS), default="speech")
+    synth.add_argument("--samples", type=int, default=48,
+                       help="trace length used for power estimation")
+    synth.add_argument("--seed", type=int, default=0)
+    synth.add_argument("--effort", choices=("quick", "full"), default="quick")
+    synth.add_argument("--netlist", type=Path, default=None,
+                       help="write the structural datapath netlist here")
+    synth.add_argument("--fsm", type=Path, default=None,
+                       help="write the FSM controller description here")
+
+    tables = sub.add_parser("tables", help="regenerate Tables 3 and 4")
+    tables.add_argument("--circuits", default="lat,test1",
+                        help="comma-separated benchmark names")
+    tables.add_argument("--laxity-factors", default="1.2,2.2",
+                        help="comma-separated laxity factors")
+
+    hier = sub.add_parser(
+        "hierarchize",
+        help="derive a hierarchical design from a flat one (subproblem (i))",
+    )
+    hier.add_argument("design", type=Path, help="textual .dfg design file")
+    hier.add_argument("--max-cluster", type=int, default=8)
+    hier.add_argument("--min-cluster", type=int, default=2)
+    hier.add_argument("--output", type=Path, default=None,
+                      help="write the hierarchical design here (textual format)")
+    return parser
+
+
+def _load_design(path: Path) -> Design:
+    design = parse_design(path.read_text(), name_hint=path.stem)
+    validate_design(design)
+    return design
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    design = _load_design(args.design)
+    flat = flatten(design)
+    print(f"design {design.name!r}: {len(list(design.dfgs()))} DFGs, "
+          f"top {design.top_name!r}, hierarchy depth {design.depth()}")
+    print(f"behaviors: {', '.join(sorted(design.behaviors()))}")
+    print(f"flattened: {len(flat.op_nodes())} operations, "
+          f"{len(flat.inputs)} inputs, {len(flat.outputs)} outputs")
+    print("operation mix:")
+    for op, count in sorted(op_histogram(flat).items(), key=lambda kv: str(kv[0])):
+        print(f"  {op}: {count}")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    if args.benchmark:
+        design = get_benchmark(args.benchmark)
+    else:
+        design = _load_design(args.design)
+
+    config = quick_config() if args.effort == "quick" else SynthesisConfig()
+    library = default_library()
+    if not args.no_library and not args.flatten and any(
+        dfg.hier_nodes() for dfg in design.dfgs()
+    ):
+        print("building complex-module library...", file=sys.stderr)
+        library = build_complex_library(design, library, config=config)
+
+    trace_gen = _TRACE_GENERATORS[args.traces]
+    traces = trace_gen(design.top, n=args.samples, seed=args.seed)
+
+    run = synthesize_flat if args.flatten else synthesize
+    result = run(
+        design,
+        library,
+        sampling_ns=args.sampling_ns,
+        laxity_factor=args.laxity,
+        objective=args.objective,
+        traces=traces,
+        config=config,
+        n_samples=args.samples,
+    )
+    if args.voltage_scale:
+        result = voltage_scale(result, continuous=True)
+
+    sched = result.solution.schedule()
+    print(f"objective:      {args.objective}"
+          f"{' (flattened)' if args.flatten else ''}")
+    print(f"area:           {result.area:.1f}")
+    print(f"power:          {result.power:.4f}")
+    print(f"supply:         {result.vdd:.2f} V")
+    print(f"clock:          {result.clk_ns:.2f} ns")
+    print(f"schedule:       {sched.length} cycles "
+          f"(budget {result.solution.deadline_cycles})")
+    print(f"sampling:       {result.sampling_ns:.1f} ns")
+    print(f"synthesis time: {result.elapsed_s:.2f} s")
+
+    if args.netlist:
+        args.netlist.write_text(emit_netlist(result.netlist()) + "\n")
+        print(f"netlist written to {args.netlist}")
+    if args.fsm:
+        args.fsm.write_text(emit_controller(result.controller()) + "\n")
+        print(f"controller written to {args.fsm}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    circuits = tuple(c.strip() for c in args.circuits.split(",") if c.strip())
+    laxities = tuple(float(x) for x in args.laxity_factors.split(","))
+    results = run_sweep(
+        circuits=circuits,
+        laxity_factors=laxities,
+        config=quick_config(),
+        verbose=True,
+    )
+    print()
+    print(render_table3(results))
+    print()
+    print(render_table4(results))
+    return 0
+
+
+def _cmd_hierarchize(args: argparse.Namespace) -> int:
+    from .dfg import hierarchize, write_design
+
+    design = _load_design(args.design)
+    flat = flatten(design)
+    derived = hierarchize(
+        flat,
+        max_cluster_size=args.max_cluster,
+        min_cluster_size=args.min_cluster,
+    )
+    validate_design(derived)
+    hier_nodes = derived.top.hier_nodes()
+    behaviors = {n.behavior for n in hier_nodes}
+    print(
+        f"derived {len(hier_nodes)} hierarchical nodes over "
+        f"{len(behaviors)} behaviors from {len(flat.op_nodes())} operations"
+    )
+    text = write_design(derived)
+    if args.output:
+        args.output.write_text(text + "\n")
+        print(f"written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "info":
+            return _cmd_info(args)
+        if args.command == "synth":
+            return _cmd_synth(args)
+        if args.command == "tables":
+            return _cmd_tables(args)
+        if args.command == "hierarchize":
+            return _cmd_hierarchize(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

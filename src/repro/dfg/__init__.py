@@ -1,0 +1,60 @@
+"""Hierarchical data-flow-graph substrate.
+
+Public surface:
+
+* :class:`~repro.dfg.graph.DFG`, :class:`~repro.dfg.graph.Node`,
+  :class:`~repro.dfg.graph.Edge` — the graph model;
+* :class:`~repro.dfg.hierarchy.Design` — a set of DFGs with behaviors
+  and a top level;
+* :class:`~repro.dfg.builder.GraphBuilder` — fluent construction;
+* :func:`~repro.dfg.flatten.flatten` — hierarchical → flat expansion;
+* :func:`~repro.dfg.parser.parse_design` /
+  :func:`~repro.dfg.writer.write_design` — the textual format;
+* :mod:`~repro.dfg.analysis` — topological metrics.
+"""
+
+from .analysis import (
+    asap_levels,
+    critical_path_length,
+    longest_input_output_distance,
+    op_histogram,
+)
+from .builder import GraphBuilder, Wire
+from .flatten import flatten
+from .graph import DEFAULT_WIDTH, DFG, Edge, Node, NodeKind, Signal
+from .hierarchy import Design
+from .ops import OP_INFO, Operation, apply_operation, wrap_to_width
+from .parser import parse_design
+from .partition import clusters_isomorphic, convex_clusters, hierarchize
+from .validate import check_dfg, validate_design, validate_dfg
+from .writer import write_design, write_dfg
+
+__all__ = [
+    "DFG",
+    "DEFAULT_WIDTH",
+    "Design",
+    "Edge",
+    "GraphBuilder",
+    "Node",
+    "NodeKind",
+    "OP_INFO",
+    "Operation",
+    "Signal",
+    "Wire",
+    "apply_operation",
+    "asap_levels",
+    "check_dfg",
+    "critical_path_length",
+    "flatten",
+    "longest_input_output_distance",
+    "op_histogram",
+    "clusters_isomorphic",
+    "convex_clusters",
+    "hierarchize",
+    "parse_design",
+    "validate_design",
+    "validate_dfg",
+    "wrap_to_width",
+    "write_design",
+    "write_dfg",
+]

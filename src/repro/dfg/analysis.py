@@ -1,0 +1,83 @@
+"""Graph analyses shared by scheduling, pruning and reporting.
+
+These are pure functions of the DFG topology plus a caller-supplied
+delay model, so they live in the DFG package rather than the scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable
+
+from .graph import DFG, Node, NodeKind
+from .ops import Operation
+
+__all__ = [
+    "asap_levels",
+    "critical_path_length",
+    "op_histogram",
+    "longest_input_output_distance",
+]
+
+DelayFn = Callable[[Node], float]
+
+
+def asap_levels(dfg: DFG, delay_of: DelayFn) -> dict[str, float]:
+    """Earliest start time of every node under unconstrained resources.
+
+    ``delay_of`` gives the execution time of each node in arbitrary
+    units (cycles or nanoseconds); non-computing nodes take zero time.
+    """
+    start: dict[str, float] = {}
+    for nid in dfg.topo_order():
+        node = dfg.node(nid)
+        earliest = 0.0
+        for edge in dfg.in_edges(nid):
+            pred = dfg.node(edge.src)
+            pred_delay = delay_of(pred) if pred.is_operation else 0.0
+            earliest = max(earliest, start[edge.src] + pred_delay)
+        start[nid] = earliest
+    return start
+
+
+def critical_path_length(dfg: DFG, delay_of: DelayFn) -> float:
+    """Length of the longest input-to-output path under ``delay_of``.
+
+    This is the minimum achievable sampling period with unlimited
+    resources, i.e. the denominator of the paper's *laxity factor*.
+    """
+    start = asap_levels(dfg, delay_of)
+    finish = 0.0
+    for nid, t in start.items():
+        node = dfg.node(nid)
+        d = delay_of(node) if node.is_operation else 0.0
+        finish = max(finish, t + d)
+    return finish
+
+
+def op_histogram(dfg: DFG) -> Counter:
+    """Count simple operations by type (hierarchical nodes by behavior)."""
+    hist: Counter = Counter()
+    for node in dfg.operation_nodes():
+        if node.kind == NodeKind.OP:
+            assert node.op is not None
+            hist[node.op] += 1
+        else:
+            hist[f"hier:{node.behavior}"] += 1
+    return hist
+
+
+def longest_input_output_distance(dfg: DFG) -> int:
+    """Longest path measured in number of computing nodes.
+
+    A quick structural size metric used when pruning clock periods: it
+    bounds how many sequential operations any schedule must serialize.
+    """
+    depth: dict[str, int] = {}
+    best = 0
+    for nid in dfg.topo_order():
+        node = dfg.node(nid)
+        here = max((depth[e.src] for e in dfg.in_edges(nid)), default=0)
+        depth[nid] = here + (1 if node.is_operation else 0)
+        best = max(best, depth[nid])
+    return best

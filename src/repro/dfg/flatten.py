@@ -1,0 +1,154 @@
+"""Flattening of hierarchical designs.
+
+The paper compares hierarchical synthesis against *flattened* synthesis
+of the same behavior (the algorithm of ref. [10] run on the fully
+expanded DFG).  This module performs that expansion: every hierarchical
+node is recursively inlined with one of its behavior's DFG variants.
+
+Inlined node ids are prefixed with the hierarchical node's id and a
+``/`` separator, so the flattened graph remains traceable to the
+hierarchy (``h3/m1`` is node ``m1`` of the sub-DFG instantiated by
+hierarchical node ``h3``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import DFGError
+from .graph import DFG, Node, NodeKind, Signal
+from .hierarchy import Design
+
+__all__ = ["flatten"]
+
+ChooseFn = Callable[[str], DFG]
+
+
+def flatten(design: Design, choose: ChooseFn | None = None, name: str | None = None) -> DFG:
+    """Fully expand *design*'s top-level DFG into a flat DFG.
+
+    Parameters
+    ----------
+    design:
+        The hierarchical design.
+    choose:
+        Optional policy mapping a behavior name to the DFG variant used
+        to expand it; defaults to the design's first registered variant.
+    name:
+        Name for the resulting graph (default ``"<top>_flat"``).
+    """
+    if choose is None:
+        choose = design.default_variant
+
+    cache: dict[str, DFG] = {}
+
+    def flat_of(dfg: DFG) -> DFG:
+        """Return a fully flattened copy of *dfg* (memoized by name)."""
+        if dfg.name in cache:
+            return cache[dfg.name]
+        if not dfg.hier_nodes():
+            cache[dfg.name] = dfg
+            return dfg
+        result = _inline_all(dfg, choose, flat_of)
+        cache[dfg.name] = result
+        return result
+
+    flat = flat_of(design.top).copy(name or f"{design.top_name}_flat")
+    flat.behavior = design.top.behavior
+    return flat
+
+
+def _copy_plain_node(out: DFG, node: Node, node_id: str) -> None:
+    """Copy a non-hierarchical, non-interface node into *out* under *node_id*."""
+    if node.kind == NodeKind.CONST:
+        assert node.value is not None
+        out.add_const(node_id, node.value, width=node.width)
+    elif node.kind == NodeKind.OP:
+        assert node.op is not None
+        out.add_op(node_id, node.op, width=node.width)
+    else:  # pragma: no cover - guarded by callers
+        raise DFGError(f"cannot copy node of kind {node.kind}")
+
+
+def _inline_all(dfg: DFG, choose: ChooseFn, flat_of: Callable[[DFG], DFG]) -> DFG:
+    """Inline every hierarchical node of *dfg* (sub-DFGs flattened first)."""
+    out = DFG(dfg.name, behavior=dfg.behavior)
+    #: Maps a signal of *dfg* to the corresponding signal of *out*.
+    sigmap: dict[Signal, Signal] = {}
+
+    def resolve(signal: Signal) -> Signal:
+        try:
+            return sigmap[signal]
+        except KeyError:
+            raise DFGError(
+                f"flatten: unresolved signal {signal!r} in {dfg.name!r}"
+            ) from None
+
+    for nid in dfg.topo_order():
+        node = dfg.node(nid)
+        if node.kind == NodeKind.INPUT:
+            out.add_input(nid, width=node.width)
+            sigmap[(nid, 0)] = (nid, 0)
+        elif node.kind == NodeKind.CONST:
+            _copy_plain_node(out, node, nid)
+            sigmap[(nid, 0)] = (nid, 0)
+        elif node.kind == NodeKind.OP:
+            _copy_plain_node(out, node, nid)
+            for edge in dfg.in_edges(nid):
+                src, src_port = resolve(edge.signal)
+                out.connect(src, src_port, nid, edge.dst_port)
+            sigmap[(nid, 0)] = (nid, 0)
+        elif node.kind == NodeKind.OUTPUT:
+            out.add_output(nid, width=node.width)
+            (edge,) = dfg.in_edges(nid)
+            src, src_port = resolve(edge.signal)
+            out.connect(src, src_port, nid, 0)
+        elif node.kind == NodeKind.HIER:
+            assert node.behavior is not None
+            sub = flat_of(choose(node.behavior))
+            _inline_one(out, dfg, nid, sub, sigmap, resolve)
+        else:  # pragma: no cover
+            raise DFGError(f"unknown node kind {node.kind}")
+    return out
+
+
+def _inline_one(
+    out: DFG,
+    parent: DFG,
+    hier_id: str,
+    sub: DFG,
+    sigmap: dict[Signal, Signal],
+    resolve: Callable[[Signal], Signal],
+) -> None:
+    """Splice flat sub-DFG *sub* into *out* in place of node *hier_id*."""
+    #: Maps a signal of *sub* to a signal of *out*.
+    submap: dict[Signal, Signal] = {}
+
+    # Sub-DFG inputs are aliases for whatever feeds the hierarchical node.
+    for port, sub_input in enumerate(sub.inputs):
+        ports = {e.dst_port: e for e in parent.in_edges(hier_id)}
+        if port not in ports:
+            raise DFGError(
+                f"input port {port} of hierarchical node {hier_id!r} is undriven"
+            )
+        submap[(sub_input, 0)] = resolve(ports[port].signal)
+
+    for nid in sub.topo_order():
+        node = sub.node(nid)
+        if node.kind in (NodeKind.INPUT, NodeKind.OUTPUT):
+            continue
+        if node.kind == NodeKind.HIER:  # pragma: no cover - sub is flat
+            raise DFGError("flatten: sub-DFG was expected to be flat")
+        new_id = f"{hier_id}/{nid}"
+        _copy_plain_node(out, node, new_id)
+        if node.kind == NodeKind.OP:
+            for edge in sub.in_edges(nid):
+                src, src_port = submap[edge.signal]
+                out.connect(src, src_port, new_id, edge.dst_port)
+        submap[(nid, 0)] = (new_id, 0)
+
+    # The hierarchical node's output port j is the signal driving the
+    # sub-DFG's j-th primary output.
+    for port, sub_output in enumerate(sub.outputs):
+        (edge,) = sub.in_edges(sub_output)
+        sigmap[(hier_id, port)] = submap[edge.signal]

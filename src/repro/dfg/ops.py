@@ -1,0 +1,158 @@
+"""Operation alphabet for data flow graphs.
+
+The paper targets *data-dominated* behaviors: a predominance of arithmetic
+operations and an absence of control flow (Section 1).  The operation set
+below covers everything used by the DAC'98 benchmark suite (Paulin/diffeq,
+DCT, IIR, lattice and Avenhaus filters): additions, subtractions,
+multiplications, shifts, comparisons and min/max selections.
+
+Every operation carries
+
+* an **arity** (number of operand ports),
+* **commutativity** information (used when matching functionally
+  equivalent DFG variants and when ordering operands canonically), and
+* a **bit-true semantic function** operating on numpy integer arrays,
+  used by the trace-driven power estimator
+  (:mod:`repro.power.simulate`).  Arithmetic wraps at the node's bit
+  width, mimicking fixed-point datapath hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Operation", "OP_INFO", "OpInfo", "apply_operation", "wrap_to_width"]
+
+
+class Operation(enum.Enum):
+    """A simple (non-hierarchical) DFG operation."""
+
+    ADD = "add"
+    SUB = "sub"
+    MULT = "mult"
+    LSHIFT = "lshift"
+    RSHIFT = "rshift"
+    LT = "lt"
+    GT = "gt"
+    MIN = "min"
+    MAX = "max"
+    NEG = "neg"
+    PASS = "pass"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @classmethod
+    def from_name(cls, name: str) -> "Operation":
+        """Look up an operation by its textual name (``"add"`` etc.)."""
+        for op in cls:
+            if op.value == name:
+                return op
+        raise ValueError(f"unknown operation name: {name!r}")
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one operation."""
+
+    arity: int
+    commutative: bool
+    func: Callable[..., np.ndarray]
+
+
+def wrap_to_width(values: np.ndarray, width: int) -> np.ndarray:
+    """Wrap *values* into the two's-complement range of ``width`` bits.
+
+    Datapath hardware truncates results to the register width; the power
+    estimator needs bit-true streams so that switching activity reflects
+    what the real wires would do.
+    """
+    mask = (1 << width) - 1
+    unsigned = values.astype(np.int64) & mask
+    sign_bit = 1 << (width - 1)
+    return np.where(unsigned >= sign_bit, unsigned - (1 << width), unsigned)
+
+
+def _add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a.astype(np.int64) + b.astype(np.int64)
+
+
+def _sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a.astype(np.int64) - b.astype(np.int64)
+
+
+def _mult(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a.astype(np.int64) * b.astype(np.int64)
+
+
+def _lshift(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a.astype(np.int64) << (b.astype(np.int64) & 0xF)
+
+
+def _rshift(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a.astype(np.int64) >> (b.astype(np.int64) & 0xF)
+
+
+def _lt(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a < b).astype(np.int64)
+
+
+def _gt(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (a > b).astype(np.int64)
+
+
+def _min(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.minimum(a, b).astype(np.int64)
+
+
+def _max(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.maximum(a, b).astype(np.int64)
+
+
+def _neg(a: np.ndarray) -> np.ndarray:
+    return -a.astype(np.int64)
+
+
+def _pass(a: np.ndarray) -> np.ndarray:
+    return a.astype(np.int64)
+
+
+OP_INFO: dict[Operation, OpInfo] = {
+    Operation.ADD: OpInfo(2, True, _add),
+    Operation.SUB: OpInfo(2, False, _sub),
+    Operation.MULT: OpInfo(2, True, _mult),
+    Operation.LSHIFT: OpInfo(2, False, _lshift),
+    Operation.RSHIFT: OpInfo(2, False, _rshift),
+    Operation.LT: OpInfo(2, False, _lt),
+    Operation.GT: OpInfo(2, False, _gt),
+    Operation.MIN: OpInfo(2, True, _min),
+    Operation.MAX: OpInfo(2, True, _max),
+    Operation.NEG: OpInfo(1, False, _neg),
+    Operation.PASS: OpInfo(1, False, _pass),
+}
+
+
+def apply_operation(op: Operation, operands: list[np.ndarray], width: int) -> np.ndarray:
+    """Evaluate *op* bit-true on numpy operand streams.
+
+    Parameters
+    ----------
+    op:
+        The operation to evaluate.
+    operands:
+        One array per operand port, all of identical length.
+    width:
+        Result bit width; the raw result is wrapped into this width's
+        two's-complement range.
+    """
+    info = OP_INFO[op]
+    if len(operands) != info.arity:
+        raise ValueError(
+            f"operation {op} expects {info.arity} operands, got {len(operands)}"
+        )
+    raw = info.func(*operands)
+    return wrap_to_width(raw, width)

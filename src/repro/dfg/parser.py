@@ -1,0 +1,201 @@
+"""Textual hierarchical-DFG format (reader).
+
+The paper's tool "reads in a textual description of the hierarchical
+DFG"; this module defines our equivalent line-oriented format.  A file
+describes one design:
+
+.. code-block:: text
+
+    # comment
+    design my_filter
+    top main
+
+    dfg butterfly behavior butterfly
+      input a
+      input b
+      op s add a b
+      op d sub a b
+      output o0 s
+      output o1 d
+    end
+
+    dfg main
+      input x
+      input y
+      hier b1 butterfly 2 x y
+      op m mult b1.0 b1.1
+      output out m
+    end
+
+Statement forms
+---------------
+``design <name>``                    — design header (first statement)
+``top <dfg-name>``                   — designates the top-level DFG
+``dfg <name> [behavior <b>]``        — opens a DFG block
+``input <id> [<width>]``             — primary input (declaration order = port order)
+``const <id> <int>``                 — constant source
+``op <id> <operation> <ref>...``     — simple operation
+``hier <id> <behavior> <n_out> <ref>...`` — hierarchical node
+``output <id> <ref>``                — primary output (order = port order)
+``end``                              — closes the DFG block
+
+A *ref* is ``node`` (output port 0) or ``node.K`` (output port ``K``).
+``#`` starts a comment; blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .graph import DEFAULT_WIDTH, DFG
+from .hierarchy import Design
+from .ops import Operation
+
+__all__ = ["parse_design", "parse_ref"]
+
+
+def parse_ref(token: str) -> tuple[str, int]:
+    """Split a signal reference into ``(node_id, port)``."""
+    if "." in token:
+        node_id, _, port_text = token.rpartition(".")
+        if not node_id:
+            raise ParseError(f"bad signal reference {token!r}")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ParseError(f"bad port number in reference {token!r}") from None
+        return node_id, port
+    return token, 0
+
+
+def parse_design(text: str, name_hint: str = "design") -> Design:
+    """Parse the textual format into a :class:`~repro.dfg.hierarchy.Design`."""
+    design: Design | None = None
+    current: DFG | None = None
+    pending_edges: list[tuple[str, int, str, int, int]] = []
+
+    def finish_dfg() -> None:
+        nonlocal current
+        assert current is not None and design is not None
+        for src, src_port, dst, dst_port, line_no in pending_edges:
+            try:
+                current.connect(src, src_port, dst, dst_port)
+            except Exception as exc:
+                raise ParseError(str(exc), line_no) from exc
+        pending_edges.clear()
+        try:
+            design.add_dfg(current)
+        except Exception as exc:
+            raise ParseError(str(exc)) from exc
+        current = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        keyword, args = tokens[0], tokens[1:]
+
+        if keyword == "design":
+            if design is not None:
+                raise ParseError("duplicate 'design' statement", line_no)
+            if len(args) != 1:
+                raise ParseError("'design' takes exactly one name", line_no)
+            design = Design(args[0])
+            continue
+
+        if design is None:
+            design = Design(name_hint)
+
+        if keyword == "top":
+            if len(args) != 1:
+                raise ParseError("'top' takes exactly one DFG name", line_no)
+            design._top = args[0]  # validated at the end
+            continue
+
+        if keyword == "dfg":
+            if current is not None:
+                raise ParseError("nested 'dfg' block (missing 'end'?)", line_no)
+            if len(args) == 1:
+                current = DFG(args[0])
+            elif len(args) == 3 and args[1] == "behavior":
+                current = DFG(args[0], behavior=args[2])
+            else:
+                raise ParseError("expected 'dfg <name> [behavior <b>]'", line_no)
+            continue
+
+        if keyword == "end":
+            if current is None:
+                raise ParseError("'end' outside a dfg block", line_no)
+            finish_dfg()
+            continue
+
+        if current is None:
+            raise ParseError(f"statement {keyword!r} outside a dfg block", line_no)
+
+        try:
+            _parse_body_statement(current, keyword, args, pending_edges, line_no)
+        except ParseError:
+            raise
+        except Exception as exc:
+            raise ParseError(str(exc), line_no) from exc
+
+    if current is not None:
+        raise ParseError("unterminated dfg block (missing 'end')")
+    if design is None:
+        raise ParseError("empty design description")
+    if design._top is not None and design._top not in design.dfg_names():
+        raise ParseError(f"top DFG {design._top!r} is not defined")
+    return design
+
+
+def _parse_body_statement(
+    dfg: DFG,
+    keyword: str,
+    args: list[str],
+    pending_edges: list[tuple[str, int, str, int, int]],
+    line_no: int,
+) -> None:
+    """Handle one statement inside a ``dfg`` block."""
+    if keyword == "input":
+        if len(args) not in (1, 2):
+            raise ParseError("expected 'input <id> [<width>]'", line_no)
+        width = int(args[1]) if len(args) == 2 else DEFAULT_WIDTH
+        dfg.add_input(args[0], width=width)
+    elif keyword == "const":
+        if len(args) != 2:
+            raise ParseError("expected 'const <id> <value>'", line_no)
+        dfg.add_const(args[0], int(args[1]))
+    elif keyword == "op":
+        if len(args) < 3:
+            raise ParseError("expected 'op <id> <operation> <ref>...'", line_no)
+        node_id, op_name, refs = args[0], args[1], args[2:]
+        try:
+            op = Operation.from_name(op_name)
+        except ValueError as exc:
+            raise ParseError(str(exc), line_no) from exc
+        dfg.add_op(node_id, op)
+        for port, ref in enumerate(refs):
+            src, src_port = parse_ref(ref)
+            pending_edges.append((src, src_port, node_id, port, line_no))
+    elif keyword == "hier":
+        if len(args) < 4:
+            raise ParseError(
+                "expected 'hier <id> <behavior> <n_out> <ref>...'", line_no
+            )
+        node_id, behavior, n_out_text, refs = args[0], args[1], args[2], args[3:]
+        try:
+            n_out = int(n_out_text)
+        except ValueError:
+            raise ParseError("hier output count must be an integer", line_no) from None
+        dfg.add_hier(node_id, behavior, n_inputs=len(refs), n_outputs=n_out)
+        for port, ref in enumerate(refs):
+            src, src_port = parse_ref(ref)
+            pending_edges.append((src, src_port, node_id, port, line_no))
+    elif keyword == "output":
+        if len(args) != 2:
+            raise ParseError("expected 'output <id> <ref>'", line_no)
+        dfg.add_output(args[0])
+        src, src_port = parse_ref(args[1])
+        pending_edges.append((src, src_port, args[0], 0, line_no))
+    else:
+        raise ParseError(f"unknown statement {keyword!r}", line_no)

@@ -1,0 +1,72 @@
+"""Structural validation of DFGs and designs.
+
+``check_dfg`` returns a list of human-readable problem descriptions;
+``validate_dfg``/``validate_design`` raise :class:`~repro.errors.DFGError`
+on the first hard problem.  The synthesis engine validates its input once
+up front so the optimization loops can assume well-formed graphs.
+"""
+
+from __future__ import annotations
+
+from ..errors import DFGError
+from .graph import DFG, NodeKind
+from .hierarchy import Design
+
+__all__ = ["check_dfg", "validate_dfg", "validate_design"]
+
+
+def check_dfg(dfg: DFG) -> list[str]:
+    """Collect structural problems in *dfg* (empty list = clean)."""
+    problems: list[str] = []
+
+    for node in dfg.nodes():
+        driven = {e.dst_port for e in dfg.in_edges(node.node_id)}
+        expected = set(range(node.n_inputs))
+        missing = expected - driven
+        if missing:
+            problems.append(
+                f"node {node.node_id!r}: input ports {sorted(missing)} undriven"
+            )
+        if node.kind == NodeKind.INPUT and node.node_id not in dfg.inputs:
+            problems.append(f"input {node.node_id!r} not in the ordered input list")
+        if node.kind == NodeKind.OUTPUT and node.node_id not in dfg.outputs:
+            problems.append(f"output {node.node_id!r} not in the ordered output list")
+
+    if not dfg.outputs:
+        problems.append("DFG has no primary outputs")
+
+    try:
+        order = dfg.topo_order()
+    except DFGError:
+        problems.append("DFG contains a cycle")
+        order = []
+
+    if order:
+        # Dead code: computing nodes from which no primary output is reachable.
+        live: set[str] = set(dfg.outputs)
+        for nid in reversed(order):
+            if nid in live:
+                for edge in dfg.in_edges(nid):
+                    live.add(edge.src)
+        for node in dfg.operation_nodes():
+            if node.node_id not in live:
+                problems.append(
+                    f"operation {node.node_id!r} does not reach any primary output"
+                )
+    return problems
+
+
+def validate_dfg(dfg: DFG) -> None:
+    """Raise :class:`~repro.errors.DFGError` if *dfg* is malformed."""
+    problems = check_dfg(dfg)
+    if problems:
+        raise DFGError(
+            f"DFG {dfg.name!r} is malformed: " + "; ".join(problems)
+        )
+
+
+def validate_design(design: Design) -> None:
+    """Validate every DFG of *design* plus the hierarchy itself."""
+    for dfg in design.dfgs():
+        validate_dfg(dfg)
+    design.check_hierarchy()

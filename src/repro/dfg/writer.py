@@ -1,0 +1,57 @@
+"""Textual hierarchical-DFG format (writer).
+
+Emits the format read by :mod:`repro.dfg.parser`; ``parse_design(
+write_design(d))`` round-trips any design.
+"""
+
+from __future__ import annotations
+
+from .graph import DFG, NodeKind
+from .hierarchy import Design
+
+__all__ = ["write_dfg", "write_design"]
+
+
+def _ref(src: str, src_port: int) -> str:
+    return src if src_port == 0 else f"{src}.{src_port}"
+
+
+def write_dfg(dfg: DFG) -> str:
+    """Serialize one DFG block."""
+    lines: list[str] = []
+    if dfg.behavior != dfg.name:
+        lines.append(f"dfg {dfg.name} behavior {dfg.behavior}")
+    else:
+        lines.append(f"dfg {dfg.name}")
+
+    # Emit in topological order so references always precede uses; inputs
+    # and outputs keep their declared port order.
+    order = dfg.topo_order()
+    for nid in dfg.inputs:
+        node = dfg.node(nid)
+        lines.append(f"  input {nid} {node.width}")
+    for nid in order:
+        node = dfg.node(nid)
+        if node.kind == NodeKind.CONST:
+            lines.append(f"  const {nid} {node.value}")
+        elif node.kind == NodeKind.OP:
+            assert node.op is not None
+            refs = " ".join(_ref(e.src, e.src_port) for e in dfg.in_edges(nid))
+            lines.append(f"  op {nid} {node.op.value} {refs}")
+        elif node.kind == NodeKind.HIER:
+            refs = " ".join(_ref(e.src, e.src_port) for e in dfg.in_edges(nid))
+            lines.append(f"  hier {nid} {node.behavior} {node.n_outputs} {refs}")
+    for nid in dfg.outputs:
+        (edge,) = dfg.in_edges(nid)
+        lines.append(f"  output {nid} {_ref(edge.src, edge.src_port)}")
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def write_design(design: Design) -> str:
+    """Serialize a whole design (all DFGs plus the top marker)."""
+    parts = [f"design {design.name}", f"top {design.top_name}", ""]
+    for dfg in design.dfgs():
+        parts.append(write_dfg(dfg))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DFGError(ReproError):
+    """Structural problem in a data flow graph (bad port, cycle, arity)."""
+
+
+class ParseError(ReproError):
+    """Malformed textual DFG description."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class LibraryError(ReproError):
+    """Problem with the module library (unknown cell, no implementation)."""
+
+
+class ScheduleError(ReproError):
+    """The scheduler could not produce a feasible schedule."""
+
+
+class SynthesisError(ReproError):
+    """The synthesis engine could not produce a valid implementation."""
+
+
+class EmbeddingError(ReproError):
+    """RTL embedding failed (incompatible modules)."""

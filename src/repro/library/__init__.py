@@ -1,0 +1,58 @@
+"""Module library substrate: cells, characterization, voltage scaling.
+
+The paper's algorithm consumes a library of *simple* modules (adders,
+multipliers, Table 1) and *complex* RTL modules (Figure 2).  This
+package provides the cell models, the synthesized characterization
+database that replaces the paper's standard-cell flow, the CMOS
+voltage-scaling model used for joint Vdd selection, and the
+functional-equivalence registry exploited by move A.
+"""
+
+from .cells import (
+    CellKind,
+    IDLE_FRACTION,
+    LibraryCell,
+    MUX_CELL,
+    REGISTER_CELL,
+    STANDARD_CELLS,
+    standard_cells,
+)
+from .characterize import (
+    CharacterizationRow,
+    CharacterizationTable,
+    build_characterization,
+    table1_rows,
+)
+from .equivalence import EquivalenceRegistry
+from .library import ModuleLibrary, default_library
+from .voltage import (
+    SUPPLY_VOLTAGES,
+    V_REF,
+    V_THRESHOLD,
+    delay_scale,
+    energy_scale,
+    min_feasible_vdd,
+)
+
+__all__ = [
+    "CellKind",
+    "CharacterizationRow",
+    "CharacterizationTable",
+    "EquivalenceRegistry",
+    "IDLE_FRACTION",
+    "LibraryCell",
+    "ModuleLibrary",
+    "MUX_CELL",
+    "REGISTER_CELL",
+    "STANDARD_CELLS",
+    "SUPPLY_VOLTAGES",
+    "V_REF",
+    "V_THRESHOLD",
+    "build_characterization",
+    "default_library",
+    "delay_scale",
+    "energy_scale",
+    "min_feasible_vdd",
+    "standard_cells",
+    "table1_rows",
+]

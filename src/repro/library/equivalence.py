@@ -1,0 +1,54 @@
+"""Functional-equivalence knowledge for behaviors.
+
+Move A may swap the DFG implementing a hierarchical node for a
+*functionally equivalent but structurally different* (anisomorphic) DFG
+— "knowledge provided by the user regarding the functional equivalence
+of different DFGs" (Section 3).  Two mechanisms carry this knowledge:
+
+1. DFG variants registered under the same behavior name in a
+   :class:`~repro.dfg.hierarchy.Design` are equivalent by construction.
+2. This registry lets a user additionally declare that two *behavior
+   names* are interchangeable (e.g. ``dot3_chain`` ≡ ``dot3_tree``),
+   grouping them into one equivalence class.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EquivalenceRegistry"]
+
+
+class EquivalenceRegistry:
+    """Union-find over behavior names."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def _find(self, behavior: str) -> str:
+        self._parent.setdefault(behavior, behavior)
+        root = behavior
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[behavior] != root:
+            self._parent[behavior], behavior = root, self._parent[behavior]
+        return root
+
+    def declare_equivalent(self, behavior_a: str, behavior_b: str) -> None:
+        """Record that two behaviors are functionally interchangeable."""
+        root_a, root_b = self._find(behavior_a), self._find(behavior_b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+    def are_equivalent(self, behavior_a: str, behavior_b: str) -> bool:
+        """True if the behaviors are in the same equivalence class."""
+        if behavior_a == behavior_b:
+            return True
+        return self._find(behavior_a) == self._find(behavior_b)
+
+    def equivalence_class(self, behavior: str) -> set[str]:
+        """All behaviors known to be equivalent to *behavior*."""
+        root = self._find(behavior)
+        return {b for b in self._parent if self._find(b) == root}
+
+    def known_behaviors(self) -> set[str]:
+        return set(self._parent)

@@ -1,0 +1,129 @@
+"""The module library: simple cells plus complex RTL modules.
+
+This is the ``LIBRARY L`` input of the paper's SYNTHESIZE procedure
+(Figure 4).  It answers the queries the moves need:
+
+* move A on a simple unit: "which cells can execute this operation, and
+  which is fastest / smallest / lowest-power?";
+* move A on a hierarchical node: "which complex RTL modules implement a
+  behavior equivalent to this node's, and what are their profiles?";
+* initial solution: "the fastest implementation of everything".
+
+Complex modules are stored duck-typed (anything exposing ``name`` and
+``behavior``); concretely they are
+:class:`repro.rtl.module.RTLModule` instances, registered either by the
+user or by the synthesis engine itself when it publishes a resynthesized
+module back to the library.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..dfg.ops import Operation
+from ..errors import LibraryError
+from .cells import LibraryCell, MUX_CELL, REGISTER_CELL, standard_cells
+from .equivalence import EquivalenceRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..rtl.module import RTLModule
+
+__all__ = ["ModuleLibrary", "default_library"]
+
+
+class ModuleLibrary:
+    """Library of simple cells and complex RTL modules."""
+
+    def __init__(
+        self,
+        cells: Iterable[LibraryCell] | None = None,
+        register_cell: LibraryCell = REGISTER_CELL,
+        mux_cell: LibraryCell = MUX_CELL,
+    ):
+        self._cells: dict[str, LibraryCell] = {}
+        self.register_cell = register_cell
+        self.mux_cell = mux_cell
+        self.equivalences = EquivalenceRegistry()
+        self._complex: dict[str, list["RTLModule"]] = {}
+        for cell in cells if cells is not None else standard_cells():
+            self.add_cell(cell)
+
+    # ------------------------------------------------------------------
+    # Simple cells
+    # ------------------------------------------------------------------
+    def add_cell(self, cell: LibraryCell) -> None:
+        """Register a functional-unit cell."""
+        if cell.name in self._cells:
+            raise LibraryError(f"duplicate cell name {cell.name!r}")
+        self._cells[cell.name] = cell
+
+    def cell(self, name: str) -> LibraryCell:
+        """Look up a cell by name (register and mux cells included)."""
+        if name == self.register_cell.name:
+            return self.register_cell
+        if name == self.mux_cell.name:
+            return self.mux_cell
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise LibraryError(f"unknown library cell {name!r}") from None
+
+    def cells(self) -> list[LibraryCell]:
+        return list(self._cells.values())
+
+    def cells_for(self, op: Operation, max_chain: int | None = None) -> list[LibraryCell]:
+        """All cells able to execute *op* (optionally bounding chain length)."""
+        found = [c for c in self._cells.values() if c.supports(op)]
+        if max_chain is not None:
+            found = [c for c in found if c.chain_length <= max_chain]
+        return found
+
+    def _pick(self, op: Operation, key, chainable: bool) -> LibraryCell:
+        candidates = self.cells_for(op, max_chain=None if chainable else 1)
+        if not candidates:
+            raise LibraryError(f"no library cell implements operation {op}")
+        return min(candidates, key=key)
+
+    def fastest_cell(self, op: Operation, chainable: bool = False) -> LibraryCell:
+        """Fastest cell for *op* (area breaks ties); used by INITIAL_SOLUTION."""
+        return self._pick(op, key=lambda c: (c.delay_ns, c.area), chainable=chainable)
+
+    def smallest_cell(self, op: Operation) -> LibraryCell:
+        """Smallest-area cell for *op* (delay breaks ties)."""
+        return self._pick(op, key=lambda c: (c.area, c.delay_ns), chainable=False)
+
+    def lowest_power_cell(self, op: Operation) -> LibraryCell:
+        """Lowest switched-capacitance cell for *op*."""
+        return self._pick(op, key=lambda c: (c.cap, c.area), chainable=False)
+
+    # ------------------------------------------------------------------
+    # Complex RTL modules
+    # ------------------------------------------------------------------
+    def add_complex_module(self, module: "RTLModule") -> None:
+        """Register a complex RTL module under its behavior."""
+        self._complex.setdefault(module.behavior, []).append(module)
+
+    def complex_modules_for(self, behavior: str) -> list["RTLModule"]:
+        """Complex modules implementing *behavior* or any equivalent behavior."""
+        names = self.equivalences.equivalence_class(behavior) | {behavior}
+        found: list["RTLModule"] = []
+        for name in names:
+            found.extend(self._complex.get(name, []))
+        return found
+
+    def complex_behaviors(self) -> list[str]:
+        return list(self._complex)
+
+    def n_complex_modules(self) -> int:
+        return sum(len(mods) for mods in self._complex.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ModuleLibrary({len(self._cells)} cells, "
+            f"{self.n_complex_modules()} complex modules)"
+        )
+
+
+def default_library() -> ModuleLibrary:
+    """The default library: the Table 1 cell set, no complex modules."""
+    return ModuleLibrary()

@@ -1,0 +1,112 @@
+"""First-order CMOS supply-voltage scaling model.
+
+The paper performs :math:`V_{dd}` selection jointly with synthesis: at a
+lower supply, every cell is slower but switches quadratically less
+energy.  H-SYN used characterization data from an MSU standard-cell
+flow; we substitute the standard first-order alpha-power model that the
+low-power HLS literature of the era (Chandrakasan et al., ref. [4]) is
+built on:
+
+* delay(V) ∝ V / (V − Vt)²   (long-channel alpha = 2)
+* energy(V) ∝ V²
+
+Both are expressed as scale factors relative to the reference supply
+(5 V), which is how the characterization database stores them.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "V_REF",
+    "V_THRESHOLD",
+    "V_FLOOR",
+    "SUPPLY_VOLTAGES",
+    "delay_scale",
+    "energy_scale",
+    "min_feasible_vdd",
+    "vdd_for_delay_scale",
+]
+
+#: Lowest practical supply for the era's process (noise margins).
+V_FLOOR = 1.2
+
+#: Reference (characterization) supply voltage, volts.
+V_REF = 5.0
+
+#: Device threshold voltage, volts.
+V_THRESHOLD = 0.8
+
+#: Supply voltages considered during synthesis, highest first.  These are
+#: the levels used by the paper's comparison baseline (ref. [10]).
+SUPPLY_VOLTAGES: tuple[float, ...] = (5.0, 3.3, 2.4)
+
+
+def _raw_delay(vdd: float, vt: float) -> float:
+    return vdd / (vdd - vt) ** 2
+
+
+def delay_scale(vdd: float, vt: float = V_THRESHOLD, vref: float = V_REF) -> float:
+    """Cell delay multiplier at *vdd* relative to *vref*.
+
+    ``delay_scale(5.0) == 1.0``; lower supplies give factors > 1.
+    """
+    if vdd <= vt:
+        raise ValueError(f"supply {vdd} V is not above the threshold {vt} V")
+    return _raw_delay(vdd, vt) / _raw_delay(vref, vt)
+
+
+def energy_scale(vdd: float, vref: float = V_REF) -> float:
+    """Switched-energy multiplier at *vdd* relative to *vref* (V²/Vref²)."""
+    if vdd <= 0:
+        raise ValueError("supply voltage must be positive")
+    return (vdd / vref) ** 2
+
+
+def vdd_for_delay_scale(
+    target_scale: float,
+    vt: float = V_THRESHOLD,
+    vref: float = V_REF,
+    floor: float = V_FLOOR,
+) -> float | None:
+    """Lowest (continuous) supply whose delay factor stays ≤ *target_scale*.
+
+    Inverts the monotone-decreasing delay_scale(v) on [floor, vref] by
+    bisection.  Returns ``None`` when even *vref* misses the target
+    (target < 1) and *floor* when the target exceeds the floor's factor.
+    Used to scale a supply "to just meet the sampling period constraint"
+    (Table 4's Vdd-sc column).
+    """
+    if target_scale < 1.0:
+        return None
+    if delay_scale(floor, vt=vt, vref=vref) <= target_scale:
+        return floor
+    lo, hi = floor, vref  # delay_scale(lo) > target >= delay_scale(hi)
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if delay_scale(mid, vt=vt, vref=vref) > target_scale:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def min_feasible_vdd(
+    critical_path_ns_at_ref: float,
+    budget_ns: float,
+    voltages: tuple[float, ...] = SUPPLY_VOLTAGES,
+    vt: float = V_THRESHOLD,
+) -> float | None:
+    """Lowest supply at which a path fitting ``budget_ns`` at 5 V still fits.
+
+    This is the *voltage scaling* applied to area-optimized circuits in
+    Table 3: drop the supply as far as the slack allows.  Returns
+    ``None`` when even the highest supply misses the budget.
+    """
+    feasible = [
+        v
+        for v in voltages
+        if critical_path_ns_at_ref * delay_scale(v, vt=vt) <= budget_ns + 1e-9
+    ]
+    if not feasible:
+        return None
+    return min(feasible)

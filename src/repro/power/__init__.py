@@ -1,0 +1,59 @@
+"""Trace-driven power-estimation substrate.
+
+Pipeline: :mod:`traces` generate stimuli → :mod:`simulate` produces
+bit-true value streams for every signal at every hierarchy level →
+:mod:`activity` turns streams (and resource-sharing interleavings) into
+toggle factors → :mod:`estimator` aggregates switched-capacitance
+energies into a power report.
+"""
+
+from .activity import (
+    hamming_distance,
+    interleaved_activity,
+    operand_activity,
+    stream_activity,
+)
+from .estimator import (
+    ControllerUsage,
+    FUUsage,
+    InterconnectUsage,
+    MuxUsage,
+    PowerReport,
+    RegisterUsage,
+    WIRE_CAP_PER_CONNECTION,
+    estimate_power,
+)
+from .simulate import SimTrace, simulate_design, simulate_dfg, simulate_subgraph
+from .traces import (
+    DEFAULT_TRACE_LENGTH,
+    TraceSet,
+    default_traces,
+    image_traces,
+    speech_traces,
+    white_traces,
+)
+
+__all__ = [
+    "DEFAULT_TRACE_LENGTH",
+    "ControllerUsage",
+    "FUUsage",
+    "InterconnectUsage",
+    "MuxUsage",
+    "PowerReport",
+    "RegisterUsage",
+    "SimTrace",
+    "TraceSet",
+    "WIRE_CAP_PER_CONNECTION",
+    "default_traces",
+    "estimate_power",
+    "hamming_distance",
+    "image_traces",
+    "interleaved_activity",
+    "operand_activity",
+    "simulate_design",
+    "simulate_dfg",
+    "simulate_subgraph",
+    "speech_traces",
+    "stream_activity",
+    "white_traces",
+]

@@ -1,0 +1,289 @@
+"""Switched-capacitance power accounting for RTL architectures.
+
+The estimator consumes *usage records* — which cell is activated how
+often with which value streams — and produces a per-category energy
+breakdown.  It deliberately knows nothing about DFGs, schedules or
+bindings; the synthesis layer (:mod:`repro.synthesis.costs`) assembles
+the usage records from a solution, and library characterization of
+complex modules reuses the same accounting.
+
+Units: energies are in (capacitance-unit × volt²); power is energy per
+sampling period divided by the period in ns.  Only ratios of these
+numbers are ever reported, matching the paper's normalized tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..library.cells import LibraryCell
+from .activity import operand_activity, stream_activity
+
+__all__ = [
+    "FUUsage",
+    "RegisterUsage",
+    "MuxUsage",
+    "InterconnectUsage",
+    "PowerReport",
+    "estimate_power",
+    "WIRE_CAP_PER_CONNECTION",
+]
+
+#: Effective switched capacitance of one point-to-point datapath
+#: connection per value transported (the paper folds "a measure of
+#: interconnect" into its cost; this is ours).
+WIRE_CAP_PER_CONNECTION = 0.18
+
+
+#: Fraction of a full-activity evaluation burned when a shared unit's
+#: input multiplexer switches between unrelated operands mid-iteration
+#: (spurious combinational evaluation).  Glitching in muxed datapaths is
+#: a large, well-documented cost of resource sharing — the reason the
+#: paper's power optimization "often requires that operations be bound
+#: to different functional unit instances" (Section 3, ref. [9]).
+GLITCH_FRACTION = 0.35
+
+
+@dataclass
+class FUUsage:
+    """A functional unit plus the operand streams of its bound operations.
+
+    ``operand_streams_per_op`` follows the serialization order on the
+    unit; sharing several weakly-correlated operations shows up as a
+    high interleaved activity (see :mod:`repro.power.activity`).
+    ``activations_per_sample`` defaults to one per bound operation.
+    ``glitch_evaluations`` counts the spurious evaluations caused by
+    input-mux switching on shared units (0 for dedicated units).
+    """
+
+    cell: LibraryCell
+    operand_streams_per_op: list[list[np.ndarray]]
+    width: int
+    activations_per_sample: int | None = None
+    glitch_evaluations: int = 0
+
+    def energy_per_sample(self, vdd: float) -> float:
+        activations = (
+            self.activations_per_sample
+            if self.activations_per_sample is not None
+            else len(self.operand_streams_per_op)
+        )
+        if activations == 0:
+            return 0.0
+        activity = operand_activity(self.operand_streams_per_op, self.width)
+        useful = activations * self.cell.energy_per_op(vdd, activity)
+        glitch = (
+            self.glitch_evaluations
+            * GLITCH_FRACTION
+            * self.cell.energy_per_op(vdd, 0.5)
+        )
+        # Cells are characterized at 16 bits; capacitance scales with
+        # the instantiated datapath width.
+        return (useful + glitch) * (self.width / 16.0)
+
+
+#: Fraction of a register's write energy burned per *idle* clock cycle
+#: (clock-pin and clock-tree load).  This is what physically couples area
+#: to power: a sprawling fully parallel architecture clocks many more
+#: flip-flops per sample than a compact shared one.
+REGISTER_CLOCK_FRACTION = 0.25
+
+
+@dataclass
+class RegisterUsage:
+    """A register plus the value streams written into it, in write order.
+
+    ``clocked_cycles`` is the schedule length: the register's clock pin
+    toggles every cycle whether or not a load is enabled.
+    """
+
+    cell: LibraryCell
+    value_streams: list[np.ndarray]
+    width: int
+    clocked_cycles: int = 0
+
+    def energy_per_sample(self, vdd: float) -> float:
+        if not self.value_streams:
+            return 0.0
+        if len(self.value_streams) == 1:
+            activity = stream_activity(self.value_streams[0], self.width)
+        else:
+            from .activity import interleaved_activity
+
+            activity = interleaved_activity(self.value_streams, self.width)
+        writes = len(self.value_streams)
+        write_energy = writes * self.cell.energy_per_op(vdd, activity)
+        clock_energy = (
+            REGISTER_CLOCK_FRACTION
+            * self.clocked_cycles
+            * self.cell.energy_per_op(vdd, 0.0)
+        )
+        return (write_energy + clock_energy) * (self.width / 16.0)
+
+
+@dataclass
+class MuxUsage:
+    """A multiplexer tree on one input port: ``n_inputs``-to-1.
+
+    Each access steers one value through the tree; only the legs along
+    that one root-to-leaf path switch, so the energy per access grows
+    like ``log2(n_inputs)``, not like the leg count.
+    """
+
+    cell: LibraryCell
+    n_inputs: int
+    accesses_per_sample: int
+    activity: float = 0.5
+
+    @property
+    def n_legs(self) -> int:
+        """Number of 2-to-1 legs in the tree (its area cost)."""
+        return max(0, self.n_inputs - 1)
+
+    @property
+    def switched_legs_per_access(self) -> int:
+        """Legs on one select path (its energy cost per access)."""
+        if self.n_inputs <= 1:
+            return 0
+        return math.ceil(math.log2(self.n_inputs))
+
+    def energy_per_sample(self, vdd: float) -> float:
+        return (
+            self.switched_legs_per_access
+            * self.accesses_per_sample
+            * self.cell.energy_per_op(vdd, self.activity)
+        )
+
+
+@dataclass
+class InterconnectUsage:
+    """Aggregate wiring: connection count, activity, and wire length.
+
+    ``length_factor`` models the physical fact that average wire length
+    (and hence capacitance per connection) grows with the square root
+    of circuit area: bigger, more parallel architectures pay more per
+    value moved.  This is the area→power coupling that keeps
+    power-optimized circuits from sprawling without bound, replacing
+    the paper's placed-and-routed interconnect capacitance.
+    """
+
+    n_connections: int
+    activity: float = 0.4
+    length_factor: float = 1.0
+
+    def energy_per_sample(self, vdd: float) -> float:
+        from ..library.voltage import energy_scale
+
+        return (
+            self.n_connections
+            * WIRE_CAP_PER_CONNECTION
+            * self.length_factor
+            * self.activity
+            * energy_scale(vdd)
+            * 25.0
+        )
+
+
+@dataclass
+class ControllerUsage:
+    """FSM controller: state register + decode logic switching per cycle.
+
+    The paper's controller is merged with the datapath and synthesized
+    by SIS; we estimate it from its two size drivers — the state count
+    (state register width and next-state logic) and the number of
+    distinct control signals decoded (load enables, unit starts, mux
+    selects).
+    """
+
+    n_states: int
+    n_control_signals: int
+
+    #: Switched capacitance per state-register/decode transition, per
+    #: control signal.
+    CAP_PER_SIGNAL = 0.02
+    #: Switched capacitance of the state register + next-state logic
+    #: per cycle.
+    CAP_PER_CYCLE = 0.15
+
+    def energy_per_sample(self, vdd: float) -> float:
+        from ..library.voltage import energy_scale
+
+        switching = (
+            self.n_states * self.CAP_PER_CYCLE
+            + self.n_control_signals * self.CAP_PER_SIGNAL * self.n_states * 0.1
+        )
+        return switching * energy_scale(vdd) * 25.0
+
+    #: Area per decoded control signal and per state, in cell-area units.
+    AREA_PER_SIGNAL = 1.2
+    AREA_PER_STATE = 0.6
+
+    def area(self) -> float:
+        return (
+            self.n_control_signals * self.AREA_PER_SIGNAL
+            + self.n_states * self.AREA_PER_STATE
+        )
+
+
+@dataclass
+class PowerReport:
+    """Per-category energy breakdown for one sampling period."""
+
+    fu_energy: float
+    register_energy: float
+    mux_energy: float
+    wire_energy: float
+    extra_energy: float
+    sampling_period_ns: float
+    vdd: float
+    controller_energy: float = 0.0
+
+    @property
+    def total_energy(self) -> float:
+        return (
+            self.fu_energy
+            + self.register_energy
+            + self.mux_energy
+            + self.wire_energy
+            + self.extra_energy
+            + self.controller_energy
+        )
+
+    @property
+    def power(self) -> float:
+        """Average power (energy per sampling period over period length)."""
+        if self.sampling_period_ns <= 0:
+            raise ValueError("sampling period must be positive")
+        return self.total_energy / self.sampling_period_ns
+
+
+def estimate_power(
+    fus: list[FUUsage],
+    registers: list[RegisterUsage],
+    muxes: list[MuxUsage],
+    interconnect: InterconnectUsage,
+    vdd: float,
+    sampling_period_ns: float,
+    extra_energy: float = 0.0,
+    controller: ControllerUsage | None = None,
+) -> PowerReport:
+    """Aggregate a full RTL power report.
+
+    ``extra_energy`` carries pre-characterized contributions (library
+    complex modules whose internals are not re-estimated per move).
+    """
+    return PowerReport(
+        fu_energy=sum(u.energy_per_sample(vdd) for u in fus),
+        register_energy=sum(u.energy_per_sample(vdd) for u in registers),
+        mux_energy=sum(u.energy_per_sample(vdd) for u in muxes),
+        wire_energy=interconnect.energy_per_sample(vdd),
+        extra_energy=extra_energy,
+        sampling_period_ns=sampling_period_ns,
+        vdd=vdd,
+        controller_energy=(
+            controller.energy_per_sample(vdd) if controller is not None else 0.0
+        ),
+    )

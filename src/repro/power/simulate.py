@@ -1,0 +1,178 @@
+"""Bit-true functional simulation of hierarchical DFGs.
+
+The trace-driven power estimator needs the value stream on every signal
+of the design — including signals *inside* the sub-DFGs instantiated by
+hierarchical nodes, because complex RTL modules are characterized from
+the streams their internal resources see.
+
+A simulation result is keyed by ``(path, signal)`` where *path* is the
+tuple of hierarchical-node ids descended through (``()`` is the top
+level) and *signal* is a ``(node_id, output_port)`` pair in the DFG at
+that path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..dfg.graph import DFG, NodeKind, Signal
+from ..dfg.hierarchy import Design
+from ..dfg.ops import apply_operation, wrap_to_width
+from ..errors import DFGError
+from .traces import TraceSet
+
+__all__ = ["SimTrace", "simulate_design", "simulate_dfg", "simulate_subgraph"]
+
+Path = tuple[str, ...]
+
+
+class SimTrace:
+    """Value streams for every signal at every hierarchy level."""
+
+    def __init__(self, n_samples: int):
+        self.n_samples = n_samples
+        self._values: dict[tuple[Path, Signal], np.ndarray] = {}
+
+    def put(self, path: Path, signal: Signal, stream: np.ndarray) -> None:
+        self._values[(path, signal)] = stream
+
+    def stream(self, path: Path, signal: Signal) -> np.ndarray:
+        """The value stream of *signal* in the DFG instance at *path*."""
+        try:
+            return self._values[(path, signal)]
+        except KeyError:
+            raise DFGError(
+                f"no simulated stream for signal {signal!r} at path {path!r}"
+            ) from None
+
+    def has(self, path: Path, signal: Signal) -> bool:
+        return (path, signal) in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def simulate_design(
+    design: Design,
+    traces: TraceSet,
+    choose: Callable[[str], DFG] | None = None,
+) -> SimTrace:
+    """Simulate *design* on *traces*, descending the full hierarchy.
+
+    ``choose`` selects the DFG variant expanded for each behavior
+    (default: the design's first registered variant).  Note that all
+    variants of one behavior are functionally equivalent, so the choice
+    does not change top-level streams — only which internal signals
+    exist.
+    """
+    if choose is None:
+        choose = design.default_variant
+    top = design.top
+    n = _check_traces(top, traces)
+    result = SimTrace(n)
+    input_streams = [np.asarray(traces[name], dtype=np.int64) for name in top.inputs]
+    _simulate_into(result, (), top, input_streams, choose)
+    return result
+
+
+def simulate_dfg(dfg: DFG, traces: TraceSet) -> SimTrace:
+    """Simulate a flat DFG (no hierarchical nodes) on *traces*."""
+    if dfg.hier_nodes():
+        raise DFGError(
+            f"simulate_dfg requires a flat DFG; {dfg.name!r} has hierarchical "
+            "nodes (use simulate_design)"
+        )
+    n = _check_traces(dfg, traces)
+    result = SimTrace(n)
+    input_streams = [np.asarray(traces[name], dtype=np.int64) for name in dfg.inputs]
+    _simulate_into(result, (), dfg, input_streams, choose=None)
+    return result
+
+
+def simulate_subgraph(
+    design: Design,
+    dfg: DFG,
+    input_streams: list[np.ndarray],
+    choose: Callable[[str], DFG] | None = None,
+) -> SimTrace:
+    """Simulate one DFG (any hierarchy level) fed by explicit input streams.
+
+    Used when synthesizing a sub-behavior: the streams a hierarchical
+    node receives in its parent become the stimulus for the sub-DFG, so
+    module characterization sees representative data.  The returned
+    trace is rooted at path ``()`` for *dfg* itself.
+    """
+    if choose is None:
+        choose = design.default_variant
+    if len(input_streams) != len(dfg.inputs):
+        raise DFGError(
+            f"{dfg.name!r} has {len(dfg.inputs)} inputs, got "
+            f"{len(input_streams)} streams"
+        )
+    n = input_streams[0].shape[0] if input_streams else 0
+    result = SimTrace(n)
+    _simulate_into(result, (), dfg, [np.asarray(s, dtype=np.int64) for s in input_streams], choose)
+    return result
+
+
+def _check_traces(dfg: DFG, traces: TraceSet) -> int:
+    lengths = set()
+    for name in dfg.inputs:
+        if name not in traces:
+            raise DFGError(f"no trace supplied for primary input {name!r}")
+        lengths.add(len(traces[name]))
+    if not lengths:
+        return 0
+    if len(lengths) != 1:
+        raise DFGError(f"trace lengths differ: {sorted(lengths)}")
+    return lengths.pop()
+
+
+def _simulate_into(
+    result: SimTrace,
+    path: Path,
+    dfg: DFG,
+    input_streams: list[np.ndarray],
+    choose: Callable[[str], DFG] | None,
+) -> list[np.ndarray]:
+    """Simulate one DFG instance; returns its primary-output streams."""
+    n = input_streams[0].shape[0] if input_streams else result.n_samples
+
+    for port, name in enumerate(dfg.inputs):
+        node = dfg.node(name)
+        stream = wrap_to_width(input_streams[port], node.width)
+        result.put(path, (name, 0), stream)
+
+    for nid in dfg.topo_order():
+        node = dfg.node(nid)
+        if node.kind == NodeKind.INPUT or node.kind == NodeKind.OUTPUT:
+            continue
+        if node.kind == NodeKind.CONST:
+            assert node.value is not None
+            stream = np.full(n, node.value, dtype=np.int64)
+            result.put(path, (nid, 0), wrap_to_width(stream, node.width))
+        elif node.kind == NodeKind.OP:
+            assert node.op is not None
+            operands = [
+                result.stream(path, e.signal) for e in dfg.in_edges(nid)
+            ]
+            result.put(path, (nid, 0), apply_operation(node.op, operands, node.width))
+        elif node.kind == NodeKind.HIER:
+            if choose is None:  # pragma: no cover - guarded by simulate_dfg
+                raise DFGError("hierarchical node in flat simulation")
+            assert node.behavior is not None
+            sub = choose(node.behavior)
+            sub_inputs = [result.stream(path, e.signal) for e in dfg.in_edges(nid)]
+            outputs = _simulate_into(result, path + (nid,), sub, sub_inputs, choose)
+            for port, stream in enumerate(outputs):
+                result.put(path, (nid, port), stream)
+        else:  # pragma: no cover
+            raise DFGError(f"unknown node kind {node.kind}")
+
+    output_streams: list[np.ndarray] = []
+    for name in dfg.outputs:
+        (edge,) = dfg.in_edges(name)
+        output_streams.append(result.stream(path, edge.signal))
+    return output_streams

@@ -1,0 +1,102 @@
+"""Synthetic input-trace generators.
+
+The paper feeds "typical input traces to aid power estimation".  We have
+no production DSP traces, so this module synthesizes the three stimulus
+families the DSP/image benchmarks would see (see DESIGN.md for the
+substitution rationale):
+
+* **white** — uncorrelated uniform samples (worst-case activity);
+* **speech-like** — AR(1)-correlated samples, the standard surrogate for
+  audio/speech signals (high sample-to-sample correlation, which is what
+  makes resource *non*-sharing pay off in power);
+* **image-like** — slowly ramping scanlines with additive noise.
+
+All generators are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dfg.graph import DFG
+
+__all__ = [
+    "TraceSet",
+    "white_traces",
+    "speech_traces",
+    "image_traces",
+    "default_traces",
+    "DEFAULT_TRACE_LENGTH",
+]
+
+#: Samples per primary input used by default during synthesis.  Long
+#: enough for stable activity averages, short enough to keep the
+#: estimator out of the profile hot path.
+DEFAULT_TRACE_LENGTH = 64
+
+#: Mapping from primary-input name to its sample stream.
+TraceSet = dict[str, np.ndarray]
+
+
+def _amplitude(width: int) -> int:
+    """Usable amplitude: three quarters of full scale, leaving headroom."""
+    return (1 << (width - 1)) * 3 // 4
+
+
+def white_traces(dfg: DFG, n: int = DEFAULT_TRACE_LENGTH, seed: int = 0) -> TraceSet:
+    """Uncorrelated uniform samples for every primary input."""
+    rng = np.random.default_rng(seed)
+    traces: TraceSet = {}
+    for name in dfg.inputs:
+        amp = _amplitude(dfg.node(name).width)
+        traces[name] = rng.integers(-amp, amp, size=n, dtype=np.int64)
+    return traces
+
+
+def speech_traces(
+    dfg: DFG,
+    n: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    rho: float = 0.998,
+) -> TraceSet:
+    """AR(1)-correlated samples: ``x[t] = rho * x[t-1] + noise``.
+
+    ``rho`` close to 1 yields the strong temporal correlation of sampled
+    audio (an audio signal sampled well above its bandwidth moves a
+    small fraction of full scale per sample), the regime in which
+    dedicating resources to one stream keeps switched capacitance low.
+    """
+    rng = np.random.default_rng(seed)
+    traces: TraceSet = {}
+    for idx, name in enumerate(dfg.inputs):
+        amp = _amplitude(dfg.node(name).width)
+        noise = rng.normal(0.0, 1.0, size=n)
+        samples = np.empty(n)
+        state = 0.0
+        for t in range(n):
+            state = rho * state + noise[t]
+            samples[t] = state
+        # Normalize to the amplitude range; AR(1) stationary std is
+        # 1/sqrt(1 - rho^2).
+        scale = amp * np.sqrt(1.0 - rho**2) * 0.8
+        traces[name] = np.clip(samples * scale, -amp, amp).astype(np.int64)
+    return traces
+
+
+def image_traces(dfg: DFG, n: int = DEFAULT_TRACE_LENGTH, seed: int = 0) -> TraceSet:
+    """Slowly ramping scanline-like samples with small additive noise."""
+    rng = np.random.default_rng(seed)
+    traces: TraceSet = {}
+    for idx, name in enumerate(dfg.inputs):
+        amp = _amplitude(dfg.node(name).width)
+        period = 16 + 4 * (idx % 5)
+        t = np.arange(n)
+        ramp = ((t % period) / period * 2.0 - 1.0) * amp * 0.7
+        noise = rng.integers(-amp // 16, amp // 16 + 1, size=n)
+        traces[name] = np.clip(ramp.astype(np.int64) + noise, -amp, amp)
+    return traces
+
+
+def default_traces(dfg: DFG, n: int = DEFAULT_TRACE_LENGTH, seed: int = 0) -> TraceSet:
+    """The trace family used when the caller does not supply one."""
+    return speech_traces(dfg, n=n, seed=seed)

@@ -1,0 +1,38 @@
+"""Experiment harness: regenerate the paper's tables from the library."""
+
+from .export import cell_to_dict, result_to_dict, save_sweep_json, sweep_to_dict
+from .summary import HeadlineClaims, compute_claims, render_claims
+from .sweep import (
+    CellResult,
+    DEFAULT_LAXITY_FACTORS,
+    SweepResults,
+    quick_config,
+    run_cell,
+    run_sweep,
+)
+from .table3 import render_table3, table3_rows
+from .table4 import Table4Row, render_table4, table4_rows
+from .tables import fmt, render_table
+
+__all__ = [
+    "CellResult",
+    "cell_to_dict",
+    "result_to_dict",
+    "save_sweep_json",
+    "sweep_to_dict",
+    "DEFAULT_LAXITY_FACTORS",
+    "SweepResults",
+    "HeadlineClaims",
+    "Table4Row",
+    "compute_claims",
+    "render_claims",
+    "fmt",
+    "quick_config",
+    "render_table",
+    "render_table3",
+    "render_table4",
+    "run_cell",
+    "run_sweep",
+    "table3_rows",
+    "table4_rows",
+]

@@ -1,0 +1,89 @@
+"""JSON export of sweep results (for archival and external plotting).
+
+``sweep_to_dict`` flattens a :class:`~repro.reporting.sweep.SweepResults`
+into plain data: per cell the normalized Table 3 numbers, the absolute
+metrics of all six runs, and the synthesis times.  ``EXPERIMENTS.md``'s
+tables can be regenerated from this file alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..synthesis.api import SynthesisResult
+from .sweep import CellResult, SweepResults
+
+__all__ = ["result_to_dict", "cell_to_dict", "sweep_to_dict", "save_sweep_json"]
+
+
+def result_to_dict(result: SynthesisResult) -> dict[str, Any]:
+    """Serializable summary of one synthesis run."""
+    return {
+        "objective": result.objective,
+        "flattened": result.flattened,
+        "area": result.area,
+        "power": result.power,
+        "energy_per_sample": result.metrics.energy_per_sample,
+        "vdd": result.vdd,
+        "clk_ns": result.clk_ns,
+        "sampling_ns": result.sampling_ns,
+        "schedule_cycles": result.metrics.schedule_length,
+        "elapsed_s": result.elapsed_s,
+    }
+
+
+def cell_to_dict(cell: CellResult) -> dict[str, Any]:
+    """Serializable summary of one Table 3 cell."""
+    row_a = cell.table3_row_a()
+    row_p = cell.table3_row_p()
+    return {
+        "circuit": cell.circuit,
+        "laxity": cell.laxity,
+        "normalized": {
+            "area": {
+                "flat_area_scaled": row_a[0],
+                "flat_power": row_a[1],
+                "hier_area_scaled": row_a[2],
+                "hier_power": row_a[3],
+            },
+            "power": {
+                "flat_area_scaled": row_p[0],
+                "flat_power": row_p[1],
+                "hier_area_scaled": row_p[2],
+                "hier_power": row_p[3],
+            },
+        },
+        "runs": {
+            "flat_area": result_to_dict(cell.flat_area),
+            "flat_area_scaled": result_to_dict(cell.flat_area_scaled),
+            "flat_power": result_to_dict(cell.flat_power),
+            "hier_area": result_to_dict(cell.hier_area),
+            "hier_area_scaled": result_to_dict(cell.hier_area_scaled),
+            "hier_power": result_to_dict(cell.hier_power),
+        },
+        "synth_time_s": {
+            "flat": cell.flat_synth_time,
+            "hier": cell.hier_synth_time,
+        },
+    }
+
+
+def sweep_to_dict(results: SweepResults) -> dict[str, Any]:
+    """Whole-sweep export, keyed ``"<circuit>@<laxity>"``."""
+    return {
+        "circuits": results.circuits(),
+        "laxity_factors": results.laxities(),
+        "cells": {
+            f"{circuit}@{laxity:g}": cell_to_dict(cell)
+            for (circuit, laxity), cell in sorted(results.cells.items())
+        },
+    }
+
+
+def save_sweep_json(results: SweepResults, path: Path | str) -> Path:
+    """Write the sweep export as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(sweep_to_dict(results), indent=2) + "\n")
+    return path

@@ -1,0 +1,102 @@
+"""Headline-claim summary: the paper's Section 5 prose, computed.
+
+The paper closes its evaluation with four prose claims; this module
+computes each from a sweep so EXPERIMENTS.md (and the benches) can
+compare like with like:
+
+1. "upto 6.7-fold reduction in power ... over area-optimized circuits
+   working at 5 Volts" — the maximum 1/P ratio over hierarchical
+   power-optimized cells;
+2. "at area overheads not exceeding 50%" — the area overhead of that
+   same best-power cell;
+3. "hierarchical power-optimized designs consumed 13.3% less power than
+   flattened designs optimized for power" — the mean hier/flat
+   power-optimized power ratio;
+4. "hierarchical area-optimized designs had an area overhead of 5.6%
+   over flattened, area-optimized designs" — the mean hier/flat
+   area-optimized area ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .sweep import SweepResults
+from .tables import render_table
+
+__all__ = ["HeadlineClaims", "compute_claims", "render_claims"]
+
+
+@dataclass
+class HeadlineClaims:
+    """The four Section 5 claims, as measured."""
+
+    max_power_reduction: float
+    max_power_reduction_cell: tuple[str, float]
+    area_overhead_at_best: float
+    hier_vs_flat_power_opt: float
+    hier_vs_flat_area_opt: float
+
+
+def compute_claims(results: SweepResults) -> HeadlineClaims:
+    """Evaluate the headline claims over a sweep."""
+    if not results.cells:
+        raise ValueError("empty sweep")
+
+    best_reduction = 0.0
+    best_cell = ("", 0.0)
+    best_overhead = 0.0
+    power_ratios: list[float] = []
+    area_ratios: list[float] = []
+
+    for (circuit, laxity), cell in results.cells.items():
+        hier_p = cell.norm_power(cell.hier_power)
+        if hier_p > 0:
+            reduction = 1.0 / hier_p
+            if reduction > best_reduction:
+                best_reduction = reduction
+                best_cell = (circuit, laxity)
+                best_overhead = cell.norm_area(cell.hier_power) - 1.0
+        power_ratios.append(cell.hier_power.power / cell.flat_power.power)
+        area_ratios.append(cell.hier_area.area / cell.flat_area.area)
+
+    return HeadlineClaims(
+        max_power_reduction=best_reduction,
+        max_power_reduction_cell=best_cell,
+        area_overhead_at_best=best_overhead,
+        hier_vs_flat_power_opt=sum(power_ratios) / len(power_ratios),
+        hier_vs_flat_area_opt=sum(area_ratios) / len(area_ratios),
+    )
+
+
+def render_claims(results: SweepResults) -> str:
+    """Side-by-side table: paper's prose claims vs this sweep."""
+    claims = compute_claims(results)
+    circuit, laxity = claims.max_power_reduction_cell
+    rows = [
+        [
+            "max power reduction (hier P-opt vs 5V A-opt)",
+            "6.7x",
+            f"{claims.max_power_reduction:.1f}x ({circuit} @ LF {laxity:g})",
+        ],
+        [
+            "area overhead at that point",
+            "<= 50%",
+            f"{100 * claims.area_overhead_at_best:.0f}%",
+        ],
+        [
+            "hier P-opt power vs flat P-opt (mean)",
+            "-13.3%",
+            f"{100 * (claims.hier_vs_flat_power_opt - 1):+.1f}%",
+        ],
+        [
+            "hier A-opt area vs flat A-opt (mean)",
+            "+5.6%",
+            f"{100 * (claims.hier_vs_flat_area_opt - 1):+.1f}%",
+        ],
+    ]
+    return render_table(
+        ["claim", "paper", "measured"],
+        rows,
+        title="Section 5 headline claims",
+    )

@@ -1,0 +1,190 @@
+"""The Table 3 / Table 4 experiment sweep.
+
+One :class:`CellResult` holds the six synthesis runs the paper performs
+per (circuit, laxity factor): flattened and hierarchical versions of
+the area-optimized (5 V, later voltage-scaled) and power-optimized
+architectures.  Normalization follows the paper exactly: every area and
+power is divided by the area/power of the **flattened, area-optimized,
+non-Vdd-scaled** circuit at the same laxity factor.
+
+Hierarchical runs use a complex-module library pre-built from the
+design's behaviors (the paper's Figure 2 library); library preparation
+is an offline step and excluded from the reported synthesis times, like
+the paper's CPU-time measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bench_suite.registry import TABLE3_BENCHMARKS, get_benchmark
+from ..library.library import default_library
+from ..synthesis.api import SynthesisResult, synthesize, synthesize_flat, voltage_scale
+from ..synthesis.context import SynthesisConfig
+from ..synthesis.library_gen import build_complex_library
+
+__all__ = ["CellResult", "SweepResults", "run_cell", "run_sweep", "quick_config",
+           "DEFAULT_LAXITY_FACTORS"]
+
+DEFAULT_LAXITY_FACTORS: tuple[float, ...] = (1.2, 2.2, 3.2)
+
+
+def quick_config() -> SynthesisConfig:
+    """Reduced-effort configuration for CI-speed sweeps."""
+    return SynthesisConfig(
+        max_moves=8,
+        max_passes=3,
+        max_ab_targets=5,
+        max_share_pairs=12,
+        max_split_candidates=6,
+        n_clocks=2,
+        resynth_passes=1,
+        resynth_moves=5,
+    )
+
+
+@dataclass
+class CellResult:
+    """All six runs for one (circuit, laxity factor) table cell."""
+
+    circuit: str
+    laxity: float
+    flat_area: SynthesisResult
+    flat_area_scaled: SynthesisResult
+    flat_power: SynthesisResult
+    hier_area: SynthesisResult
+    hier_area_scaled: SynthesisResult
+    hier_power: SynthesisResult
+
+    # ------------------------------------------------------------------
+    # Normalized quantities (paper's Table 3 cells).  Base: flattened
+    # area-optimized architecture at 5 V.
+    # ------------------------------------------------------------------
+    @property
+    def base_area(self) -> float:
+        return self.flat_area.area
+
+    @property
+    def base_power(self) -> float:
+        return self.flat_area.power
+
+    def norm_area(self, result: SynthesisResult) -> float:
+        return result.area / self.base_area
+
+    def norm_power(self, result: SynthesisResult) -> float:
+        return result.power / self.base_power
+
+    def table3_row_a(self) -> tuple[float, float, float, float]:
+        """Row A: areas of (Flat-A, Flat-P, Hier-A, Hier-P)."""
+        return (
+            self.norm_area(self.flat_area_scaled),
+            self.norm_area(self.flat_power),
+            self.norm_area(self.hier_area_scaled),
+            self.norm_area(self.hier_power),
+        )
+
+    def table3_row_p(self) -> tuple[float, float, float, float]:
+        """Row P: powers of (Flat-A scaled, Flat-P, Hier-A scaled, Hier-P)."""
+        return (
+            self.norm_power(self.flat_area_scaled),
+            self.norm_power(self.flat_power),
+            self.norm_power(self.hier_area_scaled),
+            self.norm_power(self.hier_power),
+        )
+
+    @property
+    def flat_synth_time(self) -> float:
+        """Mean CPU seconds of the flattened area+power runs."""
+        return 0.5 * (self.flat_area.elapsed_s + self.flat_power.elapsed_s)
+
+    @property
+    def hier_synth_time(self) -> float:
+        return 0.5 * (self.hier_area.elapsed_s + self.hier_power.elapsed_s)
+
+
+@dataclass
+class SweepResults:
+    """Results of the full sweep, indexed by (circuit, laxity factor)."""
+
+    cells: dict[tuple[str, float], CellResult] = field(default_factory=dict)
+
+    def circuits(self) -> list[str]:
+        seen: list[str] = []
+        for circuit, _lf in self.cells:
+            if circuit not in seen:
+                seen.append(circuit)
+        return seen
+
+    def laxities(self) -> list[float]:
+        return sorted({lf for _c, lf in self.cells})
+
+    def cell(self, circuit: str, laxity: float) -> CellResult:
+        return self.cells[(circuit, laxity)]
+
+
+def run_cell(
+    circuit: str,
+    laxity: float,
+    config: SynthesisConfig | None = None,
+    n_samples: int = 48,
+) -> CellResult:
+    """Run the six syntheses of one table cell."""
+    config = config or quick_config()
+    design = get_benchmark(circuit)
+
+    flat_lib = default_library()
+    hier_lib = build_complex_library(
+        design, default_library(), config=config, n_samples=n_samples
+    )
+
+    flat_area = synthesize_flat(
+        design, flat_lib, laxity_factor=laxity, objective="area",
+        config=config, n_samples=n_samples,
+    )
+    flat_power = synthesize_flat(
+        design, flat_lib, laxity_factor=laxity, objective="power",
+        config=config, n_samples=n_samples,
+    )
+    hier_area = synthesize(
+        design, hier_lib, laxity_factor=laxity, objective="area",
+        config=config, n_samples=n_samples,
+    )
+    hier_power = synthesize(
+        design, hier_lib, laxity_factor=laxity, objective="power",
+        config=config, n_samples=n_samples,
+    )
+    return CellResult(
+        circuit=circuit,
+        laxity=laxity,
+        flat_area=flat_area,
+        flat_area_scaled=voltage_scale(flat_area, continuous=True),
+        flat_power=flat_power,
+        hier_area=hier_area,
+        hier_area_scaled=voltage_scale(hier_area, continuous=True),
+        hier_power=hier_power,
+    )
+
+
+def run_sweep(
+    circuits: tuple[str, ...] = TABLE3_BENCHMARKS,
+    laxity_factors: tuple[float, ...] = DEFAULT_LAXITY_FACTORS,
+    config: SynthesisConfig | None = None,
+    n_samples: int = 48,
+    verbose: bool = False,
+) -> SweepResults:
+    """Run every (circuit, laxity) cell of the Table 3 sweep."""
+    results = SweepResults()
+    for circuit in circuits:
+        for laxity in laxity_factors:
+            cell = run_cell(circuit, laxity, config=config, n_samples=n_samples)
+            results.cells[(circuit, laxity)] = cell
+            if verbose:
+                row_a = cell.table3_row_a()
+                row_p = cell.table3_row_p()
+                print(
+                    f"{circuit} LF={laxity}: "
+                    f"A={['%.2f' % x for x in row_a]} "
+                    f"P={['%.2f' % x for x in row_p]} "
+                    f"t(fl)={cell.flat_synth_time:.1f}s t(hi)={cell.hier_synth_time:.1f}s"
+                )
+    return results

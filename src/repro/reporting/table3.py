@@ -1,0 +1,53 @@
+"""Rendering Table 3: normalized area and power per circuit and laxity.
+
+Layout mirrors the paper: per circuit two rows (A = area, P = power),
+per laxity factor four columns (Flat-A, Flat-P, Hier-A, Hier-P), all
+normalized to the flattened area-optimized 5 V architecture at the same
+laxity factor.
+"""
+
+from __future__ import annotations
+
+from .sweep import SweepResults
+from .tables import render_table
+
+__all__ = ["render_table3", "table3_rows"]
+
+
+def table3_rows(results: SweepResults) -> list[list[object]]:
+    """Flatten the sweep into printable Table 3 rows."""
+    laxities = results.laxities()
+    rows: list[list[object]] = []
+    for circuit in results.circuits():
+        row_a: list[object] = [circuit, "A"]
+        row_p: list[object] = ["", "P"]
+        for laxity in laxities:
+            cell = results.cell(circuit, laxity)
+            fa_a, fp_a, ha_a, hp_a = cell.table3_row_a()
+            fa_p, fp_p, ha_p, hp_p = cell.table3_row_p()
+            # Column Flat-A row A is the normalization base: exactly 1.
+            row_a.extend([1.0, fp_a, ha_a, hp_a])
+            row_p.extend([fa_p, fp_p, ha_p, hp_p])
+        rows.append(row_a)
+        rows.append(row_p)
+    return rows
+
+
+def render_table3(results: SweepResults) -> str:
+    """Render the full Table 3 analogue."""
+    laxities = results.laxities()
+    headers = ["Circuit", "A/P"]
+    for laxity in laxities:
+        headers.extend(
+            [
+                f"LF{laxity:g} Fl.A",
+                f"LF{laxity:g} Fl.P",
+                f"LF{laxity:g} Hi.A",
+                f"LF{laxity:g} Hi.P",
+            ]
+        )
+    return render_table(
+        headers,
+        table3_rows(results),
+        title="Table 3: area (normalized) and power (normalized) results",
+    )

@@ -1,0 +1,99 @@
+"""Rendering Table 4: per-laxity averages of area, power and CPU time.
+
+Columns follow the paper:
+
+* *Area ratio* — average area of power-optimized circuits over the
+  flattened area-optimized base (Fl and Hi);
+* *Power ratio 5V* — power-optimized power over the 5 V area-optimized
+  power;
+* *Power ratio Vdd-sc* — power-optimized power over the power of the
+  area-optimized circuit voltage-scaled to just meet the sampling
+  period;
+* *Synth. time* — mean synthesis CPU seconds (area + power runs
+  averaged), flattened vs hierarchical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .sweep import SweepResults
+from .tables import render_table
+
+__all__ = ["Table4Row", "table4_rows", "render_table4"]
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
+@dataclass
+class Table4Row:
+    """Aggregated figures for one laxity factor."""
+
+    laxity: float
+    area_ratio_flat: float
+    area_ratio_hier: float
+    power_5v_flat: float
+    power_5v_hier: float
+    power_vddsc_flat: float
+    power_vddsc_hier: float
+    time_flat_s: float
+    time_hier_s: float
+
+
+def table4_rows(results: SweepResults) -> list[Table4Row]:
+    rows: list[Table4Row] = []
+    for laxity in results.laxities():
+        cells = [
+            results.cell(circuit, laxity) for circuit in results.circuits()
+        ]
+        rows.append(
+            Table4Row(
+                laxity=laxity,
+                area_ratio_flat=_mean([c.norm_area(c.flat_power) for c in cells]),
+                area_ratio_hier=_mean([c.norm_area(c.hier_power) for c in cells]),
+                power_5v_flat=_mean([c.norm_power(c.flat_power) for c in cells]),
+                power_5v_hier=_mean([c.norm_power(c.hier_power) for c in cells]),
+                power_vddsc_flat=_mean(
+                    [
+                        c.flat_power.power / c.flat_area_scaled.power
+                        for c in cells
+                    ]
+                ),
+                power_vddsc_hier=_mean(
+                    [
+                        c.hier_power.power / c.hier_area_scaled.power
+                        for c in cells
+                    ]
+                ),
+                time_flat_s=_mean([c.flat_synth_time for c in cells]),
+                time_hier_s=_mean([c.hier_synth_time for c in cells]),
+            )
+        )
+    return rows
+
+
+def render_table4(results: SweepResults) -> str:
+    headers = [
+        "L.F",
+        "Area Fl", "Area Hi",
+        "P5V Fl", "P5V Hi",
+        "Pvdd Fl", "Pvdd Hi",
+        "Time Fl (s)", "Time Hi (s)",
+    ]
+    body = [
+        [
+            row.laxity,
+            row.area_ratio_flat, row.area_ratio_hier,
+            row.power_5v_flat, row.power_5v_hier,
+            row.power_vddsc_flat, row.power_vddsc_hier,
+            row.time_flat_s, row.time_hier_s,
+        ]
+        for row in table4_rows(results)
+    ]
+    return render_table(
+        headers,
+        body,
+        title="Table 4: summary of area, power and synthesis-time ratios",
+    )

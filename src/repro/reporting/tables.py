@@ -1,0 +1,41 @@
+"""Plain-text table rendering used by every experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "fmt"]
+
+
+def fmt(value, digits: int = 2) -> str:
+    """Format one cell: floats to fixed digits, everything else via str."""
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    digits: int = 2,
+) -> str:
+    """Render a left-padded ASCII table (the benches print these)."""
+    text_rows = [[fmt(cell, digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in text_rows:
+        out.append(line(row))
+    return "\n".join(out)

@@ -1,0 +1,47 @@
+"""RTL circuit substrate: netlists, modules, profiles, embedding, FSMs.
+
+This package models the *output* side of high-level synthesis — the
+structural RTL circuit — plus the paper's RTL-embedding technique that
+lets two anisomorphic DFGs share one module (Section 3, Example 3).
+"""
+
+from .components import (
+    Component,
+    ComponentKind,
+    Connection,
+    DatapathNetlist,
+    WIRE_AREA_PER_CONNECTION,
+)
+from .controller import (
+    ControllerState,
+    FSMController,
+    MuxSelect,
+    RegisterLoad,
+    UnitStart,
+)
+from .embedding import EmbeddingResult, embed_netlists, naive_union
+from .emit import emit_controller, emit_netlist
+from .module import BehaviorImpl, RTLModule
+from .profile import CycleProfile, Profile
+
+__all__ = [
+    "BehaviorImpl",
+    "Component",
+    "ComponentKind",
+    "Connection",
+    "ControllerState",
+    "CycleProfile",
+    "DatapathNetlist",
+    "EmbeddingResult",
+    "FSMController",
+    "MuxSelect",
+    "Profile",
+    "RTLModule",
+    "RegisterLoad",
+    "UnitStart",
+    "WIRE_AREA_PER_CONNECTION",
+    "embed_netlists",
+    "emit_controller",
+    "emit_netlist",
+    "naive_union",
+]

@@ -1,0 +1,190 @@
+"""Datapath netlist model: components, connections, mux inference.
+
+An RTL module is "an interconnection of RTL modules, functional units,
+multiplexers and registers" (Section 2).  We represent the multiplexers
+implicitly: whenever several distinct sources drive the same input port
+of a component, a mux tree with ``n_sources - 1`` two-to-one legs is
+inferred.  This keeps move evaluation cheap (adding/removing a
+connection automatically adjusts mux cost) and matches how the paper's
+embedding procedure accounts for "a measure of interconnect".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from ..errors import DFGError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..library.library import ModuleLibrary
+
+__all__ = [
+    "ComponentKind",
+    "Component",
+    "Connection",
+    "DatapathNetlist",
+    "WIRE_AREA_PER_CONNECTION",
+]
+
+#: Routing-area estimate per point-to-point connection, in the same
+#: normalized units as cell areas.  Stands in for the paper's placed-and-
+#: routed interconnect measure; OCTTOOLS-era standard-cell layouts spend
+#: a large fraction of their area on routing channels, which is what
+#: keeps heavily multiplexed "share everything" datapaths from being
+#: free.
+WIRE_AREA_PER_CONNECTION = 2.0
+
+
+class ComponentKind(enum.Enum):
+    """Structural class of a datapath component."""
+
+    FUNCTIONAL = "fu"
+    REGISTER = "reg"
+    MODULE = "module"  # an embedded complex RTL module instance
+    PORT = "port"      # module boundary pin (primary input/output)
+
+
+#: Bit width the library cells are characterized at.
+REFERENCE_WIDTH = 16
+
+
+@dataclass(frozen=True)
+class Component:
+    """One datapath component instance.
+
+    ``cell`` names the library cell (for FUNCTIONAL/REGISTER) or the
+    complex RTL module type (for MODULE); PORT components have cell
+    ``"in"`` or ``"out"``.  ``width`` is the datapath bit width of this
+    instance; cell characterization is at :data:`REFERENCE_WIDTH`, and
+    area scales linearly with width (ripple structures; multipliers are
+    conservatively linear too since their operand registers and wiring
+    dominate at these widths).
+    """
+
+    comp_id: str
+    kind: ComponentKind
+    cell: str
+    width: int = REFERENCE_WIDTH
+
+    @property
+    def width_factor(self) -> float:
+        return self.width / REFERENCE_WIDTH
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A point-to-point wire between two component ports."""
+
+    src: str
+    src_port: int
+    dst: str
+    dst_port: int
+
+
+class DatapathNetlist:
+    """A set of components plus the wires between them."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._components: dict[str, Component] = {}
+        self._connections: set[Connection] = set()
+
+    # ------------------------------------------------------------------
+    def add_component(
+        self,
+        comp_id: str,
+        kind: ComponentKind,
+        cell: str,
+        width: int = REFERENCE_WIDTH,
+    ) -> Component:
+        if comp_id in self._components:
+            raise DFGError(f"duplicate component {comp_id!r} in netlist {self.name!r}")
+        comp = Component(comp_id, kind, cell, width=width)
+        self._components[comp_id] = comp
+        return comp
+
+    def connect(self, src: str, src_port: int, dst: str, dst_port: int) -> Connection:
+        for comp_id in (src, dst):
+            if comp_id not in self._components:
+                raise DFGError(f"unknown component {comp_id!r} in netlist {self.name!r}")
+        conn = Connection(src, src_port, dst, dst_port)
+        self._connections.add(conn)
+        return conn
+
+    # ------------------------------------------------------------------
+    def component(self, comp_id: str) -> Component:
+        try:
+            return self._components[comp_id]
+        except KeyError:
+            raise DFGError(
+                f"unknown component {comp_id!r} in netlist {self.name!r}"
+            ) from None
+
+    def has_component(self, comp_id: str) -> bool:
+        return comp_id in self._components
+
+    def components(self, kind: ComponentKind | None = None) -> list[Component]:
+        if kind is None:
+            return list(self._components.values())
+        return [c for c in self._components.values() if c.kind == kind]
+
+    def connections(self) -> list[Connection]:
+        return sorted(
+            self._connections,
+            key=lambda c: (c.dst, c.dst_port, c.src, c.src_port),
+        )
+
+    def sources_of(self, dst: str, dst_port: int) -> list[tuple[str, int]]:
+        """Distinct sources driving one input port (mux fan-in)."""
+        return sorted(
+            {(c.src, c.src_port) for c in self._connections
+             if c.dst == dst and c.dst_port == dst_port}
+        )
+
+    def fanin_ports(self) -> dict[tuple[str, int], int]:
+        """Map (component, input port) → number of distinct sources."""
+        fanin: dict[tuple[str, int], int] = {}
+        for conn in self._connections:
+            key = (conn.dst, conn.dst_port)
+            fanin[key] = fanin.get(key, 0) + 1
+        # Count distinct sources, not raw connections (sets dedupe already).
+        return fanin
+
+    def mux_legs(self) -> int:
+        """Total 2-to-1 multiplexer legs implied by multi-source ports."""
+        return sum(max(0, n - 1) for n in self.fanin_ports().values())
+
+    def n_connections(self) -> int:
+        return len(self._connections)
+
+    # ------------------------------------------------------------------
+    def area(self, library: "ModuleLibrary") -> float:
+        """Netlist area: cells + inferred muxes + interconnect measure."""
+        total = 0.0
+        for comp in self._components.values():
+            if comp.kind in (ComponentKind.PORT, ComponentKind.MODULE):
+                # Ports are free; nested module instances are priced by the
+                # owner (it knows the RTLModule object) — see
+                # repro.synthesis.costs.area_of.
+                continue
+            total += library.cell(comp.cell).area * comp.width_factor
+        for (dst, _port), fanin in self.fanin_ports().items():
+            if fanin > 1:
+                width_factor = self.component(dst).width_factor
+                total += (fanin - 1) * library.mux_cell.area * width_factor
+        total += self.n_connections() * WIRE_AREA_PER_CONNECTION
+        return total
+
+    def copy(self, name: str | None = None) -> "DatapathNetlist":
+        clone = DatapathNetlist(name or self.name)
+        clone._components = dict(self._components)
+        clone._connections = set(self._connections)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DatapathNetlist({self.name!r}, {len(self._components)} components, "
+            f"{len(self._connections)} connections, {self.mux_legs()} mux legs)"
+        )

@@ -1,0 +1,116 @@
+"""Structural netlist / FSM emission.
+
+Renders a datapath netlist as a structural Verilog-flavoured module and
+a controller as a readable state table.  This stands in for the paper's
+hand-off to SIS/OCTTOOLS: downstream consumers get a complete textual
+RTL description of the synthesized circuit.
+"""
+
+from __future__ import annotations
+
+from .components import ComponentKind, DatapathNetlist
+from .controller import FSMController
+
+__all__ = ["emit_netlist", "emit_controller"]
+
+
+def _wire_name(src: str, src_port: int) -> str:
+    return f"w_{src}_{src_port}".replace("~", "_").replace("/", "_").replace(".", "_")
+
+
+def emit_netlist(netlist: DatapathNetlist, width: int = 16) -> str:
+    """Render the netlist as a structural Verilog-like module."""
+    lines: list[str] = []
+    in_ports = [c for c in netlist.components(ComponentKind.PORT) if c.cell == "in"]
+    out_ports = [c for c in netlist.components(ComponentKind.PORT) if c.cell == "out"]
+    port_names = [c.comp_id for c in in_ports + out_ports]
+    lines.append(f"module {netlist.name} (clk, {', '.join(port_names)});")
+    lines.append("  input clk;")
+    for comp in in_ports:
+        lines.append(f"  input  [{comp.width - 1}:0] {comp.comp_id};")
+    for comp in out_ports:
+        lines.append(f"  output [{comp.width - 1}:0] {comp.comp_id};")
+    lines.append("")
+
+    # One wire per driven source port.
+    sources = sorted({(c.src, c.src_port) for c in netlist.connections()})
+    for src, src_port in sources:
+        src_comp = netlist.component(src)
+        if src_comp.kind == ComponentKind.PORT:
+            continue
+        lines.append(
+            f"  wire [{src_comp.width - 1}:0] {_wire_name(src, src_port)};"
+        )
+    lines.append("")
+
+    for comp in netlist.components():
+        if comp.kind == ComponentKind.PORT:
+            continue
+        conns = [c for c in netlist.connections() if c.dst == comp.comp_id]
+        by_port: dict[int, list] = {}
+        for conn in conns:
+            by_port.setdefault(conn.dst_port, []).append(conn)
+        args = [".clk(clk)"] if comp.kind == ComponentKind.REGISTER else []
+        for port in sorted(by_port):
+            port_conns = by_port[port]
+            if len(port_conns) == 1:
+                conn = port_conns[0]
+                src_comp = netlist.component(conn.src)
+                src = (
+                    conn.src
+                    if src_comp.kind == ComponentKind.PORT
+                    else _wire_name(conn.src, conn.src_port)
+                )
+            else:
+                # Multi-source port: rendered as a mux bundle reference.
+                src = f"mux_{comp.comp_id}_{port}"
+            args.append(f".in{port}({src})")
+        args.append(f".out0({_wire_name(comp.comp_id, 0)})")
+        lines.append(f"  {comp.cell} {comp.comp_id} ({', '.join(args)});")
+
+    # Mux instances for multi-source ports.
+    lines.append("")
+    for (dst, dst_port), fanin in sorted(netlist.fanin_ports().items()):
+        if fanin < 2:
+            continue
+        srcs = netlist.sources_of(dst, dst_port)
+        feeds = ", ".join(
+            f".in{i}({_wire_name(s, p) if netlist.component(s).kind != ComponentKind.PORT else s})"
+            for i, (s, p) in enumerate(srcs)
+        )
+        lines.append(
+            f"  mux{len(srcs)} mux_{dst}_{dst_port} ({feeds}, "
+            f".sel(ctl_{dst}_{dst_port}), .out0(mux_{dst}_{dst_port}_o));"
+        )
+
+    for comp in out_ports:
+        srcs = netlist.sources_of(comp.comp_id, 0)
+        if srcs:
+            src, src_port = srcs[0]
+            lines.append(f"  assign {comp.comp_id} = {_wire_name(src, src_port)};")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def emit_controller(controller: FSMController) -> str:
+    """Render the controller as a readable state table."""
+    lines = [
+        f"controller {controller.name}",
+        f"states {controller.n_states}",
+    ]
+    for state in controller.states:
+        lines.append(f"state {state.cycle}:")
+        for start in state.starts:
+            lines.append(f"  start {start.unit} op={start.operation}")
+        for select in state.selects:
+            lines.append(
+                f"  select {select.dst}.in{select.dst_port} <- "
+                f"{select.src}.out{select.src_port}"
+            )
+        for load in state.loads:
+            lines.append(
+                f"  load {load.register} <- {load.src}.out{load.src_port}"
+            )
+        if state.is_idle():
+            lines.append("  nop")
+    return "\n".join(lines)

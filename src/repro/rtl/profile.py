@@ -1,0 +1,97 @@
+"""Module profiles: expected input/output timing of RTL modules.
+
+Section 2 defines the **profile** of an RTL module as "an ordered set
+consisting of the expected input arrival times and output arrival
+times", defined for any module irrespective of whether it is placed in
+a circuit.  Profiles are stored in *nanoseconds at the 5 V reference*
+so one characterization serves every (clock period, Vdd) operating
+point; conversion to cycles applies the CMOS delay scaling and the
+ceiling to whole clock ticks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..library.voltage import delay_scale
+
+__all__ = ["Profile", "CycleProfile"]
+
+
+@dataclass(frozen=True)
+class CycleProfile:
+    """A profile quantized to clock cycles at one operating point."""
+
+    input_offsets: tuple[int, ...]
+    output_latencies: tuple[int, ...]
+
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles the module occupies its instance (non-pipelined)."""
+        return max(self.output_latencies) if self.output_latencies else 1
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Timing profile in reference nanoseconds.
+
+    ``input_offsets_ns[i]`` — when input *i* is expected relative to
+    module start; ``output_latencies_ns[j]`` — when output *j* is
+    produced after start, both at 5 V.
+    """
+
+    input_offsets_ns: tuple[float, ...]
+    output_latencies_ns: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.output_latencies_ns:
+            raise ValueError("a profile needs at least one output latency")
+        if any(x < 0 for x in self.input_offsets_ns):
+            raise ValueError("input offsets must be non-negative")
+        if any(x <= 0 for x in self.output_latencies_ns):
+            raise ValueError("output latencies must be positive")
+
+    @property
+    def latency_ns(self) -> float:
+        """Overall start-to-last-output latency at 5 V."""
+        return max(self.output_latencies_ns)
+
+    def at(self, clk_ns: float, vdd: float) -> CycleProfile:
+        """Quantize to whole cycles at the given operating point.
+
+        Input offsets are *floored* (an input expected at 2.3 cycles must
+        be there by cycle 2 — assuming later would be optimistic) while
+        output latencies are *ceiled* (an output ready within 2.3 cycles
+        is usable from cycle 3) so quantization never fabricates slack.
+        """
+        if clk_ns <= 0:
+            raise ValueError("clock period must be positive")
+        scale = delay_scale(vdd)
+        offsets = tuple(
+            int(math.floor(o * scale / clk_ns + 1e-9)) for o in self.input_offsets_ns
+        )
+        latencies = tuple(
+            max(1, int(math.ceil(l * scale / clk_ns - 1e-9)))
+            for l in self.output_latencies_ns
+        )
+        return CycleProfile(offsets, latencies)
+
+    @staticmethod
+    def from_cycles(
+        input_offsets: tuple[int, ...],
+        output_latencies: tuple[int, ...],
+        clk_ns: float,
+        vdd: float = 5.0,
+    ) -> "Profile":
+        """Build a reference profile from a schedule measured in cycles.
+
+        Used when a complex module is characterized from a synthesized
+        sub-solution running at ``(clk_ns, vdd)``: cycle counts are
+        converted back to 5 V nanoseconds.
+        """
+        scale = delay_scale(vdd)
+        return Profile(
+            tuple(o * clk_ns / scale for o in input_offsets),
+            tuple(max(l, 1) * clk_ns / scale for l in output_latencies),
+        )

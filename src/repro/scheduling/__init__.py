@@ -1,0 +1,31 @@
+"""Scheduling substrate: profile-aware list scheduling and slack analysis.
+
+The synthesis engine calls :func:`schedule_tasks` after every tentative
+move "to make sure that the throughput constraints are still met"
+(Figure 4), and :mod:`repro.scheduling.slack` when deriving relaxed
+constraints for moves A and B (Figure 5).
+"""
+
+from .model import ScheduleResult, TaskSpec
+from .scheduler import schedule_tasks, task_dependencies
+from .slack import (
+    EnvironmentConstraint,
+    backward_pass,
+    environment_of,
+    latest_start_times,
+    required_signal_times,
+    task_slacks,
+)
+
+__all__ = [
+    "EnvironmentConstraint",
+    "ScheduleResult",
+    "TaskSpec",
+    "backward_pass",
+    "environment_of",
+    "latest_start_times",
+    "required_signal_times",
+    "schedule_tasks",
+    "task_dependencies",
+    "task_slacks",
+]

@@ -1,0 +1,217 @@
+"""Slack and environment analysis for constraint derivation.
+
+Moves A and B start by "ascertaining the earliest input arrival times
+and the latest output arrival times whose satisfaction by the selected
+modules would ensure the schedulability of the implementation"
+(Section 3, Example 2).  Given a scheduled solution and its cycle
+budget, this module computes per task:
+
+* **slack** — how many cycles later the task could start with every
+  other task's serialization kept fixed;
+* the **environment constraint** for resynthesis — the input arrival
+  times the module will actually see, and the latest times by which
+  each of its outputs must be produced.
+
+The backward pass honors both data dependences and the per-instance
+serialization order, so relaxed constraints always preserve
+schedulability (the paper's requirement on constraint derivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dfg.graph import DFG, NodeKind, Signal
+from .model import ScheduleResult, TaskSpec
+
+__all__ = ["EnvironmentConstraint", "latest_start_times", "task_slacks",
+           "environment_of"]
+
+_INF = 10**9
+
+
+@dataclass(frozen=True)
+class EnvironmentConstraint:
+    """Relaxed synthesis constraint for one module (paper's environment).
+
+    ``input_arrivals[i]`` is when input *i* arrives (cycles, relative to
+    iteration start); ``output_deadlines[j]`` is the latest cycle by
+    which output *j* must be available.  A replacement implementation is
+    admissible iff, started per profile semantics with these arrivals,
+    every output meets its deadline.
+    """
+
+    input_arrivals: tuple[int, ...]
+    output_deadlines: tuple[int, ...]
+
+    def admits(self, input_offsets: tuple[int, ...], output_latencies: tuple[int, ...]) -> bool:
+        """Check a candidate profile against this environment."""
+        if len(input_offsets) != len(self.input_arrivals):
+            return False
+        if len(output_latencies) != len(self.output_deadlines):
+            return False
+        start = max(
+            [a - o for a, o in zip(self.input_arrivals, input_offsets)] + [0]
+        )
+        return all(
+            start + lat <= deadline
+            for lat, deadline in zip(output_latencies, self.output_deadlines)
+        )
+
+
+def latest_start_times(
+    dfg: DFG,
+    tasks: list[TaskSpec],
+    result: ScheduleResult,
+    deadline: int,
+) -> dict[str, int]:
+    """Latest feasible start time per task under the given deadline.
+
+    Keeps the current serialization order on every instance fixed and
+    propagates required times backward through data edges and
+    instance-order edges.
+    """
+    latest, _required = backward_pass(dfg, tasks, result, deadline)
+    return latest
+
+
+def required_signal_times(
+    dfg: DFG,
+    tasks: list[TaskSpec],
+    result: ScheduleResult,
+    deadline: int,
+) -> dict[Signal, int]:
+    """Latest availability each signal may have without breaking *deadline*.
+
+    For primary-input signals this is the module's tolerance for late
+    inputs — exactly the paper's *profile* input offsets when a
+    synthesized sub-solution is characterized as a complex RTL module.
+    """
+    _latest, required = backward_pass(dfg, tasks, result, deadline)
+    return required
+
+
+def backward_pass(
+    dfg: DFG,
+    tasks: list[TaskSpec],
+    result: ScheduleResult,
+    deadline: int,
+) -> tuple[dict[str, int], dict[Signal, int]]:
+    """Backward requirement propagation over data and serialization edges."""
+    # Latest availability each signal may have.
+    required: dict[Signal, int] = {}
+
+    def tighten(signal: Signal, bound: int) -> None:
+        required[signal] = min(required.get(signal, _INF), bound)
+
+    for out_id in dfg.outputs:
+        (edge,) = dfg.in_edges(out_id)
+        tighten(edge.signal, deadline)
+
+    # Instance-order successor of each task.
+    next_on_instance: dict[str, str] = {}
+    for order in result.instance_order.values():
+        for earlier, later in zip(order, order[1:]):
+            next_on_instance[earlier] = later
+
+    latest: dict[str, int] = {}
+    # Process tasks in decreasing start time; both data consumers and the
+    # instance successor always start at or after this task, so their
+    # latest values are already final.  Ties are resolved by processing
+    # consumers first via a stable sort on (-start, task_id) and a
+    # visited check inside _latest.
+    order = sorted(tasks, key=lambda t: (-result.start[t.task_id], t.task_id))
+
+    def data_bound(task: TaskSpec) -> int:
+        bound = _INF
+        for node in task.nodes:
+            for port in range(dfg.node(node).n_outputs):
+                signal = (node, port)
+                req = required.get(signal, _INF)
+                if req < _INF:
+                    bound = min(bound, req - task.latency_of(signal))
+        return bound
+
+    for task in order:
+        bound = data_bound(task)
+        succ = next_on_instance.get(task.task_id)
+        if succ is not None:
+            bound = min(bound, latest[succ] - task.busy_cycles)
+        # A task never needs to start later than... it may be unbounded if
+        # nothing consumes it (dead outputs); clamp to its own start.
+        if bound >= _INF:
+            bound = result.start[task.task_id]
+        latest[task.task_id] = bound
+        # Propagate requirements to the task's external inputs.
+        for edge in task.external_in_edges(dfg):
+            tighten(edge.signal, bound + task.offset_of(edge.dst, edge.dst_port))
+
+    # Signals consumed by nothing scheduled (e.g. an input feeding only
+    # primary outputs) keep their explicit requirement or the deadline.
+    return latest, required
+
+
+def task_slacks(
+    dfg: DFG,
+    tasks: list[TaskSpec],
+    result: ScheduleResult,
+    deadline: int,
+) -> dict[str, int]:
+    """Slack (latest start − actual start) per task; negative = infeasible."""
+    latest = latest_start_times(dfg, tasks, result, deadline)
+    return {tid: latest[tid] - result.start[tid] for tid in latest}
+
+
+def environment_of(
+    dfg: DFG,
+    task: TaskSpec,
+    tasks: list[TaskSpec],
+    result: ScheduleResult,
+    deadline: int,
+) -> EnvironmentConstraint:
+    """Relaxed environment constraint for resynthesizing *task*'s module.
+
+    Input arrivals are the *actual* availability times of the signals
+    feeding the task in the current schedule (they cannot be assumed
+    earlier without moving other modules); output deadlines come from
+    the backward pass over all other tasks.
+
+    The task must cover a single node (hierarchical nodes are never
+    chained), whose ports define the ordering of the returned tuples.
+    """
+    (node_id,) = task.nodes
+    node = dfg.node(node_id)
+
+    arrivals: list[int] = []
+    in_edges = {e.dst_port: e for e in dfg.in_edges(node_id)}
+    for port in range(node.n_inputs):
+        edge = in_edges[port]
+        arrivals.append(result.avail[edge.signal])
+
+    latest = latest_start_times(dfg, tasks, result, deadline)
+    # The deadline for each output is what consumers require; recompute
+    # the per-signal requirement from the backward pass by re-deriving it
+    # for this task's outputs.
+    required: dict[Signal, int] = {}
+    for out_id in dfg.outputs:
+        (edge,) = dfg.in_edges(out_id)
+        if edge.src == node_id:
+            required[edge.signal] = min(required.get(edge.signal, _INF), deadline)
+    by_id = {t.task_id: t for t in tasks}
+    for other in tasks:
+        if other.task_id == task.task_id:
+            continue
+        for edge in other.external_in_edges(dfg):
+            if edge.src == node_id:
+                bound = latest[other.task_id] + other.offset_of(edge.dst, edge.dst_port)
+                signal = edge.signal
+                required[signal] = min(required.get(signal, _INF), bound)
+
+    deadlines: list[int] = []
+    for port in range(node.n_outputs):
+        signal = (node_id, port)
+        deadlines.append(min(required.get(signal, deadline), _INF))
+
+    # The instance-order successor also constrains when the module must
+    # be done (it occupies its instance for `duration` cycles).
+    return EnvironmentConstraint(tuple(arrivals), tuple(deadlines))

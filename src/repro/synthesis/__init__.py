@@ -1,0 +1,75 @@
+"""The synthesis core: the paper's primary contribution.
+
+Entry points:
+
+* :func:`~repro.synthesis.api.synthesize` — hierarchical synthesis of a
+  design under a throughput constraint (area or power objective);
+* :func:`~repro.synthesis.api.synthesize_flat` — the flattened baseline
+  (ref. [10]) used for the paper's comparisons;
+* :func:`~repro.synthesis.api.voltage_scale` — post-synthesis Vdd
+  scaling of an area-optimized architecture.
+
+Internals: :mod:`solution` (architecture state), :mod:`initial`
+(INITIAL_SOLUTION), :mod:`moves` (move types A–D), :mod:`improve`
+(variable-depth iterative improvement, Figure 4), :mod:`costs`
+(trace-driven cost function), :mod:`modulegen` (module
+characterization + RTL-embedding merges), :mod:`pruning` (Vdd/clock
+sets) and :mod:`datapath_build` (netlist + FSM construction).
+"""
+
+from .api import SynthesisResult, synthesize, synthesize_flat, voltage_scale
+from .context import SynthesisConfig, SynthesisEnv, ensure_behavior
+from .costs import EvaluationContext, Metrics, Objective, area_of
+from .datapath_build import build_controller, build_netlist
+from .improve import PassRecord, improve_solution, resynthesize_module
+from .initial import initial_module_for, initial_solution
+from .modulegen import ModuleInternal, characterize_module, merge_modules
+from .moves import (
+    Candidate,
+    normalize_registers,
+    sharing_candidates,
+    splitting_candidates,
+    type_a_b_candidates,
+)
+from .pruning import (
+    candidate_clocks,
+    candidate_vdds,
+    laxity_sampling_ns,
+    min_sampling_period_ns,
+)
+from .solution import Instance, Solution
+
+__all__ = [
+    "Candidate",
+    "EvaluationContext",
+    "Instance",
+    "Metrics",
+    "ModuleInternal",
+    "Objective",
+    "PassRecord",
+    "Solution",
+    "SynthesisConfig",
+    "SynthesisEnv",
+    "SynthesisResult",
+    "area_of",
+    "build_controller",
+    "build_netlist",
+    "candidate_clocks",
+    "candidate_vdds",
+    "characterize_module",
+    "ensure_behavior",
+    "improve_solution",
+    "initial_module_for",
+    "initial_solution",
+    "laxity_sampling_ns",
+    "merge_modules",
+    "min_sampling_period_ns",
+    "normalize_registers",
+    "resynthesize_module",
+    "sharing_candidates",
+    "splitting_candidates",
+    "synthesize",
+    "synthesize_flat",
+    "type_a_b_candidates",
+    "voltage_scale",
+]

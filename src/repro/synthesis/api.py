@@ -1,0 +1,283 @@
+"""Top-level synthesis entry points (the paper's SYNTHESIZE procedure).
+
+:func:`synthesize` runs the full flow on a hierarchical design:
+validation, trace simulation, Vdd/clock pruning, per-operating-point
+initial solution + variable-depth iterative improvement, and selection
+of the best feasible architecture.  :func:`synthesize_flat` is the
+flattened baseline of ref. [10] — the same engine run on the fully
+expanded DFG (this is the "Flat" column of Tables 3 and 4).
+
+:func:`voltage_scale` post-processes an area-optimized 5 V result the
+way Table 3's column A does: drop the supply (stretching the clock by
+the CMOS delay factor, which keeps every cycle count identical) as far
+as the schedule's slack allows, and re-estimate power.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..dfg.flatten import flatten
+from ..dfg.hierarchy import Design
+from ..dfg.validate import validate_design
+from ..errors import SynthesisError
+from ..library.library import ModuleLibrary, default_library
+from ..library.voltage import SUPPLY_VOLTAGES, delay_scale
+from ..power.simulate import SimTrace, simulate_subgraph
+from ..power.traces import TraceSet, default_traces
+from ..rtl.components import DatapathNetlist
+from ..rtl.controller import FSMController
+from .context import SynthesisConfig, SynthesisEnv
+from .costs import EvaluationContext, Metrics, Objective
+from .datapath_build import build_controller, build_netlist
+from .improve import PassRecord, improve_solution
+from .initial import initial_solution
+from .pruning import candidate_clocks, candidate_vdds, laxity_sampling_ns
+from .solution import Solution
+
+__all__ = ["SynthesisResult", "synthesize", "synthesize_flat", "voltage_scale"]
+
+
+@dataclass
+class SynthesisResult:
+    """Everything produced by one synthesis run."""
+
+    solution: Solution
+    metrics: Metrics
+    objective: Objective
+    vdd: float
+    clk_ns: float
+    sampling_ns: float
+    elapsed_s: float
+    flattened: bool
+    design: Design
+    library: ModuleLibrary
+    sim: SimTrace
+    history: dict[tuple[float, float], list[PassRecord]] = field(default_factory=dict)
+
+    @property
+    def area(self) -> float:
+        return self.metrics.area
+
+    @property
+    def power(self) -> float:
+        return self.metrics.power
+
+    def netlist(self) -> DatapathNetlist:
+        """Structural datapath netlist of the winning architecture."""
+        return build_netlist(self.solution)
+
+    def controller(self) -> FSMController:
+        """FSM controller of the winning architecture."""
+        return build_controller(self.solution)
+
+
+def _prepare_traces(design: Design, traces: TraceSet | None, n_samples: int) -> TraceSet:
+    if traces is None:
+        return default_traces(design.top, n=n_samples)
+    return traces
+
+
+def synthesize(
+    design: Design,
+    library: ModuleLibrary | None = None,
+    sampling_ns: float | None = None,
+    laxity_factor: float | None = None,
+    objective: Objective = "power",
+    traces: TraceSet | None = None,
+    config: SynthesisConfig | None = None,
+    n_samples: int = 48,
+) -> SynthesisResult:
+    """Synthesize a hierarchical design under a throughput constraint.
+
+    Exactly one of ``sampling_ns`` (absolute period) or ``laxity_factor``
+    (multiple of the minimum achievable period, as in Table 3) must be
+    given.
+    """
+    return _synthesize(
+        design,
+        library=library,
+        sampling_ns=sampling_ns,
+        laxity_factor=laxity_factor,
+        objective=objective,
+        traces=traces,
+        config=config,
+        n_samples=n_samples,
+        flatten_input=False,
+    )
+
+
+def synthesize_flat(
+    design: Design,
+    library: ModuleLibrary | None = None,
+    sampling_ns: float | None = None,
+    laxity_factor: float | None = None,
+    objective: Objective = "power",
+    traces: TraceSet | None = None,
+    config: SynthesisConfig | None = None,
+    n_samples: int = 48,
+) -> SynthesisResult:
+    """The flattened baseline: expand the hierarchy, then synthesize."""
+    return _synthesize(
+        design,
+        library=library,
+        sampling_ns=sampling_ns,
+        laxity_factor=laxity_factor,
+        objective=objective,
+        traces=traces,
+        config=config,
+        n_samples=n_samples,
+        flatten_input=True,
+    )
+
+
+def _synthesize(
+    design: Design,
+    library: ModuleLibrary | None,
+    sampling_ns: float | None,
+    laxity_factor: float | None,
+    objective: Objective,
+    traces: TraceSet | None,
+    config: SynthesisConfig | None,
+    n_samples: int,
+    flatten_input: bool,
+) -> SynthesisResult:
+    started = time.perf_counter()
+    library = library or default_library()
+    validate_design(design)
+
+    if (sampling_ns is None) == (laxity_factor is None):
+        raise SynthesisError("give exactly one of sampling_ns / laxity_factor")
+    if sampling_ns is None:
+        assert laxity_factor is not None
+        sampling_ns = laxity_sampling_ns(design, library, laxity_factor)
+
+    if flatten_input:
+        flat = flatten(design)
+        wrapper = Design(f"{design.name}_flat")
+        wrapper.add_dfg(flat, top=True)
+        design = wrapper
+
+    top = design.top
+    traces = _prepare_traces(design, traces, n_samples)
+    input_streams = [traces[name] for name in top.inputs]
+    sim = simulate_subgraph(design, top, input_streams)
+
+    env = SynthesisEnv(design, library, objective, config)
+    ctx = env.context(sim)
+
+    vdds = candidate_vdds(design, library, sampling_ns)
+    if objective == "area":
+        # Area is supply-independent; synthesize at the reference supply
+        # (Table 3 synthesizes column A at 5 V, scaling afterwards).
+        vdds = vdds[:1]
+    if not vdds:
+        raise SynthesisError(
+            f"throughput unachievable: sampling_ns={sampling_ns:.1f} is below "
+            "the minimum critical path at every supply voltage"
+        )
+
+    best: tuple[float, Solution, Metrics, float, float] | None = None
+    history: dict[tuple[float, float], list[PassRecord]] = {}
+    for vdd in vdds:
+        for clk_ns in candidate_clocks(
+            library, vdd, sampling_ns, n_clocks=env.config.n_clocks
+        ):
+            init = initial_solution(env, top, sim, clk_ns, vdd, sampling_ns)
+            # A structurally hopeless point (even the unconstrained
+            # makespan far beyond the budget) is skipped; a borderline
+            # miss is still improved, since moves (e.g. replacing a
+            # quantization-wasteful module) can recover feasibility.
+            if init.schedule().length > 2 * init.deadline_cycles:
+                continue
+            point_history: list[PassRecord] = []
+            improved = improve_solution(env, init, sim, history=point_history)
+            metrics = ctx.evaluate(improved)
+            history[(vdd, clk_ns)] = point_history
+            if not metrics.feasible:
+                continue
+            value = metrics.objective_value(objective)
+            if best is None or value < best[0]:
+                best = (value, improved, metrics, vdd, clk_ns)
+
+    if best is None:
+        raise SynthesisError(
+            f"no feasible implementation found for {design.name!r} at "
+            f"sampling period {sampling_ns:.1f} ns"
+        )
+
+    _value, solution, metrics, vdd, clk_ns = best
+    return SynthesisResult(
+        solution=solution,
+        metrics=metrics,
+        objective=objective,
+        vdd=vdd,
+        clk_ns=clk_ns,
+        sampling_ns=sampling_ns,
+        elapsed_s=time.perf_counter() - started,
+        flattened=flatten_input,
+        design=design,
+        library=library,
+        sim=sim,
+        history=history,
+    )
+
+
+def voltage_scale(
+    result: SynthesisResult,
+    voltages: tuple[float, ...] = SUPPLY_VOLTAGES,
+    continuous: bool = False,
+) -> SynthesisResult:
+    """Voltage-scale a synthesized architecture for low power.
+
+    Scaling multiplies every cell delay by the CMOS factor; stretching
+    the clock by the same factor keeps all cycle counts (and hence the
+    schedule and binding) identical, so the architecture is unchanged.
+    The lowest supply whose stretched schedule still meets the sampling
+    period wins.
+
+    With ``continuous=True`` the supply is scaled "to just meet the
+    sampling period constraint" (Table 4's Vdd-sc column) instead of
+    snapping to the discrete library voltages.
+    """
+    from ..library.voltage import vdd_for_delay_scale
+
+    base_scale = delay_scale(result.vdd)
+    length = result.solution.schedule().length
+    candidates: list[float] = [v for v in voltages if v < result.vdd]
+    if continuous:
+        slack_factor = result.sampling_ns / max(length * result.clk_ns, 1e-9)
+        exact = vdd_for_delay_scale(base_scale * slack_factor)
+        if exact is not None and exact < result.vdd:
+            candidates.append(exact)
+    best: SynthesisResult = result
+    for vdd in candidates:
+        stretch = delay_scale(vdd) / base_scale
+        new_clk = result.clk_ns * stretch
+        if length * new_clk > result.sampling_ns + 1e-9:
+            continue
+        scaled = result.solution.clone()
+        scaled.clk_ns = new_clk
+        scaled.vdd = vdd
+        scaled.sampling_ns = result.sampling_ns
+        ctx = EvaluationContext(result.sim, (), result.objective)
+        metrics = ctx.evaluate(scaled)
+        if not metrics.feasible:
+            continue
+        if metrics.power < best.metrics.power:
+            best = SynthesisResult(
+                solution=scaled,
+                metrics=metrics,
+                objective=result.objective,
+                vdd=vdd,
+                clk_ns=new_clk,
+                sampling_ns=result.sampling_ns,
+                elapsed_s=result.elapsed_s,
+                flattened=result.flattened,
+                design=result.design,
+                library=result.library,
+                sim=result.sim,
+                history=result.history,
+            )
+    return best

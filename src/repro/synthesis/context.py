@@ -1,0 +1,108 @@
+"""Shared synthesis environment and tuning knobs.
+
+One :class:`SynthesisEnv` is created per top-level ``synthesize()``
+call and threaded through initial-solution construction, move
+generation and the iterative-improvement driver.  It owns the things
+that are fixed for the run (design, library, objective, configuration)
+and caches the complex modules synthesized for behaviors the library
+cannot supply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..dfg.graph import DFG
+from ..dfg.hierarchy import Design
+from ..errors import LibraryError
+from ..library.library import ModuleLibrary
+from ..power.simulate import SimTrace, simulate_subgraph
+from ..rtl.module import RTLModule
+from .costs import EvaluationContext, Objective
+
+__all__ = ["SynthesisConfig", "SynthesisEnv", "ensure_behavior"]
+
+
+@dataclass
+class SynthesisConfig:
+    """Effort/size knobs for the iterative-improvement engine.
+
+    Defaults are tuned so a 30-operation behavior synthesizes in a few
+    seconds; raise the limits for deeper exploration.
+    """
+
+    #: Moves per variable-depth pass (Figure 4's MAX_MOVES).
+    max_moves: int = 10
+    #: Maximum improvement passes per (Vdd, clock) point.
+    max_passes: int = 6
+    #: Instances targeted per type-A/B move-selection round ("module
+    #: group formation", Figure 5).
+    max_ab_targets: int = 6
+    #: Candidate pairs examined per resource-sharing round.
+    max_share_pairs: int = 16
+    #: Candidate instances examined per resource-splitting round.
+    max_split_candidates: int = 8
+    #: Improvement passes used when move B resynthesizes a sub-module.
+    resynth_passes: int = 1
+    #: Moves per pass during move-B resynthesis.
+    resynth_moves: int = 6
+    #: Gains below this threshold count as zero.
+    epsilon: float = 1e-9
+    #: Clock-period candidates kept per supply voltage after pruning.
+    n_clocks: int = 2
+    #: Enable move B (descend and resynthesize complex modules).
+    enable_resynthesis: bool = True
+    #: Enable RTL embedding when sharing complex modules of different types.
+    enable_embedding: bool = True
+
+
+class SynthesisEnv:
+    """Run-wide state shared by all synthesis stages."""
+
+    def __init__(
+        self,
+        design: Design,
+        library: ModuleLibrary,
+        objective: Objective,
+        config: SynthesisConfig | None = None,
+    ):
+        self.design = design
+        self.library = library
+        self.objective = objective
+        self.config = config or SynthesisConfig()
+        #: Modules synthesized on demand, keyed by (behavior, clk, vdd).
+        self.module_cache: dict[tuple[str, float, float], RTLModule] = {}
+        #: Fresh-name counter for generated module types.
+        self._module_counter = 0
+
+    def fresh_module_name(self, behavior: str) -> str:
+        self._module_counter += 1
+        return f"{behavior}_v{self._module_counter}"
+
+    def context(self, sim: SimTrace) -> EvaluationContext:
+        """Evaluation context for a DFG simulated at path ``()``."""
+        return EvaluationContext(sim, (), self.objective)
+
+    def sub_sim(self, dfg: DFG, input_streams: list[np.ndarray]) -> SimTrace:
+        """Simulate a sub-behavior fed by its parent's streams."""
+        return simulate_subgraph(self.design, dfg, input_streams)
+
+
+def ensure_behavior(module: RTLModule, behavior: str, library: ModuleLibrary) -> bool:
+    """Make *module* usable for *behavior*, via equivalence if needed.
+
+    Returns True if the module supports the behavior directly or
+    through a declared equivalence (in which case the implementation is
+    aliased under the requested name); False otherwise.
+    """
+    if module.supports(behavior):
+        return True
+    for candidate in library.equivalences.equivalence_class(behavior):
+        if module.supports(candidate):
+            impl = module.impl(candidate)
+            module.add_behavior(behavior, impl.profile, impl.cap_internal)
+            return True
+    return False

@@ -1,0 +1,279 @@
+"""Cost evaluation: area, trace-driven power, and the objective function.
+
+Every tentative move is priced by fully re-evaluating the mutated
+solution: rebuild the structural netlist (area side) and re-assemble
+the per-resource stream interleavings (power side).  Gains are then
+differences of these costs, exactly as in the paper's
+``Gain(move, Obj)`` (Figure 4).
+
+The evaluation context pins everything that stays fixed during one
+iterative-improvement run: the module library, the simulated value
+streams, the hierarchy path of the DFG being synthesized, the sampling
+period and the objective.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..dfg.graph import NodeKind, Signal
+from ..power.activity import interleaved_activity
+from ..power.estimator import (
+    ControllerUsage,
+    FUUsage,
+    InterconnectUsage,
+    MuxUsage,
+    PowerReport,
+    RegisterUsage,
+    estimate_power,
+)
+from ..power.simulate import SimTrace
+from ..rtl.components import DatapathNetlist
+from .datapath_build import build_netlist, operand_port_map
+from .solution import Solution
+
+__all__ = ["Objective", "Metrics", "EvaluationContext", "area_of"]
+
+Objective = Literal["area", "power"]
+
+#: Weight of the secondary metric in the objective, used only to break
+#: ties between otherwise equal candidates.
+_TIEBREAK = 1e-6
+
+#: Reference area at which the interconnect length factor equals one.
+_AREA_REF = 300.0
+
+
+#: Base cost assigned to infeasible solutions; the amount of constraint
+#: violation is added on top so the optimizer can still rank infeasible
+#: candidates and descend back into the feasible region (used when an
+#: initial solution misses the budget by a small margin).
+_INFEASIBLE_COST = 1e9
+
+
+@dataclass
+class Metrics:
+    """Evaluated properties of one solution."""
+
+    area: float
+    energy_per_sample: float
+    power: float
+    schedule_length: int
+    feasible: bool
+    report: PowerReport
+    violation: float = 0.0
+
+    def objective_value(self, objective: Objective) -> float:
+        if not self.feasible:
+            return _INFEASIBLE_COST * (1.0 + self.violation)
+        if objective == "power":
+            return self.power + _TIEBREAK * self.area
+        return self.area + _TIEBREAK * self.power
+
+
+def area_of(solution: Solution, netlist: DatapathNetlist | None = None) -> float:
+    """Total area: leaf netlist + complex-module instances."""
+    if netlist is None:
+        netlist = build_netlist(solution)
+    total = netlist.area(solution.library)
+    for inst in solution.instances.values():
+        if inst.is_module:
+            assert inst.module is not None
+            total += inst.module.area(solution.library)
+    return total
+
+
+class EvaluationContext:
+    """Fixed context for evaluating solutions of one DFG level."""
+
+    def __init__(
+        self,
+        sim: SimTrace,
+        path: tuple[str, ...],
+        objective: Objective,
+    ):
+        self.sim = sim
+        self.path = path
+        self.objective = objective
+
+    # ------------------------------------------------------------------
+    def _operand_streams(
+        self, solution: Solution, group: tuple[str, ...]
+    ) -> list[np.ndarray]:
+        """External operand streams of one execution, in port order."""
+        ports = operand_port_map(solution, group)
+        ordered: list[tuple[int, Signal]] = []
+        inside = set(group)
+        for node_id in group:
+            for edge in solution.dfg.in_edges(node_id):
+                if edge.src in inside:
+                    continue
+                ordered.append((ports[(node_id, edge.dst_port)], edge.signal))
+        ordered.sort()
+        return [self.sim.stream(self.path, signal) for _port, signal in ordered]
+
+    def _execution_order(
+        self, solution: Solution, inst_id: str
+    ) -> list[tuple[str, ...]]:
+        """Executions of an instance in scheduled (serialization) order."""
+        sched = solution.schedule()
+        order = sched.instance_order.get(inst_id, [])
+        groups = []
+        for task_id in order:
+            groups.append(solution.task(task_id).nodes)
+        return groups
+
+    # ------------------------------------------------------------------
+    def evaluate(self, solution: Solution) -> Metrics:
+        """Full area/power evaluation of *solution*."""
+        netlist = build_netlist(solution)
+        area = area_of(solution, netlist)
+        sched = solution.schedule()
+        feasible = solution.is_feasible()
+        violation = 0.0
+        if not feasible:
+            excess = max(0, sched.length - solution.deadline_cycles)
+            violation = excess / max(solution.deadline_cycles, 1)
+            violation += 0.1 * len(solution.register_conflicts())
+
+        fanin = netlist.fanin_ports()
+
+        def instance_width(inst_id: str) -> int:
+            return max(
+                (
+                    solution.dfg.node(node_id).width
+                    for group in solution.executions[inst_id]
+                    for node_id in group
+                ),
+                default=16,
+            )
+
+        def glitches(inst_id: str, n_execs: int) -> int:
+            """Spurious evaluations from input-mux switching on a shared
+            unit: each multi-source port re-triggers the combinational
+            logic once per select change (≈ executions − 1)."""
+            if n_execs < 2:
+                return 0
+            multi_ports = sum(
+                1 for (comp, _p), n in fanin.items() if comp == inst_id and n > 1
+            )
+            return multi_ports * (n_execs - 1)
+
+        fu_usages: list[FUUsage] = []
+        extra_energy = 0.0
+        for inst_id, inst in solution.instances.items():
+            groups = self._execution_order(solution, inst_id)
+            if not groups:
+                continue
+            width = instance_width(inst_id)
+            if inst.is_module:
+                assert inst.module is not None
+                streams_per_exec = [
+                    self._operand_streams(solution, group) for group in groups
+                ]
+                from ..power.activity import operand_activity
+                from ..power.estimator import GLITCH_FRACTION
+
+                input_activity = operand_activity(streams_per_exec, width)
+                for group in groups:
+                    (node_id,) = group
+                    behavior = solution.dfg.node(node_id).behavior
+                    extra_energy += inst.module.energy_per_exec(
+                        solution.vdd, input_activity, behavior=behavior
+                    )
+                # Shared modules glitch on their steering muxes too.
+                extra_energy += (
+                    glitches(inst_id, len(groups))
+                    * GLITCH_FRACTION
+                    * inst.module.energy_per_exec(solution.vdd, 0.5)
+                    / max(len(groups), 1)
+                )
+            else:
+                assert inst.cell is not None
+                fu_usages.append(
+                    FUUsage(
+                        cell=inst.cell,
+                        operand_streams_per_op=[
+                            self._operand_streams(solution, group)
+                            for group in groups
+                        ],
+                        width=width,
+                        glitch_evaluations=glitches(inst_id, len(groups)),
+                    )
+                )
+
+        reg_usages: list[RegisterUsage] = []
+        for reg_id, signals in solution.reg_signals.items():
+            ordered = sorted(signals, key=lambda s: sched.avail.get(s, 0))
+            reg_width = max(
+                (solution.dfg.node(src).width for src, _p in signals),
+                default=16,
+            )
+            reg_usages.append(
+                RegisterUsage(
+                    cell=solution.library.register_cell,
+                    value_streams=[
+                        self.sim.stream(self.path, signal) for signal in ordered
+                    ],
+                    width=reg_width,
+                    clocked_cycles=sched.length,
+                )
+            )
+
+        mux_usages: list[MuxUsage] = []
+        for (_dst, _port), fanin in netlist.fanin_ports().items():
+            if fanin > 1:
+                mux_usages.append(
+                    MuxUsage(
+                        cell=solution.library.mux_cell,
+                        n_inputs=fanin,
+                        accesses_per_sample=fanin,
+                    )
+                )
+
+        # Average wire length grows with the square root of circuit area;
+        # _AREA_REF pins the factor to 1.0 for a mid-size datapath.
+        interconnect = InterconnectUsage(
+            n_connections=netlist.n_connections(),
+            length_factor=math.sqrt(max(area, 1.0) / _AREA_REF),
+        )
+
+        # Controller estimate: one start per execution, one load per
+        # registered value, one select per mux leg (see the paper's
+        # FSM-controller output; SIS-synthesized in the original flow).
+        n_starts = sum(len(groups) for groups in solution.executions.values())
+        controller = ControllerUsage(
+            n_states=max(sched.length, 1),
+            n_control_signals=(
+                n_starts + len(solution.reg_signals) + netlist.mux_legs()
+            ),
+        )
+        area += controller.area()
+
+        report = estimate_power(
+            fus=fu_usages,
+            registers=reg_usages,
+            muxes=mux_usages,
+            interconnect=interconnect,
+            vdd=solution.vdd,
+            sampling_period_ns=solution.sampling_ns,
+            extra_energy=extra_energy,
+            controller=controller,
+        )
+        return Metrics(
+            area=area,
+            energy_per_sample=report.total_energy,
+            power=report.power,
+            schedule_length=sched.length,
+            feasible=feasible,
+            report=report,
+            violation=violation,
+        )
+
+    def cost(self, solution: Solution) -> float:
+        """Objective value of a solution (∞ when infeasible)."""
+        return self.evaluate(solution).objective_value(self.objective)

@@ -1,0 +1,249 @@
+"""Construct the structural datapath netlist and FSM from a solution.
+
+The netlist is the arbiter for area (cells + inferred muxes +
+interconnect measure) and the object RTL embedding works on; the FSM
+controller is part of the synthesized deliverable ("a datapath netlist,
+and a finite-state machine description of the controller", Section 5).
+
+Port id convention: primary inputs become PORT components ``in0``,
+``in1``, ... (positional, matching the DFG's ordered input list) and
+primary outputs ``out0``, ``out1``, ...  — positional ids are what lets
+:func:`repro.rtl.embedding.embed_netlists` overlay module boundaries of
+two different behaviors.
+"""
+
+from __future__ import annotations
+
+from ..dfg.graph import NodeKind, Signal
+from ..errors import SynthesisError
+from ..rtl.components import ComponentKind, DatapathNetlist
+from ..rtl.controller import (
+    ControllerState,
+    FSMController,
+    MuxSelect,
+    RegisterLoad,
+    UnitStart,
+)
+from .solution import Solution
+
+__all__ = ["build_netlist", "build_controller", "operand_port_map"]
+
+
+def operand_port_map(solution: Solution, group: tuple[str, ...]) -> dict[tuple[str, int], int]:
+    """Assign instance input-port indices to a task's external operands.
+
+    For a singleton execution the DFG ports map through directly; for a
+    chain, external operands are numbered in (node, port) order — the
+    convention both the netlist builder and the controller share.
+    """
+    inside = set(group)
+    mapping: dict[tuple[str, int], int] = {}
+    next_port = 0
+    for node_id in group:
+        for edge in solution.dfg.in_edges(node_id):
+            if edge.src in inside:
+                continue
+            mapping[(node_id, edge.dst_port)] = next_port
+            next_port += 1
+    return mapping
+
+
+def _source_component(
+    solution: Solution, signal: Signal
+) -> tuple[str, int]:
+    """The netlist component/port a consumer reads *signal* from."""
+    src_node = solution.dfg.node(signal[0])
+    if src_node.kind == NodeKind.CONST:
+        return (f"k_{signal[0]}", 0)
+    return (solution.register_of(signal), 0)
+
+
+def build_netlist(
+    solution: Solution,
+    name: str | None = None,
+    skip_input_registers: bool = False,
+) -> DatapathNetlist:
+    """Build the structural netlist implied by the solution's bindings.
+
+    ``skip_input_registers=True`` is used when packaging a sub-solution
+    as a complex RTL module: the module's inputs are already held in the
+    *parent* datapath's registers for as long as the module's profile
+    needs them, so registers that exist purely to sample primary inputs
+    are omitted and consumers are wired to the input ports directly
+    (otherwise every hierarchy level would pay for the same value
+    twice).
+    """
+    dfg = solution.dfg
+    netlist = DatapathNetlist(name or f"{dfg.name}_dp")
+
+    input_regs: set[str] = set()
+    if skip_input_registers:
+        input_signals = {(input_id, 0) for input_id in dfg.inputs}
+        for reg_id, signals in solution.reg_signals.items():
+            if signals and all(s in input_signals for s in signals):
+                input_regs.add(reg_id)
+
+    #: Input signals served straight from their port.
+    direct_inputs: dict[tuple[str, int], str] = {}
+    for idx, input_id in enumerate(dfg.inputs):
+        if skip_input_registers:
+            signal = (input_id, 0)
+            if solution.register_of(signal) in input_regs:
+                direct_inputs[signal] = f"in{idx}"
+
+    for idx, _input in enumerate(dfg.inputs):
+        netlist.add_component(f"in{idx}", ComponentKind.PORT, "in")
+    for idx, _output in enumerate(dfg.outputs):
+        netlist.add_component(f"out{idx}", ComponentKind.PORT, "out")
+    for node in dfg.nodes():
+        if node.kind == NodeKind.CONST:
+            netlist.add_component(f"k_{node.node_id}", ComponentKind.PORT, "const")
+
+    for reg_id, signals in solution.reg_signals.items():
+        if reg_id in input_regs:
+            continue
+        reg_width = max(
+            (dfg.node(src).width for src, _port in signals), default=16
+        )
+        netlist.add_component(
+            reg_id,
+            ComponentKind.REGISTER,
+            solution.library.register_cell.name,
+            width=reg_width,
+        )
+
+    for inst_id, inst in solution.instances.items():
+        if inst.is_module:
+            assert inst.module is not None
+            netlist.add_component(inst_id, ComponentKind.MODULE, inst.module.name)
+        else:
+            assert inst.cell is not None
+            inst_width = max(
+                (
+                    dfg.node(node_id).width
+                    for group in solution.executions[inst_id]
+                    for node_id in group
+                ),
+                default=16,
+            )
+            netlist.add_component(
+                inst_id, ComponentKind.FUNCTIONAL, inst.cell.name, width=inst_width
+            )
+
+    def source_of(signal):
+        if signal in direct_inputs:
+            return (direct_inputs[signal], 0)
+        return _source_component(solution, signal)
+
+    # Primary inputs are sampled into their registers (unless served
+    # directly from the module boundary).
+    for idx, input_id in enumerate(dfg.inputs):
+        signal = (input_id, 0)
+        if signal in direct_inputs:
+            continue
+        netlist.connect(f"in{idx}", 0, solution.register_of(signal), 0)
+
+    registered = set(solution.registered_signals())
+
+    for inst_id, execs in solution.executions.items():
+        inst = solution.instances[inst_id]
+        for group in execs:
+            ports = operand_port_map(solution, group)
+            inside = set(group)
+            for node_id in group:
+                for edge in solution.dfg.in_edges(node_id):
+                    if edge.src in inside:
+                        continue
+                    src, src_port = source_of(edge.signal)
+                    netlist.connect(
+                        src, src_port, inst_id, ports[(node_id, edge.dst_port)]
+                    )
+            # Produced signals land in their registers.
+            if inst.is_module:
+                (node_id,) = group
+                node = dfg.node(node_id)
+                for out_port in range(node.n_outputs):
+                    signal = (node_id, out_port)
+                    if signal in registered:
+                        netlist.connect(
+                            inst_id, out_port, solution.register_of(signal), 0
+                        )
+            else:
+                for node_id in group:
+                    signal = (node_id, 0)
+                    if signal in registered:
+                        netlist.connect(inst_id, 0, solution.register_of(signal), 0)
+
+    for idx, output_id in enumerate(dfg.outputs):
+        (edge,) = dfg.in_edges(output_id)
+        src, src_port = source_of(edge.signal)
+        netlist.connect(src, src_port, f"out{idx}", 0)
+
+    return netlist
+
+
+def build_controller(
+    solution: Solution, netlist: DatapathNetlist | None = None
+) -> FSMController:
+    """Derive the per-cycle control word sequence from the schedule."""
+    if netlist is None:
+        netlist = build_netlist(solution)
+    sched = solution.schedule()
+    dfg = solution.dfg
+    n_states = max(sched.length, 1)
+    states = [ControllerState(cycle=c) for c in range(n_states)]
+
+    def state_at(cycle: int) -> ControllerState:
+        return states[min(cycle, n_states - 1)]
+
+    registered = set(solution.registered_signals())
+
+    # Input sampling in cycle 0.
+    for idx, input_id in enumerate(dfg.inputs):
+        signal = (input_id, 0)
+        state_at(0).loads.append(
+            RegisterLoad(solution.register_of(signal), f"in{idx}", 0)
+        )
+
+    for inst_id, execs in solution.executions.items():
+        inst = solution.instances[inst_id]
+        for k, group in enumerate(execs):
+            task = solution.task(f"{inst_id}#{k}")
+            start = sched.start[task.task_id]
+            if inst.is_module:
+                (node_id,) = group
+                op_name = dfg.node(node_id).behavior or "?"
+            else:
+                op_name = "+".join(
+                    str(dfg.node(n).op) for n in group if dfg.node(n).op
+                )
+            state_at(start).starts.append(UnitStart(inst_id, op_name))
+
+            # Mux selects for multi-source operand ports, asserted when read.
+            ports = operand_port_map(solution, group)
+            inside = set(group)
+            for node_id in group:
+                for edge in dfg.in_edges(node_id):
+                    if edge.src in inside:
+                        continue
+                    port = ports[(node_id, edge.dst_port)]
+                    if len(netlist.sources_of(inst_id, port)) > 1:
+                        src, src_port = _source_component(solution, edge.signal)
+                        read_at = start + task.offset_of(node_id, edge.dst_port)
+                        state_at(read_at).selects.append(
+                            MuxSelect(inst_id, port, src, src_port)
+                        )
+
+            # Register loads when produced values become available.
+            for node_id in group:
+                node = dfg.node(node_id)
+                for out_port in range(node.n_outputs):
+                    signal = (node_id, out_port)
+                    if signal not in registered:
+                        continue
+                    avail = sched.avail[signal]
+                    state_at(avail if avail < n_states else n_states - 1).loads.append(
+                        RegisterLoad(solution.register_of(signal), inst_id, out_port)
+                    )
+
+    return FSMController(f"{dfg.name}_fsm", states)

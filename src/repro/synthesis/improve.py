@@ -1,0 +1,227 @@
+"""Variable-depth iterative improvement (Figure 4 of the paper).
+
+A *pass* applies up to ``MAX_MOVES`` moves in sequence.  At each step
+the best type-A/B move competes with the best resource-sharing move
+(falling back to resource splitting when sharing has negative gain);
+the winner is applied **even if its gain is negative** and the touched
+resources are locked for the rest of the pass.  At the end of the pass
+the prefix of the move sequence with the best cumulative gain is
+committed; passes repeat while they improve the solution.  This is the
+classic Kernighan–Lin / variable-depth scheme the paper cites ([11]),
+and it is what lets the algorithm climb out of local minima.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..power.simulate import SimTrace
+from ..rtl.module import RTLModule
+from .context import SynthesisEnv
+from .costs import EvaluationContext
+from .initial import hier_input_streams, initial_solution
+from .modulegen import ModuleInternal, characterize_module
+from .moves import (
+    Candidate,
+    sharing_candidates,
+    splitting_candidates,
+    type_a_b_candidates,
+)
+from .solution import Solution
+
+__all__ = ["ScoredMove", "improve_solution", "resynthesize_module", "PassRecord"]
+
+
+@dataclass
+class ScoredMove:
+    """A candidate plus its evaluated cost."""
+
+    candidate: Candidate
+    cost_after: float
+
+
+@dataclass
+class PassRecord:
+    """Trace of one improvement pass (for reporting and tests)."""
+
+    moves: list[str]
+    costs: list[float]
+    committed_prefix: int
+
+
+def _best(
+    ctx: EvaluationContext, candidates: list[Candidate]
+) -> ScoredMove | None:
+    """Price all candidates, return the cheapest feasible-or-not one."""
+    best: ScoredMove | None = None
+    for candidate in candidates:
+        cost = ctx.cost(candidate.solution)
+        if math.isinf(cost):
+            continue
+        if best is None or cost < best.cost_after:
+            best = ScoredMove(candidate, cost)
+    return best
+
+
+def improve_solution(
+    env: SynthesisEnv,
+    solution: Solution,
+    sim: SimTrace,
+    max_passes: int | None = None,
+    max_moves: int | None = None,
+    history: list[PassRecord] | None = None,
+) -> Solution:
+    """Run variable-depth iterative improvement on *solution*.
+
+    Returns the best solution found (the input solution if nothing
+    improved).  ``history`` — when supplied — receives one
+    :class:`PassRecord` per executed pass.
+    """
+    config = env.config
+    max_passes = max_passes if max_passes is not None else config.max_passes
+    max_moves = max_moves if max_moves is not None else config.max_moves
+    ctx = env.context(sim)
+
+    current = solution
+    current_cost = ctx.cost(current)
+
+    for _pass in range(max_passes):
+        locked: frozenset[str] = frozenset()
+        work = current
+        sequence: list[tuple[Candidate, float]] = []
+
+        for _step in range(max_moves):
+            m1 = _best(ctx, type_a_b_candidates(env, work, sim, locked))
+            m3 = _best(ctx, sharing_candidates(env, work, sim, locked))
+            work_cost = sequence[-1][1] if sequence else current_cost
+            if m3 is None or (work_cost - m3.cost_after) < 0:
+                m4 = _best(ctx, splitting_candidates(env, work, sim, locked))
+                if m4 is not None and (m3 is None or m4.cost_after < m3.cost_after):
+                    m3 = m4
+            chosen = None
+            for move in (m1, m3):
+                if move is None:
+                    continue
+                if chosen is None or move.cost_after < chosen.cost_after:
+                    chosen = move
+            if chosen is None:
+                break
+            work = chosen.candidate.solution
+            locked = locked | chosen.candidate.touched
+            sequence.append((chosen.candidate, chosen.cost_after))
+
+        if not sequence:
+            break
+
+        best_idx = min(range(len(sequence)), key=lambda i: sequence[i][1])
+        best_cost = sequence[best_idx][1]
+        committed = 0
+        if best_cost < current_cost - config.epsilon:
+            current = sequence[best_idx][0].solution
+            current_cost = best_cost
+            committed = best_idx + 1
+
+        if history is not None:
+            history.append(
+                PassRecord(
+                    moves=[c.description for c, _ in sequence],
+                    costs=[cost for _, cost in sequence],
+                    committed_prefix=committed,
+                )
+            )
+        if committed == 0:
+            break
+
+    return current
+
+
+def resynthesize_module(
+    env: SynthesisEnv,
+    parent: Solution,
+    parent_sim: SimTrace,
+    node_id: str,
+    behavior: str,
+    module: RTLModule,
+    budget_cycles: int,
+) -> RTLModule | None:
+    """Move B: resynthesize *module* for a relaxed cycle budget.
+
+    Descends one level: the sub-DFG is re-optimized under a sampling
+    budget equal to the slack-derived cycle budget, then packaged as a
+    fresh module.  Nested resynthesis is depth-limited to one level per
+    move to keep move pricing fast (deeper levels are still reached over
+    successive iterations, because each committed move B publishes a new
+    resynthesizable module).
+    """
+    if getattr(env, "_resynth_active", False):
+        return None
+
+    # Resynthesizing the same module under the same budget for the same
+    # node is deterministic; memoize per run (the move generator asks
+    # again every KL step).
+    cache = getattr(env, "_resynth_cache", None)
+    if cache is None:
+        cache = {}
+        env._resynth_cache = cache
+    cache_key = (module.name, node_id, budget_cycles, parent.clk_ns, parent.vdd)
+    if cache_key in cache:
+        return cache[cache_key]
+
+    result = _resynthesize_uncached(
+        env, parent, parent_sim, node_id, behavior, module, budget_cycles
+    )
+    cache[cache_key] = result
+    return result
+
+
+def _resynthesize_uncached(
+    env: SynthesisEnv,
+    parent: Solution,
+    parent_sim: SimTrace,
+    node_id: str,
+    behavior: str,
+    module: RTLModule,
+    budget_cycles: int,
+) -> RTLModule | None:
+    if isinstance(module.internal, ModuleInternal):
+        sub_dfg = module.internal.solution.dfg
+    elif env.design.has_behavior(behavior):
+        sub_dfg = env.design.default_variant(behavior)
+    else:
+        return None
+
+    streams = hier_input_streams(parent.dfg, node_id, parent_sim)
+    sub_sim = env.sub_sim(sub_dfg, streams)
+    budget_ns = budget_cycles * parent.clk_ns
+
+    start: Solution | None = None
+    if isinstance(module.internal, ModuleInternal):
+        internal = module.internal.solution
+        if internal.clk_ns == parent.clk_ns and internal.vdd == parent.vdd:
+            start = internal.clone()
+            start.sampling_ns = budget_ns
+    if start is None:
+        start = initial_solution(
+            env, sub_dfg, sub_sim, parent.clk_ns, parent.vdd, budget_ns
+        )
+    if not start.is_feasible():
+        return None
+
+    env._resynth_active = True
+    try:
+        improved = improve_solution(
+            env,
+            start,
+            sub_sim,
+            max_passes=env.config.resynth_passes,
+            max_moves=env.config.resynth_moves,
+        )
+    finally:
+        env._resynth_active = False
+
+    if not improved.is_feasible():
+        return None
+    return characterize_module(
+        env.fresh_module_name(behavior), behavior, improved, sub_sim, ()
+    )

@@ -1,0 +1,113 @@
+"""INITIAL_SOLUTION: the fully parallel starting architecture.
+
+Following Figure 4 of the paper: "This routine maps each simple node in
+the DFG to the fastest implementation available in the library.  DFGs
+which represent hierarchical nodes are handled in the same manner.
+Each operation is mapped to a separate functional unit, and each
+variable to a separate register, resulting in a completely parallel
+architecture."
+
+Hierarchical nodes are implemented by the fastest admissible complex
+module from the library; when the library has none, the behavior's
+default DFG variant is synthesized bottom-up (recursively with the same
+routine) and characterized as a fresh module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dfg.graph import DFG, Node, NodeKind
+from ..errors import SynthesisError
+from ..power.simulate import SimTrace
+from ..rtl.module import RTLModule
+from .context import SynthesisEnv, ensure_behavior
+from .modulegen import characterize_module
+from .solution import Solution
+
+__all__ = ["initial_solution", "initial_module_for"]
+
+#: Sampling budget used while characterizing unconstrained sub-modules.
+_UNCONSTRAINED_NS = 1e9
+
+
+def hier_input_streams(
+    dfg: DFG, node_id: str, sim: SimTrace
+) -> list[np.ndarray]:
+    """The streams a hierarchical node receives, in port order."""
+    edges = {e.dst_port: e for e in dfg.in_edges(node_id)}
+    return [sim.stream((), edges[p].signal) for p in sorted(edges)]
+
+
+def initial_module_for(
+    env: SynthesisEnv,
+    node: Node,
+    dfg: DFG,
+    sim: SimTrace,
+    clk_ns: float,
+    vdd: float,
+) -> RTLModule:
+    """Fastest implementation of a hierarchical node's behavior."""
+    assert node.behavior is not None
+    behavior = node.behavior
+
+    candidates: list[RTLModule] = []
+    for module in env.library.complex_modules_for(behavior):
+        if ensure_behavior(module, behavior, env.library):
+            profile = module.profile(behavior)
+            if len(profile.input_offsets_ns) == node.n_inputs and len(
+                profile.output_latencies_ns
+            ) == node.n_outputs:
+                candidates.append(module)
+
+    cache_key = (behavior, clk_ns, vdd)
+    if cache_key in env.module_cache:
+        candidates.append(env.module_cache[cache_key])
+    elif env.design.has_behavior(behavior):
+        sub_dfg = env.design.default_variant(behavior)
+        streams = hier_input_streams(dfg, node.node_id, sim)
+        sub_sim = env.sub_sim(sub_dfg, streams)
+        sub_solution = initial_solution(
+            env, sub_dfg, sub_sim, clk_ns, vdd, _UNCONSTRAINED_NS
+        )
+        # Tighten the budget to the achieved makespan before packaging.
+        sub_solution.sampling_ns = max(
+            sub_solution.schedule().length * clk_ns, clk_ns
+        )
+        module = characterize_module(
+            env.fresh_module_name(behavior), behavior, sub_solution, sub_sim, ()
+        )
+        env.module_cache[cache_key] = module
+        candidates.append(module)
+
+    if not candidates:
+        raise SynthesisError(
+            f"no implementation available for behavior {behavior!r}: the "
+            "library has no complex module and the design has no DFG for it"
+        )
+    return min(candidates, key=lambda m: m.profile(behavior).latency_ns)
+
+
+def initial_solution(
+    env: SynthesisEnv,
+    dfg: DFG,
+    sim: SimTrace,
+    clk_ns: float,
+    vdd: float,
+    sampling_ns: float,
+) -> Solution:
+    """Build the completely parallel fastest-cells starting solution."""
+    solution = Solution(dfg, env.library, clk_ns, vdd, sampling_ns)
+    for node in dfg.operation_nodes():
+        if node.kind == NodeKind.OP:
+            assert node.op is not None
+            cell = env.library.fastest_cell(node.op)
+            inst = solution.add_instance(cell=cell)
+        else:
+            module = initial_module_for(env, node, dfg, sim, clk_ns, vdd)
+            inst = solution.add_instance(module=module)
+        solution.bind_execution(inst.inst_id, (node.node_id,))
+    for signal in solution.registered_signals():
+        solution.add_register([signal])
+    solution.check_invariants()
+    return solution

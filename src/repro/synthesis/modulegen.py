@@ -1,0 +1,150 @@
+"""Turning synthesized sub-solutions into complex RTL modules.
+
+When a hierarchical node has no library implementation, its behavior is
+synthesized and the result is packaged as an
+:class:`~repro.rtl.module.RTLModule`: timing becomes a **profile**
+(Example 1 semantics — per-input tolerance for late arrival, per-output
+latency), the trace-driven energy of one execution collapses into the
+module's ``cap_internal`` coefficient, and the structural netlist is
+retained for area evaluation and RTL embedding.
+
+This module also implements the merge of two RTL modules (move C on
+complex modules): the netlists are overlaid by
+:func:`repro.rtl.embedding.embed_netlists` and the merged module
+supports the union of behaviors, each with its original profile — "the
+schedule, assignment, etc., for individual DFGs is unaltered"
+(Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..library.cells import IDLE_FRACTION
+from ..library.voltage import energy_scale
+from ..power.activity import stream_activity
+from ..power.simulate import SimTrace
+from ..rtl.embedding import embed_netlists
+from ..rtl.module import RTLModule
+from ..rtl.profile import Profile
+from ..scheduling.slack import required_signal_times
+from .costs import EvaluationContext
+from .datapath_build import build_netlist
+from .solution import Solution
+
+__all__ = ["ModuleInternal", "characterize_module", "merge_modules"]
+
+#: Mux/wiring energy overhead applied to each behavior of a merged
+#: module (per execution, as a fraction of cap_internal) — the merged
+#: datapath steers values through the multiplexers the overlay added.
+_MERGE_CAP_OVERHEAD = 0.03
+
+
+@dataclass
+class ModuleInternal:
+    """Synthesis-side record kept inside a resynthesizable module."""
+
+    solution: Solution
+    path: tuple[str, ...]
+
+
+def characterize_module(
+    name: str,
+    behavior: str,
+    sub_solution: Solution,
+    sim: SimTrace,
+    path: tuple[str, ...],
+) -> RTLModule:
+    """Package a scheduled sub-solution as a complex RTL module.
+
+    Parameters
+    ----------
+    name, behavior:
+        Module type name and the behavior it implements.
+    sub_solution:
+        A feasible solution for the behavior's DFG.
+    sim, path:
+        Simulated streams and the hierarchy path at which the
+        sub-solution's DFG instance lives (characterization stimulus).
+    """
+    dfg = sub_solution.dfg
+    sched = sub_solution.schedule()
+    makespan = max(sched.length, 1)
+
+    # Input offsets: how late each input may arrive without stretching
+    # the makespan — the backward requirement on primary-input signals.
+    required = required_signal_times(dfg, sub_solution.tasks(), sched, makespan)
+    offsets = tuple(
+        min(required.get((input_id, 0), 0), makespan) for input_id in dfg.inputs
+    )
+
+    latencies = []
+    for output_id in dfg.outputs:
+        (edge,) = dfg.in_edges(output_id)
+        latencies.append(max(sched.avail[edge.signal], 1))
+    profile = Profile.from_cycles(
+        offsets, tuple(latencies), sub_solution.clk_ns, sub_solution.vdd
+    )
+
+    # Energy of one execution under the characterization stimulus,
+    # normalized to the input-stream activity so the estimator can
+    # re-scale it when the module is shared (interleaved inputs).
+    ctx = EvaluationContext(sim, path, objective="power")
+    metrics = ctx.evaluate(sub_solution)
+    input_streams = [sim.stream(path, (input_id, 0)) for input_id in dfg.inputs]
+    if input_streams:
+        alpha_in = float(
+            np.mean([stream_activity(s, 16) for s in input_streams])
+        )
+    else:
+        alpha_in = 0.5
+    denom = (IDLE_FRACTION + alpha_in) * energy_scale(sub_solution.vdd) * 25.0
+    cap_internal = metrics.energy_per_sample / denom
+
+    netlist = build_netlist(sub_solution, name=name, skip_input_registers=True)
+    return RTLModule(
+        name=name,
+        behavior=behavior,
+        profile=profile,
+        cap_internal=cap_internal,
+        netlist=netlist,
+        resynthesizable=True,
+        internal=ModuleInternal(sub_solution, path),
+    )
+
+
+def merge_modules(module_a: RTLModule, module_b: RTLModule, name: str | None = None) -> RTLModule:
+    """RTL-embed *module_b* into *module_a* (move C on complex modules).
+
+    The merged module supports every behavior of both constituents with
+    unchanged profiles; a small capacitance overhead models the added
+    steering multiplexers.  It is not resynthesizable — its content is
+    the committed overlay of two schedules.
+    """
+    merged_name = name or f"{module_a.name}+{module_b.name}"
+    result = embed_netlists(module_a.netlist, module_b.netlist, merged_name)
+
+    first_behavior = module_a.behaviors()[0]
+    first_impl = module_a.impl(first_behavior)
+    merged = RTLModule(
+        name=merged_name,
+        behavior=first_behavior,
+        profile=first_impl.profile,
+        cap_internal=first_impl.cap_internal * (1.0 + _MERGE_CAP_OVERHEAD),
+        netlist=result.netlist,
+        resynthesizable=False,
+        internal=None,
+    )
+    for source in (module_a, module_b):
+        for behavior in source.behaviors():
+            if merged.supports(behavior):
+                continue
+            impl = source.impl(behavior)
+            merged.add_behavior(
+                behavior,
+                impl.profile,
+                impl.cap_internal * (1.0 + _MERGE_CAP_OVERHEAD),
+            )
+    return merged

@@ -1,0 +1,686 @@
+"""Move generation: the four optimization move types of the paper.
+
+* **Type A** — replace a simple functional unit's cell, or a complex
+  module instance's RTL module, by a library alternative better suited
+  to the environment (including functionally equivalent anisomorphic
+  DFG variants reached through the equivalence registry).
+* **Type B** — resynthesize a complex module under constraints relaxed
+  to the slack its environment provides (coarse-grain knowledge driving
+  fine-grain optimization).
+* **Type C** — resource sharing: merge two functional-unit instances,
+  two registers, or two complex-module instances (same type, or
+  different types via **RTL embedding**).  Also *chain formation*: fuse
+  a feeder/consumer pair of additions onto a chained adder cell.
+* **Type D** — resource splitting: the inverses of type C, which create
+  new optimization opportunities and cut switched capacitance by
+  un-interleaving streams.
+
+Every generator returns *candidates* — cloned, mutated solutions — that
+the iterative-improvement driver prices with the full cost function.
+Generators respect the KL *locked* set so a pass cannot ping-pong on
+the same resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dfg.graph import NodeKind, Signal
+from ..dfg.ops import Operation
+from ..library.cells import LibraryCell
+from ..power.simulate import SimTrace
+from .context import SynthesisEnv, ensure_behavior
+from .modulegen import merge_modules
+from .solution import Solution
+
+__all__ = [
+    "Candidate",
+    "type_a_b_candidates",
+    "sharing_candidates",
+    "splitting_candidates",
+    "normalize_registers",
+]
+
+
+@dataclass
+class Candidate:
+    """One tentative move: a mutated clone plus bookkeeping."""
+
+    kind: str
+    description: str
+    solution: Solution
+    touched: frozenset[str]
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+def normalize_registers(solution: Solution) -> None:
+    """Re-align register bindings with the set of registered signals.
+
+    Chain formation/dissolution changes which signals need registers;
+    this drops bindings of now-internal signals (deleting registers that
+    become empty) and gives fresh dedicated registers to newly exposed
+    signals.
+    """
+    needed = set(solution.registered_signals())
+    bound: set[Signal] = set()
+    for reg_id in list(solution.reg_signals):
+        kept = [s for s in solution.reg_signals[reg_id] if s in needed]
+        if kept:
+            solution.reg_signals[reg_id] = kept
+            bound.update(kept)
+        else:
+            del solution.reg_signals[reg_id]
+    for signal in needed - bound:
+        solution.add_register([signal])
+    solution.invalidate()
+
+
+def _ops_of_instance(solution: Solution, inst_id: str) -> set[Operation]:
+    ops: set[Operation] = set()
+    for group in solution.executions[inst_id]:
+        for node_id in group:
+            node = solution.dfg.node(node_id)
+            if node.op is not None:
+                ops.add(node.op)
+    return ops
+
+
+def _max_chain(solution: Solution, inst_id: str) -> int:
+    execs = solution.executions[inst_id]
+    return max((len(g) for g in execs), default=1)
+
+
+def _cell_fits(cell: LibraryCell, ops: set[Operation], chain: int) -> bool:
+    return all(cell.supports(op) for op in ops) and cell.chain_length >= chain
+
+
+def _instance_weight(env: SynthesisEnv, solution: Solution, inst_id: str) -> float:
+    """Rough objective contribution used for module-group formation."""
+    inst = solution.instances[inst_id]
+    n_exec = max(len(solution.executions[inst_id]), 1)
+    if inst.is_module:
+        assert inst.module is not None
+        if env.objective == "power":
+            return inst.module.cap_internal() * n_exec
+        return inst.module.area(env.library)
+    assert inst.cell is not None
+    if env.objective == "power":
+        return inst.cell.cap * n_exec
+    return inst.cell.area
+
+
+def _bound_behaviors(solution: Solution, inst_id: str) -> list[str]:
+    behaviors = []
+    for group in solution.executions[inst_id]:
+        (node_id,) = group
+        behavior = solution.dfg.node(node_id).behavior
+        assert behavior is not None
+        behaviors.append(behavior)
+    return behaviors
+
+
+# ----------------------------------------------------------------------
+# Type A and B
+# ----------------------------------------------------------------------
+
+def type_a_b_candidates(
+    env: SynthesisEnv,
+    solution: Solution,
+    sim: SimTrace,
+    locked: frozenset[str],
+) -> list[Candidate]:
+    """Module-selection moves (Figure 5): replacement and resynthesis."""
+    config = env.config
+
+    # Module group formation: target the heaviest unlocked instances.
+    targets = [
+        inst_id
+        for inst_id in solution.instances
+        if inst_id not in locked and solution.executions[inst_id]
+    ]
+    targets.sort(key=lambda i: -_instance_weight(env, solution, i))
+    targets = targets[: config.max_ab_targets]
+
+    candidates: list[Candidate] = []
+    resynth_budget = 2 if config.enable_resynthesis else 0
+    for inst_id in targets:
+        inst = solution.instances[inst_id]
+        if inst.is_module:
+            candidates.extend(_module_replacements(env, solution, inst_id))
+            remerge = _merged_module_rebuild(env, solution, inst_id)
+            if remerge is not None:
+                candidates.append(remerge)
+            if resynth_budget > 0:
+                resynth = _resynthesis_candidate(env, solution, sim, inst_id)
+                if resynth is not None:
+                    candidates.append(resynth)
+                    resynth_budget -= 1
+        else:
+            candidates.extend(_cell_replacements(env, solution, inst_id))
+    return candidates
+
+
+def _cell_replacements(
+    env: SynthesisEnv, solution: Solution, inst_id: str
+) -> list[Candidate]:
+    inst = solution.instances[inst_id]
+    assert inst.cell is not None
+    ops = _ops_of_instance(solution, inst_id)
+    chain = _max_chain(solution, inst_id)
+    out: list[Candidate] = []
+    for cell in env.library.cells():
+        if cell.name == inst.cell.name:
+            continue
+        if not _cell_fits(cell, ops, chain):
+            continue
+        clone = solution.clone()
+        clone.set_cell(inst_id, cell)
+        out.append(
+            Candidate(
+                kind="A-cell",
+                description=f"{inst_id}: {inst.cell.name} -> {cell.name}",
+                solution=clone,
+                touched=frozenset({inst_id}),
+            )
+        )
+    return out
+
+
+def _module_replacements(
+    env: SynthesisEnv, solution: Solution, inst_id: str
+) -> list[Candidate]:
+    inst = solution.instances[inst_id]
+    assert inst.module is not None
+    behaviors = _bound_behaviors(solution, inst_id)
+    seen: set[str] = set()
+    out: list[Candidate] = []
+    for behavior in behaviors:
+        for module in env.library.complex_modules_for(behavior):
+            if module.name in seen or module.name == inst.module.name:
+                continue
+            seen.add(module.name)
+            if not all(ensure_behavior(module, b, env.library) for b in behaviors):
+                continue
+            if not _ports_match(solution, inst_id, module):
+                continue
+            clone = solution.clone()
+            clone.set_module(inst_id, module)
+            out.append(
+                Candidate(
+                    kind="A-module",
+                    description=f"{inst_id}: {inst.module.name} -> {module.name}",
+                    solution=clone,
+                    touched=frozenset({inst_id}),
+                )
+            )
+    return out
+
+
+def _ports_match(solution: Solution, inst_id: str, module) -> bool:
+    for group in solution.executions[inst_id]:
+        (node_id,) = group
+        node = solution.dfg.node(node_id)
+        profile = module.profile(node.behavior)
+        if len(profile.input_offsets_ns) != node.n_inputs:
+            return False
+        if len(profile.output_latencies_ns) != node.n_outputs:
+            return False
+    return True
+
+
+def _merged_module_rebuild(
+    env: SynthesisEnv, solution: Solution, inst_id: str
+) -> Candidate | None:
+    """Type-A variant for multi-behavior instances: re-embed from the
+    best library module per behavior.
+
+    Once two modules are merged, no single library element supports the
+    union of behaviors, so plain replacement can never fix a merge that
+    locked in a poorly matched constituent.  This move rebuilds the
+    overlay from the objective-best library module of each bound
+    behavior (uniform constituents overlay far better).
+    """
+    inst = solution.instances[inst_id]
+    assert inst.module is not None
+    behaviors = list(dict.fromkeys(_bound_behaviors(solution, inst_id)))
+    if len(behaviors) < 2:
+        return None
+
+    def score(module) -> float:
+        if env.objective == "power":
+            return min(module.cap_internal(b) for b in behaviors if module.supports(b))
+        return module.area(env.library)
+
+    picks = []
+    for behavior in behaviors:
+        candidates = [
+            m
+            for m in env.library.complex_modules_for(behavior)
+            if ensure_behavior(m, behavior, env.library)
+        ]
+        if not candidates:
+            return None
+        picks.append(min(candidates, key=score))
+
+    merged = picks[0]
+    for module in picks[1:]:
+        merged = merge_modules(merged, module)
+    if merged.name == inst.module.name:
+        return None
+    if not all(merged.supports(b) for b in behaviors):
+        return None
+    if not _ports_match(solution, inst_id, merged):
+        return None
+    clone = solution.clone()
+    clone.set_module(inst_id, merged)
+    return Candidate(
+        kind="A-remerge",
+        description=f"{inst_id}: re-embed from library corners ({merged.name})",
+        solution=clone,
+        touched=frozenset({inst_id}),
+    )
+
+
+def _resynthesis_candidate(
+    env: SynthesisEnv,
+    solution: Solution,
+    sim: SimTrace,
+    inst_id: str,
+) -> Candidate | None:
+    """Move B: descend into a complex module and resynthesize it under
+    the relaxed constraints its environment allows."""
+    from ..scheduling.slack import environment_of
+    from .improve import resynthesize_module  # lazy: improve imports moves
+
+    inst = solution.instances[inst_id]
+    assert inst.module is not None
+    execs = solution.executions[inst_id]
+    if len(execs) != 1:
+        return None  # merged/shared modules are not resynthesized
+    (node_id,) = execs[0]
+    node = solution.dfg.node(node_id)
+    assert node.behavior is not None
+    if not (inst.module.resynthesizable or env.design.has_behavior(node.behavior)):
+        return None
+
+    sched = solution.schedule()
+    if sched.length > solution.deadline_cycles:
+        return None
+    task = solution.task(f"{inst_id}#0")
+    constraint = environment_of(
+        solution.dfg, task, solution.tasks(), sched, solution.deadline_cycles
+    )
+    budget_cycles = min(constraint.output_deadlines) - max(
+        list(constraint.input_arrivals) + [0]
+    )
+    if budget_cycles < 1:
+        return None
+
+    module = resynthesize_module(
+        env, solution, sim, node_id, node.behavior, inst.module, budget_cycles
+    )
+    if module is None:
+        return None
+    clone = solution.clone()
+    clone.set_module(inst_id, module)
+    return Candidate(
+        kind="B-resynth",
+        description=(
+            f"{inst_id}: resynthesize {inst.module.name} under "
+            f"{budget_cycles}-cycle budget"
+        ),
+        solution=clone,
+        touched=frozenset({inst_id}),
+    )
+
+
+# ----------------------------------------------------------------------
+# Type C: resource sharing
+# ----------------------------------------------------------------------
+
+def sharing_candidates(
+    env: SynthesisEnv,
+    solution: Solution,
+    sim: SimTrace,
+    locked: frozenset[str],
+) -> list[Candidate]:
+    """Merging moves: FU pairs, register pairs, module pairs, chains."""
+    out: list[Candidate] = []
+    out.extend(_fu_sharing(env, solution, locked))
+    out.extend(_register_sharing(env, solution, locked))
+    out.extend(_module_sharing(env, solution, locked))
+    out.extend(_chain_formation(env, solution, locked))
+    return out[: env.config.max_share_pairs * 2]
+
+
+def _unlocked_simple(solution: Solution, locked: frozenset[str]) -> list[str]:
+    return [
+        inst_id
+        for inst_id, inst in solution.instances.items()
+        if not inst.is_module
+        and inst_id not in locked
+        and solution.executions[inst_id]
+    ]
+
+
+def _fu_sharing(
+    env: SynthesisEnv, solution: Solution, locked: frozenset[str]
+) -> list[Candidate]:
+    simple = _unlocked_simple(solution, locked)
+    pairs: list[tuple[float, str, str, LibraryCell]] = []
+    for i, a in enumerate(simple):
+        for b in simple[i + 1 :]:
+            ops = _ops_of_instance(solution, a) | _ops_of_instance(solution, b)
+            chain = max(_max_chain(solution, a), _max_chain(solution, b))
+            cell_a = solution.instances[a].cell
+            cell_b = solution.instances[b].cell
+            assert cell_a is not None and cell_b is not None
+            target: LibraryCell | None = None
+            if _cell_fits(cell_a, ops, chain):
+                target = cell_a
+            elif _cell_fits(cell_b, ops, chain):
+                target = cell_b
+            else:
+                fits = [
+                    c for c in env.library.cells() if _cell_fits(c, ops, chain)
+                ]
+                if fits:
+                    target = min(fits, key=lambda c: c.area)
+            if target is None:
+                continue
+            saved = min(cell_a.area, cell_b.area)
+            pairs.append((saved, a, b, target))
+    pairs.sort(key=lambda p: -p[0])
+
+    out: list[Candidate] = []
+    for _saved, a, b, target in pairs[: env.config.max_share_pairs]:
+        clone = solution.clone()
+        if clone.instances[a].cell.name != target.name:  # type: ignore[union-attr]
+            clone.set_cell(a, target)
+        clone.merge_instances(a, b)
+        out.append(
+            Candidate(
+                kind="C-share-fu",
+                description=f"share: {b} -> {a} ({target.name})",
+                solution=clone,
+                touched=frozenset({a, b}),
+            )
+        )
+    return out
+
+
+def _register_sharing(
+    env: SynthesisEnv, solution: Solution, locked: frozenset[str]
+) -> list[Candidate]:
+    regs = [r for r in solution.reg_signals if r not in locked]
+    lifetimes: dict[str, list[tuple[int, int]]] = {}
+    for reg_id in regs:
+        lifetimes[reg_id] = sorted(
+            solution.signal_lifetime(s) for s in solution.reg_signals[reg_id]
+        )
+
+    def disjoint(a: str, b: str) -> bool:
+        merged = sorted(lifetimes[a] + lifetimes[b])
+        return all(
+            b2 >= d1 for (_b1, d1), (b2, _d2) in zip(merged, merged[1:])
+        )
+
+    # Sort by end-of-life so adjacent candidates likely fit (left-edge
+    # flavour); examine a bounded window of pairs.
+    regs.sort(key=lambda r: lifetimes[r][-1][1])
+    out: list[Candidate] = []
+    for i, a in enumerate(regs):
+        for b in regs[i + 1 : i + 5]:
+            if len(out) >= env.config.max_share_pairs // 2:
+                return out
+            if not disjoint(a, b):
+                continue
+            clone = solution.clone()
+            clone.merge_registers(a, b)
+            out.append(
+                Candidate(
+                    kind="C-share-reg",
+                    description=f"share registers: {b} -> {a}",
+                    solution=clone,
+                    touched=frozenset({a, b}),
+                )
+            )
+    return out
+
+
+def _module_sharing(
+    env: SynthesisEnv, solution: Solution, locked: frozenset[str]
+) -> list[Candidate]:
+    modules = [
+        inst_id
+        for inst_id, inst in solution.instances.items()
+        if inst.is_module and inst_id not in locked and solution.executions[inst_id]
+    ]
+    out: list[Candidate] = []
+    for i, a in enumerate(modules):
+        for b in modules[i + 1 :]:
+            mod_a = solution.instances[a].module
+            mod_b = solution.instances[b].module
+            assert mod_a is not None and mod_b is not None
+            behaviors_b = _bound_behaviors(solution, b)
+            behaviors_a = _bound_behaviors(solution, a)
+            if all(mod_a.supports(x) for x in behaviors_b):
+                clone = solution.clone()
+                clone.merge_instances(a, b)
+                out.append(
+                    Candidate(
+                        kind="C-share-module",
+                        description=f"share module: {b} -> {a} ({mod_a.name})",
+                        solution=clone,
+                        touched=frozenset({a, b}),
+                    )
+                )
+            elif env.config.enable_embedding:
+                merged = merge_modules(mod_a, mod_b)
+                if not all(
+                    merged.supports(x) for x in behaviors_a + behaviors_b
+                ):
+                    continue
+                clone = solution.clone()
+                clone.set_module(a, merged)
+                clone.merge_instances(a, b)
+                out.append(
+                    Candidate(
+                        kind="C-embed",
+                        description=(
+                            f"RTL-embed: {mod_b.name} into {mod_a.name} on {a}"
+                        ),
+                        solution=clone,
+                        touched=frozenset({a, b}),
+                    )
+                )
+    return out
+
+
+def _chain_formation(
+    env: SynthesisEnv, solution: Solution, locked: frozenset[str]
+) -> list[Candidate]:
+    """Fuse add→add dependencies onto chained adder cells.
+
+    Candidate: nodes ``a -> b`` where both are additions on separate
+    unlocked instances, each currently a singleton execution, and *a*'s
+    value is consumed only by *b* (so it can become chain-internal).
+    """
+    dfg = solution.dfg
+    chained2 = [c for c in env.library.cells() if c.chain_length == 2
+                and c.supports(Operation.ADD)]
+    chained3 = [c for c in env.library.cells() if c.chain_length == 3
+                and c.supports(Operation.ADD)]
+    if not chained2 and not chained3:
+        return []
+
+    out: list[Candidate] = []
+    for node in dfg.op_nodes():
+        if node.op != Operation.ADD:
+            continue
+        consumers = dfg.out_edges(node.node_id)
+        if len(consumers) != 1:
+            continue
+        nxt = dfg.node(consumers[0].dst)
+        if nxt.kind != NodeKind.OP or nxt.op != Operation.ADD:
+            continue
+        inst_a = solution.instance_of(node.node_id)
+        inst_b = solution.instance_of(nxt.node_id)
+        if inst_a == inst_b or inst_a in locked or inst_b in locked:
+            continue
+        if solution.instances[inst_a].is_module or solution.instances[inst_b].is_module:
+            continue
+        execs_a = solution.executions[inst_a]
+        execs_b = solution.executions[inst_b]
+        if execs_a != [(node.node_id,)] or execs_b != [(nxt.node_id,)]:
+            continue
+        for cell in chained2[:1]:
+            clone = solution.clone()
+            clone.executions[inst_a] = []
+            clone.executions[inst_b] = []
+            clone.remove_instance(inst_b)
+            clone.set_cell(inst_a, cell)
+            clone.bind_execution(inst_a, (node.node_id, nxt.node_id))
+            normalize_registers(clone)
+            out.append(
+                Candidate(
+                    kind="C-chain",
+                    description=(
+                        f"chain {node.node_id}+{nxt.node_id} on {cell.name}"
+                    ),
+                    solution=clone,
+                    touched=frozenset({inst_a, inst_b}),
+                )
+            )
+        if len(out) >= 4:
+            break
+
+    # Extend an existing 2-chain to a 3-chain.
+    for inst_id, inst in solution.instances.items():
+        if inst.is_module or inst_id in locked or inst.cell is None:
+            continue
+        if inst.cell.chain_length != 2 or not chained3:
+            continue
+        for group in solution.executions[inst_id]:
+            if len(group) != 2:
+                continue
+            last = group[-1]
+            consumers = dfg.out_edges(last)
+            if len(consumers) != 1:
+                continue
+            nxt = dfg.node(consumers[0].dst)
+            if nxt.kind != NodeKind.OP or nxt.op != Operation.ADD:
+                continue
+            inst_c = solution.instance_of(nxt.node_id)
+            if inst_c == inst_id or inst_c in locked:
+                continue
+            if solution.executions[inst_c] != [(nxt.node_id,)]:
+                continue
+            clone = solution.clone()
+            clone.executions[inst_id] = [
+                g for g in clone.executions[inst_id] if g != group
+            ]
+            clone.executions[inst_c] = []
+            clone.remove_instance(inst_c)
+            clone.set_cell(inst_id, chained3[0])
+            clone.bind_execution(inst_id, tuple(group) + (nxt.node_id,))
+            normalize_registers(clone)
+            out.append(
+                Candidate(
+                    kind="C-chain3",
+                    description=f"extend chain with {nxt.node_id}",
+                    solution=clone,
+                    touched=frozenset({inst_id, inst_c}),
+                )
+            )
+            break
+    return out
+
+
+# ----------------------------------------------------------------------
+# Type D: resource splitting
+# ----------------------------------------------------------------------
+
+def splitting_candidates(
+    env: SynthesisEnv,
+    solution: Solution,
+    sim: SimTrace,
+    locked: frozenset[str],
+) -> list[Candidate]:
+    """Splitting moves: un-share instances, registers and chains."""
+    out: list[Candidate] = []
+
+    shared = [
+        inst_id
+        for inst_id in solution.instances
+        if inst_id not in locked and len(solution.executions[inst_id]) >= 2
+    ]
+    shared.sort(key=lambda i: -len(solution.executions[i]))
+    for inst_id in shared[: env.config.max_split_candidates]:
+        execs = solution.executions[inst_id]
+        half = max(1, len(execs) // 2)
+        moved = execs[half:]
+        clone = solution.clone()
+        twin = clone.split_instance(inst_id, list(moved))
+        out.append(
+            Candidate(
+                kind="D-split-fu",
+                description=f"split {inst_id} ({len(execs)} execs) -> {twin}",
+                solution=clone,
+                touched=frozenset({inst_id, twin}),
+            )
+        )
+
+    shared_regs = [
+        reg_id
+        for reg_id, signals in solution.reg_signals.items()
+        if reg_id not in locked and len(signals) >= 2
+    ]
+    for reg_id in shared_regs[: env.config.max_split_candidates // 2]:
+        signals = solution.reg_signals[reg_id]
+        moved = signals[len(signals) // 2 :]
+        clone = solution.clone()
+        twin = clone.split_register(reg_id, list(moved))
+        out.append(
+            Candidate(
+                kind="D-split-reg",
+                description=f"split register {reg_id} -> {twin}",
+                solution=clone,
+                touched=frozenset({reg_id, twin}),
+            )
+        )
+
+    # Chain dissolution: break a chained execution into singletons.
+    for inst_id, inst in solution.instances.items():
+        if inst.is_module or inst_id in locked or inst.cell is None:
+            continue
+        if inst.cell.chain_length <= 1:
+            continue
+        groups = solution.executions[inst_id]
+        if not groups:
+            continue
+        clone = solution.clone()
+        fastest = env.library.fastest_cell(Operation.ADD)
+        new_ids = []
+        clone.executions[inst_id] = []
+        clone.remove_instance(inst_id)
+        for group in groups:
+            for node_id in group:
+                inst_new = clone.add_instance(cell=fastest)
+                clone.bind_execution(inst_new.inst_id, (node_id,))
+                new_ids.append(inst_new.inst_id)
+        normalize_registers(clone)
+        out.append(
+            Candidate(
+                kind="D-unchain",
+                description=f"dissolve chain on {inst_id}",
+                solution=clone,
+                touched=frozenset([inst_id] + new_ids),
+            )
+        )
+        break
+
+    return out

@@ -1,0 +1,124 @@
+"""Supply-voltage and clock-period candidate pruning.
+
+The paper's SYNTHESIZE procedure iterates over "the pruned supply
+voltage set" and "the pruned clock period set" (Figure 4, with the
+pruning procedure attributed to ref. [10]).  We reproduce the standard
+scheme:
+
+* a supply voltage is kept only if the design's *minimum* critical path
+  (fastest cells, unconstrained resources), slowed by the CMOS scaling
+  factor, still fits the sampling period;
+* clock-period candidates are derived from the (scaled) cell delays —
+  a good clock divides the important cell delays nearly evenly — and
+  ranked by a quantization-waste figure: the average slack a cell
+  wastes inside its ceiling number of cycles.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..dfg.analysis import critical_path_length
+from ..dfg.flatten import flatten
+from ..dfg.graph import DFG, Node, NodeKind
+from ..dfg.hierarchy import Design
+from ..library.library import ModuleLibrary
+from ..library.voltage import SUPPLY_VOLTAGES, delay_scale
+
+__all__ = [
+    "min_sampling_period_ns",
+    "candidate_vdds",
+    "candidate_clocks",
+    "laxity_sampling_ns",
+]
+
+
+def _fastest_delay_fn(library: ModuleLibrary):
+    def delay_of(node: Node) -> float:
+        if node.kind != NodeKind.OP:
+            return 0.0
+        assert node.op is not None
+        return library.fastest_cell(node.op).delay_ns
+
+    return delay_of
+
+
+def min_sampling_period_ns(design: Design, library: ModuleLibrary) -> float:
+    """Minimum achievable sampling period (ns) at the 5 V reference.
+
+    The denominator of the paper's *laxity factor*: critical path of the
+    fully flattened behavior with every operation on its fastest cell
+    and unlimited resources.
+    """
+    flat = flatten(design)
+    return critical_path_length(flat, _fastest_delay_fn(library))
+
+
+def laxity_sampling_ns(
+    design: Design, library: ModuleLibrary, laxity_factor: float
+) -> float:
+    """Sampling period for a given laxity factor (L.F. of Table 3)."""
+    if laxity_factor < 1.0:
+        raise ValueError("laxity factor must be >= 1")
+    return laxity_factor * min_sampling_period_ns(design, library)
+
+
+def candidate_vdds(
+    design: Design,
+    library: ModuleLibrary,
+    sampling_ns: float,
+    voltages: tuple[float, ...] = SUPPLY_VOLTAGES,
+) -> list[float]:
+    """Supply voltages at which the behavior can possibly meet throughput."""
+    base = min_sampling_period_ns(design, library)
+    return [
+        v for v in voltages if base * delay_scale(v) <= sampling_ns + 1e-9
+    ]
+
+
+def candidate_clocks(
+    library: ModuleLibrary,
+    vdd: float,
+    sampling_ns: float,
+    n_clocks: int = 2,
+    min_clk_ns: float = 2.0,
+) -> list[float]:
+    """Pruned clock-period candidates for one supply voltage.
+
+    Candidates are divisors of scaled cell delays; each is scored by the
+    mean relative quantization waste over all functional cells:
+    ``(ceil(d/clk) * clk - d) / d``.  The ``n_clocks`` least wasteful
+    distinct candidates are returned, longest clock first (fewer states,
+    smaller controller — preferred on ties).
+    """
+    scale = delay_scale(vdd)
+    delays = [cell.delay_ns * scale for cell in library.cells()]
+    raw: set[float] = set()
+    for delay in delays:
+        for k in (1, 2, 3, 4):
+            clk = delay / k
+            if min_clk_ns <= clk <= sampling_ns:
+                raw.add(round(clk, 3))
+    if not raw:
+        raw = {max(min_clk_ns, sampling_ns / 8.0)}
+
+    def waste(clk: float) -> float:
+        total = 0.0
+        for delay in delays:
+            cycles = max(1, math.ceil(delay / clk - 1e-9))
+            total += (cycles * clk - delay) / delay
+        # Shorter clocks quantize delays better but inflate the state
+        # count (bigger controller, longer schedules); this term breaks
+        # the otherwise monotone preference for tiny periods.
+        controller_penalty = 0.002 * (sampling_ns / clk)
+        return total / len(delays) + controller_penalty
+
+    ranked = sorted(raw, key=lambda clk: (waste(clk), -clk))
+    picked: list[float] = []
+    for clk in ranked:
+        if any(abs(clk - p) / p < 0.02 for p in picked):
+            continue
+        picked.append(clk)
+        if len(picked) >= n_clocks:
+            break
+    return sorted(picked, reverse=True)

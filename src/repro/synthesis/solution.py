@@ -1,0 +1,450 @@
+"""RTL solution representation for one DFG level.
+
+A :class:`Solution` captures everything the iterative-improvement engine
+mutates:
+
+* **instances** — functional-unit instances (a library cell each) and
+  complex-module instances (an :class:`~repro.rtl.module.RTLModule`
+  each);
+* **executions** — which DFG nodes run on which instance, and in what
+  grouping: each execution is a tuple of nodes, usually a singleton, but
+  a dependency chain for chained cells (``chained_add2`` runs a chain of
+  two additions in one activation);
+* **register binding** — which signals share which register.
+
+Scheduling is derived (and cached): executions become
+:class:`~repro.scheduling.model.TaskSpec` tasks and go through the list
+scheduler.  All mutation goes through the ``rebind_*``/``merge_*``/
+``split_*`` methods so caches are invalidated consistently; moves clone
+the solution first, mutate the clone and compare costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..dfg.graph import DFG, NodeKind, Signal
+from ..errors import SynthesisError
+from ..library.cells import LibraryCell
+from ..library.library import ModuleLibrary
+from ..rtl.module import RTLModule
+from ..scheduling.model import ScheduleResult, TaskSpec
+from ..scheduling.scheduler import schedule_tasks
+
+__all__ = ["Instance", "Solution"]
+
+
+@dataclass
+class Instance:
+    """One datapath resource instance: a simple cell or a complex module."""
+
+    inst_id: str
+    cell: LibraryCell | None = None
+    module: RTLModule | None = None
+
+    def __post_init__(self) -> None:
+        if (self.cell is None) == (self.module is None):
+            raise SynthesisError(
+                f"instance {self.inst_id!r} must have exactly one of cell/module"
+            )
+
+    @property
+    def is_module(self) -> bool:
+        return self.module is not None
+
+    @property
+    def type_name(self) -> str:
+        return self.module.name if self.module is not None else self.cell.name
+
+
+class Solution:
+    """A bound (and schedulable) RTL architecture for one DFG."""
+
+    def __init__(
+        self,
+        dfg: DFG,
+        library: ModuleLibrary,
+        clk_ns: float,
+        vdd: float,
+        sampling_ns: float,
+    ):
+        self.dfg = dfg
+        self.library = library
+        self.clk_ns = clk_ns
+        self.vdd = vdd
+        self.sampling_ns = sampling_ns
+        self.instances: dict[str, Instance] = {}
+        #: instance id → list of executions (each a tuple of node ids).
+        self.executions: dict[str, list[tuple[str, ...]]] = {}
+        #: register id → signals stored there.
+        self.reg_signals: dict[str, list[Signal]] = {}
+        self._counter = 0
+        self._schedule: ScheduleResult | None = None
+        self._tasks: list[TaskSpec] | None = None
+        self._task_index: dict[str, TaskSpec] = {}
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+    def fresh_id(self, prefix: str) -> str:
+        while True:
+            self._counter += 1
+            candidate = f"{prefix}{self._counter}"
+            if candidate not in self.instances and candidate not in self.reg_signals:
+                return candidate
+
+    @property
+    def deadline_cycles(self) -> int:
+        """Cycle budget implied by the sampling period at this clock."""
+        return int(math.floor(self.sampling_ns / self.clk_ns + 1e-9))
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+    def add_instance(
+        self,
+        cell: LibraryCell | None = None,
+        module: RTLModule | None = None,
+        inst_id: str | None = None,
+    ) -> Instance:
+        inst_id = inst_id or self.fresh_id("u")
+        if inst_id in self.instances:
+            raise SynthesisError(f"duplicate instance id {inst_id!r}")
+        inst = Instance(inst_id, cell=cell, module=module)
+        self.instances[inst_id] = inst
+        self.executions[inst_id] = []
+        return inst
+
+    def bind_execution(self, inst_id: str, nodes: tuple[str, ...]) -> None:
+        """Append one execution (node group) to an instance."""
+        if inst_id not in self.instances:
+            raise SynthesisError(f"unknown instance {inst_id!r}")
+        self.executions[inst_id].append(tuple(nodes))
+        self.invalidate()
+
+    def remove_instance(self, inst_id: str) -> None:
+        if self.executions.get(inst_id):
+            raise SynthesisError(
+                f"cannot remove instance {inst_id!r}: it still has executions"
+            )
+        del self.instances[inst_id]
+        del self.executions[inst_id]
+        self.invalidate()
+
+    def add_register(self, signals: list[Signal], reg_id: str | None = None) -> str:
+        reg_id = reg_id or self.fresh_id("r")
+        if reg_id in self.reg_signals:
+            raise SynthesisError(f"duplicate register id {reg_id!r}")
+        self.reg_signals[reg_id] = list(signals)
+        self.invalidate()
+        return reg_id
+
+    def set_cell(self, inst_id: str, cell: LibraryCell) -> None:
+        """Replace the library cell of a simple instance (move A)."""
+        inst = self.instance(inst_id)
+        if inst.is_module:
+            raise SynthesisError(f"instance {inst_id!r} is a module instance")
+        self.instances[inst_id] = Instance(inst_id, cell=cell)
+        self.invalidate()
+
+    def set_module(self, inst_id: str, module: RTLModule) -> None:
+        """Replace the RTL module of a complex instance (moves A and B)."""
+        inst = self.instance(inst_id)
+        if not inst.is_module:
+            raise SynthesisError(f"instance {inst_id!r} is a simple instance")
+        self.instances[inst_id] = Instance(inst_id, module=module)
+        self.invalidate()
+
+    def merge_instances(self, keep: str, absorb: str) -> None:
+        """Move every execution of *absorb* onto *keep* and delete it."""
+        if keep == absorb:
+            raise SynthesisError("cannot merge an instance with itself")
+        self.executions[keep].extend(self.executions[absorb])
+        self.executions[absorb] = []
+        self.remove_instance(absorb)
+
+    def split_instance(self, inst_id: str, moved: list[tuple[str, ...]]) -> str:
+        """Move the listed executions onto a fresh twin instance (move D)."""
+        inst = self.instance(inst_id)
+        remaining = [e for e in self.executions[inst_id] if e not in moved]
+        if len(remaining) + len(moved) != len(self.executions[inst_id]):
+            raise SynthesisError("split: executions not currently on the instance")
+        if not moved or not remaining:
+            raise SynthesisError("split must leave work on both instances")
+        twin = self.add_instance(cell=inst.cell, module=inst.module)
+        self.executions[inst_id] = remaining
+        self.executions[twin.inst_id] = list(moved)
+        self.invalidate()
+        return twin.inst_id
+
+    def merge_registers(self, keep: str, absorb: str) -> None:
+        """Bind *absorb*'s signals into *keep* and delete *absorb*."""
+        if keep == absorb:
+            raise SynthesisError("cannot merge a register with itself")
+        self.reg_signals[keep].extend(self.reg_signals[absorb])
+        del self.reg_signals[absorb]
+        self.invalidate()
+
+    def split_register(self, reg_id: str, moved: list[Signal]) -> str:
+        """Move the listed signals to a fresh register (move D)."""
+        current = self.reg_signals[reg_id]
+        remaining = [s for s in current if s not in moved]
+        if not moved or not remaining:
+            raise SynthesisError("register split must leave signals on both sides")
+        twin = self.add_register(list(moved))
+        self.reg_signals[reg_id] = remaining
+        self.invalidate()
+        return twin
+
+    def invalidate(self) -> None:
+        """Drop cached schedule/tasks after any mutation."""
+        self._schedule = None
+        self._tasks = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def instance(self, inst_id: str) -> Instance:
+        try:
+            return self.instances[inst_id]
+        except KeyError:
+            raise SynthesisError(f"unknown instance {inst_id!r}") from None
+
+    def instance_of(self, node_id: str) -> str:
+        """The instance a node executes on."""
+        for inst_id, execs in self.executions.items():
+            for group in execs:
+                if node_id in group:
+                    return inst_id
+        raise SynthesisError(f"node {node_id!r} is not bound to any instance")
+
+    def register_of(self, signal: Signal) -> str:
+        for reg_id, signals in self.reg_signals.items():
+            if signal in signals:
+                return reg_id
+        raise SynthesisError(f"signal {signal!r} is not bound to any register")
+
+    def chain_internal_signals(self) -> set[Signal]:
+        """Signals that live entirely inside a chained execution.
+
+        Those values travel combinationally between chained adders and
+        are never registered.
+        """
+        internal: set[Signal] = set()
+        for execs in self.executions.values():
+            for group in execs:
+                for node in group[:-1]:
+                    internal.add((node, 0))
+        return internal
+
+    def registered_signals(self) -> list[Signal]:
+        """Signals that must be held in registers.
+
+        Everything produced by a primary input or an operation, except
+        constants and chain-internal values.
+        """
+        internal = self.chain_internal_signals()
+        signals: list[Signal] = []
+        for node in self.dfg.nodes():
+            if node.kind == NodeKind.CONST or node.kind == NodeKind.OUTPUT:
+                continue
+            for port in range(node.n_outputs):
+                signal = (node.node_id, port)
+                if signal not in internal:
+                    signals.append(signal)
+        return signals
+
+    # ------------------------------------------------------------------
+    # Tasks and schedule
+    # ------------------------------------------------------------------
+    def tasks(self) -> list[TaskSpec]:
+        """Derive scheduler tasks from the current binding (cached)."""
+        if self._tasks is not None:
+            return self._tasks
+        tasks: list[TaskSpec] = []
+        for inst_id, execs in self.executions.items():
+            inst = self.instances[inst_id]
+            for k, group in enumerate(execs):
+                task_id = f"{inst_id}#{k}"
+                if inst.is_module:
+                    assert inst.module is not None
+                    (node_id,) = group
+                    node = self.dfg.node(node_id)
+                    assert node.behavior is not None
+                    cprof = inst.module.profile(node.behavior).at(self.clk_ns, self.vdd)
+                    offsets = {
+                        (node_id, port): off
+                        for port, off in enumerate(cprof.input_offsets)
+                    }
+                    latencies = {
+                        (node_id, port): lat
+                        for port, lat in enumerate(cprof.output_latencies)
+                    }
+                    tasks.append(
+                        TaskSpec(
+                            task_id,
+                            (node_id,),
+                            inst_id,
+                            duration=cprof.busy_cycles,
+                            input_offsets=offsets,
+                            output_latency=latencies,
+                        )
+                    )
+                else:
+                    assert inst.cell is not None
+                    duration = inst.cell.delay_cycles(self.clk_ns, self.vdd)
+                    latencies = {(node, 0): duration for node in group}
+                    tasks.append(
+                        TaskSpec(
+                            task_id,
+                            tuple(group),
+                            inst_id,
+                            duration=duration,
+                            output_latency=latencies,
+                            initiation_interval=inst.cell.initiation_interval(
+                                self.clk_ns, self.vdd
+                            ),
+                        )
+                    )
+        self._tasks = tasks
+        self._task_index = {t.task_id: t for t in tasks}
+        return tasks
+
+    def task(self, task_id: str) -> TaskSpec:
+        """Look up a task by id (tasks are derived lazily)."""
+        self.tasks()
+        return self._task_index[task_id]
+
+    def schedule(self) -> ScheduleResult:
+        """Schedule the current binding (cached)."""
+        if self._schedule is None:
+            self._schedule = schedule_tasks(self.dfg, self.tasks())
+        return self._schedule
+
+    # ------------------------------------------------------------------
+    # Register lifetimes / feasibility
+    # ------------------------------------------------------------------
+    def signal_lifetime(self, signal: Signal) -> tuple[int, int]:
+        """Half-open [birth, death) interval of a registered signal."""
+        sched = self.schedule()
+        birth = sched.avail.get(signal, 0)
+        death = birth
+        src, src_port = signal
+        for edge in self.dfg.out_edges(src):
+            if edge.src_port != src_port:
+                continue
+            consumer = self.dfg.node(edge.dst)
+            if consumer.kind == NodeKind.OUTPUT:
+                death = max(death, sched.length)
+                continue
+            task_id = sched.task_of_node[edge.dst]
+            task = self.task(task_id)
+            read_at = sched.start[task_id] + task.offset_of(edge.dst, edge.dst_port)
+            death = max(death, read_at)
+        # A captured value occupies its register for at least one cycle
+        # (written at the clock edge entering `birth`, readable during it).
+        return birth, max(death, birth + 1)
+
+    def register_conflicts(self) -> list[str]:
+        """Registers whose bound signals have overlapping lifetimes."""
+        conflicts: list[str] = []
+        for reg_id, signals in self.reg_signals.items():
+            intervals = sorted(self.signal_lifetime(s) for s in signals)
+            for (b1, d1), (b2, _d2) in zip(intervals, intervals[1:]):
+                # A value may be replaced in the cycle it was last read.
+                if b2 < d1:
+                    conflicts.append(reg_id)
+                    break
+        return conflicts
+
+    def schedule_feasible(self) -> bool:
+        return self.schedule().length <= self.deadline_cycles
+
+    def is_feasible(self) -> bool:
+        """Throughput met and no register holds two live values at once."""
+        return self.schedule_feasible() and not self.register_conflicts()
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify structural consistency (used by tests and after moves)."""
+        bound: set[str] = set()
+        for inst_id, execs in self.executions.items():
+            inst = self.instance(inst_id)
+            for group in execs:
+                for node_id in group:
+                    if node_id in bound:
+                        raise SynthesisError(f"node {node_id!r} bound twice")
+                    bound.add(node_id)
+                    node = self.dfg.node(node_id)
+                    if inst.is_module:
+                        if node.kind != NodeKind.HIER:
+                            raise SynthesisError(
+                                f"simple node {node_id!r} on module instance"
+                            )
+                        assert inst.module is not None
+                        if not inst.module.supports(node.behavior or ""):
+                            raise SynthesisError(
+                                f"module {inst.module.name!r} cannot run behavior "
+                                f"{node.behavior!r}"
+                            )
+                    else:
+                        assert inst.cell is not None
+                        if node.kind != NodeKind.OP:
+                            raise SynthesisError(
+                                f"hier node {node_id!r} on simple instance"
+                            )
+                        assert node.op is not None
+                        if not inst.cell.supports(node.op):
+                            raise SynthesisError(
+                                f"cell {inst.cell.name!r} cannot run {node.op}"
+                            )
+                if len(group) > 1:
+                    if inst.is_module or inst.cell is None:
+                        raise SynthesisError("chained execution on module instance")
+                    if len(group) > inst.cell.chain_length:
+                        raise SynthesisError(
+                            f"chain of {len(group)} on cell with chain length "
+                            f"{inst.cell.chain_length}"
+                        )
+        for node in self.dfg.operation_nodes():
+            if node.node_id not in bound:
+                raise SynthesisError(f"operation {node.node_id!r} unbound")
+
+        registered = set(self.registered_signals())
+        seen: set[Signal] = set()
+        for reg_id, signals in self.reg_signals.items():
+            if not signals:
+                raise SynthesisError(f"register {reg_id!r} holds no signal")
+            for signal in signals:
+                if signal in seen:
+                    raise SynthesisError(f"signal {signal!r} bound to two registers")
+                seen.add(signal)
+        if seen != registered:
+            missing = registered - seen
+            extra = seen - registered
+            raise SynthesisError(
+                f"register binding mismatch: missing={sorted(missing)}, "
+                f"extra={sorted(extra)}"
+            )
+
+    # ------------------------------------------------------------------
+    def clone(self) -> "Solution":
+        """Cheap structural copy (instances/modules are shared, bindings copied)."""
+        other = Solution(
+            self.dfg, self.library, self.clk_ns, self.vdd, self.sampling_ns
+        )
+        other.instances = dict(self.instances)
+        other.executions = {k: list(v) for k, v in self.executions.items()}
+        other.reg_signals = {k: list(v) for k, v in self.reg_signals.items()}
+        other._counter = self._counter
+        return other
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n_fu = sum(1 for i in self.instances.values() if not i.is_module)
+        n_mod = len(self.instances) - n_fu
+        return (
+            f"Solution({self.dfg.name!r}, {n_fu} FU instances, {n_mod} module "
+            f"instances, {len(self.reg_signals)} registers, clk={self.clk_ns}ns, "
+            f"vdd={self.vdd}V)"
+        )

@@ -1,0 +1,81 @@
+"""Cross-benchmark functional equivalence checks.
+
+For every benchmark: the hierarchical simulation, the flattened
+simulation, and every behavior-variant choice must produce identical
+primary-output streams — the bedrock correctness property behind the
+whole flattened-vs-hierarchical comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench_suite import BENCHMARKS, get_benchmark
+from repro.dfg import flatten, hierarchize, validate_design
+from repro.power import simulate_dfg, simulate_subgraph, white_traces
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+class TestHierFlatEquivalence:
+    def test_outputs_identical(self, name):
+        design = get_benchmark(name)
+        top = design.top
+        traces = white_traces(top, n=24, seed=11)
+        streams = [traces[n] for n in top.inputs]
+        sim_h = simulate_subgraph(design, top, streams)
+        flat = flatten(design)
+        sim_f = simulate_dfg(flat, traces)
+        for out in top.outputs:
+            sig_h = top.in_edges(out)[0].signal
+            sig_f = flat.in_edges(out)[0].signal
+            np.testing.assert_array_equal(
+                sim_h.stream((), sig_h),
+                sim_f.stream((), sig_f),
+                err_msg=f"{name}: output {out} differs hier vs flat",
+            )
+
+
+class TestVariantEquivalence:
+    def test_dot3_variants_agree(self):
+        """test1's anisomorphic dot3 variants compute the same product."""
+        design = get_benchmark("test1")
+        top = design.top
+        traces = white_traces(top, n=24, seed=5)
+        streams = [traces[n] for n in top.inputs]
+
+        def choose_variant(variant_name):
+            def choose(behavior):
+                if behavior == "dot3":
+                    return design.dfg(variant_name)
+                return design.default_variant(behavior)
+
+            return choose
+
+        sim_chain = simulate_subgraph(
+            design, top, streams, choose=choose_variant("dot3_chain")
+        )
+        sim_tree = simulate_subgraph(
+            design, top, streams, choose=choose_variant("dot3_tree")
+        )
+        for out in top.outputs:
+            sig = top.in_edges(out)[0].signal
+            np.testing.assert_array_equal(
+                sim_chain.stream((), sig), sim_tree.stream((), sig)
+            )
+
+
+@pytest.mark.parametrize("name", ["dct", "avenhaus_cascade", "hier_paulin"])
+class TestHierarchizeEquivalence:
+    def test_rediscovered_hierarchy_equivalent(self, name):
+        flat = flatten(get_benchmark(name))
+        derived = hierarchize(flat, max_cluster_size=6)
+        validate_design(derived)
+        reflat = flatten(derived)
+        traces = white_traces(flat, n=16, seed=9)
+        sim_o = simulate_dfg(flat, traces)
+        sim_d = simulate_dfg(reflat, traces)
+        for out in flat.outputs:
+            sig_o = flat.in_edges(out)[0].signal
+            sig_d = reflat.in_edges(out)[0].signal
+            np.testing.assert_array_equal(
+                sim_o.stream((), sig_o), sim_d.stream((), sig_d)
+            )

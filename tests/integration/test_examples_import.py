@@ -1,0 +1,42 @@
+"""Smoke test: every example script imports cleanly.
+
+Execution of the heavy examples is covered manually / by CI scripts;
+importing them verifies their syntax and top-level dependencies without
+running minutes of synthesis.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main"), f"{path.stem} must define main()"
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLE_FILES}
+    assert {
+        "quickstart",
+        "power_vs_area_tradeoff",
+        "rtl_embedding_demo",
+        "hierarchical_vs_flat",
+        "voltage_scaling_sweep",
+        "custom_design",
+        "hierarchy_discovery",
+    } <= names

@@ -1,0 +1,64 @@
+"""Property tests for switching-activity extraction."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power import (
+    hamming_distance,
+    interleaved_activity,
+    operand_activity,
+    stream_activity,
+)
+
+samples = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+streams = st.lists(samples, min_size=2, max_size=40).map(
+    lambda v: np.array(v, dtype=np.int64)
+)
+
+
+@given(streams)
+def test_activity_bounded(stream):
+    assert 0.0 <= stream_activity(stream, 16) <= 1.0
+
+
+@given(streams)
+def test_hamming_symmetric(stream):
+    a, b = stream[:-1], stream[1:]
+    np.testing.assert_array_equal(
+        hamming_distance(a, b, 16), hamming_distance(b, a, 16)
+    )
+
+
+@given(streams)
+def test_hamming_identity(stream):
+    assert np.all(hamming_distance(stream, stream, 16) == 0)
+
+
+@given(st.lists(streams, min_size=1, max_size=4))
+@settings(max_examples=50)
+def test_interleaved_bounded(stream_list):
+    n = min(len(s) for s in stream_list)
+    trimmed = [s[:n] for s in stream_list]
+    assert 0.0 <= interleaved_activity(trimmed, 16) <= 1.0
+
+
+@given(streams)
+def test_reversal_preserves_activity(stream):
+    assert stream_activity(stream, 16) == stream_activity(stream[::-1], 16)
+
+
+@given(st.lists(streams, min_size=1, max_size=3), st.integers(1, 3))
+@settings(max_examples=50)
+def test_operand_activity_bounded(stream_list, arity):
+    n = min(len(s) for s in stream_list)
+    ops = [[s[:n]] * arity for s in stream_list]
+    assert 0.0 <= operand_activity(ops, 16) <= 1.0
+
+
+@given(streams, st.integers(2, 4))
+def test_self_interleave_never_raises_activity(stream, k):
+    """Interleaving copies of one stream adds zero toggles, so the
+    per-access activity can only drop."""
+    mixed = interleaved_activity([stream] * k, 16)
+    assert mixed <= stream_activity(stream, 16) + 1e-9

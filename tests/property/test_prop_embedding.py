@@ -1,0 +1,95 @@
+"""Property tests for RTL embedding over random netlists."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.library import default_library
+from repro.rtl import ComponentKind, DatapathNetlist, embed_netlists, naive_union
+
+CELLS = ["add1", "mult1", "sub1", "alu1"]
+
+
+@st.composite
+def random_netlist(draw, name: str):
+    n = DatapathNetlist(name)
+    n_in = draw(st.integers(1, 3))
+    for i in range(n_in):
+        n.add_component(f"in{i}", ComponentKind.PORT, "in")
+    n.add_component("out0", ComponentKind.PORT, "out")
+
+    n_fus = draw(st.integers(1, 5))
+    for i in range(n_fus):
+        n.add_component(
+            f"fu{i}", ComponentKind.FUNCTIONAL, draw(st.sampled_from(CELLS))
+        )
+    n_regs = draw(st.integers(1, 6))
+    for i in range(n_regs):
+        n.add_component(f"r{i}", ComponentKind.REGISTER, "reg1")
+
+    # Random wiring: registers feed FU ports; FUs feed registers/out.
+    for i in range(n_fus):
+        for port in range(2):
+            src = draw(st.integers(0, n_regs + n_in - 1))
+            if src < n_regs:
+                n.connect(f"r{src}", 0, f"fu{i}", port)
+            else:
+                n.connect(f"in{src - n_regs}", 0, f"fu{i}", port)
+        dst = draw(st.integers(0, n_regs - 1))
+        n.connect(f"fu{i}", 0, f"r{dst}", 0)
+    n.connect(f"r{draw(st.integers(0, n_regs - 1))}", 0, "out0", 0)
+    for i in range(n_in):
+        n.connect(f"in{i}", 0, f"r{draw(st.integers(0, n_regs - 1))}", 0)
+    return n
+
+
+@given(random_netlist("a"), random_netlist("b"))
+@settings(max_examples=30, deadline=None)
+def test_merged_area_between_max_and_union(a, b):
+    library = default_library()
+    merged = embed_netlists(a, b, "m")
+    union = naive_union(a, b, "u")
+    assert merged.netlist.area(library) <= union.netlist.area(library) + 1e-9
+
+
+@given(random_netlist("a"), random_netlist("b"))
+@settings(max_examples=30, deadline=None)
+def test_all_b_components_mapped_within_class(a, b):
+    merged = embed_netlists(a, b, "m")
+    for comp in b.components():
+        target_id = merged.map_b[comp.comp_id]
+        target = merged.netlist.component(target_id)
+        if comp.kind == ComponentKind.FUNCTIONAL:
+            assert target.cell == comp.cell
+        else:
+            assert target.kind == comp.kind
+
+
+@given(random_netlist("a"), random_netlist("b"))
+@settings(max_examples=30, deadline=None)
+def test_all_connections_preserved(a, b):
+    """Every original wire of A and B exists in the merged netlist."""
+    merged = embed_netlists(a, b, "m")
+    merged_conns = {
+        (c.src, c.src_port, c.dst, c.dst_port)
+        for c in merged.netlist.connections()
+    }
+    for conn in a.connections():
+        assert (conn.src, conn.src_port, conn.dst, conn.dst_port) in merged_conns
+    for conn in b.connections():
+        mapped = (
+            merged.map_b[conn.src],
+            conn.src_port,
+            merged.map_b[conn.dst],
+            conn.dst_port,
+        )
+        assert mapped in merged_conns
+
+
+@given(random_netlist("a"))
+@settings(max_examples=20, deadline=None)
+def test_self_embedding_adds_nothing(a):
+    """Embedding a netlist into (a copy of) itself must share everything."""
+    library = default_library()
+    clone = a.copy("a2")
+    merged = embed_netlists(a, clone, "m")
+    assert merged.netlist.area(library) <= a.area(library) + 1e-9

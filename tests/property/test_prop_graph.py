@@ -1,0 +1,94 @@
+"""Property tests over randomly generated DFGs.
+
+A composite strategy builds random layered DAGs of arithmetic
+operations; the properties cover topological ordering, flattening and
+simulation consistency.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfg import (
+    DFG,
+    Design,
+    GraphBuilder,
+    Operation,
+    check_dfg,
+    flatten,
+)
+from repro.power import simulate_dfg, simulate_subgraph, white_traces
+
+BINARY_OPS = [Operation.ADD, Operation.SUB, Operation.MULT, Operation.MIN,
+              Operation.MAX]
+
+
+@st.composite
+def random_dfg(draw) -> DFG:
+    """A random connected DAG: 2-4 inputs, 1-12 ops, every op reachable."""
+    n_inputs = draw(st.integers(2, 4))
+    n_ops = draw(st.integers(1, 12))
+    b = GraphBuilder(f"rand{draw(st.integers(0, 10**6))}")
+    wires = list(b.inputs(*[f"i{k}" for k in range(n_inputs)]))
+    for k in range(n_ops):
+        op = draw(st.sampled_from(BINARY_OPS))
+        lhs = wires[draw(st.integers(0, len(wires) - 1))]
+        rhs = wires[draw(st.integers(0, len(wires) - 1))]
+        wires.append(b.op(op, lhs, rhs, name=f"op{k}"))
+    # Last op is always an output; a couple more random taps may be too.
+    b.output("out0", wires[-1])
+    n_extra = draw(st.integers(0, 2))
+    for j in range(n_extra):
+        b.output(f"out{j + 1}", wires[draw(st.integers(n_inputs, len(wires) - 1))])
+    return b.build()
+
+
+@given(random_dfg())
+@settings(max_examples=40, deadline=None)
+def test_topo_order_respects_edges(dfg):
+    order = dfg.topo_order()
+    position = {nid: i for i, nid in enumerate(order)}
+    for edge in dfg.edges():
+        assert position[edge.src] < position[edge.dst]
+
+
+@given(random_dfg())
+@settings(max_examples=40, deadline=None)
+def test_live_graphs_check_clean_or_report_dead_ops(dfg):
+    problems = check_dfg(dfg)
+    for problem in problems:
+        # Random taps may leave dead ops, but no structural breakage.
+        assert "does not reach" in problem
+
+
+@given(random_dfg())
+@settings(max_examples=25, deadline=None)
+def test_hier_wrapping_roundtrips_simulation(dfg):
+    """Wrapping a random DFG as a behavior and flattening it back
+    preserves simulated output streams."""
+    design = Design("wrap")
+    sub = dfg.copy("sub_impl")
+    sub.behavior = "payload"
+    design.add_dfg(sub)
+
+    top = GraphBuilder("wrap_top")
+    ins = top.inputs(*[f"x{k}" for k in range(len(dfg.inputs))])
+    h = top.hier("payload", *ins, n_outputs=len(dfg.outputs), name="h")
+    for j in range(len(dfg.outputs)):
+        top.output(f"y{j}", h[j])
+    design.add_dfg(top.build(), top=True)
+
+    traces = white_traces(design.top, n=16, seed=1)
+    streams = [traces[n] for n in design.top.inputs]
+    sim_h = simulate_subgraph(design, design.top, streams)
+
+    flat = flatten(design)
+    flat_traces = {n: s for n, s in zip(flat.inputs, streams)}
+    sim_f = simulate_dfg(flat, flat_traces)
+
+    for out in design.top.outputs:
+        sig_h = design.top.in_edges(out)[0].signal
+        sig_f = flat.in_edges(out)[0].signal
+        np.testing.assert_array_equal(
+            sim_h.stream((), sig_h), sim_f.stream((), sig_f)
+        )

@@ -1,0 +1,61 @@
+"""Property tests for bit-true operation semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfg.ops import OP_INFO, Operation, apply_operation, wrap_to_width
+
+widths = st.integers(min_value=4, max_value=24)
+values = st.integers(min_value=-(2**40), max_value=2**40)
+streams = st.lists(values, min_size=1, max_size=20).map(
+    lambda v: np.array(v, dtype=np.int64)
+)
+
+
+@given(streams, widths)
+def test_wrap_stays_in_range(stream, width):
+    wrapped = wrap_to_width(stream, width)
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    assert np.all(wrapped >= lo)
+    assert np.all(wrapped <= hi)
+
+
+@given(streams, widths)
+def test_wrap_idempotent(stream, width):
+    once = wrap_to_width(stream, width)
+    np.testing.assert_array_equal(wrap_to_width(once, width), once)
+
+
+@given(streams, widths)
+def test_wrap_congruent_mod_2w(stream, width):
+    wrapped = wrap_to_width(stream, width)
+    np.testing.assert_array_equal(
+        (wrapped - stream) % (1 << width), np.zeros(len(stream), dtype=np.int64)
+    )
+
+
+@given(st.data(), widths)
+@settings(max_examples=50)
+def test_commutative_ops_commute(data, width):
+    n = data.draw(st.integers(min_value=1, max_value=10))
+    a = np.array(data.draw(st.lists(values, min_size=n, max_size=n)))
+    b = np.array(data.draw(st.lists(values, min_size=n, max_size=n)))
+    for op, info in OP_INFO.items():
+        if info.arity != 2 or not info.commutative:
+            continue
+        np.testing.assert_array_equal(
+            apply_operation(op, [a, b], width),
+            apply_operation(op, [b, a], width),
+        )
+
+
+@given(st.data(), widths)
+@settings(max_examples=50)
+def test_add_sub_inverse_mod_2w(data, width):
+    n = data.draw(st.integers(min_value=1, max_value=10))
+    a = np.array(data.draw(st.lists(values, min_size=n, max_size=n)))
+    b = np.array(data.draw(st.lists(values, min_size=n, max_size=n)))
+    total = apply_operation(Operation.ADD, [a, b], width)
+    back = apply_operation(Operation.SUB, [total, b], width)
+    np.testing.assert_array_equal(back, wrap_to_width(a, width))

@@ -1,0 +1,74 @@
+"""Property tests for hierarchy derivation on random DFGs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfg import (
+    GraphBuilder,
+    Operation,
+    convex_clusters,
+    flatten,
+    hierarchize,
+    validate_design,
+)
+from repro.power import simulate_dfg, white_traces
+
+BINARY_OPS = [Operation.ADD, Operation.SUB, Operation.MULT, Operation.MIN]
+
+
+@st.composite
+def random_flat_dfg(draw):
+    """Random DAGs with no dead code: every dangling value becomes an
+    output, so the graphs pass validation before and after hierarchize."""
+    n_inputs = draw(st.integers(2, 4))
+    n_ops = draw(st.integers(4, 16))
+    b = GraphBuilder("rand")
+    wires = list(b.inputs(*[f"i{k}" for k in range(n_inputs)]))
+    consumed: set[str] = set()
+    for k in range(n_ops):
+        op = draw(st.sampled_from(BINARY_OPS))
+        lhs = wires[draw(st.integers(0, len(wires) - 1))]
+        rhs = wires[draw(st.integers(0, len(wires) - 1))]
+        consumed.update({lhs.node_id, rhs.node_id})
+        wires.append(b.op(op, lhs, rhs, name=f"op{k}"))
+    sinks = [w for w in wires[n_inputs:] if w.node_id not in consumed]
+    for j, wire in enumerate(sinks):
+        b.output(f"out{j}", wire)
+    return b.build()
+
+
+@given(random_flat_dfg(), st.integers(2, 6))
+@settings(max_examples=25, deadline=None)
+def test_clusters_partition_operations(dfg, max_size):
+    clusters = convex_clusters(dfg, max_cluster_size=max_size)
+    covered = sorted(n for cluster in clusters for n in cluster)
+    assert covered == sorted(n.node_id for n in dfg.op_nodes())
+    assert all(len(c) <= max_size for c in clusters)
+
+
+@given(random_flat_dfg(), st.integers(2, 6))
+@settings(max_examples=20, deadline=None)
+def test_hierarchize_roundtrip_simulation(dfg, max_size):
+    """The derived hierarchy is always valid and bit-identical."""
+    design = hierarchize(dfg, max_cluster_size=max_size)
+    validate_design(design)
+    reflat = flatten(design)
+
+    traces = white_traces(dfg, n=12, seed=0)
+    sim_a = simulate_dfg(dfg, traces)
+    sim_b = simulate_dfg(reflat, traces)
+    for out in dfg.outputs:
+        sig_a = dfg.in_edges(out)[0].signal
+        sig_b = reflat.in_edges(out)[0].signal
+        np.testing.assert_array_equal(
+            sim_a.stream((), sig_a), sim_b.stream((), sig_b)
+        )
+
+
+@given(random_flat_dfg())
+@settings(max_examples=20, deadline=None)
+def test_hierarchize_interface_stable(dfg):
+    design = hierarchize(dfg)
+    assert design.top.inputs == dfg.inputs
+    assert design.top.outputs == dfg.outputs

@@ -1,0 +1,57 @@
+"""Property tests for profile quantization (never optimistic)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtl import Profile
+
+offsets = st.tuples(
+    st.floats(0.0, 100.0), st.floats(0.0, 100.0)
+)
+latencies = st.tuples(st.floats(0.5, 200.0))
+clocks = st.floats(1.0, 40.0)
+vdds = st.sampled_from([5.0, 3.3, 2.4])
+
+
+@given(offsets, latencies, clocks, vdds)
+@settings(max_examples=100)
+def test_quantization_never_optimistic(offs, lats, clk, vdd):
+    """Cycle offsets round down (assume inputs earlier), latencies round
+    up (assume outputs later): quantization can only add pessimism."""
+    from repro.library import delay_scale
+
+    profile = Profile(offs, lats)
+    cp = profile.at(clk, vdd)
+    scale = delay_scale(vdd)
+    for ns, cycles in zip(profile.input_offsets_ns, cp.input_offsets):
+        assert cycles * clk <= ns * scale + 1e-6
+    for ns, cycles in zip(profile.output_latencies_ns, cp.output_latencies):
+        assert cycles * clk >= ns * scale - 1e-6
+
+
+@given(offsets, latencies, clocks)
+@settings(max_examples=100)
+def test_lower_vdd_never_faster(offs, lats, clk):
+    profile = Profile(offs, lats)
+    ref = profile.at(clk, 5.0)
+    slow = profile.at(clk, 2.4)
+    for a, b in zip(slow.output_latencies, ref.output_latencies):
+        assert a >= b
+
+
+@given(
+    st.tuples(st.integers(0, 10), st.integers(0, 10)),
+    st.tuples(st.integers(1, 30)),
+    clocks,
+    vdds,
+)
+@settings(max_examples=100)
+def test_from_cycles_roundtrip(offs, lats, clk, vdd):
+    """Characterize at (clk, vdd) and re-quantize at the same point:
+    latencies are exact; offsets may only shrink (safe direction)."""
+    profile = Profile.from_cycles(offs, lats, clk, vdd)
+    cp = profile.at(clk, vdd)
+    assert cp.output_latencies == lats
+    for original, recovered in zip(offs, cp.input_offsets):
+        assert recovered <= original
+        assert recovered >= original - 1

@@ -1,0 +1,95 @@
+"""Property tests for the list scheduler over random bindings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfg import DFG, GraphBuilder, Operation
+from repro.scheduling import (
+    TaskSpec,
+    latest_start_times,
+    schedule_tasks,
+    task_slacks,
+)
+
+BINARY_OPS = [Operation.ADD, Operation.SUB, Operation.MULT]
+
+
+@st.composite
+def dfg_with_tasks(draw):
+    """A random DAG plus a random binding onto 1..4 instances."""
+    n_inputs = draw(st.integers(2, 3))
+    n_ops = draw(st.integers(2, 10))
+    b = GraphBuilder("g")
+    wires = list(b.inputs(*[f"i{k}" for k in range(n_inputs)]))
+    op_names = []
+    for k in range(n_ops):
+        op = draw(st.sampled_from(BINARY_OPS))
+        lhs = wires[draw(st.integers(0, len(wires) - 1))]
+        rhs = wires[draw(st.integers(0, len(wires) - 1))]
+        wires.append(b.op(op, lhs, rhs, name=f"op{k}"))
+        op_names.append(f"op{k}")
+    b.output("out", wires[-1])
+    dfg = b.build()
+
+    n_instances = draw(st.integers(1, 4))
+    tasks = []
+    for k, name in enumerate(op_names):
+        inst = f"I{draw(st.integers(0, n_instances - 1))}"
+        duration = draw(st.integers(1, 5))
+        tasks.append(TaskSpec(f"t{k}", (name,), inst, duration))
+    return dfg, tasks
+
+
+@given(dfg_with_tasks())
+@settings(max_examples=40, deadline=None)
+def test_no_instance_overlap(case):
+    dfg, tasks = case
+    result = schedule_tasks(dfg, tasks)
+    for order in result.instance_order.values():
+        for earlier, later in zip(order, order[1:]):
+            assert result.start[later] >= result.finish[earlier]
+
+
+@given(dfg_with_tasks())
+@settings(max_examples=40, deadline=None)
+def test_data_dependencies_respected(case):
+    dfg, tasks = case
+    by_node = {}
+    for task in tasks:
+        for node in task.nodes:
+            by_node[node] = task
+    result = schedule_tasks(dfg, tasks)
+    for task in tasks:
+        for edge in task.external_in_edges(dfg):
+            if edge.src not in by_node:
+                continue  # primary input
+            assert result.avail[edge.signal] <= result.start[task.task_id]
+
+
+@given(dfg_with_tasks())
+@settings(max_examples=40, deadline=None)
+def test_length_covers_outputs(case):
+    dfg, tasks = case
+    result = schedule_tasks(dfg, tasks)
+    for out in dfg.outputs:
+        (edge,) = dfg.in_edges(out)
+        assert result.avail[edge.signal] <= result.length
+
+
+@given(dfg_with_tasks(), st.integers(0, 20))
+@settings(max_examples=40, deadline=None)
+def test_slack_nonnegative_when_deadline_met(case, extra):
+    dfg, tasks = case
+    result = schedule_tasks(dfg, tasks)
+    slacks = task_slacks(dfg, tasks, result, deadline=result.length + extra)
+    assert all(s >= 0 for s in slacks.values())
+
+
+@given(dfg_with_tasks())
+@settings(max_examples=40, deadline=None)
+def test_latest_start_at_least_actual(case):
+    dfg, tasks = case
+    result = schedule_tasks(dfg, tasks)
+    latest = latest_start_times(dfg, tasks, result, deadline=result.length)
+    for task in tasks:
+        assert latest[task.task_id] >= result.start[task.task_id]

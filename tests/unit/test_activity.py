@@ -1,0 +1,94 @@
+"""Unit tests for switching-activity extraction."""
+
+import numpy as np
+import pytest
+
+from repro.power import (
+    hamming_distance,
+    interleaved_activity,
+    operand_activity,
+    stream_activity,
+)
+
+
+class TestHamming:
+    def test_matches_python_popcount(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-(1 << 15), 1 << 15, size=50)
+        b = rng.integers(-(1 << 15), 1 << 15, size=50)
+        got = hamming_distance(a, b, 16)
+        expected = [
+            bin(((int(x) ^ int(y)) & 0xFFFF)).count("1") for x, y in zip(a, b)
+        ]
+        np.testing.assert_array_equal(got, expected)
+
+    def test_identical_streams_zero(self):
+        a = np.array([1, 2, 3])
+        np.testing.assert_array_equal(hamming_distance(a, a, 16), [0, 0, 0])
+
+
+class TestStreamActivity:
+    def test_constant_stream_is_zero(self):
+        assert stream_activity(np.full(20, 42), 16) == 0.0
+
+    def test_full_toggle_pattern(self):
+        # 0x0000 <-> 0xFFFF toggles all 16 bits every sample.
+        stream = np.array([0, -1] * 10)
+        assert stream_activity(stream, 16) == pytest.approx(1.0)
+
+    def test_short_stream_zero(self):
+        assert stream_activity(np.array([5]), 16) == 0.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        s = rng.integers(-(1 << 15), 1 << 15, size=100)
+        assert 0.0 <= stream_activity(s, 16) <= 1.0
+
+
+class TestInterleavedActivity:
+    def test_single_stream_equals_dedicated(self):
+        rng = np.random.default_rng(2)
+        s = rng.integers(-(1 << 15), 1 << 15, size=64)
+        assert interleaved_activity([s], 16) == stream_activity(s, 16)
+
+    def test_identical_streams_free_sharing(self):
+        """Interleaving a stream with itself adds no toggles: the total
+        toggle count per sample is unchanged, so the per-activation
+        activity halves (two activations share one operand change)."""
+        rng = np.random.default_rng(3)
+        s = rng.integers(-(1 << 15), 1 << 15, size=64)
+        assert interleaved_activity([s, s], 16) == pytest.approx(
+            stream_activity(s, 16) / 2, abs=0.02
+        )
+
+    def test_uncorrelated_sharing_raises_activity(self):
+        """The paper's key power effect (Section 3, ref [9])."""
+        n = 256
+        t = np.arange(n)
+        slow1 = (t // 8) * 3          # slowly varying
+        slow2 = -(t // 8) * 5 + 1000  # slowly varying, unrelated values
+        dedicated = max(
+            stream_activity(slow1, 16), stream_activity(slow2, 16)
+        )
+        shared = interleaved_activity([slow1, slow2], 16)
+        assert shared > dedicated + 0.1
+
+    def test_empty(self):
+        assert interleaved_activity([], 16) == 0.0
+
+
+class TestOperandActivity:
+    def test_averages_over_ports(self):
+        const = np.full(32, 5)
+        toggling = np.array([0, -1] * 16)
+        act = operand_activity([[const, toggling]], 16)
+        assert act == pytest.approx(0.5, abs=0.05)
+
+    def test_no_ops(self):
+        assert operand_activity([], 16) == 0.0
+
+    def test_ragged_port_counts(self):
+        a = np.full(16, 1)
+        b = np.full(16, 2)
+        act = operand_activity([[a, b], [a]], 16)
+        assert 0.0 <= act <= 1.0

@@ -1,0 +1,75 @@
+"""Unit tests for DFG analyses (ASAP levels, critical path, histograms)."""
+
+from collections import Counter
+
+from repro.dfg import (
+    GraphBuilder,
+    Operation,
+    asap_levels,
+    critical_path_length,
+    longest_input_output_distance,
+    op_histogram,
+)
+
+
+def chain_graph(n: int):
+    b = GraphBuilder("chain")
+    x, y = b.inputs("x", "y")
+    cur = b.add(x, y, name="op0")
+    for i in range(1, n):
+        cur = b.add(cur, y, name=f"op{i}")
+    b.output("o", cur)
+    return b.build()
+
+
+class TestASAP:
+    def test_unit_delays_chain(self):
+        g = chain_graph(4)
+        levels = asap_levels(g, lambda n: 1.0)
+        assert levels["op0"] == 0.0
+        assert levels["op3"] == 3.0
+
+    def test_custom_delays(self):
+        b = GraphBuilder("g")
+        x, y = b.inputs("x", "y")
+        m = b.mult(x, y, name="m")
+        a = b.add(m, y, name="a")
+        b.output("o", a)
+        g = b.build()
+        levels = asap_levels(g, lambda n: 28.0 if n.op == Operation.MULT else 9.0)
+        assert levels["a"] == 28.0
+
+    def test_parallel_branches(self):
+        b = GraphBuilder("g")
+        x, y = b.inputs("x", "y")
+        m = b.mult(x, y, name="m")   # slow branch
+        a = b.add(x, y, name="a")    # fast branch
+        s = b.add(m, a, name="s")
+        b.output("o", s)
+        g = b.build()
+        levels = asap_levels(g, lambda n: 3.0 if n.op == Operation.MULT else 1.0)
+        assert levels["s"] == 3.0
+
+
+class TestCriticalPath:
+    def test_chain_length(self):
+        g = chain_graph(5)
+        assert critical_path_length(g, lambda n: 2.0) == 10.0
+
+    def test_structural_distance(self):
+        g = chain_graph(5)
+        assert longest_input_output_distance(g) == 5
+
+
+class TestHistogram:
+    def test_counts(self, butterfly_design):
+        hist = op_histogram(butterfly_design.top)
+        assert hist["hier:butterfly"] == 2
+        assert hist[Operation.MULT] == 2
+        assert hist[Operation.ADD] == 1
+
+    def test_flat_counts(self, flat_dfg):
+        hist = op_histogram(flat_dfg)
+        assert hist == Counter(
+            {Operation.MULT: 1, Operation.ADD: 1, Operation.SUB: 1}
+        )

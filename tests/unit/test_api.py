@@ -1,0 +1,109 @@
+"""Unit tests for the top-level synthesize()/voltage_scale() API."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synthesis import (
+    SynthesisConfig,
+    synthesize,
+    synthesize_flat,
+    voltage_scale,
+)
+
+
+QUICK = SynthesisConfig(max_moves=5, max_passes=2, n_clocks=1)
+
+
+@pytest.fixture
+def results(flat_design):
+    area = synthesize(flat_design, laxity_factor=2.0, objective="area", config=QUICK)
+    power = synthesize(flat_design, laxity_factor=2.0, objective="power", config=QUICK)
+    return area, power
+
+
+class TestSynthesize:
+    def test_constraint_argument_validation(self, flat_design):
+        with pytest.raises(SynthesisError, match="exactly one"):
+            synthesize(flat_design, objective="area", config=QUICK)
+        with pytest.raises(SynthesisError, match="exactly one"):
+            synthesize(
+                flat_design, sampling_ns=100.0, laxity_factor=2.0, config=QUICK
+            )
+
+    def test_results_feasible(self, results):
+        for result in results:
+            assert result.metrics.feasible
+            sched = result.solution.schedule()
+            assert sched.length * result.clk_ns <= result.sampling_ns + 1e-6
+
+    def test_objectives_ordered(self, results):
+        area_opt, power_opt = results
+        assert area_opt.area <= power_opt.area + 1e-9
+        assert power_opt.power <= area_opt.power + 1e-9
+
+    def test_area_mode_stays_at_5v(self, results):
+        area_opt, _ = results
+        assert area_opt.vdd == 5.0
+
+    def test_impossible_throughput_raises(self, flat_design):
+        with pytest.raises(SynthesisError, match="unachievable"):
+            synthesize(flat_design, sampling_ns=1.0, objective="area", config=QUICK)
+
+    def test_netlist_and_controller_available(self, results):
+        area_opt, _ = results
+        netlist = area_opt.netlist()
+        fsm = area_opt.controller()
+        assert netlist.components()
+        assert fsm.n_states >= 1
+
+    def test_history_populated(self, results):
+        area_opt, _ = results
+        assert area_opt.history
+        assert all(isinstance(k, tuple) for k in area_opt.history)
+
+
+class TestSynthesizeFlat:
+    def test_hier_design_flattened(self, butterfly_design):
+        result = synthesize_flat(
+            butterfly_design, laxity_factor=2.0, objective="area", config=QUICK
+        )
+        assert result.flattened
+        assert result.design.top.hier_nodes() == []
+        assert result.metrics.feasible
+
+    def test_hier_vs_flat_both_work(self, butterfly_design):
+        hier = synthesize(
+            butterfly_design, laxity_factor=2.0, objective="area", config=QUICK
+        )
+        flat = synthesize_flat(
+            butterfly_design, laxity_factor=2.0, objective="area", config=QUICK
+        )
+        assert hier.metrics.feasible and flat.metrics.feasible
+
+
+class TestVoltageScale:
+    def test_scaling_never_increases_power(self, results):
+        area_opt, _ = results
+        scaled = voltage_scale(area_opt)
+        assert scaled.power <= area_opt.power + 1e-9
+        assert scaled.vdd <= area_opt.vdd
+
+    def test_scaled_design_still_meets_throughput(self, results):
+        area_opt, _ = results
+        scaled = voltage_scale(area_opt, continuous=True)
+        length = scaled.solution.schedule().length
+        assert length * scaled.clk_ns <= scaled.sampling_ns + 1e-6
+
+    def test_continuous_at_least_as_good_as_discrete(self, results):
+        area_opt, _ = results
+        discrete = voltage_scale(area_opt)
+        continuous = voltage_scale(area_opt, continuous=True)
+        assert continuous.power <= discrete.power + 1e-9
+
+    def test_architecture_unchanged(self, results):
+        area_opt, _ = results
+        scaled = voltage_scale(area_opt, continuous=True)
+        assert scaled.area == pytest.approx(area_opt.area)
+        assert scaled.solution.schedule().length == (
+            area_opt.solution.schedule().length
+        )

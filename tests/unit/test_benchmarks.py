@@ -1,0 +1,91 @@
+"""Unit tests for the benchmark suite designs."""
+
+import pytest
+
+from repro.bench_suite import (
+    BENCHMARKS,
+    TABLE3_BENCHMARKS,
+    benchmark_names,
+    get_benchmark,
+)
+from repro.dfg import Operation, flatten, op_histogram, validate_design
+
+
+class TestRegistry:
+    def test_all_names_resolve(self):
+        for name in benchmark_names():
+            design = get_benchmark(name)
+            assert design.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("fft4096")
+
+    def test_table3_subset(self):
+        assert set(TABLE3_BENCHMARKS) <= set(BENCHMARKS)
+        assert len(TABLE3_BENCHMARKS) == 6
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_design_valid(self, name):
+        validate_design(get_benchmark(name))
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    def test_flattenable(self, name):
+        flat = flatten(get_benchmark(name))
+        assert flat.hier_nodes() == []
+        assert len(flat.op_nodes()) >= 10
+
+    @pytest.mark.parametrize(
+        "name", [n for n in sorted(BENCHMARKS) if n != "paulin"]
+    )
+    def test_hierarchical_designs_have_depth(self, name):
+        assert get_benchmark(name).depth() >= 2
+
+
+class TestKnownShapes:
+    def test_paulin_op_mix(self):
+        """The classic diffeq body: 6 mults, 2 adds, 2 subs, 1 compare."""
+        flat = flatten(get_benchmark("paulin"))
+        hist = op_histogram(flat)
+        assert hist[Operation.MULT] == 6
+        assert hist[Operation.ADD] == 2
+        assert hist[Operation.SUB] == 2
+        assert hist[Operation.LT] == 1
+
+    def test_hier_paulin_unrolls(self):
+        design = get_benchmark("hier_paulin")
+        iters = [n for n in design.top.hier_nodes()]
+        assert len(iters) == 3
+        assert all(n.behavior == "diffeq_iter" for n in iters)
+
+    def test_dct_block_mix(self):
+        design = get_benchmark("dct")
+        behaviors = [n.behavior for n in design.top.hier_nodes()]
+        assert behaviors.count("butterfly") == 9
+        assert behaviors.count("rotator") == 3
+
+    def test_iir_is_biquad_cascade(self):
+        design = get_benchmark("iir")
+        assert all(
+            n.behavior == "biquad" for n in design.top.hier_nodes()
+        )
+
+    def test_lat_stage_count(self):
+        design = get_benchmark("lat")
+        stages = [n for n in design.top.hier_nodes()]
+        assert len(stages) == 4
+
+    def test_avenhaus_section_is_rich(self):
+        """9 multiplications per full state-space section."""
+        from repro.bench_suite import avenhaus_section_dfg
+
+        hist = op_histogram(avenhaus_section_dfg())
+        assert hist[Operation.MULT] == 9
+        assert hist[Operation.ADD] == 6
+
+    def test_test1_has_anisomorphic_variants(self):
+        design = get_benchmark("test1")
+        variants = design.variants("dot3")
+        assert len(variants) == 2

@@ -1,0 +1,73 @@
+"""Unit tests for the fluent graph builder."""
+
+import pytest
+
+from repro.dfg import GraphBuilder, NodeKind, Operation
+from repro.errors import DFGError
+
+
+class TestBuilder:
+    def test_simple_expression(self):
+        b = GraphBuilder("g")
+        x, y = b.inputs("x", "y")
+        b.output("o", b.add(b.mult(x, y), x))
+        dfg = b.build()
+        assert len(dfg.op_nodes()) == 2
+        assert dfg.inputs == ["x", "y"]
+        assert dfg.outputs == ["o"]
+
+    def test_int_operand_becomes_const(self):
+        b = GraphBuilder("g")
+        x = b.input("x")
+        b.output("o", b.add(x, 5))
+        dfg = b.build()
+        consts = [n for n in dfg.nodes() if n.kind == NodeKind.CONST]
+        assert len(consts) == 1
+        assert consts[0].value == 5
+
+    def test_named_nodes(self):
+        b = GraphBuilder("g")
+        x, y = b.inputs("x", "y")
+        b.output("o", b.mult(x, y, name="prod"))
+        dfg = b.build()
+        assert dfg.node("prod").op == Operation.MULT
+
+    def test_hier_multi_output_ports(self):
+        b = GraphBuilder("g")
+        x, y = b.inputs("x", "y")
+        h = b.hier("bf", x, y, n_outputs=2, name="h")
+        b.output("o0", h[0])
+        b.output("o1", h[1])
+        dfg = b.build()
+        assert dfg.node("h").n_outputs == 2
+        edges = {e.src_port for e in dfg.out_edges("h")}
+        assert edges == {0, 1}
+
+    def test_build_twice_rejected(self):
+        b = GraphBuilder("g")
+        x = b.input("x")
+        b.output("o", b.neg(x))
+        b.build()
+        with pytest.raises(DFGError, match="called twice"):
+            b.build()
+
+    def test_bad_operand_type(self):
+        b = GraphBuilder("g")
+        x = b.input("x")
+        with pytest.raises(DFGError, match="cannot use"):
+            b.add(x, "not a wire")  # type: ignore[arg-type]
+
+    def test_unary_ops(self):
+        b = GraphBuilder("g")
+        x = b.input("x")
+        b.output("o", b.neg(x))
+        dfg = b.build()
+        assert dfg.node(dfg.in_edges("o")[0].src).op == Operation.NEG
+
+    def test_comparison_helpers(self):
+        b = GraphBuilder("g")
+        x, y = b.inputs("x", "y")
+        b.output("lt", b.lt(x, y))
+        b.output("gt", b.gt(x, y))
+        dfg = b.build()
+        assert len(dfg.op_nodes()) == 2

@@ -1,0 +1,98 @@
+"""Unit tests for library cells and their characterization quantities."""
+
+import pytest
+
+from repro.dfg import Operation
+from repro.library import (
+    CellKind,
+    IDLE_FRACTION,
+    MUX_CELL,
+    REGISTER_CELL,
+    STANDARD_CELLS,
+    standard_cells,
+    table1_rows,
+)
+
+
+def cell(name: str):
+    return next(c for c in STANDARD_CELLS if c.name == name)
+
+
+class TestCellProperties:
+    def test_supports(self):
+        assert cell("add1").supports(Operation.ADD)
+        assert not cell("add1").supports(Operation.MULT)
+        assert cell("alu1").supports(Operation.ADD)
+        assert cell("alu1").supports(Operation.SUB)
+
+    def test_chain_lengths(self):
+        assert cell("chained_add2").chain_length == 2
+        assert cell("chained_add3").chain_length == 3
+        assert cell("add1").chain_length == 1
+
+    def test_register_and_mux_kinds(self):
+        assert REGISTER_CELL.kind == CellKind.REGISTER
+        assert MUX_CELL.kind == CellKind.MUX
+
+    def test_standard_cells_fresh_list(self):
+        cells = standard_cells()
+        cells.clear()
+        assert standard_cells()  # not aliased
+
+
+class TestDelayCycles:
+    def test_table1_operating_point(self):
+        """At 10 ns / 5 V the default cells reproduce Table 1 exactly."""
+        rows = dict((name, (area, cycles)) for name, area, cycles in table1_rows())
+        assert rows["add1"] == (30.0, 1)
+        assert rows["add2"] == (20.0, 2)
+        assert rows["chained_add2"] == (60.0, 1)
+        assert rows["chained_add3"] == (90.0, 1)
+        assert rows["mult1"] == (150.0, 3)
+        assert rows["mult2"] == (100.0, 5)
+        assert rows["reg1"] == (10.0, 0)
+
+    def test_lower_vdd_slower(self):
+        c = cell("mult1")
+        assert c.delay_cycles(10.0, 3.3) > c.delay_cycles(10.0, 5.0)
+
+    def test_shorter_clock_more_cycles(self):
+        c = cell("mult1")
+        assert c.delay_cycles(5.0, 5.0) > c.delay_cycles(10.0, 5.0)
+
+    def test_minimum_one_cycle(self):
+        c = cell("cmp1")
+        assert c.delay_cycles(100.0, 5.0) == 1
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            cell("add1").delay_cycles(0.0, 5.0)
+
+
+class TestEnergy:
+    def test_quadratic_in_vdd(self):
+        c = cell("mult1")
+        e5 = c.energy_per_op(5.0, 0.5)
+        e25 = c.energy_per_op(2.5, 0.5)
+        assert e5 / e25 == pytest.approx(4.0)
+
+    def test_monotone_in_activity(self):
+        c = cell("add1")
+        assert c.energy_per_op(5.0, 0.8) > c.energy_per_op(5.0, 0.2)
+
+    def test_idle_floor(self):
+        c = cell("add1")
+        assert c.energy_per_op(5.0, 0.0) == pytest.approx(
+            c.cap * IDLE_FRACTION * 25.0
+        )
+
+    def test_activity_clamped(self):
+        c = cell("add1")
+        assert c.energy_per_op(5.0, 2.0) == c.energy_per_op(5.0, 1.0)
+        assert c.energy_per_op(5.0, -1.0) == c.energy_per_op(5.0, 0.0)
+
+    def test_mult2_lower_power_than_mult1(self):
+        """The paper's library fact: mult2 consumes much less than mult1."""
+        assert cell("mult2").cap < cell("mult1").cap
+        assert cell("mult2").delay_ns > cell("mult1").delay_ns
+        assert cell("mult2").area < cell("mult1").area

@@ -1,0 +1,48 @@
+"""Unit tests for the synthesized characterization database."""
+
+import pytest
+
+from repro.library import SUPPLY_VOLTAGES, build_characterization
+from repro.library.characterize import _VARIATION
+
+
+class TestCharacterization:
+    def test_deterministic(self):
+        t1 = build_characterization()
+        t2 = build_characterization()
+        for r1, r2 in zip(sorted(t1.rows(), key=lambda r: (r.cell, r.vdd)),
+                          sorted(t2.rows(), key=lambda r: (r.cell, r.vdd))):
+            assert r1 == r2
+
+    def test_all_cells_all_voltages(self):
+        from repro.library import STANDARD_CELLS
+
+        table = build_characterization()
+        # Every functional cell + register + mux, at each supply.
+        assert len(table) == (len(STANDARD_CELLS) + 2) * len(SUPPLY_VOLTAGES)
+
+    def test_variation_bounded(self):
+        table = build_characterization()
+        row = table.row("add1", 5.0)
+        assert abs(row.area - 30.0) <= 30.0 * _VARIATION
+
+    def test_delay_scales_with_voltage(self):
+        table = build_characterization()
+        d5 = table.row("mult1", 5.0).delay_ns
+        d24 = table.row("mult1", 2.4).delay_ns
+        assert d24 > 2.0 * d5
+
+    def test_energy_scales_quadratically(self):
+        table = build_characterization()
+        e5 = table.row("mult1", 5.0).energy_full_activity
+        e24 = table.row("mult1", 2.4).energy_full_activity
+        assert e24 / e5 == pytest.approx((2.4 / 5.0) ** 2)
+
+    def test_unknown_lookup(self):
+        table = build_characterization()
+        with pytest.raises(KeyError, match="no characterization"):
+            table.row("ghost", 5.0)
+
+    def test_cells_listing(self):
+        table = build_characterization()
+        assert "mult2" in table.cells()

@@ -1,0 +1,127 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dfg import write_design
+
+DESIGN_TEXT = """
+design tiny
+top main
+
+dfg main
+  input x
+  input y
+  op m mult x y
+  op a add m y
+  output out a
+end
+"""
+
+
+@pytest.fixture
+def design_file(tmp_path):
+    path = tmp_path / "tiny.dfg"
+    path.write_text(DESIGN_TEXT)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synth_needs_constraint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synth", "--benchmark", "paulin"])
+
+
+class TestInfo:
+    def test_prints_statistics(self, design_file, capsys):
+        assert main(["info", str(design_file)]) == 0
+        out = capsys.readouterr().out
+        assert "design 'tiny'" in out
+        assert "2 operations" in out
+
+    def test_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dfg"
+        bad.write_text("dfg x\n weird\nend\n")
+        assert main(["info", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope.dfg")]) == 1
+
+
+class TestSynth:
+    def test_synthesize_file(self, design_file, capsys, tmp_path):
+        netlist = tmp_path / "out.v"
+        fsm = tmp_path / "out.fsm"
+        code = main(
+            [
+                "synth",
+                str(design_file),
+                "--laxity", "2.0",
+                "--objective", "area",
+                "--netlist", str(netlist),
+                "--fsm", str(fsm),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "area:" in out and "power:" in out
+        assert netlist.read_text().startswith("module")
+        assert "states" in fsm.read_text()
+
+    def test_synthesize_benchmark_flat(self, capsys):
+        code = main(
+            [
+                "synth",
+                "--benchmark", "paulin",
+                "--laxity", "2.2",
+                "--objective", "area",
+                "--flatten",
+                "--samples", "24",
+            ]
+        )
+        assert code == 0
+        assert "(flattened)" in capsys.readouterr().out
+
+    def test_voltage_scale_flag(self, design_file, capsys):
+        code = main(
+            [
+                "synth",
+                str(design_file),
+                "--laxity", "3.0",
+                "--objective", "area",
+                "--voltage-scale",
+                "--samples", "24",
+            ]
+        )
+        assert code == 0
+
+    def test_impossible_constraint_reports_error(self, design_file, capsys):
+        code = main(
+            [
+                "synth",
+                str(design_file),
+                "--sampling-ns", "1",
+                "--objective", "area",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_family_choices(self, design_file):
+        for family in ("white", "image"):
+            code = main(
+                [
+                    "synth",
+                    str(design_file),
+                    "--laxity", "2.0",
+                    "--objective", "area",
+                    "--traces", family,
+                    "--samples", "16",
+                ]
+            )
+            assert code == 0

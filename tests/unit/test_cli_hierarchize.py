@@ -1,0 +1,56 @@
+"""Unit tests for the CLI 'hierarchize' and 'tables' subcommands."""
+
+import pytest
+
+from repro.bench_suite import get_benchmark
+from repro.cli import main
+from repro.dfg import parse_design, validate_design, write_design
+
+
+@pytest.fixture
+def lat_file(tmp_path):
+    path = tmp_path / "lat.dfg"
+    path.write_text(write_design(get_benchmark("lat")))
+    return path
+
+
+class TestHierarchizeCommand:
+    def test_prints_summary(self, lat_file, capsys):
+        assert main(["hierarchize", str(lat_file), "--max-cluster", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "derived" in out
+        assert "hierarchical nodes" in out
+
+    def test_output_file_parses(self, lat_file, tmp_path, capsys):
+        out_path = tmp_path / "derived.dfg"
+        code = main(
+            [
+                "hierarchize",
+                str(lat_file),
+                "--max-cluster", "4",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        derived = parse_design(out_path.read_text())
+        validate_design(derived)
+        assert derived.top.hier_nodes()
+
+    def test_min_cluster_controls_granularity(self, lat_file, capsys):
+        code = main(
+            ["hierarchize", str(lat_file), "--min-cluster", "100"]
+        )
+        assert code == 0
+        assert "derived 0 hierarchical nodes" in capsys.readouterr().out
+
+
+class TestTablesCommand:
+    def test_small_sweep(self, capsys):
+        code = main(
+            ["tables", "--circuits", "paulin", "--laxity-factors", "2.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Table 4" in out
+        assert "paulin" in out

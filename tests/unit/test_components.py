@@ -1,0 +1,94 @@
+"""Unit tests for the datapath netlist model."""
+
+import pytest
+
+from repro.errors import DFGError
+from repro.rtl import (
+    ComponentKind,
+    DatapathNetlist,
+    WIRE_AREA_PER_CONNECTION,
+)
+
+
+def small_netlist() -> DatapathNetlist:
+    n = DatapathNetlist("dp")
+    n.add_component("in0", ComponentKind.PORT, "in")
+    n.add_component("in1", ComponentKind.PORT, "in")
+    n.add_component("out0", ComponentKind.PORT, "out")
+    n.add_component("r1", ComponentKind.REGISTER, "reg1")
+    n.add_component("r2", ComponentKind.REGISTER, "reg1")
+    n.add_component("fu", ComponentKind.FUNCTIONAL, "add1")
+    n.connect("in0", 0, "r1", 0)
+    n.connect("in1", 0, "r2", 0)
+    n.connect("r1", 0, "fu", 0)
+    n.connect("r2", 0, "fu", 1)
+    n.connect("fu", 0, "out0", 0)
+    return n
+
+
+class TestConstruction:
+    def test_duplicate_component(self):
+        n = small_netlist()
+        with pytest.raises(DFGError, match="duplicate component"):
+            n.add_component("fu", ComponentKind.FUNCTIONAL, "add1")
+
+    def test_connect_unknown(self):
+        n = small_netlist()
+        with pytest.raises(DFGError, match="unknown component"):
+            n.connect("ghost", 0, "fu", 0)
+
+    def test_duplicate_connection_deduplicated(self):
+        n = small_netlist()
+        before = n.n_connections()
+        n.connect("r1", 0, "fu", 0)
+        assert n.n_connections() == before
+
+
+class TestMuxInference:
+    def test_single_source_no_mux(self):
+        n = small_netlist()
+        assert n.mux_legs() == 0
+
+    def test_multi_source_port(self):
+        n = small_netlist()
+        n.connect("r2", 0, "fu", 0)  # fu.in0 now has two sources
+        assert n.mux_legs() == 1
+        assert n.sources_of("fu", 0) == [("r1", 0), ("r2", 0)]
+
+    def test_three_sources_two_legs(self):
+        n = small_netlist()
+        n.add_component("r3", ComponentKind.REGISTER, "reg1")
+        n.connect("r2", 0, "fu", 0)
+        n.connect("r3", 0, "fu", 0)
+        assert n.mux_legs() == 2
+
+
+class TestArea:
+    def test_area_composition(self, library):
+        n = small_netlist()
+        cells = 2 * library.register_cell.area + library.cell("add1").area
+        wires = n.n_connections() * WIRE_AREA_PER_CONNECTION
+        assert n.area(library) == pytest.approx(cells + wires)
+
+    def test_mux_included(self, library):
+        n = small_netlist()
+        base = n.area(library)
+        n.connect("r2", 0, "fu", 0)
+        assert n.area(library) == pytest.approx(
+            base + library.mux_cell.area + WIRE_AREA_PER_CONNECTION
+        )
+
+    def test_module_component_excluded(self, library):
+        n = small_netlist()
+        base = n.area(library)
+        n.add_component("mod", ComponentKind.MODULE, "fancy")
+        assert n.area(library) == base  # priced by the owner, not here
+
+
+class TestCopy:
+    def test_independent(self):
+        n = small_netlist()
+        clone = n.copy("c")
+        clone.add_component("extra", ComponentKind.REGISTER, "reg1")
+        assert not n.has_component("extra")
+        assert clone.n_connections() == n.n_connections()

@@ -1,0 +1,46 @@
+"""Unit tests for the synthesis environment and behavior aliasing."""
+
+from repro.rtl import DatapathNetlist, Profile, RTLModule
+from repro.synthesis import SynthesisConfig, SynthesisEnv, ensure_behavior
+
+
+def make_module(behavior: str) -> RTLModule:
+    return RTLModule(
+        name=f"mod_{behavior}",
+        behavior=behavior,
+        profile=Profile((0.0, 0.0), (20.0,)),
+        cap_internal=2.0,
+        netlist=DatapathNetlist("n"),
+    )
+
+
+class TestEnsureBehavior:
+    def test_direct_support(self, library):
+        module = make_module("fir")
+        assert ensure_behavior(module, "fir", library)
+
+    def test_no_equivalence_fails(self, library):
+        module = make_module("fir")
+        assert not ensure_behavior(module, "iir", library)
+
+    def test_equivalence_aliases_impl(self, library):
+        module = make_module("dot_chain")
+        library.equivalences.declare_equivalent("dot_chain", "dot_tree")
+        assert ensure_behavior(module, "dot_tree", library)
+        assert module.supports("dot_tree")
+        assert module.cap_internal("dot_tree") == module.cap_internal("dot_chain")
+
+
+class TestEnv:
+    def test_fresh_module_names_unique(self, flat_design, library):
+        env = SynthesisEnv(flat_design, library, "power")
+        names = {env.fresh_module_name("beh") for _ in range(5)}
+        assert len(names) == 5
+
+    def test_config_defaults(self, flat_design, library):
+        env = SynthesisEnv(flat_design, library, "power")
+        assert env.config.max_moves == SynthesisConfig().max_moves
+
+    def test_context_objective(self, flat_design, library, flat_sim):
+        env = SynthesisEnv(flat_design, library, "area")
+        assert env.context(flat_sim).objective == "area"

@@ -1,0 +1,81 @@
+"""Unit tests for FSM controllers and netlist/FSM emission."""
+
+from repro.rtl import (
+    ComponentKind,
+    ControllerState,
+    DatapathNetlist,
+    FSMController,
+    MuxSelect,
+    RegisterLoad,
+    UnitStart,
+    emit_controller,
+    emit_netlist,
+)
+
+
+def tiny_netlist() -> DatapathNetlist:
+    n = DatapathNetlist("tiny")
+    n.add_component("in0", ComponentKind.PORT, "in")
+    n.add_component("out0", ComponentKind.PORT, "out")
+    n.add_component("r0", ComponentKind.REGISTER, "reg1")
+    n.add_component("r1", ComponentKind.REGISTER, "reg1")
+    n.add_component("fu0", ComponentKind.FUNCTIONAL, "add1")
+    n.connect("in0", 0, "r0", 0)
+    n.connect("r0", 0, "fu0", 0)
+    n.connect("r1", 0, "fu0", 1)
+    n.connect("fu0", 0, "r1", 0)
+    n.connect("r1", 0, "out0", 0)
+    return n
+
+
+def tiny_controller() -> FSMController:
+    states = [
+        ControllerState(0, loads=[RegisterLoad("r0", "in0", 0)]),
+        ControllerState(
+            1,
+            starts=[UnitStart("fu0", "add")],
+            selects=[MuxSelect("fu0", 0, "r0", 0)],
+        ),
+        ControllerState(2, loads=[RegisterLoad("r1", "fu0", 0)]),
+        ControllerState(3),
+    ]
+    return FSMController("tiny_fsm", states)
+
+
+class TestController:
+    def test_state_count(self):
+        c = tiny_controller()
+        assert c.n_states == 4
+        assert c.state(1).starts[0].unit == "fu0"
+
+    def test_idle_detection(self):
+        c = tiny_controller()
+        assert c.state(3).is_idle()
+        assert not c.state(0).is_idle()
+
+    def test_control_signal_census(self):
+        c = tiny_controller()
+        assert c.n_control_signals() == 4
+
+
+class TestEmission:
+    def test_netlist_text(self):
+        text = emit_netlist(tiny_netlist())
+        assert text.startswith("module tiny")
+        assert "input  [15:0] in0;" in text
+        assert "add1 fu0" in text
+        assert "reg1 r0" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_mux_emitted_for_multi_source(self):
+        n = tiny_netlist()
+        n.connect("r1", 0, "fu0", 0)  # second source on fu0.in0
+        text = emit_netlist(n)
+        assert "mux2 mux_fu0_0" in text
+
+    def test_controller_text(self):
+        text = emit_controller(tiny_controller())
+        assert "states 4" in text
+        assert "start fu0 op=add" in text
+        assert "load r1 <- fu0.out0" in text
+        assert "nop" in text

@@ -1,0 +1,55 @@
+"""Unit tests for the FSM-controller cost estimate."""
+
+import pytest
+
+from repro.power import ControllerUsage
+
+
+class TestControllerUsage:
+    def test_area_grows_with_signals_and_states(self):
+        small = ControllerUsage(n_states=10, n_control_signals=8)
+        wide = ControllerUsage(n_states=10, n_control_signals=30)
+        long = ControllerUsage(n_states=60, n_control_signals=8)
+        assert wide.area() > small.area()
+        assert long.area() > small.area()
+
+    def test_energy_scales_with_vdd_squared(self):
+        usage = ControllerUsage(n_states=20, n_control_signals=15)
+        assert usage.energy_per_sample(5.0) / usage.energy_per_sample(2.5) == (
+            pytest.approx(4.0)
+        )
+
+    def test_energy_grows_with_states(self):
+        short = ControllerUsage(n_states=10, n_control_signals=10)
+        long = ControllerUsage(n_states=80, n_control_signals=10)
+        assert long.energy_per_sample(5.0) > short.energy_per_sample(5.0)
+
+    def test_report_includes_controller(self):
+        from repro.power import InterconnectUsage, estimate_power
+
+        wire = InterconnectUsage(n_connections=0)
+        with_ctrl = estimate_power(
+            [], [], [], wire, 5.0, 100.0,
+            controller=ControllerUsage(20, 10),
+        )
+        without = estimate_power([], [], [], wire, 5.0, 100.0)
+        assert with_ctrl.controller_energy > 0
+        assert without.controller_energy == 0
+        assert with_ctrl.total_energy > without.total_energy
+
+
+class TestClockPressure:
+    def test_short_clock_pays_in_controller(self, flat_design, library, flat_sim):
+        """Halving the clock doubles the state count and the controller's
+        share — the physical reason clock pruning penalizes tiny periods."""
+        from repro.synthesis import EvaluationContext
+        from repro.synthesis.context import SynthesisEnv
+        from repro.synthesis.initial import initial_solution
+
+        env = SynthesisEnv(flat_design, library, "power")
+        ctx = EvaluationContext(flat_sim, (), "power")
+        slow = initial_solution(env, flat_design.top, flat_sim, 10.0, 5.0, 500.0)
+        fast = initial_solution(env, flat_design.top, flat_sim, 2.5, 5.0, 500.0)
+        e_slow = ctx.evaluate(slow).report.controller_energy
+        e_fast = ctx.evaluate(fast).report.controller_energy
+        assert e_fast > e_slow

@@ -1,0 +1,103 @@
+"""Unit tests for the cost function (area + trace-driven power)."""
+
+import math
+
+import pytest
+
+from repro.synthesis import EvaluationContext, area_of
+from repro.synthesis.context import SynthesisEnv
+from repro.synthesis.initial import initial_solution
+
+
+@pytest.fixture
+def env(flat_design, library):
+    return SynthesisEnv(flat_design, library, "power")
+
+
+@pytest.fixture
+def solution(env, flat_design, flat_sim):
+    return initial_solution(env, flat_design.top, flat_sim, 10.0, 5.0, 500.0)
+
+
+@pytest.fixture
+def ctx(flat_sim):
+    return EvaluationContext(flat_sim, (), "power")
+
+
+class TestEvaluate:
+    def test_metrics_positive(self, ctx, solution):
+        m = ctx.evaluate(solution)
+        assert m.area > 0
+        assert m.power > 0
+        assert m.energy_per_sample > 0
+        assert m.feasible
+
+    def test_area_covers_datapath_plus_controller(self, ctx, solution):
+        m = ctx.evaluate(solution)
+        datapath = area_of(solution)
+        assert m.area > datapath  # controller estimate included
+        assert m.area < datapath * 1.5
+
+    def test_power_decreases_with_vdd(self, ctx, solution):
+        high = ctx.evaluate(solution).power
+        low_sol = solution.clone()
+        low_sol.vdd = 3.3
+        low_sol.clk_ns = solution.clk_ns * 2.0  # keep cycle counts safe
+        low = ctx.evaluate(low_sol).power
+        assert low < high
+
+    def test_smaller_cell_smaller_area(self, ctx, solution, library):
+        base = ctx.evaluate(solution).area
+        clone = solution.clone()
+        clone.set_cell(clone.instance_of("m1"), library.cell("mult2"))
+        assert ctx.evaluate(clone).area < base
+
+    def test_infeasible_when_deadline_tight(self, ctx, solution):
+        tight = solution.clone()
+        tight.sampling_ns = 10.0  # one cycle: impossible
+        m = ctx.evaluate(tight)
+        assert not m.feasible
+        assert m.violation > 0
+
+
+class TestObjectiveValue:
+    def test_infeasible_cost_is_huge_but_ordered(self, ctx, solution):
+        bad1 = solution.clone()
+        bad1.sampling_ns = solution.schedule().length * 10.0 - 10.0  # barely miss
+        bad2 = solution.clone()
+        bad2.sampling_ns = 20.0  # miss badly
+        c1 = ctx.cost(bad1)
+        c2 = ctx.cost(bad2)
+        good = ctx.cost(solution)
+        assert good < 1e6 < c1 < c2
+        assert not math.isinf(c2)
+
+    def test_objective_selects_metric(self, flat_sim, solution):
+        area_ctx = EvaluationContext(flat_sim, (), "area")
+        power_ctx = EvaluationContext(flat_sim, (), "power")
+        m = area_ctx.evaluate(solution)
+        # Costs equal the primary metric up to the tiny tiebreak term.
+        assert area_ctx.cost(solution) == pytest.approx(m.area, abs=1e-3 * m.area + 1e-3)
+        assert power_ctx.cost(solution) == pytest.approx(m.power, abs=1e-5 * m.area)
+
+
+class TestSharingEffects:
+    def test_register_sharing_shrinks_area(self, ctx, solution):
+        base = ctx.evaluate(solution).area
+        clone = solution.clone()
+        r_m = clone.register_of(("m1", 0))
+        r_a = clone.register_of(("a1", 0))
+        clone.merge_registers(r_m, r_a)
+        m = ctx.evaluate(clone)
+        assert m.feasible
+        assert m.area < base
+
+    def test_fu_sharing_shrinks_area(self, ctx, solution, library):
+        base = ctx.evaluate(solution).area
+        clone = solution.clone()
+        a = clone.instance_of("a1")
+        clone.set_cell(a, library.cell("alu1"))
+        clone.merge_instances(a, clone.instance_of("s1"))
+        m = ctx.evaluate(clone)
+        assert m.feasible
+        assert m.area < base

@@ -1,0 +1,105 @@
+"""Unit tests for netlist and controller construction from solutions."""
+
+import pytest
+
+from repro.rtl import ComponentKind
+from repro.synthesis import build_controller, build_netlist
+from repro.synthesis.context import SynthesisEnv
+from repro.synthesis.datapath_build import operand_port_map
+from repro.synthesis.initial import initial_solution
+
+
+@pytest.fixture
+def solution(flat_design, library, flat_sim):
+    env = SynthesisEnv(flat_design, library, "area")
+    return initial_solution(env, flat_design.top, flat_sim, 10.0, 5.0, 500.0)
+
+
+class TestOperandPortMap:
+    def test_singleton(self, solution):
+        (group,) = [g for g in solution.executions[solution.instance_of("m1")]]
+        ports = operand_port_map(solution, group)
+        assert ports == {("m1", 0): 0, ("m1", 1): 1}
+
+    def test_chain_numbers_external_operands(self, solution):
+        # Synthetic chain (a1 then s1 is not a dependency chain here, so
+        # fabricate one: a1 feeds nothing in this graph; just check the
+        # numbering convention on a two-node group with one internal edge.
+        ports = operand_port_map(solution, ("m1", "a1"))
+        # m1's two inputs are external; a1's input from m1 is internal,
+        # its other input (z) is external.
+        assert ports[("m1", 0)] == 0
+        assert ports[("m1", 1)] == 1
+        assert ports[("a1", 1)] == 2
+        assert ("a1", 0) not in ports
+
+
+class TestNetlist:
+    def test_components_present(self, solution):
+        netlist = build_netlist(solution)
+        port_ids = {c.comp_id for c in netlist.components(ComponentKind.PORT)}
+        assert {"in0", "in1", "in2", "out0", "out1"} <= port_ids
+        fu_cells = sorted(
+            c.cell for c in netlist.components(ComponentKind.FUNCTIONAL)
+        )
+        assert fu_cells == ["add1", "mult1", "sub1"]
+
+    def test_registers_match_solution(self, solution):
+        netlist = build_netlist(solution)
+        regs = {c.comp_id for c in netlist.components(ComponentKind.REGISTER)}
+        assert regs == set(solution.reg_signals)
+
+    def test_operand_wiring(self, solution):
+        netlist = build_netlist(solution)
+        m_inst = solution.instance_of("m1")
+        srcs0 = netlist.sources_of(m_inst, 0)
+        assert srcs0 == [(solution.register_of(("x", 0)), 0)]
+
+    def test_output_ports_driven(self, solution):
+        netlist = build_netlist(solution)
+        assert netlist.sources_of("out0", 0)
+        assert netlist.sources_of("out1", 0)
+
+    def test_fully_parallel_has_no_muxes(self, solution):
+        assert build_netlist(solution).mux_legs() == 0
+
+    def test_sharing_introduces_mux(self, solution, library):
+        a = solution.instance_of("a1")
+        s = solution.instance_of("s1")
+        solution.set_cell(a, library.cell("alu1"))
+        solution.merge_instances(a, s)
+        assert build_netlist(solution).mux_legs() >= 1
+
+
+class TestController:
+    def test_states_cover_schedule(self, solution):
+        fsm = build_controller(solution)
+        assert fsm.n_states == solution.schedule().length
+
+    def test_inputs_sampled_in_first_state(self, solution):
+        fsm = build_controller(solution)
+        loaded = {l.register for l in fsm.state(0).loads}
+        for name in solution.dfg.inputs:
+            assert solution.register_of((name, 0)) in loaded
+
+    def test_every_execution_started(self, solution):
+        fsm = build_controller(solution)
+        started = {s.unit for state in fsm.states for s in state.starts}
+        busy = {i for i, e in solution.executions.items() if e}
+        assert started == busy
+
+    def test_results_loaded(self, solution):
+        fsm = build_controller(solution)
+        loads = [l for state in fsm.states for l in state.loads]
+        m_inst = solution.instance_of("m1")
+        assert any(l.src == m_inst for l in loads)
+
+    def test_mux_selects_only_when_shared(self, solution, library):
+        fsm = build_controller(solution)
+        assert all(not state.selects for state in fsm.states)
+        a = solution.instance_of("a1")
+        s = solution.instance_of("s1")
+        solution.set_cell(a, library.cell("alu1"))
+        solution.merge_instances(a, s)
+        fsm2 = build_controller(solution)
+        assert any(state.selects for state in fsm2.states)

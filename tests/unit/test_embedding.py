@@ -1,0 +1,126 @@
+"""Unit tests for RTL embedding (the paper's move-C technique)."""
+
+import pytest
+
+from repro.rtl import ComponentKind, DatapathNetlist, embed_netlists, naive_union
+
+
+def build_netlist(name: str, fus: list[tuple[str, str]], n_regs: int,
+                  wires: list[tuple[str, int, str, int]]) -> DatapathNetlist:
+    n = DatapathNetlist(name)
+    n.add_component("in0", ComponentKind.PORT, "in")
+    n.add_component("in1", ComponentKind.PORT, "in")
+    n.add_component("out0", ComponentKind.PORT, "out")
+    for comp_id, cell in fus:
+        n.add_component(comp_id, ComponentKind.FUNCTIONAL, cell)
+    for i in range(n_regs):
+        n.add_component(f"r{i}", ComponentKind.REGISTER, "reg1")
+    for src, sp, dst, dp in wires:
+        n.connect(src, sp, dst, dp)
+    return n
+
+
+def pair():
+    a = build_netlist(
+        "a",
+        [("A1", "add1"), ("M1", "mult1")],
+        3,
+        [
+            ("in0", 0, "r0", 0), ("in1", 0, "r1", 0),
+            ("r0", 0, "A1", 0), ("r1", 0, "A1", 1),
+            ("A1", 0, "r2", 0),
+            ("r2", 0, "M1", 0), ("r0", 0, "M1", 1),
+            ("M1", 0, "out0", 0),
+        ],
+    )
+    b = build_netlist(
+        "b",
+        [("X1", "add1"), ("Y1", "mult1"), ("S1", "sub1")],
+        4,
+        [
+            ("in0", 0, "r0", 0), ("in1", 0, "r1", 0),
+            ("r0", 0, "X1", 0), ("r1", 0, "X1", 1),
+            ("X1", 0, "r2", 0),
+            ("r2", 0, "S1", 0), ("r1", 0, "S1", 1),
+            ("S1", 0, "r3", 0),
+            ("r3", 0, "Y1", 0), ("r2", 0, "Y1", 1),
+            ("Y1", 0, "out0", 0),
+        ],
+    )
+    return a, b
+
+
+class TestEmbedding:
+    def test_merged_smaller_than_union(self, library):
+        a, b = pair()
+        merged = embed_netlists(a, b, "m")
+        union = naive_union(a, b, "u")
+        assert merged.netlist.area(library) < union.netlist.area(library)
+
+    def test_merged_not_smaller_than_either(self, library):
+        """The merged module must contain both behaviors' hardware."""
+        a, b = pair()
+        merged = embed_netlists(a, b, "m")
+        assert merged.netlist.area(library) >= max(a.area(library), b.area(library)) - 1e-9
+
+    def test_every_b_component_mapped(self):
+        a, b = pair()
+        merged = embed_netlists(a, b, "m")
+        for comp in b.components():
+            assert comp.comp_id in merged.map_b
+            assert merged.netlist.has_component(merged.map_b[comp.comp_id])
+
+    def test_classes_respected(self):
+        """add1 never overlays mult1 or a register."""
+        a, b = pair()
+        merged = embed_netlists(a, b, "m")
+        for b_comp in b.components():
+            target = merged.netlist.component(merged.map_b[b_comp.comp_id])
+            if b_comp.kind == ComponentKind.FUNCTIONAL:
+                assert target.cell == b_comp.cell
+            if b_comp.kind == ComponentKind.REGISTER:
+                assert target.kind == ComponentKind.REGISTER
+
+    def test_ports_overlay_by_id(self):
+        a, b = pair()
+        merged = embed_netlists(a, b, "m")
+        assert merged.map_b["in0"] == "in0"
+        assert merged.map_b["out0"] == "out0"
+
+    def test_shared_component_count(self):
+        a, b = pair()
+        merged = embed_netlists(a, b, "m")
+        # add1, mult1, 3 registers and 3 ports can be shared; sub1 and the
+        # 4th register cannot.
+        assert merged.shared_components >= 4
+
+    def test_extra_components_added_fresh(self):
+        a, b = pair()
+        merged = embed_netlists(a, b, "m")
+        cells = [c.cell for c in merged.netlist.components(ComponentKind.FUNCTIONAL)]
+        assert sorted(cells) == ["add1", "mult1", "sub1"]
+
+    def test_shared_connections_counted(self):
+        a, b = pair()
+        merged = embed_netlists(a, b, "m")
+        assert merged.shared_connections > 0
+
+    def test_map_a_identity(self):
+        a, b = pair()
+        merged = embed_netlists(a, b, "m")
+        assert all(k == v for k, v in merged.map_a.items())
+
+
+class TestNaiveUnion:
+    def test_no_functional_sharing(self):
+        a, b = pair()
+        union = naive_union(a, b, "u")
+        assert union.shared_components == 0
+        fus = union.netlist.components(ComponentKind.FUNCTIONAL)
+        assert len(fus) == 5  # 2 from a + 3 from b
+
+    def test_ports_still_shared(self):
+        a, b = pair()
+        union = naive_union(a, b, "u")
+        ports = union.netlist.components(ComponentKind.PORT)
+        assert len(ports) == 3

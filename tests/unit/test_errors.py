@@ -1,0 +1,40 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DFGError,
+    EmbeddingError,
+    LibraryError,
+    ParseError,
+    ReproError,
+    ScheduleError,
+    SynthesisError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [DFGError, EmbeddingError, LibraryError, ParseError, ScheduleError,
+         SynthesisError],
+    )
+    def test_all_derive_from_base(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_single_catch_point(self):
+        """Any library error is catchable via the base class."""
+        with pytest.raises(ReproError):
+            raise ScheduleError("boom")
+
+
+class TestParseError:
+    def test_line_number_prefixed(self):
+        err = ParseError("bad token", line_no=17)
+        assert "line 17" in str(err)
+        assert err.line_no == 17
+
+    def test_no_line_number(self):
+        err = ParseError("bad design")
+        assert err.line_no is None
+        assert str(err) == "bad design"

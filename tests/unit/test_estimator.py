@@ -1,0 +1,119 @@
+"""Unit tests for the switched-capacitance power estimator."""
+
+import numpy as np
+import pytest
+
+from repro.library import MUX_CELL, REGISTER_CELL, STANDARD_CELLS
+from repro.power import (
+    FUUsage,
+    InterconnectUsage,
+    MuxUsage,
+    RegisterUsage,
+    estimate_power,
+)
+from repro.power.estimator import REGISTER_CLOCK_FRACTION
+
+
+def mult_cell():
+    return next(c for c in STANDARD_CELLS if c.name == "mult1")
+
+
+def streams(n=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(-1000, 1000, size=n)
+
+
+class TestFUUsage:
+    def test_energy_scales_with_executions(self):
+        one = FUUsage(mult_cell(), [[streams(), streams(seed=1)]], width=16)
+        two = FUUsage(
+            mult_cell(),
+            [[streams(), streams(seed=1)], [streams(seed=2), streams(seed=3)]],
+            width=16,
+        )
+        assert two.energy_per_sample(5.0) > one.energy_per_sample(5.0)
+
+    def test_no_executions_zero(self):
+        usage = FUUsage(mult_cell(), [], width=16)
+        assert usage.energy_per_sample(5.0) == 0.0
+
+    def test_vdd_quadratic(self):
+        usage = FUUsage(mult_cell(), [[streams(), streams(seed=1)]], width=16)
+        assert usage.energy_per_sample(5.0) / usage.energy_per_sample(2.5) == (
+            pytest.approx(4.0)
+        )
+
+
+class TestRegisterUsage:
+    def test_clock_energy_grows_with_cycles(self):
+        short = RegisterUsage(REGISTER_CELL, [streams()], 16, clocked_cycles=10)
+        long = RegisterUsage(REGISTER_CELL, [streams()], 16, clocked_cycles=50)
+        assert long.energy_per_sample(5.0) > short.energy_per_sample(5.0)
+
+    def test_clock_fraction_value(self):
+        silent = RegisterUsage(
+            REGISTER_CELL, [np.full(8, 3)], 16, clocked_cycles=20
+        )
+        expected_clock = (
+            REGISTER_CLOCK_FRACTION * 20 * REGISTER_CELL.energy_per_op(5.0, 0.0)
+        )
+        expected_write = REGISTER_CELL.energy_per_op(5.0, 0.0)
+        assert silent.energy_per_sample(5.0) == pytest.approx(
+            expected_clock + expected_write
+        )
+
+    def test_empty_register_zero(self):
+        usage = RegisterUsage(REGISTER_CELL, [], 16, clocked_cycles=100)
+        assert usage.energy_per_sample(5.0) == 0.0
+
+
+class TestMuxUsage:
+    def test_log2_scaling(self):
+        two = MuxUsage(MUX_CELL, n_inputs=2, accesses_per_sample=4)
+        eight = MuxUsage(MUX_CELL, n_inputs=8, accesses_per_sample=4)
+        assert two.switched_legs_per_access == 1
+        assert eight.switched_legs_per_access == 3
+        assert eight.energy_per_sample(5.0) == pytest.approx(
+            3 * two.energy_per_sample(5.0)
+        )
+
+    def test_single_source_free(self):
+        usage = MuxUsage(MUX_CELL, n_inputs=1, accesses_per_sample=4)
+        assert usage.energy_per_sample(5.0) == 0.0
+        assert usage.n_legs == 0
+
+
+class TestInterconnect:
+    def test_length_factor(self):
+        short = InterconnectUsage(n_connections=10, length_factor=1.0)
+        long = InterconnectUsage(n_connections=10, length_factor=2.0)
+        assert long.energy_per_sample(5.0) == pytest.approx(
+            2 * short.energy_per_sample(5.0)
+        )
+
+
+class TestReport:
+    def test_totals_add_up(self):
+        fu = FUUsage(mult_cell(), [[streams(), streams(seed=1)]], width=16)
+        reg = RegisterUsage(REGISTER_CELL, [streams()], 16, clocked_cycles=8)
+        mux = MuxUsage(MUX_CELL, n_inputs=3, accesses_per_sample=3)
+        wire = InterconnectUsage(n_connections=12)
+        report = estimate_power([fu], [reg], [mux], wire, 5.0, 100.0)
+        assert report.total_energy == pytest.approx(
+            report.fu_energy
+            + report.register_energy
+            + report.mux_energy
+            + report.wire_energy
+        )
+        assert report.power == pytest.approx(report.total_energy / 100.0)
+
+    def test_extra_energy_included(self):
+        wire = InterconnectUsage(n_connections=0)
+        report = estimate_power([], [], [], wire, 5.0, 100.0, extra_energy=50.0)
+        assert report.total_energy == 50.0
+
+    def test_bad_period_rejected(self):
+        wire = InterconnectUsage(n_connections=0)
+        report = estimate_power([], [], [], wire, 5.0, 0.0)
+        with pytest.raises(ValueError):
+            _ = report.power

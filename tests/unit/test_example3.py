@@ -1,0 +1,39 @@
+"""Unit tests for the Example 3 / Table 2 reconstruction."""
+
+from repro.bench_suite import example3_dfg1, example3_dfg2, table2_library
+from repro.dfg import Operation, op_histogram, validate_dfg
+
+
+class TestExample3DFGs:
+    def test_dfg1_resource_complement(self):
+        """RTL1 of Table 2: two adders, two multipliers, one subtractor."""
+        hist = op_histogram(example3_dfg1())
+        assert hist[Operation.ADD] == 2
+        assert hist[Operation.MULT] == 2
+        assert hist[Operation.SUB] == 1
+
+    def test_dfg2_resource_complement(self):
+        """RTL2 of Table 2: two adders, two multipliers, no subtractor."""
+        hist = op_histogram(example3_dfg2())
+        assert hist[Operation.ADD] == 2
+        assert hist[Operation.MULT] == 2
+        assert hist[Operation.SUB] == 0
+
+    def test_both_valid(self):
+        validate_dfg(example3_dfg1())
+        validate_dfg(example3_dfg2())
+
+
+class TestTable2Library:
+    def test_areas_match_table2(self):
+        lib = table2_library()
+        assert lib.cell("Add1").area == 20.0
+        assert lib.cell("Sub1").area == 20.0
+        assert lib.cell("Mult1").area == 50.0
+        assert lib.register_cell.area == 5.0
+
+    def test_operations_covered(self):
+        lib = table2_library()
+        assert lib.cells_for(Operation.ADD)
+        assert lib.cells_for(Operation.SUB)
+        assert lib.cells_for(Operation.MULT)

@@ -1,0 +1,63 @@
+"""Unit tests for the JSON sweep export."""
+
+import json
+
+import pytest
+
+from repro.reporting import (
+    SweepResults,
+    result_to_dict,
+    run_cell,
+    save_sweep_json,
+    sweep_to_dict,
+)
+from repro.synthesis import SynthesisConfig
+
+
+FAST = SynthesisConfig(max_moves=3, max_passes=1, n_clocks=1)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = SweepResults()
+    cell = run_cell("paulin", 2.0, config=FAST, n_samples=24)
+    results.cells[("paulin", 2.0)] = cell
+    return results
+
+
+class TestExport:
+    def test_result_dict_fields(self, sweep):
+        cell = sweep.cell("paulin", 2.0)
+        data = result_to_dict(cell.flat_area)
+        assert data["objective"] == "area"
+        assert data["flattened"] is True
+        assert data["area"] > 0
+        assert data["schedule_cycles"] > 0
+
+    def test_sweep_dict_structure(self, sweep):
+        data = sweep_to_dict(sweep)
+        assert data["circuits"] == ["paulin"]
+        assert data["laxity_factors"] == [2.0]
+        cell = data["cells"]["paulin@2"]
+        assert cell["normalized"]["area"]["flat_area_scaled"] == pytest.approx(1.0)
+        assert set(cell["runs"]) == {
+            "flat_area",
+            "flat_area_scaled",
+            "flat_power",
+            "hier_area",
+            "hier_area_scaled",
+            "hier_power",
+        }
+
+    def test_json_roundtrip(self, sweep, tmp_path):
+        path = save_sweep_json(sweep, tmp_path / "sweep.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == sweep_to_dict(sweep)
+
+    def test_normalization_consistency(self, sweep):
+        """Exported normalized powers = absolute powers / base power."""
+        data = sweep_to_dict(sweep)["cells"]["paulin@2"]
+        base = data["runs"]["flat_area"]["power"]
+        assert data["normalized"]["power"]["flat_power"] == pytest.approx(
+            data["runs"]["flat_power"]["power"] / base
+        )

@@ -1,0 +1,116 @@
+"""Unit tests for hierarchy flattening."""
+
+import numpy as np
+import pytest
+
+from repro.dfg import Design, GraphBuilder, flatten, validate_dfg
+from repro.power import simulate_dfg, simulate_subgraph, speech_traces
+
+
+class TestFlattenStructure:
+    def test_flat_has_no_hier_nodes(self, butterfly_design):
+        flat = flatten(butterfly_design)
+        assert flat.hier_nodes() == []
+
+    def test_operation_count_matches(self, butterfly_design):
+        flat = flatten(butterfly_design)
+        assert len(flat.op_nodes()) == butterfly_design.total_operations()
+
+    def test_flat_is_valid(self, butterfly_design):
+        validate_dfg(flatten(butterfly_design))
+
+    def test_inlined_ids_are_prefixed(self, butterfly_design):
+        flat = flatten(butterfly_design)
+        assert "h1/badd" in flat
+        assert "h2/bsub" in flat
+
+    def test_interface_preserved(self, butterfly_design):
+        flat = flatten(butterfly_design)
+        assert flat.inputs == butterfly_design.top.inputs
+        assert flat.outputs == butterfly_design.top.outputs
+
+
+class TestFlattenSemantics:
+    def test_simulation_equivalence(self, butterfly_design):
+        top = butterfly_design.top
+        traces = speech_traces(top, n=40, seed=3)
+        streams = [traces[n] for n in top.inputs]
+        sim_h = simulate_subgraph(butterfly_design, top, streams)
+        flat = flatten(butterfly_design)
+        sim_f = simulate_dfg(flat, traces)
+        for out in top.outputs:
+            sig_h = top.in_edges(out)[0].signal
+            sig_f = flat.in_edges(out)[0].signal
+            np.testing.assert_array_equal(
+                sim_h.stream((), sig_h), sim_f.stream((), sig_f)
+            )
+
+    def test_nested_hierarchy(self):
+        design = Design("nested")
+        leaf = GraphBuilder("leaf", behavior="leaf")
+        x, y = leaf.inputs("x", "y")
+        leaf.output("o", leaf.add(x, y, name="ladd"))
+        design.add_dfg(leaf.build())
+
+        mid = GraphBuilder("mid", behavior="mid")
+        x, y = mid.inputs("x", "y")
+        h = mid.hier("leaf", x, y, name="hl")
+        mid.output("o", mid.mult(h, y, name="mm"))
+        design.add_dfg(mid.build())
+
+        top = GraphBuilder("top")
+        x, y = top.inputs("x", "y")
+        top.output("o", top.hier("mid", x, y, name="hm"))
+        design.add_dfg(top.build(), top=True)
+
+        flat = flatten(design)
+        assert flat.hier_nodes() == []
+        assert "hm/hl/ladd" in flat
+        assert "hm/mm" in flat
+
+    def test_passthrough_subgraph(self):
+        """A sub-DFG where one input feeds an output directly."""
+        design = Design("pt")
+        sub = GraphBuilder("sub", behavior="sub")
+        x, y = sub.inputs("x", "y")
+        sub.output("o0", sub.add(x, y, name="sadd"))
+        sub.output("o1", y)  # pass-through
+        design.add_dfg(sub.build())
+
+        top = GraphBuilder("top")
+        x, y = top.inputs("x", "y")
+        h = top.hier("sub", x, y, n_outputs=2, name="h")
+        top.output("o", top.mult(h[0], h[1], name="m"))
+        design.add_dfg(top.build(), top=True)
+
+        flat = flatten(design)
+        validate_dfg(flat)
+        # The pass-through output resolves straight to the top-level input.
+        m_edges = flat.in_edges("m")
+        assert ("y", 0) in [e.signal for e in m_edges]
+
+    def test_variant_choice(self):
+        """Flatten with a non-default variant expands that variant."""
+        design = Design("var")
+        v1 = GraphBuilder("v_chain", behavior="sum3")
+        a, b, c = v1.inputs("a", "b", "c")
+        v1.output("o", v1.add(v1.add(a, b), c))
+        design.add_dfg(v1.build())
+        v2 = GraphBuilder("v_other", behavior="sum3")
+        a, b, c = v2.inputs("a", "b", "c")
+        v2.output("o", v2.add(a, v2.add(b, c)))
+        design.add_dfg(v2.build())
+
+        top = GraphBuilder("top")
+        x, y, z = top.inputs("x", "y", "z")
+        top.output("o", top.hier("sum3", x, y, z, name="h"))
+        design.add_dfg(top.build(), top=True)
+
+        flat_default = flatten(design)
+        flat_v2 = flatten(design, choose=lambda b: design.dfg("v_other"))
+        assert len(flat_default.op_nodes()) == len(flat_v2.op_nodes()) == 2
+        # Structures differ: default chains (a+b)+c, variant chains a+(b+c).
+        def edge_set(dfg):
+            return {(e.src, e.src_port, e.dst, e.dst_port) for e in dfg.edges()}
+
+        assert edge_set(flat_default) != edge_set(flat_v2)

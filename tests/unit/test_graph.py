@@ -1,0 +1,142 @@
+"""Unit tests for the DFG graph model."""
+
+import pytest
+
+from repro.dfg import DFG, NodeKind, Operation
+from repro.errors import DFGError
+
+
+def small_graph() -> DFG:
+    g = DFG("g")
+    g.add_input("x")
+    g.add_input("y")
+    g.add_const("k", 7)
+    g.add_op("m", Operation.MULT)
+    g.add_op("a", Operation.ADD)
+    g.add_output("o")
+    g.connect("x", 0, "m", 0)
+    g.connect("y", 0, "m", 1)
+    g.connect("m", 0, "a", 0)
+    g.connect("k", 0, "a", 1)
+    g.connect("a", 0, "o", 0)
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        g = DFG("g")
+        g.add_input("x")
+        with pytest.raises(DFGError, match="duplicate node id"):
+            g.add_input("x")
+
+    def test_input_order_is_port_order(self):
+        g = DFG("g")
+        g.add_input("b")
+        g.add_input("a")
+        assert g.inputs == ["b", "a"]
+
+    def test_connect_unknown_node(self):
+        g = DFG("g")
+        g.add_input("x")
+        with pytest.raises(DFGError, match="unknown node"):
+            g.connect("x", 0, "nope", 0)
+
+    def test_connect_bad_ports(self):
+        g = DFG("g")
+        g.add_input("x")
+        g.add_op("a", Operation.ADD)
+        with pytest.raises(DFGError, match="output ports"):
+            g.connect("x", 1, "a", 0)
+        with pytest.raises(DFGError, match="input ports"):
+            g.connect("x", 0, "a", 5)
+
+    def test_double_drive_rejected(self):
+        g = DFG("g")
+        g.add_input("x")
+        g.add_input("y")
+        g.add_op("a", Operation.ADD)
+        g.connect("x", 0, "a", 0)
+        with pytest.raises(DFGError, match="already driven"):
+            g.connect("y", 0, "a", 0)
+
+    def test_hier_node_needs_ports(self):
+        g = DFG("g")
+        with pytest.raises(DFGError, match="at least one"):
+            g.add_hier("h", "beh", n_inputs=0, n_outputs=1)
+
+
+class TestQueries:
+    def test_in_edges_sorted_by_port(self):
+        g = DFG("g")
+        g.add_input("x")
+        g.add_input("y")
+        g.add_op("s", Operation.SUB)
+        g.connect("y", 0, "s", 1)
+        g.connect("x", 0, "s", 0)
+        assert [e.dst_port for e in g.in_edges("s")] == [0, 1]
+
+    def test_predecessors_successors(self):
+        g = small_graph()
+        assert g.predecessors("a") == ["m", "k"]
+        assert g.successors("m") == ["a"]
+
+    def test_signals_and_consumers(self):
+        g = small_graph()
+        signals = g.signals()
+        assert ("m", 0) in signals
+        consumers = g.consumers(("m", 0))
+        assert len(consumers) == 1
+        assert consumers[0].dst == "a"
+
+    def test_node_kinds(self):
+        g = small_graph()
+        assert g.node("x").kind == NodeKind.INPUT
+        assert g.node("k").kind == NodeKind.CONST
+        assert len(g.op_nodes()) == 2
+        assert g.hier_nodes() == []
+
+    def test_unknown_node_raises(self):
+        g = small_graph()
+        with pytest.raises(DFGError, match="unknown node"):
+            g.node("zzz")
+
+    def test_len_and_contains(self):
+        g = small_graph()
+        assert len(g) == 6
+        assert "m" in g
+        assert "zzz" not in g
+
+
+class TestTopoOrder:
+    def test_respects_dependencies(self):
+        g = small_graph()
+        order = g.topo_order()
+        assert order.index("m") < order.index("a")
+        assert order.index("a") < order.index("o")
+        assert len(order) == len(g)
+
+    def test_cycle_detected(self):
+        g = DFG("g")
+        g.add_op("a", Operation.ADD)
+        g.add_op("b", Operation.ADD)
+        g.connect("a", 0, "b", 0)
+        g.connect("b", 0, "a", 0)
+        with pytest.raises(DFGError, match="cycle"):
+            g.topo_order()
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        g = small_graph()
+        clone = g.copy("clone")
+        clone.add_input("extra")
+        assert "extra" not in g
+        assert clone.name == "clone"
+        assert clone.behavior == g.behavior
+
+    def test_copy_preserves_edges(self):
+        g = small_graph()
+        clone = g.copy()
+        assert sorted(
+            (e.src, e.src_port, e.dst, e.dst_port) for e in clone.edges()
+        ) == sorted((e.src, e.src_port, e.dst, e.dst_port) for e in g.edges())

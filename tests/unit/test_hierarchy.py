@@ -1,0 +1,104 @@
+"""Unit tests for hierarchical designs (Design)."""
+
+import pytest
+
+from repro.dfg import DFG, Design, GraphBuilder, Operation
+from repro.errors import DFGError
+
+
+def trivial_dfg(name: str, behavior: str | None = None) -> DFG:
+    b = GraphBuilder(name, behavior=behavior)
+    x, y = b.inputs("x", "y")
+    b.output("o", b.add(x, y))
+    return b.build()
+
+
+class TestDesignBasics:
+    def test_top_resolution(self):
+        d = Design("d")
+        d.add_dfg(trivial_dfg("main"), top=True)
+        assert d.top.name == "main"
+        assert d.top_name == "main"
+
+    def test_no_top_raises(self):
+        d = Design("d")
+        d.add_dfg(trivial_dfg("main"))
+        with pytest.raises(DFGError, match="no top"):
+            _ = d.top
+
+    def test_duplicate_dfg_rejected(self):
+        d = Design("d")
+        d.add_dfg(trivial_dfg("main"))
+        with pytest.raises(DFGError, match="duplicate DFG"):
+            d.add_dfg(trivial_dfg("main"))
+
+    def test_set_top_unknown(self):
+        d = Design("d")
+        with pytest.raises(DFGError, match="unknown DFG"):
+            d.set_top("missing")
+
+
+class TestVariants:
+    def test_variants_grouped_by_behavior(self):
+        d = Design("d")
+        d.add_dfg(trivial_dfg("v1", behavior="sum"))
+        d.add_dfg(trivial_dfg("v2", behavior="sum"))
+        assert {v.name for v in d.variants("sum")} == {"v1", "v2"}
+        assert d.default_variant("sum").name == "v1"
+
+    def test_unknown_behavior(self):
+        d = Design("d")
+        with pytest.raises(DFGError, match="no DFG implements"):
+            d.variants("ghost")
+
+    def test_has_behavior(self):
+        d = Design("d")
+        d.add_dfg(trivial_dfg("v1", behavior="sum"))
+        assert d.has_behavior("sum")
+        assert not d.has_behavior("other")
+
+
+class TestHierarchyChecks:
+    def test_port_mismatch_detected(self):
+        d = Design("d")
+        d.add_dfg(trivial_dfg("sub", behavior="sum"))  # 2 inputs
+        top = GraphBuilder("top")
+        x = top.input("x")
+        top.output("o", top.hier("sum", x, name="h"))  # only 1 input
+        d.add_dfg(top.build(), top=True)
+        with pytest.raises(DFGError, match="inputs"):
+            d.check_hierarchy()
+
+    def test_recursive_behavior_detected(self):
+        d = Design("d")
+        b = GraphBuilder("rec", behavior="loop")
+        x, y = b.inputs("x", "y")
+        b.output("o", b.hier("loop", x, y, name="h"))
+        d.add_dfg(b.build(), top=True)
+        with pytest.raises(DFGError, match="recursive"):
+            d.check_hierarchy()
+
+    def test_clean_hierarchy_passes(self, butterfly_design):
+        butterfly_design.check_hierarchy()
+
+
+class TestMetrics:
+    def test_depth(self, butterfly_design):
+        assert butterfly_design.depth() == 2
+
+    def test_depth_three_levels(self):
+        d = Design("d")
+        d.add_dfg(trivial_dfg("leaf", behavior="leaf"))
+        mid = GraphBuilder("mid", behavior="mid")
+        x, y = mid.inputs("x", "y")
+        mid.output("o", mid.hier("leaf", x, y, name="h"))
+        d.add_dfg(mid.build())
+        top = GraphBuilder("top")
+        x, y = top.inputs("x", "y")
+        top.output("o", top.hier("mid", x, y, name="h"))
+        d.add_dfg(top.build(), top=True)
+        assert d.depth() == 3
+
+    def test_total_operations(self, butterfly_design):
+        # 2 butterflies x 2 ops + 3 top ops
+        assert butterfly_design.total_operations() == 7

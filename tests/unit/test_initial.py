@@ -1,0 +1,101 @@
+"""Unit tests for INITIAL_SOLUTION."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.dfg import Design, GraphBuilder
+from repro.synthesis.context import SynthesisEnv
+from repro.synthesis.initial import initial_module_for, initial_solution
+
+
+class TestFlatInitial:
+    def test_fully_parallel(self, flat_design, library, flat_sim):
+        env = SynthesisEnv(flat_design, library, "power")
+        sol = initial_solution(env, flat_design.top, flat_sim, 10.0, 5.0, 500.0)
+        # One instance per operation, one register per signal.
+        assert len(sol.instances) == len(flat_design.top.operation_nodes())
+        assert all(len(e) == 1 for e in sol.executions.values())
+        assert all(len(s) == 1 for s in sol.reg_signals.values())
+
+    def test_fastest_cells_used(self, flat_design, library, flat_sim):
+        env = SynthesisEnv(flat_design, library, "power")
+        sol = initial_solution(env, flat_design.top, flat_sim, 10.0, 5.0, 500.0)
+        cells = {i.cell.name for i in sol.instances.values()}
+        assert cells == {"mult1", "add1", "sub1"}
+
+
+class TestHierInitial:
+    def test_modules_synthesized_for_behaviors(
+        self, butterfly_design, library, butterfly_sim
+    ):
+        env = SynthesisEnv(butterfly_design, library, "power")
+        sol = initial_solution(
+            env, butterfly_design.top, butterfly_sim, 10.0, 5.0, 1000.0
+        )
+        modules = [i for i in sol.instances.values() if i.is_module]
+        assert len(modules) == 2
+        # Same behavior -> the synthesized module is cached and shared.
+        assert modules[0].module is modules[1].module
+
+    def test_library_module_preferred_when_faster(
+        self, butterfly_design, library, butterfly_sim
+    ):
+        from repro.rtl import DatapathNetlist, Profile, RTLModule
+
+        fast = RTLModule(
+            "turbo_bf",
+            "butterfly",
+            # Impossibly fast: must win the fastest-implementation contest.
+            Profile((0.0, 0.0), (1.0, 1.0)),
+            cap_internal=1.0,
+            netlist=DatapathNetlist("turbo_bf"),
+        )
+        library.add_complex_module(fast)
+        env = SynthesisEnv(butterfly_design, library, "power")
+        sol = initial_solution(
+            env, butterfly_design.top, butterfly_sim, 10.0, 5.0, 1000.0
+        )
+        names = {i.module.name for i in sol.instances.values() if i.is_module}
+        assert names == {"turbo_bf"}
+
+    def test_port_mismatch_module_skipped(
+        self, butterfly_design, library, butterfly_sim
+    ):
+        from repro.rtl import DatapathNetlist, Profile, RTLModule
+
+        wrong = RTLModule(
+            "bad_bf",
+            "butterfly",
+            Profile((0.0,), (1.0,)),  # one input, one output: mismatched
+            cap_internal=1.0,
+            netlist=DatapathNetlist("bad_bf"),
+        )
+        library.add_complex_module(wrong)
+        env = SynthesisEnv(butterfly_design, library, "power")
+        sol = initial_solution(
+            env, butterfly_design.top, butterfly_sim, 10.0, 5.0, 1000.0
+        )
+        names = {i.module.name for i in sol.instances.values() if i.is_module}
+        assert "bad_bf" not in names
+
+    def test_missing_behavior_fails(self, library):
+        design = Design("d")
+        b = GraphBuilder("top")
+        x = b.input("x")
+        b.output("o", b.hier("mystery", x, name="h"))
+        design.add_dfg(b.build(), top=True)
+        env = SynthesisEnv(design, library, "power")
+
+        import numpy as np
+
+        from repro.power import simulate_subgraph
+
+        # Simulation itself would fail on the unknown behavior, so drive
+        # initial_module_for directly with a stub trace for the input.
+        from repro.power.simulate import SimTrace
+
+        sim = SimTrace(4)
+        sim.put((), ("x", 0), np.zeros(4, dtype=np.int64))
+        node = design.top.node("h")
+        with pytest.raises(SynthesisError, match="no implementation"):
+            initial_module_for(env, node, design.top, sim, 10.0, 5.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the module library and equivalence registry."""
+
+import pytest
+
+from repro.dfg import Operation
+from repro.errors import LibraryError
+from repro.library import EquivalenceRegistry, ModuleLibrary, default_library
+from repro.rtl import DatapathNetlist, Profile, RTLModule
+
+
+def make_module(name: str, behavior: str) -> RTLModule:
+    return RTLModule(
+        name=name,
+        behavior=behavior,
+        profile=Profile((0.0, 0.0), (30.0,)),
+        cap_internal=2.0,
+        netlist=DatapathNetlist(name),
+    )
+
+
+class TestCellQueries:
+    def test_fastest_cell(self, library):
+        assert library.fastest_cell(Operation.ADD).name == "add1"
+        assert library.fastest_cell(Operation.MULT).name == "mult1"
+
+    def test_smallest_cell(self, library):
+        assert library.smallest_cell(Operation.ADD).name == "add2"
+        assert library.smallest_cell(Operation.MULT).name == "mult2"
+
+    def test_lowest_power_cell(self, library):
+        assert library.lowest_power_cell(Operation.MULT).name == "mult2"
+
+    def test_chainable_filter(self, library):
+        names = {c.name for c in library.cells_for(Operation.ADD, max_chain=1)}
+        assert "chained_add2" not in names
+        names_all = {c.name for c in library.cells_for(Operation.ADD)}
+        assert "chained_add2" in names_all
+
+    def test_unknown_operation_cell(self, library):
+        # Every operation in the default library has at least one cell.
+        for op in Operation:
+            assert library.cells_for(op), op
+
+    def test_cell_lookup_includes_storage(self, library):
+        assert library.cell("reg1").name == "reg1"
+        assert library.cell("mux2").name == "mux2"
+        with pytest.raises(LibraryError, match="unknown library cell"):
+            library.cell("ghost")
+
+    def test_duplicate_cell_rejected(self, library):
+        with pytest.raises(LibraryError, match="duplicate"):
+            library.add_cell(library.cell("add1"))
+
+
+class TestComplexModules:
+    def test_register_and_query(self, library):
+        library.add_complex_module(make_module("m1", "fir"))
+        library.add_complex_module(make_module("m2", "fir"))
+        assert {m.name for m in library.complex_modules_for("fir")} == {"m1", "m2"}
+        assert library.n_complex_modules() == 2
+
+    def test_equivalence_expands_search(self, library):
+        library.add_complex_module(make_module("m1", "dot_chain"))
+        library.equivalences.declare_equivalent("dot_chain", "dot_tree")
+        found = library.complex_modules_for("dot_tree")
+        assert [m.name for m in found] == ["m1"]
+
+    def test_unknown_behavior_empty(self, library):
+        assert library.complex_modules_for("nothing") == []
+
+
+class TestEquivalenceRegistry:
+    def test_reflexive(self):
+        r = EquivalenceRegistry()
+        assert r.are_equivalent("a", "a")
+
+    def test_union(self):
+        r = EquivalenceRegistry()
+        r.declare_equivalent("a", "b")
+        r.declare_equivalent("b", "c")
+        assert r.are_equivalent("a", "c")
+        assert r.equivalence_class("c") == {"a", "b", "c"}
+
+    def test_separate_classes(self):
+        r = EquivalenceRegistry()
+        r.declare_equivalent("a", "b")
+        r.declare_equivalent("x", "y")
+        assert not r.are_equivalent("a", "x")

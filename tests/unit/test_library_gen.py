@@ -1,0 +1,65 @@
+"""Unit tests for complex-library population (slow-ish: real synthesis)."""
+
+import pytest
+
+from repro.library import default_library
+from repro.synthesis import SynthesisConfig
+from repro.synthesis.library_gen import build_complex_library
+
+FAST = SynthesisConfig(max_moves=4, max_passes=1, n_clocks=1)
+
+
+class TestBuildComplexLibrary:
+    def test_modules_registered_per_behavior(self, butterfly_design):
+        library = build_complex_library(
+            butterfly_design,
+            default_library(),
+            objectives=("area",),
+            laxity_factors=(1.5,),
+            config=FAST,
+            n_samples=24,
+        )
+        modules = library.complex_modules_for("butterfly")
+        assert len(modules) == 1
+        assert modules[0].supports("butterfly")
+
+    def test_corners_multiply(self, butterfly_design):
+        library = build_complex_library(
+            butterfly_design,
+            default_library(),
+            objectives=("area", "power"),
+            laxity_factors=(1.5, 2.5),
+            config=FAST,
+            n_samples=24,
+        )
+        assert len(library.complex_modules_for("butterfly")) == 4
+
+    def test_variants_each_synthesized(self):
+        from repro.bench_suite import get_benchmark
+
+        design = get_benchmark("test1")
+        library = build_complex_library(
+            design,
+            default_library(),
+            objectives=("area",),
+            laxity_factors=(1.5,),
+            config=FAST,
+            n_samples=24,
+        )
+        # dot3 has two variants -> two modules under one behavior.
+        assert len(library.complex_modules_for("dot3")) == 2
+
+    def test_profiles_usable(self, butterfly_design):
+        library = build_complex_library(
+            butterfly_design,
+            default_library(),
+            objectives=("power",),
+            laxity_factors=(2.0,),
+            config=FAST,
+            n_samples=24,
+        )
+        module = library.complex_modules_for("butterfly")[0]
+        profile = module.profile("butterfly")
+        assert len(profile.input_offsets_ns) == 2
+        assert len(profile.output_latencies_ns) == 2
+        assert module.cap_internal("butterfly") > 0

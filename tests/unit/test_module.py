@@ -1,0 +1,66 @@
+"""Unit tests for complex RTL modules."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library import IDLE_FRACTION
+from repro.rtl import ComponentKind, DatapathNetlist, Profile, RTLModule
+
+
+def make_module() -> RTLModule:
+    netlist = DatapathNetlist("m")
+    netlist.add_component("in0", ComponentKind.PORT, "in")
+    netlist.add_component("out0", ComponentKind.PORT, "out")
+    netlist.add_component("fu", ComponentKind.FUNCTIONAL, "add1")
+    netlist.add_component("r", ComponentKind.REGISTER, "reg1")
+    netlist.connect("in0", 0, "fu", 0)
+    netlist.connect("fu", 0, "r", 0)
+    netlist.connect("r", 0, "out0", 0)
+    return RTLModule(
+        name="m",
+        behavior="beh",
+        profile=Profile((0.0,), (25.0,)),
+        cap_internal=3.0,
+        netlist=netlist,
+    )
+
+
+class TestBehaviors:
+    def test_primary_behavior(self):
+        m = make_module()
+        assert m.supports("beh")
+        assert m.behaviors() == ["beh"]
+        assert m.profile().latency_ns == 25.0
+
+    def test_add_behavior(self):
+        m = make_module()
+        m.add_behavior("beh2", Profile((0.0, 0.0), (40.0,)), 4.0)
+        assert m.supports("beh2")
+        assert m.cap_internal("beh2") == 4.0
+        assert m.profile("beh2").latency_ns == 40.0
+
+    def test_unknown_behavior_raises(self):
+        m = make_module()
+        with pytest.raises(LibraryError, match="does not implement"):
+            m.profile("ghost")
+
+
+class TestEnergyAndArea:
+    def test_energy_formula(self):
+        m = make_module()
+        energy = m.energy_per_exec(5.0, 0.4)
+        assert energy == pytest.approx(3.0 * (IDLE_FRACTION + 0.4) * 25.0)
+
+    def test_energy_quadratic_in_vdd(self):
+        m = make_module()
+        assert m.energy_per_exec(5.0, 0.4) / m.energy_per_exec(2.5, 0.4) == (
+            pytest.approx(4.0)
+        )
+
+    def test_activity_clamped(self):
+        m = make_module()
+        assert m.energy_per_exec(5.0, 1.7) == m.energy_per_exec(5.0, 1.0)
+
+    def test_area_from_netlist(self, library):
+        m = make_module()
+        assert m.area(library) == m.netlist.area(library)

@@ -1,0 +1,94 @@
+"""Unit tests for the operation alphabet and its bit-true semantics."""
+
+import numpy as np
+import pytest
+
+from repro.dfg.ops import OP_INFO, Operation, apply_operation, wrap_to_width
+
+
+class TestOperationLookup:
+    def test_from_name_roundtrip(self):
+        for op in Operation:
+            assert Operation.from_name(op.value) is op
+
+    def test_from_name_unknown(self):
+        with pytest.raises(ValueError, match="unknown operation"):
+            Operation.from_name("divide")
+
+    def test_every_operation_has_info(self):
+        for op in Operation:
+            info = OP_INFO[op]
+            assert info.arity in (1, 2)
+
+    def test_commutativity_flags(self):
+        assert OP_INFO[Operation.ADD].commutative
+        assert OP_INFO[Operation.MULT].commutative
+        assert not OP_INFO[Operation.SUB].commutative
+        assert not OP_INFO[Operation.LSHIFT].commutative
+
+
+class TestWrapToWidth:
+    def test_in_range_unchanged(self):
+        values = np.array([0, 1, -1, 32767, -32768])
+        np.testing.assert_array_equal(wrap_to_width(values, 16), values)
+
+    def test_overflow_wraps(self):
+        values = np.array([32768, -32769, 65536])
+        np.testing.assert_array_equal(
+            wrap_to_width(values, 16), np.array([-32768, 32767, 0])
+        )
+
+    def test_narrow_width(self):
+        values = np.array([5, 9, -9])
+        np.testing.assert_array_equal(wrap_to_width(values, 4), np.array([5, -7, 7]))
+
+
+class TestApplyOperation:
+    def setup_method(self):
+        self.a = np.array([3, -4, 100])
+        self.b = np.array([5, 2, -7])
+
+    def test_add(self):
+        np.testing.assert_array_equal(
+            apply_operation(Operation.ADD, [self.a, self.b], 16),
+            np.array([8, -2, 93]),
+        )
+
+    def test_sub(self):
+        np.testing.assert_array_equal(
+            apply_operation(Operation.SUB, [self.a, self.b], 16),
+            np.array([-2, -6, 107]),
+        )
+
+    def test_mult_wraps(self):
+        big = np.array([30000])
+        result = apply_operation(Operation.MULT, [big, np.array([3])], 16)
+        assert result[0] == wrap_to_width(np.array([90000]), 16)[0]
+
+    def test_comparisons(self):
+        lt = apply_operation(Operation.LT, [self.a, self.b], 16)
+        gt = apply_operation(Operation.GT, [self.a, self.b], 16)
+        np.testing.assert_array_equal(lt, np.array([1, 1, 0]))
+        np.testing.assert_array_equal(gt, np.array([0, 0, 1]))
+
+    def test_min_max(self):
+        mn = apply_operation(Operation.MIN, [self.a, self.b], 16)
+        mx = apply_operation(Operation.MAX, [self.a, self.b], 16)
+        np.testing.assert_array_equal(mn, np.array([3, -4, -7]))
+        np.testing.assert_array_equal(mx, np.array([5, 2, 100]))
+
+    def test_unary(self):
+        neg = apply_operation(Operation.NEG, [self.a], 16)
+        np.testing.assert_array_equal(neg, -self.a)
+        passed = apply_operation(Operation.PASS, [self.a], 16)
+        np.testing.assert_array_equal(passed, self.a)
+
+    def test_shifts(self):
+        ls = apply_operation(Operation.LSHIFT, [np.array([3]), np.array([2])], 16)
+        rs = apply_operation(Operation.RSHIFT, [np.array([12]), np.array([2])], 16)
+        assert ls[0] == 12
+        assert rs[0] == 3
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError, match="expects 2 operands"):
+            apply_operation(Operation.ADD, [self.a], 16)

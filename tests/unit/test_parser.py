@@ -1,0 +1,102 @@
+"""Unit tests for the textual DFG format (parser and writer)."""
+
+import pytest
+
+from repro.dfg import parse_design, validate_design, write_design
+from repro.dfg.parser import parse_ref
+from repro.errors import ParseError
+
+GOOD = """
+# a design with one sub-behavior
+design demo
+top main
+
+dfg bf behavior butterfly
+  input a 16
+  input b 16
+  op s add a b
+  op d sub a b
+  output o0 s
+  output o1 d
+end
+
+dfg main
+  input x
+  input y
+  const k 3
+  hier h1 butterfly 2 x y
+  op m mult h1.0 h1.1
+  op a add m k
+  output out a
+end
+"""
+
+
+class TestParseRef:
+    def test_plain(self):
+        assert parse_ref("node") == ("node", 0)
+
+    def test_with_port(self):
+        assert parse_ref("node.3") == ("node", 3)
+
+    def test_bad_port(self):
+        with pytest.raises(ParseError):
+            parse_ref("node.x")
+
+    def test_empty_node(self):
+        with pytest.raises(ParseError):
+            parse_ref(".3")
+
+
+class TestParser:
+    def test_good_design(self):
+        d = parse_design(GOOD)
+        assert d.name == "demo"
+        assert d.top_name == "main"
+        assert d.dfg("bf").behavior == "butterfly"
+        validate_design(d)
+
+    def test_roundtrip(self, butterfly_design):
+        text = write_design(butterfly_design)
+        d2 = parse_design(text)
+        validate_design(d2)
+        assert d2.top_name == butterfly_design.top_name
+        assert len(d2.top.op_nodes()) == len(butterfly_design.top.op_nodes())
+        assert sorted(d2.dfg_names()) == sorted(butterfly_design.dfg_names())
+
+    def test_comments_and_blanks_ignored(self):
+        text = "design d\n\n# comment\ndfg m\n input x # trailing\n output o x\nend\ntop m\n"
+        d = parse_design(text)
+        assert d.top_name == "m"
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("dfg a\nend\ndfg a\nend", "duplicate"),
+            ("dfg a\ninput x", "unterminated"),
+            ("input x", "outside a dfg block"),
+            ("dfg a\n op o frobnicate x y\nend", "unknown operation"),
+            ("dfg a\n weird x\nend", "unknown statement"),
+            ("dfg a\nend\ntop missing", "not defined"),
+            ("dfg a\n hier h beh\nend", "expected 'hier"),
+            ("dfg a\n hier h beh x y\nend", "output count must be an integer"),
+            ("", "empty design"),
+            ("dfg a\ndfg b\nend", "nested 'dfg'"),
+        ],
+    )
+    def test_errors(self, text, match):
+        with pytest.raises(ParseError, match=match):
+            parse_design(text)
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_design("dfg a\n op o frobnicate x\nend")
+        except ParseError as exc:
+            assert "line 2" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+    def test_undriven_reference_fails_on_connect(self):
+        text = "dfg a\n op o add ghost ghost\n output q o\nend"
+        with pytest.raises(ParseError, match="unknown node"):
+            parse_design(text)

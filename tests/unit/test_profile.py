@@ -1,0 +1,66 @@
+"""Unit tests for module profiles and their quantization."""
+
+import pytest
+
+from repro.rtl import CycleProfile, Profile
+
+
+class TestProfileValidation:
+    def test_needs_output(self):
+        with pytest.raises(ValueError, match="output latency"):
+            Profile((), ())
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Profile((-1.0,), (10.0,))
+
+    def test_nonpositive_latency_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Profile((0.0,), (0.0,))
+
+
+class TestQuantization:
+    def test_reference_point(self):
+        p = Profile((0.0, 20.0), (45.0,))
+        cp = p.at(clk_ns=10.0, vdd=5.0)
+        assert cp == CycleProfile((0, 2), (5,))
+
+    def test_offsets_floored_latencies_ceiled(self):
+        """Quantization must never fabricate slack (offset 2.9 -> 2;
+        latency 2.1 -> 3)."""
+        p = Profile((29.0,), (21.0,))
+        cp = p.at(clk_ns=10.0, vdd=5.0)
+        assert cp.input_offsets == (2,)
+        assert cp.output_latencies == (3,)
+
+    def test_voltage_slows_profile(self):
+        p = Profile((0.0,), (40.0,))
+        assert p.at(10.0, 3.3).output_latencies[0] > p.at(10.0, 5.0).output_latencies[0]
+
+    def test_minimum_one_cycle(self):
+        p = Profile((0.0,), (0.5,))
+        assert p.at(10.0, 5.0).output_latencies == (1,)
+
+    def test_busy_cycles(self):
+        cp = CycleProfile((0, 1), (3, 7))
+        assert cp.busy_cycles == 7
+
+    def test_bad_clock(self):
+        p = Profile((0.0,), (10.0,))
+        with pytest.raises(ValueError, match="positive"):
+            p.at(0.0, 5.0)
+
+
+class TestFromCycles:
+    def test_roundtrip_at_same_point(self):
+        p = Profile.from_cycles((0, 2), (5,), clk_ns=10.0, vdd=5.0)
+        cp = p.at(10.0, 5.0)
+        assert cp.input_offsets == (0, 2)
+        assert cp.output_latencies == (5,)
+
+    def test_roundtrip_at_other_voltage(self):
+        """Characterized at 3.3 V, used at 3.3 V: cycle counts survive."""
+        p = Profile.from_cycles((1, 3), (6,), clk_ns=12.0, vdd=3.3)
+        cp = p.at(12.0, 3.3)
+        assert cp.input_offsets == (1, 3)
+        assert cp.output_latencies == (6,)

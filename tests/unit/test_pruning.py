@@ -1,0 +1,68 @@
+"""Unit tests for Vdd/clock pruning and laxity arithmetic."""
+
+import pytest
+
+from repro.synthesis import (
+    candidate_clocks,
+    candidate_vdds,
+    laxity_sampling_ns,
+    min_sampling_period_ns,
+)
+
+
+class TestMinSamplingPeriod:
+    def test_flat_critical_path(self, flat_design, library):
+        # mult1 (28 ns) -> add1 (9 ns) is the longest chain.
+        assert min_sampling_period_ns(flat_design, library) == pytest.approx(37.0)
+
+    def test_hier_design_flattened_first(self, butterfly_design, library):
+        # add/sub (9) -> mult (28) -> add (9) = 46 ns.
+        assert min_sampling_period_ns(butterfly_design, library) == pytest.approx(46.0)
+
+    def test_laxity_scales(self, flat_design, library):
+        base = min_sampling_period_ns(flat_design, library)
+        assert laxity_sampling_ns(flat_design, library, 2.2) == pytest.approx(
+            2.2 * base
+        )
+
+    def test_laxity_below_one_rejected(self, flat_design, library):
+        with pytest.raises(ValueError):
+            laxity_sampling_ns(flat_design, library, 0.5)
+
+
+class TestVddPruning:
+    def test_tight_budget_keeps_5v_only(self, flat_design, library):
+        base = min_sampling_period_ns(flat_design, library)
+        assert candidate_vdds(flat_design, library, base * 1.1) == [5.0]
+
+    def test_loose_budget_keeps_all(self, flat_design, library):
+        base = min_sampling_period_ns(flat_design, library)
+        assert candidate_vdds(flat_design, library, base * 4.0) == [5.0, 3.3, 2.4]
+
+    def test_impossible_budget_empty(self, flat_design, library):
+        assert candidate_vdds(flat_design, library, 1.0) == []
+
+
+class TestClockPruning:
+    def test_count_respected(self, library):
+        clocks = candidate_clocks(library, 5.0, 300.0, n_clocks=3)
+        assert 1 <= len(clocks) <= 3
+
+    def test_within_bounds(self, library):
+        for clk in candidate_clocks(library, 5.0, 300.0, n_clocks=4):
+            assert 2.0 <= clk <= 300.0
+
+    def test_descending_order(self, library):
+        clocks = candidate_clocks(library, 5.0, 300.0, n_clocks=3)
+        assert clocks == sorted(clocks, reverse=True)
+
+    def test_scaled_voltage_scales_candidates(self, library):
+        c5 = candidate_clocks(library, 5.0, 500.0, n_clocks=1)
+        c33 = candidate_clocks(library, 3.3, 500.0, n_clocks=1)
+        assert c33[0] > c5[0]
+
+    def test_distinct_candidates(self, library):
+        clocks = candidate_clocks(library, 5.0, 300.0, n_clocks=3)
+        for i, a in enumerate(clocks):
+            for b in clocks[i + 1 :]:
+                assert abs(a - b) / b >= 0.02

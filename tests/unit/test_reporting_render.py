@@ -1,0 +1,101 @@
+"""Unit tests for Table 3/4 rendering over synthetic sweep results.
+
+These bypass synthesis entirely: hand-built `SynthesisResult`-shaped
+stubs verify the normalization arithmetic and layout logic quickly.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.reporting import (
+    SweepResults,
+    render_table3,
+    render_table4,
+    table3_rows,
+    table4_rows,
+)
+from repro.reporting.sweep import CellResult
+
+
+@dataclass
+class _StubResult:
+    area: float
+    power: float
+    elapsed_s: float = 1.0
+
+
+def make_cell(circuit: str, laxity: float, scale: float = 1.0) -> CellResult:
+    base = _StubResult(area=100.0 * scale, power=10.0 * scale, elapsed_s=4.0)
+    return CellResult(
+        circuit=circuit,
+        laxity=laxity,
+        flat_area=base,
+        flat_area_scaled=_StubResult(100.0 * scale, 8.0 * scale),
+        flat_power=_StubResult(150.0 * scale, 4.0 * scale, 6.0),
+        hier_area=_StubResult(105.0 * scale, 11.0 * scale, 2.0),
+        hier_area_scaled=_StubResult(105.0 * scale, 9.0 * scale),
+        hier_power=_StubResult(160.0 * scale, 4.5 * scale, 2.0),
+    )
+
+
+@pytest.fixture
+def sweep():
+    results = SweepResults()
+    for circuit in ("alpha", "beta"):
+        for laxity in (1.2, 2.2):
+            results.cells[(circuit, laxity)] = make_cell(circuit, laxity)
+    return results
+
+
+class TestNormalization:
+    def test_rows_normalized_to_flat_area(self, sweep):
+        cell = sweep.cell("alpha", 1.2)
+        assert cell.table3_row_a() == pytest.approx((1.0, 1.5, 1.05, 1.6))
+        assert cell.table3_row_p() == pytest.approx((0.8, 0.4, 0.9, 0.45))
+
+    def test_scale_invariance(self):
+        """Normalized cells are identical whatever the absolute scale."""
+        a = make_cell("c", 1.2, scale=1.0)
+        b = make_cell("c", 1.2, scale=7.3)
+        assert a.table3_row_a() == pytest.approx(b.table3_row_a())
+        assert a.table3_row_p() == pytest.approx(b.table3_row_p())
+
+    def test_synth_times_averaged(self, sweep):
+        cell = sweep.cell("alpha", 1.2)
+        assert cell.flat_synth_time == pytest.approx((4.0 + 6.0) / 2)
+        assert cell.hier_synth_time == pytest.approx(2.0)
+
+
+class TestTable3Rendering:
+    def test_row_structure(self, sweep):
+        rows = table3_rows(sweep)
+        # Two circuits x two rows (A, P) each.
+        assert len(rows) == 4
+        # First column of the A row is 1.00 by construction.
+        a_row = rows[0]
+        assert a_row[1] == "A"
+        assert a_row[2] == 1.0
+
+    def test_rendered_text(self, sweep):
+        text = render_table3(sweep)
+        assert "alpha" in text and "beta" in text
+        assert "LF1.2 Fl.A" in text and "LF2.2 Hi.P" in text
+
+
+class TestTable4Rendering:
+    def test_aggregates(self, sweep):
+        rows = table4_rows(sweep)
+        assert len(rows) == 2
+        row = rows[0]
+        assert row.area_ratio_flat == pytest.approx(1.5)
+        assert row.power_5v_flat == pytest.approx(0.4)
+        # Vdd-sc: power-opt vs the scaled area-opt power (4/8).
+        assert row.power_vddsc_flat == pytest.approx(0.5)
+        assert row.time_flat_s == pytest.approx(5.0)
+        assert row.time_hier_s == pytest.approx(2.0)
+
+    def test_rendered_text(self, sweep):
+        text = render_table4(sweep)
+        assert "Time Fl (s)" in text
+        assert "1.20" in text and "2.20" in text

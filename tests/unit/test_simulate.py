@@ -1,0 +1,87 @@
+"""Unit tests for bit-true DFG simulation."""
+
+import numpy as np
+import pytest
+
+from repro.dfg import Design, GraphBuilder
+from repro.errors import DFGError
+from repro.power import simulate_design, simulate_dfg, simulate_subgraph
+
+
+class TestFlatSimulation:
+    def test_known_arithmetic(self, flat_dfg):
+        traces = {
+            "x": np.array([2, 3]),
+            "y": np.array([5, -1]),
+            "z": np.array([10, 10]),
+        }
+        sim = simulate_dfg(flat_dfg, traces)
+        np.testing.assert_array_equal(sim.stream((), ("m1", 0)), [10, -3])
+        np.testing.assert_array_equal(sim.stream((), ("a1", 0)), [20, 7])
+        np.testing.assert_array_equal(sim.stream((), ("s1", 0)), [-8, -7])
+
+    def test_constant_stream(self):
+        b = GraphBuilder("g")
+        x = b.input("x")
+        b.output("o", b.add(x, 7))
+        dfg = b.build()
+        sim = simulate_dfg(dfg, {"x": np.array([1, 2, 3])})
+        out_sig = dfg.in_edges("o")[0].signal
+        np.testing.assert_array_equal(sim.stream((), out_sig), [8, 9, 10])
+
+    def test_missing_trace_rejected(self, flat_dfg):
+        with pytest.raises(DFGError, match="no trace supplied"):
+            simulate_dfg(flat_dfg, {"x": np.array([1])})
+
+    def test_length_mismatch_rejected(self, flat_dfg):
+        with pytest.raises(DFGError, match="lengths differ"):
+            simulate_dfg(
+                flat_dfg,
+                {"x": np.array([1]), "y": np.array([1, 2]), "z": np.array([1])},
+            )
+
+    def test_hier_node_rejected(self, butterfly_design):
+        with pytest.raises(DFGError, match="flat DFG"):
+            simulate_dfg(butterfly_design.top, {})
+
+
+class TestHierarchicalSimulation:
+    def test_internal_paths_populated(self, butterfly_design):
+        traces = {
+            name: np.array([1, 2, 3]) for name in butterfly_design.top.inputs
+        }
+        sim = simulate_design(butterfly_design, traces)
+        assert sim.has(("h1",), ("badd", 0))
+        assert sim.has(("h2",), ("bsub", 0))
+
+    def test_hier_output_values(self, butterfly_design):
+        traces = {
+            "x": np.array([4]), "y": np.array([1]),
+            "z": np.array([2]), "w": np.array([2]),
+        }
+        sim = simulate_design(butterfly_design, traces)
+        assert sim.stream((), ("h1", 0))[0] == 5   # 4 + 1
+        assert sim.stream((), ("h1", 1))[0] == 3   # 4 - 1
+        assert sim.stream((), ("m1", 0))[0] == 20  # (4+1) * (2+2)
+
+    def test_missing_signal_raises(self, butterfly_design):
+        traces = {
+            name: np.array([1]) for name in butterfly_design.top.inputs
+        }
+        sim = simulate_design(butterfly_design, traces)
+        with pytest.raises(DFGError, match="no simulated stream"):
+            sim.stream((), ("ghost", 0))
+
+
+class TestSubgraphSimulation:
+    def test_explicit_streams(self, butterfly_design):
+        sub = butterfly_design.dfg("butterfly")
+        sim = simulate_subgraph(
+            butterfly_design, sub, [np.array([10, 20]), np.array([3, 5])]
+        )
+        np.testing.assert_array_equal(sim.stream((), ("badd", 0)), [13, 25])
+
+    def test_stream_count_checked(self, butterfly_design):
+        sub = butterfly_design.dfg("butterfly")
+        with pytest.raises(DFGError, match="inputs"):
+            simulate_subgraph(butterfly_design, sub, [np.array([1])])

@@ -1,0 +1,103 @@
+"""Unit tests for slack analysis and environment constraints."""
+
+import pytest
+
+from repro.dfg import GraphBuilder
+from repro.scheduling import (
+    EnvironmentConstraint,
+    TaskSpec,
+    environment_of,
+    latest_start_times,
+    required_signal_times,
+    schedule_tasks,
+    task_slacks,
+)
+
+
+def chain_dfg():
+    b = GraphBuilder("t")
+    x, y = b.inputs("x", "y")
+    m = b.mult(x, y, name="m")
+    a = b.add(m, y, name="a")
+    b.output("o", a)
+    return b.build()
+
+
+def chain_tasks():
+    return [
+        TaskSpec("tm", ("m",), "M", 3),
+        TaskSpec("ta", ("a",), "A", 1),
+    ]
+
+
+class TestSlacks:
+    def test_zero_slack_at_tight_deadline(self):
+        dfg, tasks = chain_dfg(), chain_tasks()
+        res = schedule_tasks(dfg, tasks)
+        slacks = task_slacks(dfg, tasks, res, deadline=res.length)
+        assert slacks["tm"] == 0
+        assert slacks["ta"] == 0
+
+    def test_slack_grows_with_deadline(self):
+        dfg, tasks = chain_dfg(), chain_tasks()
+        res = schedule_tasks(dfg, tasks)
+        slacks = task_slacks(dfg, tasks, res, deadline=res.length + 5)
+        assert slacks["tm"] == 5
+        assert slacks["ta"] == 5
+
+    def test_instance_order_constrains(self):
+        """Two tasks on one instance: the earlier one's slack is bounded
+        by the later one's latest start."""
+        b = GraphBuilder("t")
+        x, y = b.inputs("x", "y")
+        m1 = b.mult(x, y, name="m1")
+        m2 = b.mult(x, y, name="m2")
+        b.output("o1", m1)
+        b.output("o2", m2)
+        dfg = b.build()
+        tasks = [
+            TaskSpec("t1", ("m1",), "M", 3),
+            TaskSpec("t2", ("m2",), "M", 3),
+        ]
+        res = schedule_tasks(dfg, tasks)
+        latest = latest_start_times(dfg, tasks, res, deadline=10)
+        first, second = res.instance_order["M"]
+        assert latest[first] <= latest[second] - 3
+
+    def test_required_signal_times_inputs(self):
+        """Input slack becomes the characterized profile offset."""
+        dfg, tasks = chain_dfg(), chain_tasks()
+        res = schedule_tasks(dfg, tasks)
+        required = required_signal_times(dfg, tasks, res, deadline=res.length)
+        # y feeds both the multiplier (needed at 0) and the adder; the
+        # multiplier dominates.
+        assert required[("y", 0)] == 0
+        assert required[("x", 0)] == 0
+
+
+class TestEnvironment:
+    def test_environment_of_module(self):
+        b = GraphBuilder("t")
+        x, y = b.inputs("x", "y")
+        m = b.mult(x, y, name="m")
+        h = b.hier("beh", m, y, name="h")
+        b.output("o", h)
+        dfg = b.build()
+        tasks = [
+            TaskSpec("tm", ("m",), "M", 3),
+            TaskSpec("th", ("h",), "H", 4),
+        ]
+        res = schedule_tasks(dfg, tasks)
+        env = environment_of(dfg, tasks[1], tasks, res, deadline=12)
+        assert env.input_arrivals == (3, 0)
+        assert env.output_deadlines == (12,)
+
+    def test_admits(self):
+        env = EnvironmentConstraint((0, 3), (10,))
+        # Start = max(0-0, 3-3) = 0; output at 8 <= 10.
+        assert env.admits((0, 3), (8,))
+        # Start = max(0, 3) = 3; output at 3 + 8 = 11 > 10.
+        assert not env.admits((0, 0), (8,))
+        # Port-count mismatches never admit.
+        assert not env.admits((0,), (8,))
+        assert not env.admits((0, 3), (8, 8))

@@ -1,0 +1,46 @@
+"""Unit tests for the headline-claims summary (synthetic sweep data)."""
+
+import pytest
+
+from repro.reporting import SweepResults, compute_claims, render_claims
+
+from .test_reporting_render import make_cell
+
+
+@pytest.fixture
+def sweep():
+    results = SweepResults()
+    for circuit in ("alpha", "beta"):
+        for laxity in (1.2, 2.2):
+            results.cells[(circuit, laxity)] = make_cell(circuit, laxity)
+    return results
+
+
+class TestComputeClaims:
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            compute_claims(SweepResults())
+
+    def test_max_reduction(self, sweep):
+        claims = compute_claims(sweep)
+        # Stub cells: hier power-opt power is 4.5 of a base power 10.
+        assert claims.max_power_reduction == pytest.approx(10.0 / 4.5)
+
+    def test_area_overhead_at_best(self, sweep):
+        claims = compute_claims(sweep)
+        # Stub: hier power-opt area 160 over base area 100 -> +60 %.
+        assert claims.area_overhead_at_best == pytest.approx(0.6)
+
+    def test_means(self, sweep):
+        claims = compute_claims(sweep)
+        assert claims.hier_vs_flat_power_opt == pytest.approx(4.5 / 4.0)
+        assert claims.hier_vs_flat_area_opt == pytest.approx(105.0 / 100.0)
+
+
+class TestRenderClaims:
+    def test_table_contains_paper_values(self, sweep):
+        text = render_claims(sweep)
+        assert "6.7x" in text
+        assert "-13.3%" in text
+        assert "+5.6%" in text
+        assert "measured" in text

@@ -1,0 +1,33 @@
+"""Unit tests for table rendering helpers."""
+
+from repro.reporting import fmt, render_table
+
+
+class TestFmt:
+    def test_float_digits(self):
+        assert fmt(1.2345) == "1.23"
+        assert fmt(1.2345, digits=3) == "1.234"
+
+    def test_non_float_passthrough(self):
+        assert fmt("abc") == "abc"
+        assert fmt(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"],
+            [["alpha", 1.0], ["b", 22.5]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert lines[1] == "===="
+        # line 2: headers, line 3: dashes, lines 4-5: data rows.
+        assert "alpha" in lines[4]
+        assert len(lines[4]) == len(lines[5])
+
+    def test_wide_cells_stretch_columns(self):
+        text = render_table(["h"], [["very-long-cell-content"]])
+        header_line = text.splitlines()[0]
+        assert len(header_line) >= len("very-long-cell-content")

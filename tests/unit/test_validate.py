@@ -1,0 +1,58 @@
+"""Unit tests for DFG/design validation."""
+
+import pytest
+
+from repro.dfg import DFG, Design, GraphBuilder, Operation, check_dfg, validate_dfg
+from repro.errors import DFGError
+
+
+class TestCheckDFG:
+    def test_clean_graph(self, flat_dfg):
+        assert check_dfg(flat_dfg) == []
+
+    def test_undriven_port(self):
+        g = DFG("g")
+        g.add_input("x")
+        g.add_op("a", Operation.ADD)
+        g.add_output("o")
+        g.connect("x", 0, "a", 0)
+        g.connect("a", 0, "o", 0)
+        problems = check_dfg(g)
+        assert any("undriven" in p for p in problems)
+
+    def test_no_outputs(self):
+        g = DFG("g")
+        g.add_input("x")
+        problems = check_dfg(g)
+        assert any("no primary outputs" in p for p in problems)
+
+    def test_dead_operation(self):
+        b = GraphBuilder("g")
+        x, y = b.inputs("x", "y")
+        b.mult(x, y, name="dead")
+        b.output("o", b.add(x, y))
+        problems = check_dfg(b.build())
+        assert any("dead" in p for p in problems)
+
+    def test_validate_raises(self):
+        g = DFG("g")
+        g.add_input("x")
+        with pytest.raises(DFGError, match="malformed"):
+            validate_dfg(g)
+
+
+class TestValidateDesign:
+    def test_good_design(self, butterfly_design):
+        from repro.dfg import validate_design
+
+        validate_design(butterfly_design)
+
+    def test_bad_subgraph_caught(self):
+        from repro.dfg import validate_design
+
+        d = Design("d")
+        bad = DFG("bad")
+        bad.add_input("x")
+        d.add_dfg(bad, top=True)
+        with pytest.raises(DFGError):
+            validate_design(d)

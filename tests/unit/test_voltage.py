@@ -1,0 +1,59 @@
+"""Unit tests for the CMOS voltage-scaling model."""
+
+import pytest
+
+from repro.library import delay_scale, energy_scale, min_feasible_vdd
+from repro.library.voltage import V_FLOOR, vdd_for_delay_scale
+
+
+class TestDelayScale:
+    def test_reference_is_unity(self):
+        assert delay_scale(5.0) == pytest.approx(1.0)
+
+    def test_monotone_decreasing_supply_increases_delay(self):
+        assert delay_scale(3.3) > 1.0
+        assert delay_scale(2.4) > delay_scale(3.3)
+
+    def test_below_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            delay_scale(0.5)
+
+
+class TestEnergyScale:
+    def test_quadratic(self):
+        assert energy_scale(2.5) == pytest.approx(0.25)
+        assert energy_scale(5.0) == pytest.approx(1.0)
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            energy_scale(0.0)
+
+
+class TestInverse:
+    def test_roundtrip(self):
+        for v in (4.2, 3.3, 2.4, 1.5):
+            scale = delay_scale(v)
+            recovered = vdd_for_delay_scale(scale)
+            assert recovered == pytest.approx(v, abs=1e-4)
+
+    def test_target_below_one_impossible(self):
+        assert vdd_for_delay_scale(0.9) is None
+
+    def test_huge_target_clamps_to_floor(self):
+        assert vdd_for_delay_scale(1e9) == V_FLOOR
+
+    def test_result_meets_target(self):
+        v = vdd_for_delay_scale(2.0)
+        assert v is not None
+        assert delay_scale(v) <= 2.0 + 1e-6
+
+
+class TestMinFeasibleVdd:
+    def test_tight_budget_requires_full_supply(self):
+        assert min_feasible_vdd(100.0, 100.0) == 5.0
+
+    def test_loose_budget_allows_low_supply(self):
+        assert min_feasible_vdd(100.0, 1000.0) == 2.4
+
+    def test_impossible_budget(self):
+        assert min_feasible_vdd(100.0, 50.0) is None

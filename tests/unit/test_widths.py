@@ -1,0 +1,84 @@
+"""Unit tests for bit-width-aware area and power modeling."""
+
+import pytest
+
+from repro.dfg import Design, GraphBuilder
+from repro.power import simulate_subgraph, speech_traces
+from repro.rtl import ComponentKind, DatapathNetlist
+from repro.synthesis import EvaluationContext, build_netlist
+from repro.synthesis.context import SynthesisEnv
+from repro.synthesis.initial import initial_solution
+
+
+def width_design(width: int) -> Design:
+    b = GraphBuilder("w", width=width)
+    x, y, z = b.inputs("x", "y", "z")
+    m = b.mult(x, y, name="m1")
+    b.output("o", b.add(m, z, name="a1"))
+    design = Design(f"wdesign{width}")
+    design.add_dfg(b.build(), top=True)
+    return design
+
+
+def solution_for(design, library):
+    top = design.top
+    traces = speech_traces(top, n=24, seed=2)
+    sim = simulate_subgraph(design, top, [traces[n] for n in top.inputs])
+    env = SynthesisEnv(design, library, "power")
+    return initial_solution(env, top, sim, 10.0, 5.0, 500.0), sim
+
+
+class TestNetlistWidths:
+    def test_components_carry_width(self, library):
+        design = width_design(24)
+        solution, _sim = solution_for(design, library)
+        netlist = build_netlist(solution)
+        for comp in netlist.components(ComponentKind.FUNCTIONAL):
+            assert comp.width == 24
+        for comp in netlist.components(ComponentKind.REGISTER):
+            assert comp.width == 24
+
+    def test_area_scales_linearly(self, library):
+        narrow, _ = solution_for(width_design(16), library)
+        wide, _ = solution_for(width_design(32), library)
+        a16 = build_netlist(narrow).area(library)
+        a32 = build_netlist(wide).area(library)
+        # Cells double; only the (width-independent) wiring term does not.
+        assert a32 > 1.5 * a16
+
+    def test_default_width_neutral(self, library):
+        """16-bit designs behave exactly as before the width feature."""
+        design = width_design(16)
+        solution, _sim = solution_for(design, library)
+        netlist = build_netlist(solution)
+        for comp in netlist.components():
+            if comp.kind != ComponentKind.MODULE:
+                assert comp.width_factor == 1.0
+
+
+class TestPowerWidths:
+    def test_energy_scales_with_width(self, library):
+        n_sol, n_sim = solution_for(width_design(16), library)
+        w_sol, w_sim = solution_for(width_design(32), library)
+        e16 = EvaluationContext(n_sim, (), "power").evaluate(n_sol)
+        e32 = EvaluationContext(w_sim, (), "power").evaluate(w_sol)
+        assert e32.energy_per_sample > 1.4 * e16.energy_per_sample
+
+
+class TestEmbeddingWidths:
+    def test_different_widths_never_overlay(self, library):
+        from repro.rtl import embed_netlists
+
+        def netlist(width):
+            n = DatapathNetlist(f"n{width}")
+            n.add_component("in0", ComponentKind.PORT, "in", width=width)
+            n.add_component("out0", ComponentKind.PORT, "out", width=width)
+            n.add_component("fu", ComponentKind.FUNCTIONAL, "add1", width=width)
+            n.connect("in0", 0, "fu", 0)
+            n.connect("fu", 0, "out0", 0)
+            return n
+
+        merged = embed_netlists(netlist(16), netlist(32), "m")
+        fus = merged.netlist.components(ComponentKind.FUNCTIONAL)
+        assert len(fus) == 2
+        assert sorted(c.width for c in fus) == [16, 32]
