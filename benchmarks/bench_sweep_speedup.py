@@ -1,0 +1,97 @@
+"""Serial vs. parallel wall time for the operating-point sweep.
+
+The outer (Vdd, clock) loop of ``synthesize()`` fans out over a process
+pool when ``SynthesisConfig.n_workers > 1``; every point is independent,
+so results are bit-identical to the serial path.  This bench times the
+power-objective synthesis of two Table 3 circuits (test1 and paulin) at
+``n_workers=1`` and ``n_workers=4``, records per-run telemetry
+(evaluations, cost-cache hit rate), and asserts:
+
+* the winning (area, power, Vdd, clock) of every circuit is identical
+  between serial and parallel;
+* on a multi-core machine, parallel is at least 1.5x faster (on a
+  single-core container the speedup is recorded but not asserted —
+  process parallelism cannot beat serial without a second core).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench_suite import get_benchmark
+from repro.power import speech_traces
+from repro.reporting import quick_config
+from repro.synthesis import synthesize
+
+from conftest import save_result
+
+_CIRCUITS = ("test1", "paulin")
+_LAXITY = 2.2
+_SPEEDUP_TARGET = 1.5
+_PARALLEL_WORKERS = 4
+
+
+def _timed_runs(n_workers: int):
+    config = quick_config()
+    config.n_workers = n_workers
+    results = {}
+    started = time.perf_counter()
+    for circuit in _CIRCUITS:
+        design = get_benchmark(circuit)
+        traces = speech_traces(design.top, n=24, seed=3)
+        results[circuit] = synthesize(
+            design,
+            laxity_factor=_LAXITY,
+            objective="power",
+            traces=traces,
+            config=config,
+            n_samples=24,
+        )
+    return results, time.perf_counter() - started
+
+
+def _winning_metrics(results):
+    return {
+        circuit: (r.area, r.power, r.vdd, r.clk_ns)
+        for circuit, r in results.items()
+    }
+
+
+def test_sweep_speedup(benchmark):
+    serial, serial_s = _timed_runs(1)
+    parallel, parallel_s = benchmark.pedantic(
+        _timed_runs, args=(_PARALLEL_WORKERS,), rounds=1, iterations=1
+    )
+
+    assert _winning_metrics(serial) == _winning_metrics(parallel), (
+        "parallel sweep must be bit-identical to the serial sweep"
+    )
+
+    speedup = serial_s / max(parallel_s, 1e-9)
+    cores = os.cpu_count() or 1
+
+    lines = [
+        "Sweep speedup: serial vs parallel operating-point sweep",
+        "=======================================================",
+        f"circuits:           {', '.join(_CIRCUITS)} (power objective, "
+        f"laxity {_LAXITY:g})",
+        f"cpu cores:          {cores}",
+        f"serial wall time:   {serial_s:.2f} s  (n_workers=1)",
+        f"parallel wall time: {parallel_s:.2f} s  (n_workers={_PARALLEL_WORKERS})",
+        f"speedup:            {speedup:.2f}x",
+        "results identical:  yes (asserted)",
+    ]
+    for circuit in _CIRCUITS:
+        t = serial[circuit].telemetry
+        lines.append(
+            f"telemetry {circuit}: {t.evaluations} evaluations, "
+            f"{t.cache_hits} cost-cache hits ({t.cache_hit_rate:.1%} hit rate)"
+        )
+    save_result("sweep_speedup", "\n".join(lines))
+
+    if cores >= 2:
+        assert speedup >= _SPEEDUP_TARGET, (
+            f"expected >= {_SPEEDUP_TARGET}x speedup with "
+            f"{_PARALLEL_WORKERS} workers on {cores} cores, got {speedup:.2f}x"
+        )

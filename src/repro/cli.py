@@ -27,7 +27,13 @@ from .dfg import Design, flatten, op_histogram, parse_design, validate_design
 from .errors import ReproError
 from .library import default_library
 from .power import image_traces, speech_traces, white_traces
-from .reporting import quick_config, render_table3, render_table4, run_sweep
+from .reporting import (
+    quick_config,
+    render_stats,
+    render_table3,
+    render_table4,
+    run_sweep,
+)
 from .rtl import emit_controller, emit_netlist
 from .synthesis import SynthesisConfig, synthesize, synthesize_flat, voltage_scale
 from .synthesis.library_gen import build_complex_library
@@ -79,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace length used for power estimation")
     synth.add_argument("--seed", type=int, default=0)
     synth.add_argument("--effort", choices=("quick", "full"), default="quick")
+    synth.add_argument("--workers", type=int, default=1,
+                       help="processes for the (Vdd, clock) operating-point "
+                            "sweep (1 = serial; results are identical)")
+    synth.add_argument("--stats", action="store_true",
+                       help="print synthesis telemetry (evaluations, cost-cache "
+                            "hit rate, moves per family, stage times)")
     synth.add_argument("--netlist", type=Path, default=None,
                        help="write the structural datapath netlist here")
     synth.add_argument("--fsm", type=Path, default=None,
@@ -89,6 +101,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated benchmark names")
     tables.add_argument("--laxity-factors", default="1.2,2.2",
                         help="comma-separated laxity factors")
+    tables.add_argument("--workers", type=int, default=1,
+                        help="processes for each run's operating-point sweep")
 
     hier = sub.add_parser(
         "hierarchize",
@@ -129,6 +143,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         design = _load_design(args.design)
 
     config = quick_config() if args.effort == "quick" else SynthesisConfig()
+    config.n_workers = args.workers
     library = default_library()
     if not args.no_library and not args.flatten and any(
         dfg.hier_nodes() for dfg in design.dfgs()
@@ -164,6 +179,9 @@ def _cmd_synth(args: argparse.Namespace) -> int:
           f"(budget {result.solution.deadline_cycles})")
     print(f"sampling:       {result.sampling_ns:.1f} ns")
     print(f"synthesis time: {result.elapsed_s:.2f} s")
+    if args.stats:
+        print()
+        print(render_stats(result.telemetry))
 
     if args.netlist:
         args.netlist.write_text(emit_netlist(result.netlist()) + "\n")
@@ -177,10 +195,12 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 def _cmd_tables(args: argparse.Namespace) -> int:
     circuits = tuple(c.strip() for c in args.circuits.split(",") if c.strip())
     laxities = tuple(float(x) for x in args.laxity_factors.split(","))
+    config = quick_config()
+    config.n_workers = args.workers
     results = run_sweep(
         circuits=circuits,
         laxity_factors=laxities,
-        config=quick_config(),
+        config=config,
         verbose=True,
     )
     print()

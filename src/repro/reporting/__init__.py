@@ -1,6 +1,7 @@
 """Experiment harness: regenerate the paper's tables from the library."""
 
 from .export import cell_to_dict, result_to_dict, save_sweep_json, sweep_to_dict
+from .stats import render_stats
 from .summary import HeadlineClaims, compute_claims, render_claims
 from .sweep import (
     CellResult,
@@ -28,6 +29,7 @@ __all__ = [
     "render_claims",
     "fmt",
     "quick_config",
+    "render_stats",
     "render_table",
     "render_table3",
     "render_table4",

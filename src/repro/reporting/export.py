@@ -31,6 +31,7 @@ def result_to_dict(result: SynthesisResult) -> dict[str, Any]:
         "sampling_ns": result.sampling_ns,
         "schedule_cycles": result.metrics.schedule_length,
         "elapsed_s": result.elapsed_s,
+        "telemetry": result.telemetry.as_dict(),
     }
 
 

@@ -1,0 +1,47 @@
+"""Rendering of synthesis-run telemetry (the CLI's ``--stats`` view).
+
+The engine counts what it did — evaluations, cost-cache hits, moves
+tried and committed per family (A/B/C/D), operating points explored,
+and per-stage wall time — in a :class:`~repro.telemetry.Telemetry`
+attached to every :class:`~repro.synthesis.api.SynthesisResult`.  This
+module turns one into the same plain-text table style the experiment
+harness uses.
+"""
+
+from __future__ import annotations
+
+from ..telemetry import Telemetry
+from .tables import render_table
+
+__all__ = ["render_stats"]
+
+_FAMILY_LABELS = {
+    "A": "A (module selection)",
+    "B": "B (resynthesis)",
+    "C": "C (sharing/embedding)",
+    "D": "D (splitting)",
+}
+
+
+def render_stats(telemetry: Telemetry, title: str = "Synthesis statistics") -> str:
+    """Render telemetry counters as a plain-text table."""
+    rows: list[tuple[str, object]] = [
+        ("evaluations", telemetry.evaluations),
+        ("cost-cache hits", telemetry.cache_hits),
+        ("cost-cache misses", telemetry.cache_misses),
+        ("cost-cache hit rate", f"{telemetry.cache_hit_rate:.1%}"),
+        ("points explored", telemetry.points_explored),
+        ("points skipped", telemetry.points_skipped),
+    ]
+    for family in sorted(set(telemetry.moves_tried) | set(telemetry.moves_committed)):
+        label = _FAMILY_LABELS.get(family, family)
+        rows.append(
+            (
+                f"moves {label}",
+                f"{telemetry.moves_tried.get(family, 0)} tried / "
+                f"{telemetry.moves_committed.get(family, 0)} committed",
+            )
+        )
+    for stage, seconds in sorted(telemetry.stage_s.items()):
+        rows.append((f"time: {stage}", f"{seconds:.3f} s"))
+    return render_table(("counter", "value"), rows, title=title)

@@ -17,7 +17,9 @@ characterization + RTL-embedding merges), :mod:`pruning` (Vdd/clock
 sets) and :mod:`datapath_build` (netlist + FSM construction).
 """
 
+from ..telemetry import Telemetry
 from .api import SynthesisResult, synthesize, synthesize_flat, voltage_scale
+from .caching import LRUCache
 from .context import SynthesisConfig, SynthesisEnv, ensure_behavior
 from .costs import EvaluationContext, Metrics, Objective, area_of
 from .datapath_build import build_controller, build_netlist
@@ -43,7 +45,9 @@ __all__ = [
     "Candidate",
     "EvaluationContext",
     "Instance",
+    "LRUCache",
     "Metrics",
+    "Telemetry",
     "ModuleInternal",
     "Objective",
     "PassRecord",

@@ -15,7 +15,10 @@ as the schedule's slack allows, and re-estimate power.
 
 from __future__ import annotations
 
+import pickle
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from ..dfg.flatten import flatten
@@ -28,6 +31,7 @@ from ..power.simulate import SimTrace, simulate_subgraph
 from ..power.traces import TraceSet, default_traces
 from ..rtl.components import DatapathNetlist
 from ..rtl.controller import FSMController
+from ..telemetry import Telemetry
 from .context import SynthesisConfig, SynthesisEnv
 from .costs import EvaluationContext, Metrics, Objective
 from .datapath_build import build_controller, build_netlist
@@ -55,6 +59,7 @@ class SynthesisResult:
     library: ModuleLibrary
     sim: SimTrace
     history: dict[tuple[float, float], list[PassRecord]] = field(default_factory=dict)
+    telemetry: Telemetry = field(default_factory=Telemetry)
 
     @property
     def area(self) -> float:
@@ -132,6 +137,112 @@ def synthesize_flat(
     )
 
 
+@dataclass
+class _PointOutcome:
+    """Result of one (Vdd, clock) operating point of the sweep."""
+
+    vdd: float
+    clk_ns: float
+    solution: Solution | None
+    metrics: Metrics | None
+    history: list[PassRecord]
+
+
+def _run_point(
+    env: SynthesisEnv,
+    sim: SimTrace,
+    sampling_ns: float,
+    vdd: float,
+    clk_ns: float,
+) -> _PointOutcome:
+    """Synthesize one operating point: initial solution + improvement.
+
+    Every point is independent of every other — it owns its initial
+    solution and improvement trajectory, and all mutable per-point state
+    (module cache, resynthesis memo, name counter, cost caches) lives in
+    *env*, which the caller either resets between points (serial sweep)
+    or instantiates fresh per worker (parallel sweep).
+    """
+    top = env.design.top
+    t0 = time.perf_counter()
+    init = initial_solution(env, top, sim, clk_ns, vdd, sampling_ns)
+    env.telemetry.add_time("initial", time.perf_counter() - t0)
+    # A structurally hopeless point (even the unconstrained makespan far
+    # beyond the budget) is skipped; a borderline miss is still
+    # improved, since moves (e.g. replacing a quantization-wasteful
+    # module) can recover feasibility.
+    if init.schedule().length > 2 * init.deadline_cycles:
+        env.telemetry.points_skipped += 1
+        return _PointOutcome(vdd, clk_ns, None, None, [])
+    env.telemetry.points_explored += 1
+    point_history: list[PassRecord] = []
+    t1 = time.perf_counter()
+    improved = improve_solution(env, init, sim, history=point_history)
+    metrics = env.context(sim).evaluate(improved)
+    env.telemetry.add_time("improve", time.perf_counter() - t1)
+    return _PointOutcome(vdd, clk_ns, improved, metrics, point_history)
+
+
+def _point_worker(
+    payload: tuple[
+        Design, ModuleLibrary, Objective, SynthesisConfig, SimTrace, float,
+        float, float,
+    ],
+) -> tuple[_PointOutcome, Telemetry]:
+    """Process-pool entry: run one operating point in a fresh env.
+
+    A fresh :class:`SynthesisEnv` is bit-equivalent to a reset one (name
+    counter at zero, empty caches), so worker results match the serial
+    sweep exactly.  The worker's telemetry rides back with the outcome
+    for the parent to merge.
+    """
+    design, library, objective, config, sim, sampling_ns, vdd, clk_ns = payload
+    env = SynthesisEnv(design, library, objective, config)
+    outcome = _run_point(env, sim, sampling_ns, vdd, clk_ns)
+    return outcome, env.telemetry
+
+
+def _sweep_points(
+    env: SynthesisEnv,
+    sim: SimTrace,
+    sampling_ns: float,
+    points: list[tuple[float, float]],
+) -> list[_PointOutcome]:
+    """Run every operating point, in parallel when configured.
+
+    Outcomes are returned in the order of *points* regardless of worker
+    completion order, so best-solution selection (strict ``<`` on the
+    objective) is identical to the serial sweep.  Pool failures
+    (platforms without process support, unpicklable payloads) fall back
+    to the serial path.
+    """
+    n_workers = max(1, env.config.n_workers)
+    if n_workers > 1 and len(points) > 1:
+        payloads = [
+            (env.design, env.library, env.objective, env.config, sim,
+             sampling_ns, vdd, clk_ns)
+            for vdd, clk_ns in points
+        ]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(points))
+            ) as pool:
+                paired = list(pool.map(_point_worker, payloads))
+        except (OSError, ImportError, BrokenProcessPool,
+                pickle.PicklingError):
+            paired = None
+        if paired is not None:
+            for _outcome, worker_telemetry in paired:
+                env.telemetry.merge(worker_telemetry)
+            return [outcome for outcome, _tel in paired]
+
+    outcomes: list[_PointOutcome] = []
+    for vdd, clk_ns in points:
+        env.reset_point_caches()
+        outcomes.append(_run_point(env, sim, sampling_ns, vdd, clk_ns))
+    return outcomes
+
+
 def _synthesize(
     design: Design,
     library: ModuleLibrary | None,
@@ -162,10 +273,10 @@ def _synthesize(
     top = design.top
     traces = _prepare_traces(design, traces, n_samples)
     input_streams = [traces[name] for name in top.inputs]
-    sim = simulate_subgraph(design, top, input_streams)
-
     env = SynthesisEnv(design, library, objective, config)
-    ctx = env.context(sim)
+    t_sim = time.perf_counter()
+    sim = simulate_subgraph(design, top, input_streams)
+    env.telemetry.add_time("simulate", time.perf_counter() - t_sim)
 
     vdds = candidate_vdds(design, library, sampling_ns)
     if objective == "area":
@@ -178,28 +289,32 @@ def _synthesize(
             "the minimum critical path at every supply voltage"
         )
 
-    best: tuple[float, Solution, Metrics, float, float] | None = None
-    history: dict[tuple[float, float], list[PassRecord]] = {}
-    for vdd in vdds:
+    points = [
+        (vdd, clk_ns)
+        for vdd in vdds
         for clk_ns in candidate_clocks(
             library, vdd, sampling_ns, n_clocks=env.config.n_clocks
-        ):
-            init = initial_solution(env, top, sim, clk_ns, vdd, sampling_ns)
-            # A structurally hopeless point (even the unconstrained
-            # makespan far beyond the budget) is skipped; a borderline
-            # miss is still improved, since moves (e.g. replacing a
-            # quantization-wasteful module) can recover feasibility.
-            if init.schedule().length > 2 * init.deadline_cycles:
-                continue
-            point_history: list[PassRecord] = []
-            improved = improve_solution(env, init, sim, history=point_history)
-            metrics = ctx.evaluate(improved)
-            history[(vdd, clk_ns)] = point_history
-            if not metrics.feasible:
-                continue
-            value = metrics.objective_value(objective)
-            if best is None or value < best[0]:
-                best = (value, improved, metrics, vdd, clk_ns)
+        )
+    ]
+
+    t_sweep = time.perf_counter()
+    outcomes = _sweep_points(env, sim, sampling_ns, points)
+    env.telemetry.add_time("sweep", time.perf_counter() - t_sweep)
+
+    best: tuple[float, Solution, Metrics, float, float] | None = None
+    history: dict[tuple[float, float], list[PassRecord]] = {}
+    for outcome in outcomes:
+        if outcome.solution is None or outcome.metrics is None:
+            continue
+        history[(outcome.vdd, outcome.clk_ns)] = outcome.history
+        if not outcome.metrics.feasible:
+            continue
+        value = outcome.metrics.objective_value(objective)
+        if best is None or value < best[0]:
+            best = (
+                value, outcome.solution, outcome.metrics,
+                outcome.vdd, outcome.clk_ns,
+            )
 
     if best is None:
         raise SynthesisError(
@@ -221,6 +336,7 @@ def _synthesize(
         library=library,
         sim=sim,
         history=history,
+        telemetry=env.telemetry,
     )
 
 
@@ -240,18 +356,18 @@ def voltage_scale(
     With ``continuous=True`` the supply is scaled "to just meet the
     sampling period constraint" (Table 4's Vdd-sc column) instead of
     snapping to the discrete library voltages.
+
+    The returned result (when scaling wins) reports ``elapsed_s`` as the
+    original synthesis time **plus** the time spent scaling, and the
+    candidate list is deduplicated — a continuous candidate that lands
+    on a discrete library voltage is evaluated once, not twice.
     """
-    from ..library.voltage import vdd_for_delay_scale
+    started = time.perf_counter()
 
     base_scale = delay_scale(result.vdd)
     length = result.solution.schedule().length
-    candidates: list[float] = [v for v in voltages if v < result.vdd]
-    if continuous:
-        slack_factor = result.sampling_ns / max(length * result.clk_ns, 1e-9)
-        exact = vdd_for_delay_scale(base_scale * slack_factor)
-        if exact is not None and exact < result.vdd:
-            candidates.append(exact)
-    best: SynthesisResult = result
+    candidates = _scale_candidates(result, voltages, continuous)
+    best: tuple[Solution, Metrics, float, float] | None = None
     for vdd in candidates:
         stretch = delay_scale(vdd) / base_scale
         new_clk = result.clk_ns * stretch
@@ -265,19 +381,57 @@ def voltage_scale(
         metrics = ctx.evaluate(scaled)
         if not metrics.feasible:
             continue
-        if metrics.power < best.metrics.power:
-            best = SynthesisResult(
-                solution=scaled,
-                metrics=metrics,
-                objective=result.objective,
-                vdd=vdd,
-                clk_ns=new_clk,
-                sampling_ns=result.sampling_ns,
-                elapsed_s=result.elapsed_s,
-                flattened=result.flattened,
-                design=result.design,
-                library=result.library,
-                sim=result.sim,
-                history=result.history,
-            )
-    return best
+        best_power = best[1].power if best is not None else result.metrics.power
+        if metrics.power < best_power:
+            best = (scaled, metrics, vdd, new_clk)
+
+    if best is None:
+        return result
+    solution, metrics, vdd, new_clk = best
+    return SynthesisResult(
+        solution=solution,
+        metrics=metrics,
+        objective=result.objective,
+        vdd=vdd,
+        clk_ns=new_clk,
+        sampling_ns=result.sampling_ns,
+        elapsed_s=result.elapsed_s + (time.perf_counter() - started),
+        flattened=result.flattened,
+        design=result.design,
+        library=result.library,
+        sim=result.sim,
+        history=result.history,
+        telemetry=result.telemetry,
+    )
+
+
+def _scale_candidates(
+    result: SynthesisResult,
+    voltages: tuple[float, ...],
+    continuous: bool,
+) -> list[float]:
+    """Deduplicated candidate supplies below the result's Vdd.
+
+    The continuous just-meets-the-period candidate can coincide with a
+    discrete library voltage (when the schedule's slack is an exact CMOS
+    delay ratio); evaluating it twice wastes a full netlist + power pass
+    for an identical answer.
+    """
+    from ..library.voltage import vdd_for_delay_scale
+
+    candidates: list[float] = []
+
+    def add(v: float) -> None:
+        if v < result.vdd and not any(abs(v - c) < 1e-9 for c in candidates):
+            candidates.append(v)
+
+    for v in voltages:
+        add(v)
+    if continuous:
+        base_scale = delay_scale(result.vdd)
+        length = result.solution.schedule().length
+        slack_factor = result.sampling_ns / max(length * result.clk_ns, 1e-9)
+        exact = vdd_for_delay_scale(base_scale * slack_factor)
+        if exact is not None:
+            add(exact)
+    return candidates

@@ -1,0 +1,80 @@
+"""Small bounded LRU cache used by the synthesis engine's memo layers.
+
+Python's ``functools.lru_cache`` memoizes *functions*; the engine needs
+an explicit mapping it can key by structural fingerprints, clear between
+operating points, and share across evaluation contexts — hence this
+minimal dict-backed implementation (dicts preserve insertion order, so
+moving a key to the end on access gives LRU eviction for free).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+__all__ = ["LRUCache"]
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A mapping bounded to ``maxsize`` entries with LRU eviction.
+
+    ``maxsize <= 0`` disables storage entirely (every lookup misses),
+    which is how the cost cache is switched off for A/B comparisons.
+    """
+
+    _MISSING = object()
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._data: dict[K, V] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        value = self._data.get(key, self._MISSING)
+        if value is self._MISSING:
+            self.misses += 1
+            return default
+        # Refresh recency: move the key to the end of insertion order.
+        del self._data[key]
+        self._data[key] = value  # type: ignore[assignment]
+        self.hits += 1
+        return value  # type: ignore[return-value]
+
+    def put(self, key: K, value: V) -> None:
+        if self.maxsize <= 0:
+            return
+        if key in self._data:
+            del self._data[key]
+        elif len(self._data) >= self.maxsize:
+            self._data.pop(next(iter(self._data)))
+        self._data[key] = value
+
+    def __getitem__(self, key: K) -> V:
+        value = self.get(key, self._MISSING)  # type: ignore[arg-type]
+        if value is self._MISSING:
+            raise KeyError(key)
+        return value  # type: ignore[return-value]
+
+    def __setitem__(self, key: K, value: V) -> None:
+        self.put(key, value)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LRUCache({len(self._data)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

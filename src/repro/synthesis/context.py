@@ -21,7 +21,9 @@ from ..errors import LibraryError
 from ..library.library import ModuleLibrary
 from ..power.simulate import SimTrace, simulate_subgraph
 from ..rtl.module import RTLModule
-from .costs import EvaluationContext, Objective
+from ..telemetry import Telemetry
+from .caching import LRUCache
+from .costs import DEFAULT_COST_CACHE_SIZE, EvaluationContext, Objective
 
 __all__ = ["SynthesisConfig", "SynthesisEnv", "ensure_behavior"]
 
@@ -57,6 +59,14 @@ class SynthesisConfig:
     enable_resynthesis: bool = True
     #: Enable RTL embedding when sharing complex modules of different types.
     enable_embedding: bool = True
+    #: Worker processes for the outer (Vdd, clock) operating-point sweep.
+    #: 1 = serial; >1 fans the independent points out over a process
+    #: pool (results are bit-identical to the serial path).
+    n_workers: int = 1
+    #: Bound on the fingerprint-keyed cost cache (0 disables memoization).
+    cost_cache_size: int = DEFAULT_COST_CACHE_SIZE
+    #: Bound on the per-point module / resynthesis memo caches.
+    module_cache_size: int = 256
 
 
 class SynthesisEnv:
@@ -73,18 +83,66 @@ class SynthesisEnv:
         self.library = library
         self.objective = objective
         self.config = config or SynthesisConfig()
+        self.telemetry = Telemetry()
+        cap = self.config.module_cache_size
         #: Modules synthesized on demand, keyed by (behavior, clk, vdd).
-        self.module_cache: dict[tuple[str, float, float], RTLModule] = {}
+        self.module_cache: LRUCache[tuple[str, float, float], RTLModule] = (
+            LRUCache(cap)
+        )
+        #: Move-B resynthesis memo, keyed by
+        #: (module name, node, budget, clk, vdd).  Generated module names
+        #: are only unique within one operating point, so this cache (and
+        #: module_cache) must be dropped between points — see
+        #: :meth:`reset_point_caches`.
+        self._resynth_cache: LRUCache[tuple, RTLModule | None] = LRUCache(cap)
+        #: Re-entrancy guard: move B never descends more than one level.
+        self._resynth_active = False
         #: Fresh-name counter for generated module types.
         self._module_counter = 0
+        #: One shared EvaluationContext per SimTrace object, so the cost
+        #: cache persists across the many context() calls of one point.
+        #: The context holds the sim strongly, keeping id() keys valid.
+        self._contexts: dict[int, EvaluationContext] = {}
 
     def fresh_module_name(self, behavior: str) -> str:
         self._module_counter += 1
         return f"{behavior}_v{self._module_counter}"
 
+    def reset_point_caches(self) -> None:
+        """Drop per-operating-point state between (Vdd, clock) points.
+
+        Generated module names restart from ``_v1`` at every point, so a
+        cache entry surviving from another point could be hit through a
+        name collision while describing a module characterized at a
+        different (clk, vdd).  Resetting the counter too makes the names
+        (and thus results) of the serial sweep bit-identical to the
+        parallel sweep, which runs every point in a fresh worker.
+        Telemetry is cumulative and deliberately survives the reset.
+        """
+        self.module_cache.clear()
+        self._resynth_cache.clear()
+        self._resynth_active = False
+        self._module_counter = 0
+        self._contexts.clear()
+
     def context(self, sim: SimTrace) -> EvaluationContext:
-        """Evaluation context for a DFG simulated at path ``()``."""
-        return EvaluationContext(sim, (), self.objective)
+        """Evaluation context (with shared cost cache) for *sim* at path ``()``."""
+        ctx = self._contexts.get(id(sim))
+        if ctx is None:
+            ctx = EvaluationContext(
+                sim,
+                (),
+                self.objective,
+                telemetry=self.telemetry,
+                cache_size=self.config.cost_cache_size,
+            )
+            # Bounded: evict the oldest context (and its strong sim ref;
+            # live id() keys stay valid because live contexts pin their
+            # sim objects).
+            while len(self._contexts) >= 64:
+                self._contexts.pop(next(iter(self._contexts)))
+            self._contexts[id(sim)] = ctx
+        return ctx
 
     def sub_sim(self, dfg: DFG, input_streams: list[np.ndarray]) -> SimTrace:
         """Simulate a sub-behavior fed by its parent's streams."""

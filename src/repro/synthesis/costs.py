@@ -33,10 +33,22 @@ from ..power.estimator import (
 )
 from ..power.simulate import SimTrace
 from ..rtl.components import DatapathNetlist
+from ..telemetry import Telemetry
+from .caching import LRUCache
 from .datapath_build import build_netlist, operand_port_map
 from .solution import Solution
 
-__all__ = ["Objective", "Metrics", "EvaluationContext", "area_of"]
+__all__ = [
+    "Objective",
+    "Metrics",
+    "EvaluationContext",
+    "area_of",
+    "DEFAULT_COST_CACHE_SIZE",
+]
+
+#: Default bound on the fingerprint-keyed cost cache (entries, not bytes;
+#: one entry holds a Metrics record).
+DEFAULT_COST_CACHE_SIZE = 4096
 
 Objective = Literal["area", "power"]
 
@@ -95,10 +107,17 @@ class EvaluationContext:
         sim: SimTrace,
         path: tuple[str, ...],
         objective: Objective,
+        telemetry: Telemetry | None = None,
+        cache_size: int = DEFAULT_COST_CACHE_SIZE,
     ):
         self.sim = sim
         self.path = path
         self.objective = objective
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: Memoized full evaluations, keyed by solution fingerprint.  The
+        #: KL loop re-generates thousands of structurally identical
+        #: candidates across steps and passes; pricing them is a lookup.
+        self._cost_cache: LRUCache[tuple, Metrics] = LRUCache(cache_size)
 
     # ------------------------------------------------------------------
     def _operand_streams(
@@ -129,7 +148,26 @@ class EvaluationContext:
 
     # ------------------------------------------------------------------
     def evaluate(self, solution: Solution) -> Metrics:
-        """Full area/power evaluation of *solution*."""
+        """Area/power evaluation of *solution*, memoized by fingerprint.
+
+        Two solutions with equal :meth:`~repro.synthesis.solution.
+        Solution.fingerprint` evaluate identically, so the second one is
+        answered from the cache without rebuilding the netlist or
+        re-running trace-driven power estimation.
+        """
+        self.telemetry.evaluations += 1
+        key = solution.fingerprint()
+        cached = self._cost_cache.get(key)
+        if cached is not None:
+            self.telemetry.cache_hits += 1
+            return cached
+        self.telemetry.cache_misses += 1
+        metrics = self._evaluate_uncached(solution)
+        self._cost_cache.put(key, metrics)
+        return metrics
+
+    def _evaluate_uncached(self, solution: Solution) -> Metrics:
+        """Full evaluation: netlist rebuild + trace-driven estimation."""
         netlist = build_netlist(solution)
         area = area_of(solution, netlist)
         sched = solution.schedule()
@@ -224,14 +262,16 @@ class EvaluationContext:
                 )
             )
 
+        # Reuse the fanin map computed above; a same-named loop variable
+        # here used to shadow the dict captured by the glitches() closure.
         mux_usages: list[MuxUsage] = []
-        for (_dst, _port), fanin in netlist.fanin_ports().items():
-            if fanin > 1:
+        for (_dst, _port), n_srcs in fanin.items():
+            if n_srcs > 1:
                 mux_usages.append(
                     MuxUsage(
                         cell=solution.library.mux_cell,
-                        n_inputs=fanin,
-                        accesses_per_sample=fanin,
+                        n_inputs=n_srcs,
+                        accesses_per_sample=n_srcs,
                     )
                 )
 

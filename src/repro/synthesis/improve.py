@@ -56,6 +56,7 @@ def _best(
     """Price all candidates, return the cheapest feasible-or-not one."""
     best: ScoredMove | None = None
     for candidate in candidates:
+        ctx.telemetry.count_move_tried(candidate.kind)
         cost = ctx.cost(candidate.solution)
         if math.isinf(cost):
             continue
@@ -121,6 +122,8 @@ def improve_solution(
             current = sequence[best_idx][0].solution
             current_cost = best_cost
             committed = best_idx + 1
+            for candidate, _cost in sequence[:committed]:
+                ctx.telemetry.count_move_committed(candidate.kind)
 
         if history is not None:
             history.append(
@@ -154,16 +157,15 @@ def resynthesize_module(
     successive iterations, because each committed move B publishes a new
     resynthesizable module).
     """
-    if getattr(env, "_resynth_active", False):
+    if env._resynth_active:
         return None
 
     # Resynthesizing the same module under the same budget for the same
-    # node is deterministic; memoize per run (the move generator asks
-    # again every KL step).
-    cache = getattr(env, "_resynth_cache", None)
-    if cache is None:
-        cache = {}
-        env._resynth_cache = cache
+    # node is deterministic; memoize per operating point (the move
+    # generator asks again every KL step).  The cache is declared in
+    # SynthesisEnv.__init__, bounded, and cleared between points by
+    # env.reset_point_caches().
+    cache = env._resynth_cache
     cache_key = (module.name, node_id, budget_cycles, parent.clk_ns, parent.vdd)
     if cache_key in cache:
         return cache[cache_key]

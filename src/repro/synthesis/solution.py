@@ -83,6 +83,7 @@ class Solution:
         self._schedule: ScheduleResult | None = None
         self._tasks: list[TaskSpec] | None = None
         self._task_index: dict[str, TaskSpec] = {}
+        self._fingerprint: tuple | None = None
 
     # ------------------------------------------------------------------
     # Identity helpers
@@ -198,9 +199,45 @@ class Solution:
         return twin
 
     def invalidate(self) -> None:
-        """Drop cached schedule/tasks after any mutation."""
+        """Drop cached schedule/tasks/fingerprint after any mutation."""
         self._schedule = None
         self._tasks = None
+        self._fingerprint = None
+
+    def fingerprint(self) -> tuple:
+        """Structural identity of this solution (cost-cache key).
+
+        Captures everything :meth:`EvaluationContext.evaluate
+        <repro.synthesis.costs.EvaluationContext.evaluate>` depends on:
+        the DFG, the operating point, every instance with its bound
+        executions (in insertion order — task creation and hence the
+        scheduler see that order), and the register binding.  Module
+        instances are identified by module name; generated names are
+        unique per synthesis point, so equal fingerprints imply equal
+        evaluation results.  Cached until :meth:`invalidate`.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = (
+                self.dfg.name,
+                id(self.dfg),
+                self.clk_ns,
+                self.vdd,
+                self.sampling_ns,
+                tuple(
+                    (
+                        inst_id,
+                        inst.type_name,
+                        inst.is_module,
+                        tuple(self.executions[inst_id]),
+                    )
+                    for inst_id, inst in self.instances.items()
+                ),
+                tuple(
+                    (reg_id, tuple(signals))
+                    for reg_id, signals in self.reg_signals.items()
+                ),
+            )
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Queries

@@ -1,0 +1,97 @@
+"""Run telemetry: counters and wall-time for the synthesis engine.
+
+One :class:`Telemetry` instance travels with a synthesis run (owned by
+the :class:`~repro.synthesis.context.SynthesisEnv`) and records what the
+engine actually did: how many candidate solutions were priced, how often
+the memoized cost cache answered instead of a full netlist-rebuild +
+power-estimation pass, which move families (A/B/C/D) were tried and
+committed, and where the wall-clock went stage by stage.
+
+Telemetry objects are plain data — picklable and **mergeable** — so the
+parallel operating-point sweep can collect one per worker process and
+fold them into the run-level totals.  They are surfaced on
+:class:`~repro.synthesis.api.SynthesisResult`, in the JSON export, and
+behind the CLI's ``--stats`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Telemetry", "move_family"]
+
+
+def move_family(kind: str) -> str:
+    """Collapse a candidate kind (``"C-share-fu"``) to its family (``"C"``)."""
+    return kind.split("-", 1)[0]
+
+
+@dataclass
+class Telemetry:
+    """Counters and timings for one synthesis run (or one sweep point)."""
+
+    #: Total ``EvaluationContext.evaluate()`` calls (hits + misses).
+    evaluations: int = 0
+    #: Evaluations answered from the fingerprint-keyed cost cache.
+    cache_hits: int = 0
+    #: Full evaluations (netlist rebuild + power estimation).
+    cache_misses: int = 0
+    #: Operating points explored / skipped as structurally hopeless.
+    points_explored: int = 0
+    points_skipped: int = 0
+    #: Candidate moves priced, keyed by family ("A", "B", "C", "D").
+    moves_tried: dict[str, int] = field(default_factory=dict)
+    #: Moves in committed KL prefixes, keyed by family.
+    moves_committed: dict[str, int] = field(default_factory=dict)
+    #: Wall seconds per stage ("simulate", "initial", "improve", ...).
+    stage_s: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def count_move_tried(self, kind: str, n: int = 1) -> None:
+        family = move_family(kind)
+        self.moves_tried[family] = self.moves_tried.get(family, 0) + n
+
+    def count_move_committed(self, kind: str, n: int = 1) -> None:
+        family = move_family(kind)
+        self.moves_committed[family] = self.moves_committed.get(family, 0) + n
+
+    def add_time(self, stage: str, seconds: float) -> None:
+        self.stage_s[stage] = self.stage_s.get(stage, 0.0) + seconds
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of evaluations served by the cost cache (0 when idle)."""
+        if self.evaluations == 0:
+            return 0.0
+        return self.cache_hits / self.evaluations
+
+    def merge(self, other: "Telemetry") -> "Telemetry":
+        """Fold *other*'s counts into this instance (returns self)."""
+        self.evaluations += other.evaluations
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.points_explored += other.points_explored
+        self.points_skipped += other.points_skipped
+        for family, n in other.moves_tried.items():
+            self.moves_tried[family] = self.moves_tried.get(family, 0) + n
+        for family, n in other.moves_committed.items():
+            self.moves_committed[family] = self.moves_committed.get(family, 0) + n
+        for stage, s in other.stage_s.items():
+            self.add_time(stage, s)
+        return self
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-data view (JSON export and the CLI ``--stats`` output)."""
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "points_explored": self.points_explored,
+            "points_skipped": self.points_skipped,
+            "moves_tried": dict(sorted(self.moves_tried.items())),
+            "moves_committed": dict(sorted(self.moves_committed.items())),
+            "stage_s": {k: round(v, 6) for k, v in sorted(self.stage_s.items())},
+        }

@@ -1,0 +1,64 @@
+"""Determinism of the parallel operating-point sweep.
+
+The outer (Vdd, clock) loop fans out over a process pool when
+``SynthesisConfig.n_workers > 1``; every point runs in a fresh
+:class:`~repro.synthesis.context.SynthesisEnv`, which must be
+bit-equivalent to the serial path's reset-between-points env.  These
+tests pin that contract on two paper benchmarks.
+"""
+
+import pytest
+
+from repro.bench_suite import get_benchmark
+from repro.power import speech_traces
+from repro.synthesis import SynthesisConfig, synthesize
+
+
+def _config(n_workers: int) -> SynthesisConfig:
+    return SynthesisConfig(
+        max_moves=6,
+        max_passes=2,
+        max_ab_targets=4,
+        max_share_pairs=8,
+        max_split_candidates=4,
+        n_clocks=2,
+        resynth_passes=1,
+        resynth_moves=4,
+        n_workers=n_workers,
+    )
+
+
+def _run(circuit: str, n_workers: int):
+    design = get_benchmark(circuit)
+    traces = speech_traces(design.top, n=24, seed=3)
+    return synthesize(
+        design,
+        laxity_factor=2.2,
+        objective="power",
+        traces=traces,
+        config=_config(n_workers),
+        n_samples=24,
+    )
+
+
+@pytest.mark.parametrize("circuit", ["test1", "paulin"])
+def test_parallel_matches_serial(circuit):
+    serial = _run(circuit, n_workers=1)
+    parallel = _run(circuit, n_workers=4)
+
+    assert (parallel.area, parallel.power, parallel.vdd, parallel.clk_ns) == (
+        serial.area, serial.power, serial.vdd, serial.clk_ns
+    )
+    # The whole trajectory matches, not just the winner: the merged
+    # worker telemetry equals the serial sweep's cumulative counts.
+    assert parallel.telemetry.evaluations == serial.telemetry.evaluations
+    assert parallel.telemetry.cache_hits == serial.telemetry.cache_hits
+    assert parallel.telemetry.moves_tried == serial.telemetry.moves_tried
+    assert parallel.telemetry.moves_committed == serial.telemetry.moves_committed
+    assert parallel.telemetry.points_explored == serial.telemetry.points_explored
+
+
+def test_cost_cache_earns_hits_on_paulin():
+    result = _run("paulin", n_workers=1)
+    assert result.telemetry.cache_hits > 0
+    assert result.telemetry.cache_hit_rate > 0.0

@@ -107,3 +107,51 @@ class TestVoltageScale:
         assert scaled.solution.schedule().length == (
             area_opt.solution.schedule().length
         )
+
+    def test_candidates_deduplicated(self, results):
+        """Regression: a continuous candidate landing on a discrete
+        library voltage used to be evaluated twice."""
+        from repro.synthesis.api import _scale_candidates
+
+        area_opt, _ = results
+        candidates = _scale_candidates(area_opt, (3.3, 3.3, 2.4), True)
+        assert len(candidates) == len(set(candidates))
+        for a, b in [(a, b) for a in candidates for b in candidates if a is not b]:
+            assert abs(a - b) >= 1e-9
+        assert all(v < area_opt.vdd for v in candidates)
+
+    def test_scaling_time_accounted(self, results):
+        """Regression: the time spent scaling used to vanish — the scaled
+        result reported only the original synthesis elapsed_s."""
+        area_opt, _ = results
+        scaled = voltage_scale(area_opt, continuous=True)
+        if scaled is not area_opt:  # scaling won: elapsed must grow
+            assert scaled.elapsed_s > area_opt.elapsed_s
+
+    def test_no_improvement_returns_original(self, results):
+        _, power_opt = results
+        scaled = voltage_scale(power_opt, voltages=(power_opt.vdd,))
+        assert scaled is power_opt
+
+    def test_telemetry_carried_through(self, results):
+        area_opt, _ = results
+        scaled = voltage_scale(area_opt, continuous=True)
+        assert scaled.telemetry is area_opt.telemetry
+
+
+class TestTelemetryOnResult:
+    def test_counters_populated(self, results):
+        area_opt, _ = results
+        t = area_opt.telemetry
+        assert t.evaluations > 0
+        assert t.evaluations == t.cache_hits + t.cache_misses
+        assert t.points_explored >= 1
+        assert sum(t.moves_tried.values()) > 0
+        assert set(t.stage_s) >= {"simulate", "initial", "improve", "sweep"}
+        assert all(s >= 0.0 for s in t.stage_s.values())
+
+    def test_committed_subset_of_tried(self, results):
+        area_opt, _ = results
+        t = area_opt.telemetry
+        for family, n in t.moves_committed.items():
+            assert n <= t.moves_tried.get(family, 0)

@@ -1,0 +1,88 @@
+"""Unit tests for the bounded LRU cache behind the synthesis memo layers."""
+
+from repro.synthesis.caching import LRUCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_default(self):
+        cache = LRUCache(4)
+        assert cache.get("nope") is None
+        assert cache.get("nope", -1) == -1
+
+    def test_mapping_dunders(self):
+        cache = LRUCache(4)
+        cache["k"] = "v"
+        assert cache["k"] == "v"
+        try:
+            cache["missing"]
+        except KeyError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected KeyError")
+
+    def test_stored_none_is_not_a_miss(self):
+        """The resynthesis memo stores None for failed attempts."""
+        cache = LRUCache(4)
+        cache.put("failed", None)
+        hits_before = cache.hits
+        assert cache.get("failed", "default") is None
+        assert cache.hits == hits_before + 1
+        assert cache["failed"] is None
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+
+class TestEviction:
+    def test_bounded_to_maxsize(self):
+        cache = LRUCache(3)
+        for i in range(10):
+            cache.put(i, i)
+        assert len(cache) == 3
+        assert list(cache) == [7, 8, 9]
+
+    def test_access_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("old", 1)
+        cache.put("new", 2)
+        cache.get("old")  # refresh: "new" is now least recent
+        cache.put("newest", 3)
+        assert "old" in cache
+        assert "new" not in cache
+
+    def test_overwrite_does_not_grow(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert "b" in cache
+
+    def test_zero_size_disables_storage(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+
+class TestCounters:
+    def test_hits_and_misses(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("b")
+        assert cache.hits == 2
+        assert cache.misses == 1

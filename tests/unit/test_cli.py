@@ -112,6 +112,37 @@ class TestSynth:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_stats_flag_prints_telemetry(self, design_file, capsys):
+        code = main(
+            [
+                "synth",
+                str(design_file),
+                "--laxity", "2.0",
+                "--objective", "area",
+                "--stats",
+                "--samples", "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Synthesis statistics" in out
+        assert "evaluations" in out
+        assert "cost-cache hit rate" in out
+
+    def test_workers_flag(self, design_file, capsys):
+        code = main(
+            [
+                "synth",
+                str(design_file),
+                "--laxity", "2.0",
+                "--objective", "area",
+                "--workers", "2",
+                "--samples", "16",
+            ]
+        )
+        assert code == 0
+        assert "area:" in capsys.readouterr().out
+
     def test_trace_family_choices(self, design_file):
         for family in ("white", "image"):
             code = main(

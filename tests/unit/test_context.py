@@ -44,3 +44,47 @@ class TestEnv:
     def test_context_objective(self, flat_design, library, flat_sim):
         env = SynthesisEnv(flat_design, library, "area")
         assert env.context(flat_sim).objective == "area"
+
+    def test_context_shared_per_sim(self, flat_design, library, flat_sim):
+        """One EvaluationContext per SimTrace, so the cost cache persists
+        across the many context() calls within one operating point."""
+        env = SynthesisEnv(flat_design, library, "power")
+        assert env.context(flat_sim) is env.context(flat_sim)
+
+    def test_caches_declared_and_bounded(self, flat_design, library):
+        """Regression: the memo caches used to be bootstrapped lazily via
+        getattr and could grow without bound."""
+        config = SynthesisConfig(module_cache_size=3)
+        env = SynthesisEnv(flat_design, library, "power", config)
+        for cache in (env.module_cache, env._resynth_cache):
+            for i in range(10):
+                cache.put(("beh", float(i), 5.0), None)
+            assert len(cache) == 3
+        assert env._resynth_active is False
+        assert env._module_counter == 0
+
+
+class TestResetPointCaches:
+    def test_reset_clears_per_point_state(self, flat_design, library, flat_sim):
+        env = SynthesisEnv(flat_design, library, "power")
+        env.module_cache.put(("beh", 10.0, 5.0), None)
+        env._resynth_cache.put(("mod", "n", 2, 10.0, 5.0), None)
+        env._resynth_active = True
+        env.fresh_module_name("beh")
+        env.context(flat_sim)
+
+        env.reset_point_caches()
+
+        assert len(env.module_cache) == 0
+        assert len(env._resynth_cache) == 0
+        assert env._resynth_active is False
+        assert env._contexts == {}
+        # Generated names restart, exactly as in a fresh worker env —
+        # this is what makes serial and parallel sweeps bit-identical.
+        assert env.fresh_module_name("beh") == "beh_v1"
+
+    def test_reset_preserves_cumulative_telemetry(self, flat_design, library):
+        env = SynthesisEnv(flat_design, library, "power")
+        env.telemetry.evaluations = 7
+        env.reset_point_caches()
+        assert env.telemetry.evaluations == 7

@@ -4,6 +4,7 @@ import math
 
 import pytest
 
+from repro.rtl.components import DatapathNetlist
 from repro.synthesis import EvaluationContext, area_of
 from repro.synthesis.context import SynthesisEnv
 from repro.synthesis.initial import initial_solution
@@ -58,6 +59,60 @@ class TestEvaluate:
         m = ctx.evaluate(tight)
         assert not m.feasible
         assert m.violation > 0
+
+
+class TestCostCache:
+    def test_reevaluation_hits_cache(self, ctx, solution):
+        first = ctx.evaluate(solution)
+        second = ctx.evaluate(solution.clone())
+        assert second is first  # served from the cache, not recomputed
+        assert ctx.telemetry.evaluations == 2
+        assert ctx.telemetry.cache_hits == 1
+        assert ctx.telemetry.cache_misses == 1
+
+    def test_mutated_clone_misses(self, ctx, solution, library):
+        ctx.evaluate(solution)
+        clone = solution.clone()
+        clone.set_cell(clone.instance_of("m1"), library.cell("mult2"))
+        ctx.evaluate(clone)
+        assert ctx.telemetry.cache_hits == 0
+        assert ctx.telemetry.cache_misses == 2
+
+    def test_different_operating_point_misses(self, ctx, solution):
+        base = ctx.evaluate(solution)
+        clone = solution.clone()
+        clone.vdd = 3.3
+        clone.clk_ns = solution.clk_ns * 2.0
+        other = ctx.evaluate(clone)
+        assert other is not base
+        assert ctx.telemetry.cache_hits == 0
+
+    def test_zero_cache_size_disables_memoization(self, flat_sim, solution):
+        ctx = EvaluationContext(flat_sim, (), "power", cache_size=0)
+        first = ctx.evaluate(solution)
+        second = ctx.evaluate(solution.clone())
+        assert second is not first
+        assert ctx.telemetry.cache_misses == 2
+        assert second.power == first.power  # still deterministic
+
+    def test_fanin_map_computed_once_in_evaluator(
+        self, ctx, solution, monkeypatch
+    ):
+        """Regression: the mux loop used to re-call fanin_ports() (a 4th
+        time) and shadow the dict captured by the glitches() closure.
+        Legitimate calls during one evaluation: the evaluator's own map,
+        netlist.area()'s mux inference, and mux_legs() for the
+        controller estimate."""
+        calls = []
+        original = DatapathNetlist.fanin_ports
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(DatapathNetlist, "fanin_ports", counting)
+        ctx.evaluate(solution)
+        assert len(calls) == 3
 
 
 class TestObjectiveValue:

@@ -34,6 +34,16 @@ class TestExport:
         assert data["area"] > 0
         assert data["schedule_cycles"] > 0
 
+    def test_result_dict_includes_telemetry(self, sweep):
+        cell = sweep.cell("paulin", 2.0)
+        data = result_to_dict(cell.hier_power)
+        telemetry = data["telemetry"]
+        assert telemetry["evaluations"] > 0
+        assert telemetry["evaluations"] == (
+            telemetry["cache_hits"] + telemetry["cache_misses"]
+        )
+        assert 0.0 <= telemetry["cache_hit_rate"] <= 1.0
+
     def test_sweep_dict_structure(self, sweep):
         data = sweep_to_dict(sweep)
         assert data["circuits"] == ["paulin"]

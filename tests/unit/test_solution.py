@@ -173,3 +173,33 @@ class TestClone:
     def test_clone_equal_schedule(self, solution):
         clone = solution.clone()
         assert clone.schedule().length == solution.schedule().length
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self, solution):
+        assert solution.fingerprint() is solution.fingerprint()
+
+    def test_clone_has_equal_fingerprint(self, solution):
+        assert solution.clone().fingerprint() == solution.fingerprint()
+
+    def test_mutation_changes_fingerprint(self, solution, library):
+        before = solution.fingerprint()
+        solution.set_cell(solution.instance_of("m1"), library.cell("mult2"))
+        assert solution.fingerprint() != before
+
+    def test_register_binding_in_fingerprint(self, solution):
+        before = solution.fingerprint()
+        regs = list(solution.reg_signals)
+        solution.merge_registers(regs[0], regs[1])
+        assert solution.fingerprint() != before
+
+    def test_operating_point_in_fingerprint(self, solution):
+        clone = solution.clone()
+        clone.vdd = 3.3  # fresh clone: fingerprint not yet computed
+        assert clone.fingerprint() != solution.fingerprint()
+
+    def test_clone_does_not_inherit_cached_fingerprint(self, solution):
+        solution.fingerprint()
+        clone = solution.clone()
+        clone.clk_ns = solution.clk_ns * 2
+        assert clone.fingerprint() != solution.fingerprint()
