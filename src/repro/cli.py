@@ -91,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--stats", action="store_true",
                        help="print synthesis telemetry (evaluations, cost-cache "
                             "hit rate, moves per family, stage times)")
+    synth.add_argument("--verify", action="store_true",
+                       help="differentially verify the RTL: re-check every "
+                            "committed improvement pass and the final "
+                            "architecture against the behavioral simulation")
     synth.add_argument("--netlist", type=Path, default=None,
                        help="write the structural datapath netlist here")
     synth.add_argument("--fsm", type=Path, default=None,
@@ -144,6 +148,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
     config = quick_config() if args.effort == "quick" else SynthesisConfig()
     config.n_workers = args.workers
+    config.verify_moves = args.verify
     library = default_library()
     if not args.no_library and not args.flatten and any(
         dfg.hier_nodes() for dfg in design.dfgs()
@@ -179,6 +184,15 @@ def _cmd_synth(args: argparse.Namespace) -> int:
           f"(budget {result.solution.deadline_cycles})")
     print(f"sampling:       {result.sampling_ns:.1f} ns")
     print(f"synthesis time: {result.elapsed_s:.2f} s")
+    if args.verify:
+        check = result.verify()
+        if not check.ok:
+            assert check.counterexample is not None
+            print(f"verification:   FAILED — {check.counterexample.describe()}",
+                  file=sys.stderr)
+            return 1
+        print(f"verification:   OK ({check.n_samples} samples, "
+              f"{result.telemetry.verify_checks} checks)")
     if args.stats:
         print()
         print(render_stats(result.telemetry))

@@ -39,3 +39,7 @@ class SynthesisError(ReproError):
 
 class EmbeddingError(ReproError):
     """RTL embedding failed (incompatible modules)."""
+
+
+class VerificationError(ReproError):
+    """Differential RTL verification found (or could not run) a check."""

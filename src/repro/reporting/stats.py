@@ -42,6 +42,14 @@ def render_stats(telemetry: Telemetry, title: str = "Synthesis statistics") -> s
                 f"{telemetry.moves_committed.get(family, 0)} committed",
             )
         )
+    if telemetry.verify_checks:
+        rows.append(
+            (
+                "RTL verifications",
+                f"{telemetry.verify_checks} checks / "
+                f"{telemetry.verify_failures} failures",
+            )
+        )
     for stage, seconds in sorted(telemetry.stage_s.items()):
         rows.append((f"time: {stage}", f"{seconds:.3f} s"))
     return render_table(("counter", "value"), rows, title=title)

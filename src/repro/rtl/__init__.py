@@ -21,6 +21,15 @@ from .controller import (
 )
 from .embedding import EmbeddingResult, embed_netlists, naive_union
 from .emit import emit_controller, emit_netlist
+from .interpreter import (
+    ExecPlan,
+    ExecSemantics,
+    InterpreterFault,
+    OutputSpec,
+    ReadSpec,
+    RTLInterpreter,
+    SampleOutcome,
+)
 from .module import BehaviorImpl, RTLModule
 from .profile import CycleProfile, Profile
 
@@ -33,11 +42,18 @@ __all__ = [
     "CycleProfile",
     "DatapathNetlist",
     "EmbeddingResult",
+    "ExecPlan",
+    "ExecSemantics",
     "FSMController",
+    "InterpreterFault",
     "MuxSelect",
+    "OutputSpec",
     "Profile",
+    "RTLInterpreter",
     "RTLModule",
+    "ReadSpec",
     "RegisterLoad",
+    "SampleOutcome",
     "UnitStart",
     "WIRE_AREA_PER_CONNECTION",
     "embed_netlists",

@@ -1,0 +1,570 @@
+"""Cycle-accurate interpreter for synthesized RTL architectures.
+
+The synthesis deliverable is "a datapath netlist, and a finite-state
+machine description of the controller" (Section 5) — yet nothing in the
+flow ever *executes* that pair.  This module closes the loop: it steps a
+:class:`~repro.rtl.controller.FSMController` over a
+:class:`~repro.rtl.components.DatapathNetlist` one clock cycle at a
+time, driving register load-enables, functional-unit starts and
+multiplexer selects exactly as the control words dictate, and models
+multicycle, chained and pipelined units faithfully.  The differential
+oracle in :mod:`repro.verify` compares its outputs against the
+behavioral DFG simulation sample by sample.
+
+Timing convention
+-----------------
+The model follows the conventions of the scheduler and cost model:
+
+* A functional unit started in state *s* reads each external operand
+  port at ``s + offset`` (offsets are non-zero only for complex-module
+  profiles) and presents output *j* on its output port from cycle
+  ``s + latency_j`` onward.
+* A register load asserted in state *c* captures the source value at
+  the clock edge *ending* cycle *c*; reads during cycle *c* therefore
+  still see the previously stored value.  A consumer scheduled to read
+  a value in the very cycle it is produced takes the in-flight value
+  through the transparent-capture path (``bypass`` on its
+  :class:`ReadSpec`) — the register-file write-through that makes
+  back-to-back schedules work in the cost model's lifetime convention.
+* The linear controller clamps loads of end-of-schedule results into
+  its last state; such captures commit on the closing clock edge, the
+  same edge the environment samples the primary outputs on.
+
+Value laziness
+--------------
+Complex-module profiles are *contracts*, not operational recipes: the
+slack-derived input offsets may schedule an operand read **after** an
+early output's promised latency (the paper's Example 1 semantics are
+stream-level, not causality-level).  The interpreter therefore keeps
+timing strict but values lazy — an activation's outputs appear on the
+unit's ports at their contract times as thunks over the activation's
+operand record, and are forced to concrete integers at observation
+points (register-load logging and primary-output sampling).  Every
+structural check (mux selects, X reads, start-queue order, load
+placement) still happens at the exact cycle the control words dictate.
+
+Semantic table
+--------------
+The netlist does not know *what* a functional unit computes, only how
+it is wired; the controller knows *when* things happen.  The missing
+piece — per-activation operand ports, latencies and the bit-true
+compute function — is supplied by an :class:`ExecPlan` (built from the
+bound solution by :mod:`repro.verify.plan`).  The interpreter treats
+the plan as the datasheet of the datapath components; everything
+sequencing-related (which state starts what, which mux select is
+asserted when, which register captures which wire) is taken from the
+FSM and netlist alone, so corrupted bindings and controllers diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ReproError
+from .components import ComponentKind, DatapathNetlist
+from .controller import ControllerState, FSMController
+
+__all__ = [
+    "ReadSpec",
+    "OutputSpec",
+    "ExecSemantics",
+    "ExecPlan",
+    "SampleOutcome",
+    "InterpreterFault",
+    "RTLInterpreter",
+]
+
+#: Extra idle cycles the interpreter is willing to run past the FSM's
+#: last state to drain in-flight completions before declaring a fault.
+_DRAIN_MARGIN = 64
+
+
+class InterpreterFault(ReproError):
+    """Structural divergence while executing the RTL (an X in hardware).
+
+    Raised when the control words and the datapath disagree: a read of
+    a never-written register, a multi-source port without a mux select,
+    conflicting loads of one register in one cycle, or a unit start
+    with no matching activation left in the plan.
+    """
+
+    def __init__(self, message: str, cycle: int):
+        super().__init__(message)
+        self.cycle = cycle
+
+
+@dataclass(frozen=True)
+class ReadSpec:
+    """One external operand read of an activation."""
+
+    port: int
+    offset: int
+    #: The operand is produced in the very cycle it is read: take the
+    #: value in flight into the source register (write-through) instead
+    #: of the stored value.
+    bypass: bool = False
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """One output port of an activation; the result appears on ``port``
+    exactly ``latency`` cycles after the start state."""
+
+    port: int
+    latency: int
+
+
+@dataclass(frozen=True)
+class ExecSemantics:
+    """Datasheet of one activation of one unit.
+
+    ``compute(port, operands)`` returns the bit-true value of one
+    output port from the activation's operand values; the plan builds
+    it from the DFG operations (cells, chains) or from the behavior's
+    reference DFG (complex modules).
+    """
+
+    unit: str
+    op_label: str
+    reads: tuple[ReadSpec, ...]
+    outputs: tuple[OutputSpec, ...]
+    compute: Callable[[int, dict[int, int]], int]
+
+
+@dataclass
+class ExecPlan:
+    """Semantic tables for one architecture.
+
+    Attributes
+    ----------
+    unit_execs:
+        Per unit, its activations in serialization order (the order the
+        controller issues starts in).
+    const_values:
+        Value of each constant PORT component (``k_*``).
+    deferred_loads:
+        ``(register, src, src_port)`` → number of *clamped* loads of
+        that triple in the controller's final state.  A result that
+        becomes available exactly at the end of the schedule has its
+        load clamped into the last state; in hardware it is captured at
+        the closing clock edge, so the interpreter performs it after
+        the sample's last completion has drained.
+    output_bypass:
+        Primary-output PORT ids whose feeding signal becomes available
+        exactly at the schedule boundary: the environment samples them
+        from the in-flight deferred capture (write-through), while every
+        other register-fed output is sampled *before* the closing edge
+        commits — the register may legally be overwritten at that very
+        edge by a later-born value.
+    """
+
+    unit_execs: dict[str, list[ExecSemantics]]
+    const_values: dict[str, int]
+    deferred_loads: dict[tuple[str, str, int], int] = field(default_factory=dict)
+    output_bypass: set[str] = field(default_factory=set)
+
+
+@dataclass
+class SampleOutcome:
+    """Everything observed while interpreting one input sample."""
+
+    outputs: list[int]
+    #: ``(cycle, register, value)`` for every applied register capture.
+    loads: list[tuple[int, str, int]]
+    n_cycles: int
+
+
+class _Lazy:
+    """A unit-output value promised at a cycle, forced on observation."""
+
+    __slots__ = ("sem", "port", "operands", "avail", "value", "resolving")
+
+    def __init__(
+        self, sem: ExecSemantics, port: int, operands: dict[int, object], avail: int
+    ):
+        self.sem = sem
+        self.port = port
+        self.operands = operands
+        self.avail = avail
+        self.value: int | None = None
+        self.resolving = False
+
+
+def _force(value: object) -> int:
+    """Resolve a (possibly lazy) datapath value to a concrete integer."""
+    if not isinstance(value, _Lazy):
+        assert isinstance(value, int)
+        return value
+    if value.value is not None:
+        return value.value
+    if value.resolving:
+        raise InterpreterFault(
+            f"causal loop: output {value.port} of {value.sem.unit!r} "
+            "transitively depends on itself",
+            value.avail,
+        )
+    value.resolving = True
+    try:
+        operands = {p: _force(v) for p, v in value.operands.items()}
+        result = value.sem.compute(value.port, operands)
+    except KeyError as exc:
+        raise InterpreterFault(
+            f"output {value.port} of {value.sem.unit!r} depends on operand "
+            f"{exc} that was never read",
+            value.avail,
+        ) from None
+    finally:
+        value.resolving = False
+    value.value = result
+    return result
+
+
+@dataclass
+class _Activation:
+    """An in-flight unit activation."""
+
+    sem: ExecSemantics
+    start: int
+    operands: dict[int, object] = field(default_factory=dict)
+
+
+class RTLInterpreter:
+    """Execute a datapath netlist under its FSM controller."""
+
+    def __init__(
+        self,
+        netlist: DatapathNetlist,
+        controller: FSMController,
+        plan: ExecPlan,
+    ):
+        self.netlist = netlist
+        self.controller = controller
+        self.plan = plan
+        self._registers = [
+            c.comp_id for c in netlist.components(ComponentKind.REGISTER)
+        ]
+        self._input_ports: dict[str, int] = {}
+        self._output_ports: list[str] = []
+        for comp in netlist.components(ComponentKind.PORT):
+            if comp.cell == "in":
+                self._input_ports[comp.comp_id] = int(comp.comp_id[2:])
+            elif comp.cell == "out":
+                self._output_ports.append(comp.comp_id)
+        self._output_ports.sort(key=lambda cid: int(cid[3:]))
+
+    # ------------------------------------------------------------------
+    def run(self, input_samples: list[list[int]]) -> list[SampleOutcome]:
+        """Interpret every sample (each restarts the FSM from state 0)."""
+        return [self.run_sample(sample) for sample in input_samples]
+
+    def run_sample(self, inputs: list[int]) -> SampleOutcome:
+        """Run the FSM once over one vector of primary-input values.
+
+        Registers start undefined (X): a read that precedes any capture
+        faults instead of silently reusing a stale value, which is what
+        pins divergences to the exact cycle they originate in.
+        """
+        n_states = self.controller.n_states
+        # While in-flight results drain past the last state, the linear
+        # FSM holds its final control word: its mux selects stay
+        # asserted (the controller clamps end-of-schedule selects into
+        # the last state), but no further loads or starts fire.
+        drain_state = ControllerState(
+            cycle=-1,
+            selects=list(self.controller.state(n_states - 1).selects)
+            if n_states
+            else [],
+        )
+        regs: dict[str, object | None] = {r: None for r in self._registers}
+        out_values: dict[tuple[str, int], object] = {}
+        #: Most recent promise per unit output port, for reads at or
+        #: past the final state that race a deferred closing-edge
+        #: capture (see :meth:`_boundary_value`).
+        promises: dict[tuple[str, int], object] = {}
+        completions: dict[int, list[tuple[str, int, object]]] = {}
+        scheduled_reads: dict[int, list[tuple[_Activation, ReadSpec]]] = {}
+        queues = {
+            unit: iter(execs) for unit, execs in self.plan.unit_execs.items()
+        }
+        deferred: list[tuple[int, str, str, int]] = []
+        load_log: list[tuple[int, str, object]] = []
+
+        def port_value(comp_id: str, port: int, cycle: int) -> object:
+            comp = self.netlist.component(comp_id)
+            if comp.kind == ComponentKind.PORT:
+                if comp.cell == "const":
+                    return self.plan.const_values[comp_id]
+                if comp.cell == "in":
+                    return inputs[self._input_ports[comp_id]]
+                raise InterpreterFault(
+                    f"read from output port {comp_id!r}", cycle
+                )
+            value = out_values.get((comp_id, port))
+            if value is None:
+                raise InterpreterFault(
+                    f"capture from {comp_id!r}.{port} before any result "
+                    "was produced there",
+                    cycle,
+                )
+            return value
+
+        horizon = n_states + _DRAIN_MARGIN
+        cycle = 0
+        pending_events = True
+        while cycle < n_states or pending_events:
+            if cycle > horizon:
+                raise InterpreterFault(
+                    f"datapath still busy {cycle - n_states} cycles past "
+                    f"the controller's {n_states} states",
+                    cycle,
+                )
+            state = (
+                self.controller.state(cycle) if cycle < n_states else drain_state
+            )
+
+            # 1. Results whose latency elapses this cycle become visible.
+            for unit, port, value in completions.pop(cycle, ()):
+                out_values[(unit, port)] = value
+
+            # 2. Resolve this state's register captures (sources are unit
+            #    outputs or input ports, never registers, so capture values
+            #    are independent of the register file).  In the final state,
+            #    end-of-schedule loads the controller clamped into it are
+            #    deferred past the drain instead of capturing a stale value.
+            occurrences: dict[tuple[str, str, int], int] = {}
+            for load in state.loads:
+                key = (load.register, load.src, load.src_port)
+                occurrences[key] = occurrences.get(key, 0) + 1
+            captures: dict[str, tuple[object, str, int]] = {}
+            for key, n_loads in occurrences.items():
+                register, src, src_port = key
+                clamped = (
+                    self.plan.deferred_loads.get(key, 0)
+                    if cycle == n_states - 1
+                    else 0
+                )
+                if clamped:
+                    deferred.append((cycle, register, src, src_port))
+                if n_loads <= clamped:
+                    continue
+                value = port_value(src, src_port, cycle)
+                prev = captures.get(register)
+                if prev is not None:
+                    raise InterpreterFault(
+                        f"register {register!r} loaded from both "
+                        f"{prev[1]!r}.{prev[2]} and {src!r}.{src_port} in "
+                        "one cycle",
+                        cycle,
+                    )
+                captures[register] = (value, src, src_port)
+
+            # 3a. Unit starts: bring the unit's next planned activation
+            #     in flight, schedule its operand reads, and promise its
+            #     outputs at their contract latencies.
+            for start_cmd in state.starts:
+                sem = next(queues.get(start_cmd.unit, iter(())), None)
+                if sem is None:
+                    raise InterpreterFault(
+                        f"controller starts {start_cmd.unit!r} but the "
+                        "binding has no activation left for it",
+                        cycle,
+                    )
+                if sem.op_label != start_cmd.operation:
+                    raise InterpreterFault(
+                        f"controller starts {start_cmd.operation!r} on "
+                        f"{start_cmd.unit!r} but the binding expects "
+                        f"{sem.op_label!r}",
+                        cycle,
+                    )
+                act = _Activation(sem, cycle, {})
+                for spec in sem.outputs:
+                    avail = cycle + spec.latency
+                    lazy = _Lazy(sem, spec.port, act.operands, avail)
+                    completions.setdefault(avail, []).append(
+                        (sem.unit, spec.port, lazy)
+                    )
+                    promises[(sem.unit, spec.port)] = lazy
+                for read in sem.reads:
+                    scheduled_reads.setdefault(cycle + read.offset, []).append(
+                        (act, read)
+                    )
+
+            # 3b. Operand reads due this cycle observe the pre-capture
+            #     register file (captures land on the ending clock edge);
+            #     bypass reads take the in-flight capture instead.
+            for act, read in scheduled_reads.pop(cycle, ()):
+                act.operands[read.port] = self._read_port(
+                    act.sem.unit,
+                    read,
+                    state,
+                    captures,
+                    regs,
+                    port_value,
+                    cycle,
+                    promises if cycle >= n_states - 1 else None,
+                )
+
+            # 4. Captures commit at the end of the cycle.
+            for register, (value, _src, _port) in captures.items():
+                regs[register] = value
+                load_log.append((cycle, register, value))
+
+            cycle += 1
+            pending_events = bool(completions or scheduled_reads)
+
+        # End-of-schedule clamp: loads deferred past the last state
+        # resolve once every completion has drained, but they commit at
+        # the same closing edge the environment samples the outputs on —
+        # so outputs observe the register file *before* these captures,
+        # unless they are themselves fed by a boundary value
+        # (``output_bypass``: the write-through path at the final edge).
+        deferred_values: dict[str, object] = {}
+        for state_cycle, register, src, src_port in deferred:
+            value = port_value(src, src_port, state_cycle)
+            deferred_values[register] = value
+            load_log.append((state_cycle, register, value))
+
+        outputs: list[int] = []
+        for out_id in self._output_ports:
+            sources = self.netlist.sources_of(out_id, 0)
+            if len(sources) != 1:
+                raise InterpreterFault(
+                    f"primary output {out_id!r} driven by {len(sources)} "
+                    "sources",
+                    cycle,
+                )
+            src, src_port = sources[0]
+            comp = self.netlist.component(src)
+            if comp.kind == ComponentKind.REGISTER:
+                if out_id in self.plan.output_bypass:
+                    if src not in deferred_values:
+                        raise InterpreterFault(
+                            f"primary output {out_id!r} expects a value "
+                            f"captured into {src!r} at the closing edge, but "
+                            "none was deferred",
+                            cycle,
+                        )
+                    value = deferred_values[src]
+                else:
+                    value = regs[src]
+                if value is None:
+                    raise InterpreterFault(
+                        f"primary output {out_id!r} reads register {src!r} "
+                        "that was never written",
+                        cycle,
+                    )
+            else:
+                value = port_value(src, src_port, cycle)
+            outputs.append(_force(value))
+        for register, value in deferred_values.items():
+            regs[register] = value
+        return SampleOutcome(
+            outputs=outputs,
+            loads=[(c, r, _force(v)) for c, r, v in load_log],
+            n_cycles=cycle,
+        )
+
+    # ------------------------------------------------------------------
+    def _read_port(
+        self,
+        unit: str,
+        read: ReadSpec,
+        state: ControllerState,
+        captures: dict[str, tuple[object, str, int]],
+        regs: dict[str, object | None],
+        port_value,
+        cycle: int,
+        promises: dict[tuple[str, int], object] | None = None,
+    ) -> object:
+        """Value on input port ``read.port`` of *unit* during *cycle*.
+
+        *promises* is non-None only for reads at or past the final
+        state, where the boundary fallback applies (see
+        :meth:`_boundary_value`); earlier reads stay strict.
+        """
+        sources = self.netlist.sources_of(unit, read.port)
+        if not sources:
+            raise InterpreterFault(
+                f"input port {read.port} of {unit!r} is unconnected", cycle
+            )
+        if len(sources) == 1:
+            src, src_port = sources[0]
+        else:
+            selected = [
+                (s.src, s.src_port)
+                for s in state.selects
+                if s.dst == unit and s.dst_port == read.port
+            ]
+            distinct = sorted(set(selected))
+            if not distinct:
+                raise InterpreterFault(
+                    f"multi-source port {read.port} of {unit!r} read with "
+                    "no mux select asserted",
+                    cycle,
+                )
+            if len(distinct) > 1:
+                raise InterpreterFault(
+                    f"conflicting mux selects on port {read.port} of "
+                    f"{unit!r}: {distinct}",
+                    cycle,
+                )
+            src, src_port = distinct[0]
+            if (src, src_port) not in sources:
+                raise InterpreterFault(
+                    f"mux select on {unit!r}.{read.port} names "
+                    f"{src!r}.{src_port}, which does not drive that port",
+                    cycle,
+                )
+        comp = self.netlist.component(src)
+        if comp.kind != ComponentKind.REGISTER:
+            return port_value(src, src_port, cycle)
+        if read.bypass:
+            capture = captures.get(src)
+            if capture is not None:
+                return capture[0]
+            if promises is not None:
+                fallback = self._boundary_value(src, promises)
+                if fallback is not None:
+                    return fallback
+            raise InterpreterFault(
+                f"{unit!r}.{read.port} expects the value captured into "
+                f"{src!r} this cycle, but no load is asserted",
+                cycle,
+            )
+        stored = regs[src]
+        if stored is None and promises is not None:
+            capture = captures.get(src)
+            if capture is not None:
+                return capture[0]
+            stored = self._boundary_value(src, promises)
+        if stored is None:
+            raise InterpreterFault(
+                f"{unit!r}.{read.port} reads register {src!r} before any "
+                "value was stored in it",
+                cycle,
+            )
+        return stored
+
+    def _boundary_value(
+        self, register: str, promises: dict[tuple[str, int], object]
+    ) -> object | None:
+        """Value *register* will hold once its deferred capture commits.
+
+        While in-flight results drain past the last state, the linear
+        FSM holds its final control word — including the load enables
+        of end-of-schedule captures, which this model defers to the
+        closing edge so primary outputs sample the pre-edge register
+        file.  An operand read at or past the final state (slack-derived
+        module profiles may read later than they produce) races that
+        capture; in hardware the held load enable keeps the register
+        following its source, so the read sees the promised value of
+        the register's single pending deferred load.  Returns None when
+        no unambiguous deferred load exists, in which case the caller
+        faults.
+        """
+        keys = [k for k in self.plan.deferred_loads if k[0] == register]
+        if len(keys) != 1:
+            return None
+        _register, src, src_port = keys[0]
+        return promises.get((src, src_port))

@@ -77,6 +77,25 @@ class SynthesisResult:
         """FSM controller of the winning architecture."""
         return build_controller(self.solution)
 
+    def verify(self, *, shrink: bool = True):
+        """Differentially verify the winning architecture's RTL.
+
+        Replays the run's memoized input traces through the
+        cycle-accurate interpreter and compares every primary output
+        against the DFG simulation; returns a
+        :class:`~repro.verify.oracle.VerificationResult`.
+        """
+        # Local import: repro.verify builds on this package.
+        from ..verify import verify_solution
+
+        result = verify_solution(
+            self.design, self.solution, sim=self.sim, shrink=shrink
+        )
+        self.telemetry.verify_checks += 1
+        if not result.ok:
+            self.telemetry.verify_failures += 1
+        return result
+
 
 def _prepare_traces(design: Design, traces: TraceSet | None, n_samples: int) -> TraceSet:
     if traces is None:

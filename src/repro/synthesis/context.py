@@ -67,6 +67,13 @@ class SynthesisConfig:
     cost_cache_size: int = DEFAULT_COST_CACHE_SIZE
     #: Bound on the per-point module / resynthesis memo caches.
     module_cache_size: int = 256
+    #: Differentially verify every committed KL pass prefix: execute the
+    #: committed solution's RTL cycle by cycle and cross-check it against
+    #: the (already memoized) DFG simulation.  A divergence raises
+    #: :class:`~repro.errors.VerificationError` with a shrunk
+    #: counterexample.  Off by default — it roughly doubles the cost of a
+    #: committed pass; see ``docs/VERIFICATION.md``.
+    verify_moves: bool = False
 
 
 class SynthesisEnv:

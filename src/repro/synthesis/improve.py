@@ -124,6 +124,8 @@ def improve_solution(
             committed = best_idx + 1
             for candidate, _cost in sequence[:committed]:
                 ctx.telemetry.count_move_committed(candidate.kind)
+            if config.verify_moves:
+                _verify_commit(env, current, sim, sequence[:committed])
 
         if history is not None:
             history.append(
@@ -137,6 +139,37 @@ def improve_solution(
             break
 
     return current
+
+
+def _verify_commit(
+    env: SynthesisEnv,
+    solution: Solution,
+    sim: SimTrace,
+    prefix: list[tuple[Candidate, float]],
+) -> None:
+    """Differentially check a freshly committed KL prefix.
+
+    The reference streams are the memoized *sim* the whole point already
+    runs on, so the only new work is interpreting the RTL.  A divergence
+    here means a committed move broke the architecture's semantics —
+    that is a synthesis bug, so we fail loudly with the shrunk
+    counterexample rather than let a miscompiled design win the sweep.
+    """
+    # Local import: repro.verify builds on the synthesis package, so a
+    # top-level import here would be circular.
+    from ..errors import VerificationError
+    from ..verify import verify_solution
+
+    env.telemetry.verify_checks += 1
+    result = verify_solution(env.design, solution, sim=sim)
+    if not result.ok:
+        env.telemetry.verify_failures += 1
+        assert result.counterexample is not None
+        moves = "; ".join(c.description for c, _ in prefix)
+        raise VerificationError(
+            f"committed pass prefix is not equivalent to the behavior "
+            f"({result.counterexample.describe()}) after moves: {moves}"
+        )
 
 
 def resynthesize_module(

@@ -44,6 +44,10 @@ class Telemetry:
     moves_tried: dict[str, int] = field(default_factory=dict)
     #: Moves in committed KL prefixes, keyed by family.
     moves_committed: dict[str, int] = field(default_factory=dict)
+    #: Differential RTL checks run / failed (``verify_moves`` and the
+    #: ``--verify`` CLI flag; see :mod:`repro.verify`).
+    verify_checks: int = 0
+    verify_failures: int = 0
     #: Wall seconds per stage ("simulate", "initial", "improve", ...).
     stage_s: dict[str, float] = field(default_factory=dict)
 
@@ -78,6 +82,8 @@ class Telemetry:
             self.moves_tried[family] = self.moves_tried.get(family, 0) + n
         for family, n in other.moves_committed.items():
             self.moves_committed[family] = self.moves_committed.get(family, 0) + n
+        self.verify_checks += other.verify_checks
+        self.verify_failures += other.verify_failures
         for stage, s in other.stage_s.items():
             self.add_time(stage, s)
         return self
@@ -93,5 +99,9 @@ class Telemetry:
             "points_skipped": self.points_skipped,
             "moves_tried": dict(sorted(self.moves_tried.items())),
             "moves_committed": dict(sorted(self.moves_committed.items())),
+            "verify": {
+                "checks": self.verify_checks,
+                "failures": self.verify_failures,
+            },
             "stage_s": {k: round(v, 6) for k, v in sorted(self.stage_s.items())},
         }

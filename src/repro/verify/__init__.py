@@ -1,0 +1,18 @@
+"""Differential RTL verification (interpreter + equivalence oracle).
+
+The synthesis flow's deliverable — a datapath netlist plus an FSM
+controller — is executed cycle by cycle and cross-checked against the
+bit-true DFG simulation.  See :mod:`repro.verify.oracle` for the entry
+point and ``docs/VERIFICATION.md`` for the workflow.
+"""
+
+from .oracle import Counterexample, VerificationResult, verify_solution
+from .plan import build_exec_plan, build_interpreter
+
+__all__ = [
+    "Counterexample",
+    "VerificationResult",
+    "verify_solution",
+    "build_exec_plan",
+    "build_interpreter",
+]

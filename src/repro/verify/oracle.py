@@ -1,0 +1,270 @@
+"""Differential verification of synthesized RTL against the behavior.
+
+:func:`verify_solution` runs the same stimulus through two independent
+semantic paths and compares them sample by sample:
+
+* the **reference**: bit-true DFG simulation
+  (:func:`repro.power.simulate.simulate_subgraph`) — pure dataflow, no
+  notion of clocks, sharing or registers;
+* the **DUT**: the cycle-accurate RTL interpreter executing the
+  netlist and FSM controller emitted for the bound solution.
+
+Any committed move (cell swap, resynthesis, sharing/embedding, split)
+must leave the two paths in agreement; a corrupted binding, schedule or
+controller shows up as either a value divergence on a primary output or
+a structural fault (an X read, a missing mux select, ...) inside the
+interpreter.
+
+On failure the oracle reports the first divergent ``(sample, output,
+cycle)`` and *shrinks* the stimulus: samples are independent (the FSM
+restarts each sample), so the repro is a single input vector, whose
+values are then greedily driven toward zero while the divergence
+persists.  The resulting :class:`Counterexample` is small enough to
+paste into a unit test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dfg.hierarchy import Design
+from ..errors import VerificationError
+from ..power.simulate import SimTrace, simulate_subgraph
+from ..power.traces import TraceSet
+from ..rtl.interpreter import InterpreterFault, RTLInterpreter
+from ..synthesis.solution import Solution
+from .plan import build_interpreter
+
+__all__ = ["Counterexample", "VerificationResult", "verify_solution"]
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A minimal failing stimulus with the first point of divergence."""
+
+    #: Index of the failing sample in the original stimulus.
+    sample: int
+    #: DFG primary-output node id that diverged (``None`` for a fault
+    #: that aborted the sample before outputs could be read).
+    output: str | None
+    #: First cycle at which the divergence is observable (the first
+    #: register capture that differs, or the fault cycle).
+    cycle: int
+    expected: int | None
+    actual: int | None
+    #: Interpreter fault message, when the RTL faulted instead of
+    #: producing a wrong value.
+    fault: str | None
+    #: Shrunk input vector (primary-input name → value) reproducing the
+    #: divergence in a single sample.
+    inputs: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        where = f"sample {self.sample}, cycle {self.cycle}"
+        if self.fault is not None:
+            head = f"RTL fault at {where}: {self.fault}"
+        else:
+            head = (
+                f"output {self.output!r} diverged at {where}: "
+                f"expected {self.expected}, got {self.actual}"
+            )
+        stim = ", ".join(f"{k}={v}" for k, v in self.inputs.items())
+        return f"{head} [inputs: {stim}]"
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of one differential check."""
+
+    ok: bool
+    n_samples: int
+    counterexample: Counterexample | None = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclass(frozen=True)
+class _Divergence:
+    output: str | None
+    cycle: int
+    expected: int | None
+    actual: int | None
+    fault: str | None
+
+
+def _check_sample(
+    interp: RTLInterpreter,
+    inputs: list[int],
+    expected_outputs: list[int],
+    output_names: list[str],
+    expected_loads: dict[tuple[str, int], list[int]],
+) -> _Divergence | None:
+    """Run one sample through the DUT; None means it agrees."""
+    try:
+        outcome = interp.run_sample(inputs)
+    except InterpreterFault as exc:
+        return _Divergence(
+            output=None,
+            cycle=exc.cycle,
+            expected=None,
+            actual=None,
+            fault=str(exc),
+        )
+    for idx, (got, want) in enumerate(zip(outcome.outputs, expected_outputs)):
+        if got != want:
+            # Localize: the first register capture that differs from the
+            # schedule's intent is where the wrong value was born.
+            actual_loads: dict[tuple[str, int], list[int]] = {}
+            for cycle, register, value in outcome.loads:
+                actual_loads.setdefault((register, cycle), []).append(value)
+            divergent = [
+                key
+                for key in set(expected_loads) | set(actual_loads)
+                if sorted(expected_loads.get(key, []))
+                != sorted(actual_loads.get(key, []))
+            ]
+            cycle = (
+                min(c for _r, c in divergent) if divergent else outcome.n_cycles
+            )
+            return _Divergence(
+                output=output_names[idx],
+                cycle=cycle,
+                expected=want,
+                actual=got,
+                fault=None,
+            )
+    return None
+
+
+def _shrink_inputs(
+    design: Design,
+    solution: Solution,
+    interp: RTLInterpreter,
+    inputs: list[int],
+) -> tuple[list[int], _Divergence]:
+    """Greedily simplify a failing input vector while it still fails."""
+    dfg = solution.dfg
+    output_names = list(dfg.outputs)
+
+    def attempt(candidate: list[int]) -> _Divergence | None:
+        streams = [np.asarray([v], dtype=np.int64) for v in candidate]
+        ref = simulate_subgraph(design, dfg, streams)
+        expected = [
+            int(ref.stream((), dfg.in_edges(name)[0].signal)[0])
+            for name in output_names
+        ]
+        wrapped = [
+            int(ref.stream((), (name, 0))[0]) for name in dfg.inputs
+        ]
+        loads = _expected_loads(solution, ref, 0)
+        return _check_sample(interp, wrapped, expected, output_names, loads)
+
+    best = list(inputs)
+    divergence = attempt(best)
+    assert divergence is not None, "shrinker must start from a failing vector"
+
+    changed = True
+    while changed:
+        changed = False
+        for idx in range(len(best)):
+            if best[idx] == 0:
+                continue
+            for replacement in (0, best[idx] // 2):
+                if replacement == best[idx]:
+                    continue
+                candidate = list(best)
+                candidate[idx] = replacement
+                result = attempt(candidate)
+                if result is not None:
+                    best = candidate
+                    divergence = result
+                    changed = True
+                    break
+    return best, divergence
+
+
+def _expected_loads(
+    solution: Solution, sim: SimTrace, sample: int
+) -> dict[tuple[str, int], list[int]]:
+    """The (register, cycle) → values map the schedule intends."""
+    sched = solution.schedule()
+    n_states = max(sched.length, 1)
+    expected: dict[tuple[str, int], list[int]] = {}
+    for signal in solution.registered_signals():
+        avail = sched.avail[signal]
+        cycle = avail if avail < n_states else n_states - 1
+        register = solution.register_of(signal)
+        value = int(sim.stream((), signal)[sample])
+        expected.setdefault((register, cycle), []).append(value)
+    return expected
+
+
+def verify_solution(
+    design: Design,
+    solution: Solution,
+    traces: TraceSet | None = None,
+    *,
+    sim: SimTrace | None = None,
+    shrink: bool = True,
+) -> VerificationResult:
+    """Differentially verify *solution*'s RTL against its DFG semantics.
+
+    Stimulus comes either from ``traces`` (primary-input name → numpy
+    stream, as produced by :mod:`repro.power.traces`) or from an already
+    computed ``sim`` (the memoized :class:`SimTrace` the synthesis flow
+    carries around — passing it skips re-simulation entirely).
+
+    Returns a :class:`VerificationResult`; on failure its
+    ``counterexample`` pins the first divergent (sample, output, cycle)
+    and, when ``shrink`` is set, a minimized single-sample stimulus.
+    """
+    dfg = solution.dfg
+    if sim is None:
+        if traces is None:
+            raise VerificationError(
+                "verify_solution needs either traces or a simulated sim trace"
+            )
+        streams = [
+            np.asarray(traces[name], dtype=np.int64) for name in dfg.inputs
+        ]
+        sim = simulate_subgraph(design, dfg, streams)
+
+    input_streams = [sim.stream((), (name, 0)) for name in dfg.inputs]
+    output_names = list(dfg.outputs)
+    output_streams = [
+        sim.stream((), dfg.in_edges(name)[0].signal) for name in output_names
+    ]
+    n_samples = (
+        int(input_streams[0].shape[0]) if input_streams else sim.n_samples
+    )
+
+    interp = build_interpreter(design, solution)
+    for i in range(n_samples):
+        inputs = [int(s[i]) for s in input_streams]
+        expected = [int(s[i]) for s in output_streams]
+        divergence = _check_sample(
+            interp, inputs, expected, output_names, _expected_loads(solution, sim, i)
+        )
+        if divergence is None:
+            continue
+        if shrink:
+            shrunk, divergence = _shrink_inputs(design, solution, interp, inputs)
+        else:
+            shrunk = inputs
+        return VerificationResult(
+            ok=False,
+            n_samples=n_samples,
+            counterexample=Counterexample(
+                sample=i,
+                output=divergence.output,
+                cycle=divergence.cycle,
+                expected=divergence.expected,
+                actual=divergence.actual,
+                fault=divergence.fault,
+                inputs=dict(zip(dfg.inputs, shrunk)),
+            ),
+        )
+    return VerificationResult(ok=True, n_samples=n_samples)

@@ -1,0 +1,230 @@
+"""Derive the interpreter's semantic tables from a bound solution.
+
+The RTL interpreter (:mod:`repro.rtl.interpreter`) executes a netlist
+under its FSM controller, but neither of those objects knows what a
+functional unit *computes* — the netlist is purely structural and the
+controller purely sequential.  This module supplies the missing
+"datasheet": for every scheduled activation it derives the operand-read
+timing (including register write-through bypasses), per-output
+latencies, and a bit-true compute function built
+from the DFG operations (simple cells and chains) or from the behavior's
+reference DFG (complex modules).
+
+Everything here intentionally mirrors the conventions of
+:mod:`repro.synthesis.datapath_build` — operand-port numbering via
+:func:`operand_port_map`, start/read/load placement from the schedule,
+and the final-state clamp for end-of-schedule loads.  The mirroring is
+what makes the differential check meaningful: the plan describes what
+the binding *intends*, the netlist + controller describe what was
+*emitted*, and the interpreter faults or diverges when they disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..dfg.graph import DFG, NodeKind
+from ..dfg.hierarchy import Design
+from ..dfg.ops import apply_operation, wrap_to_width
+from ..errors import VerificationError
+from ..power.simulate import simulate_subgraph
+from ..rtl.interpreter import (
+    ExecPlan,
+    ExecSemantics,
+    OutputSpec,
+    ReadSpec,
+    RTLInterpreter,
+)
+from ..synthesis.datapath_build import (
+    build_controller,
+    build_netlist,
+    operand_port_map,
+)
+from ..synthesis.solution import Solution
+
+__all__ = ["build_exec_plan", "build_interpreter"]
+
+
+def _wrap_scalar(value: int, width: int) -> int:
+    return int(wrap_to_width(np.asarray([value], dtype=np.int64), width)[0])
+
+
+def _cell_compute(
+    dfg: DFG, group: tuple[str, ...], ports: dict[tuple[str, int], int]
+) -> Callable[[int, dict[int, int]], int]:
+    """Bit-true evaluation of a (possibly chained) cell activation.
+
+    Nodes of a chain are listed in dependency order; intermediate values
+    travel combinationally inside the activation and only the last
+    node's result reaches the unit's output port 0.
+    """
+    inside = set(group)
+
+    def compute(port: int, operands: dict[int, int]) -> int:
+        values: dict[str, int] = {}
+        for node_id in group:
+            node = dfg.node(node_id)
+            args = []
+            for edge in dfg.in_edges(node_id):
+                if edge.src in inside:
+                    args.append(values[edge.src])
+                else:
+                    args.append(operands[ports[(node_id, edge.dst_port)]])
+            arrays = [np.asarray([a], dtype=np.int64) for a in args]
+            assert node.op is not None
+            values[node_id] = int(apply_operation(node.op, arrays, node.width)[0])
+        return values[group[-1]]
+
+    return compute
+
+
+class _BehaviorEval:
+    """Memoized single-sample evaluation of one behavior's reference DFG."""
+
+    def __init__(self, design: Design, behavior: str):
+        if not design.has_behavior(behavior):
+            raise VerificationError(
+                f"cannot verify module activation: behavior {behavior!r} "
+                "has no DFG registered in the design"
+            )
+        self.design = design
+        self.sub = design.default_variant(behavior)
+        self._cache: dict[tuple[int, ...], tuple[int, ...]] = {}
+
+    def compute(self, port: int, operands: dict[int, int]) -> int:
+        key = tuple(
+            operands.get(i, 0) for i in range(len(self.sub.inputs))
+        )
+        if key not in self._cache:
+            streams = [np.asarray([v], dtype=np.int64) for v in key]
+            sim = simulate_subgraph(self.design, self.sub, streams)
+            outs = []
+            for name in self.sub.outputs:
+                (edge,) = self.sub.in_edges(name)
+                outs.append(int(sim.stream((), edge.signal)[0]))
+            self._cache[key] = tuple(outs)
+        return self._cache[key][port]
+
+
+def build_exec_plan(design: Design, solution: Solution) -> ExecPlan:
+    """Build the semantic tables for interpreting *solution*'s RTL."""
+    dfg = solution.dfg
+    sched = solution.schedule()
+    n_states = max(sched.length, 1)
+    registered = set(solution.registered_signals())
+    evaluators: dict[str, _BehaviorEval] = {}
+
+    unit_execs: dict[str, list[ExecSemantics]] = {}
+    deferred: dict[tuple[str, str, int], int] = {}
+    for inst_id, task_ids in sched.instance_order.items():
+        inst = solution.instance(inst_id)
+        execs: list[ExecSemantics] = []
+        for task_id in task_ids:
+            task = solution.task(task_id)
+            group = task.nodes
+            start = sched.start[task_id]
+            ports = operand_port_map(solution, group)
+            inside = set(group)
+
+            reads: list[ReadSpec] = []
+            for node_id in group:
+                for edge in dfg.in_edges(node_id):
+                    if edge.src in inside:
+                        continue
+                    offset = task.offset_of(node_id, edge.dst_port)
+                    is_const = dfg.node(edge.src).kind == NodeKind.CONST
+                    bypass = (
+                        not is_const
+                        and start + offset == sched.avail[edge.signal]
+                    )
+                    reads.append(
+                        ReadSpec(
+                            ports[(node_id, edge.dst_port)], offset, bypass
+                        )
+                    )
+
+            if inst.is_module:
+                (node_id,) = group
+                node = dfg.node(node_id)
+                assert node.behavior is not None
+                op_label = node.behavior
+                if node.behavior not in evaluators:
+                    evaluators[node.behavior] = _BehaviorEval(
+                        design, node.behavior
+                    )
+                ev = evaluators[node.behavior]
+                if len(ev.sub.inputs) != len(dfg.in_edges(node_id)):
+                    raise VerificationError(
+                        f"hier node {node_id!r} has {len(dfg.in_edges(node_id))} "
+                        f"operands but behavior {node.behavior!r} declares "
+                        f"{len(ev.sub.inputs)} inputs"
+                    )
+                outputs = tuple(
+                    OutputSpec(port, task.latency_of((node_id, port)))
+                    for port in range(node.n_outputs)
+                )
+                compute = ev.compute
+            else:
+                op_label = "+".join(
+                    str(dfg.node(n).op) for n in group if dfg.node(n).op
+                )
+                outputs = (OutputSpec(0, task.latency_of((group[-1], 0))),)
+                compute = _cell_compute(dfg, group, ports)
+
+            execs.append(
+                ExecSemantics(
+                    unit=inst_id,
+                    op_label=op_label,
+                    reads=tuple(reads),
+                    outputs=outputs,
+                    compute=compute,
+                )
+            )
+
+            # End-of-schedule loads the controller clamps into its final
+            # state: results available only when the schedule ends.
+            for node_id in group:
+                node = dfg.node(node_id)
+                for out_port in range(node.n_outputs):
+                    signal = (node_id, out_port)
+                    if signal not in registered:
+                        continue
+                    if sched.avail[signal] >= n_states:
+                        key = (
+                            solution.register_of(signal),
+                            inst_id,
+                            out_port,
+                        )
+                        deferred[key] = deferred.get(key, 0) + 1
+        unit_execs[inst_id] = execs
+
+    const_values = {
+        f"k_{node.node_id}": _wrap_scalar(node.value or 0, node.width)
+        for node in dfg.nodes()
+        if node.kind == NodeKind.CONST
+    }
+
+    # Outputs fed by a value born exactly at the schedule boundary are
+    # sampled through the closing-edge write-through path.
+    output_bypass: set[str] = set()
+    for idx, output_id in enumerate(dfg.outputs):
+        (edge,) = dfg.in_edges(output_id)
+        if edge.signal in registered and sched.avail[edge.signal] >= n_states:
+            output_bypass.add(f"out{idx}")
+
+    return ExecPlan(
+        unit_execs=unit_execs,
+        const_values=const_values,
+        deferred_loads=deferred,
+        output_bypass=output_bypass,
+    )
+
+
+def build_interpreter(design: Design, solution: Solution) -> RTLInterpreter:
+    """Netlist + controller + plan, assembled into a ready interpreter."""
+    netlist = build_netlist(solution)
+    controller = build_controller(solution, netlist)
+    plan = build_exec_plan(design, solution)
+    return RTLInterpreter(netlist, controller, plan)

@@ -1,46 +1,38 @@
-"""Shared fixtures: small designs, libraries and simulated traces."""
+"""Shared fixtures: small designs, libraries and simulated traces.
+
+The design constructors themselves live in :mod:`tests.designs` so that
+hypothesis strategies, golden tests and the fuzzer can call them as
+plain functions; this file only wraps them as fixtures.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.dfg import Design, GraphBuilder
+from repro.dfg import Design
 from repro.library import default_library
-from repro.power import simulate_subgraph, speech_traces
+
+from tests.designs import (
+    make_butterfly_design,
+    make_flat_design,
+    make_flat_dfg,
+    sim_for,
+)
 
 
-def make_butterfly_design() -> Design:
-    """A two-level design: two butterflies feeding a multiply/add tree."""
-    b = GraphBuilder("butterfly")
-    a, c = b.inputs("a", "b")
-    b.output("o0", b.add(a, c, name="badd"))
-    b.output("o1", b.sub(a, c, name="bsub"))
-    butterfly = b.build()
-
-    t = GraphBuilder("bf_top")
-    x, y, z, w = t.inputs("x", "y", "z", "w")
-    h1 = t.hier("butterfly", x, y, n_outputs=2, name="h1")
-    h2 = t.hier("butterfly", z, w, n_outputs=2, name="h2")
-    m1 = t.mult(h1[0], h2[0], name="m1")
-    m2 = t.mult(h1[1], h2[1], name="m2")
-    t.output("out", t.add(m1, m2, name="s1"))
-
-    design = Design("bf_design")
-    design.add_dfg(butterfly)
-    design.add_dfg(t.build(), top=True)
-    return design
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden regression fixtures under "
+        "tests/integration/goldens/ instead of comparing against them",
+    )
 
 
-def make_flat_dfg():
-    """A small flat DFG: (x*y + z) and (x - z)."""
-    b = GraphBuilder("small_flat")
-    x, y, z = b.inputs("x", "y", "z")
-    m = b.mult(x, y, name="m1")
-    s = b.add(m, z, name="a1")
-    d = b.sub(x, z, name="s1")
-    b.output("o0", s)
-    b.output("o1", d)
-    return b.build()
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
 
 
 @pytest.fixture
@@ -54,10 +46,8 @@ def flat_dfg():
 
 
 @pytest.fixture
-def flat_design(flat_dfg) -> Design:
-    design = Design("small_flat_design")
-    design.add_dfg(flat_dfg, top=True)
-    return design
+def flat_design() -> Design:
+    return make_flat_design()
 
 
 @pytest.fixture
@@ -67,13 +57,9 @@ def library():
 
 @pytest.fixture
 def flat_sim(flat_design):
-    top = flat_design.top
-    traces = speech_traces(top, n=32, seed=7)
-    return simulate_subgraph(flat_design, top, [traces[n] for n in top.inputs])
+    return sim_for(flat_design)
 
 
 @pytest.fixture
 def butterfly_sim(butterfly_design):
-    top = butterfly_design.top
-    traces = speech_traces(top, n=32, seed=7)
-    return simulate_subgraph(butterfly_design, top, [traces[n] for n in top.inputs])
+    return sim_for(butterfly_design)

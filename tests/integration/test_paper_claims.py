@@ -8,6 +8,10 @@ direction the knobs move things.
 import pytest
 
 from repro.bench_suite import example3_dfg1, example3_dfg2, get_benchmark
+
+# Full synthesize/synthesize_flat sweeps dominate tier-1 wall time;
+# the golden snapshots (test_golden.py) guard costs at PR time instead.
+pytestmark = pytest.mark.slow
 from repro.library import default_library
 from repro.reporting import quick_config
 from repro.synthesis import (

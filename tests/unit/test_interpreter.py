@@ -1,0 +1,123 @@
+"""Unit tests for the cycle-accurate RTL interpreter."""
+
+import pytest
+
+from repro.rtl.interpreter import InterpreterFault
+from repro.synthesis.context import SynthesisEnv
+from repro.synthesis.initial import initial_solution
+from repro.verify.plan import build_exec_plan, build_interpreter
+
+
+@pytest.fixture
+def flat_solution(flat_design, library, flat_sim):
+    env = SynthesisEnv(flat_design, library, "area")
+    return initial_solution(env, flat_design.top, flat_sim, 10.0, 5.0, 500.0)
+
+
+class TestRunSample:
+    def test_matches_dfg_semantics(self, flat_design, flat_solution):
+        interp = build_interpreter(flat_design, flat_solution)
+        # o0 = x*y + z, o1 = x - z
+        outcome = interp.run_sample([3, 4, 5])
+        assert outcome.outputs == [17, -2]
+
+    def test_fsm_restarts_between_samples(self, flat_design, flat_solution):
+        interp = build_interpreter(flat_design, flat_solution)
+        outcomes = interp.run([[1, 1, 1], [2, 2, 2]])
+        assert outcomes[0].outputs == [2, 0]
+        assert outcomes[1].outputs == [6, 0]
+
+    def test_logs_register_loads(self, flat_design, flat_solution):
+        interp = build_interpreter(flat_design, flat_solution)
+        outcome = interp.run_sample([3, 4, 5])
+        # Primary inputs are loaded in state 0.
+        state0 = {(reg, val) for cyc, reg, val in outcome.loads if cyc == 0}
+        assert {val for _reg, val in state0} >= {3, 4, 5}
+        assert outcome.n_cycles >= interp.controller.n_states
+
+    def test_runs_hierarchical_modules(self, butterfly_design, library, butterfly_sim):
+        env = SynthesisEnv(butterfly_design, library, "area")
+        solution = initial_solution(
+            env, butterfly_design.top, butterfly_sim, 10.0, 5.0, 1000.0
+        )
+        interp = build_interpreter(butterfly_design, solution)
+        # out = (x+y)(z+w) + (x-y)(z-w)
+        outcome = interp.run_sample([5, 3, 4, 2])
+        assert outcome.outputs == [8 * 6 + 2 * 2]
+
+
+class TestFaults:
+    def test_wrong_operation_on_start_faults(self, flat_design, flat_solution):
+        interp = build_interpreter(flat_design, flat_solution)
+        for execs in interp.plan.unit_execs.values():
+            if execs:
+                object.__setattr__(execs[0], "op_label", "bogus")
+                break
+        with pytest.raises(InterpreterFault):
+            interp.run_sample([1, 2, 3])
+
+    def test_missing_mux_select_faults(self, flat_design, library, flat_sim):
+        from repro.synthesis.moves import sharing_candidates
+
+        env = SynthesisEnv(flat_design, library, "area")
+        solution = initial_solution(
+            env, flat_design.top, flat_sim, 10.0, 5.0, 500.0
+        )
+        shared = [
+            c.solution
+            for c in sharing_candidates(env, solution, flat_sim, frozenset())
+            if not c.solution.register_conflicts()
+        ]
+        if not shared:
+            pytest.skip("no conflict-free sharing candidate on this design")
+        interp = build_interpreter(flat_design, shared[0])
+        # Shared units have multi-source operand ports; dropping every
+        # mux select makes those reads ambiguous.
+        stripped = False
+        for s in range(interp.controller.n_states):
+            state = interp.controller.state(s)
+            if state.selects:
+                multi = [
+                    sel
+                    for sel in state.selects
+                    if len(interp.netlist.sources_of(sel.dst, sel.dst_port)) > 1
+                ]
+                if multi:
+                    for sel in multi:
+                        state.selects.remove(sel)
+                    stripped = True
+        if not stripped:
+            pytest.skip("shared solution has no multi-source operand ports")
+        with pytest.raises(InterpreterFault) as exc_info:
+            interp.run_sample([1, 2, 3])
+        assert exc_info.value.cycle >= 0
+
+    def test_lost_start_faults_downstream(self, flat_design, flat_solution):
+        interp = build_interpreter(flat_design, flat_solution)
+        for s in range(interp.controller.n_states):
+            state = interp.controller.state(s)
+            if state.starts:
+                state.starts.pop()
+                break
+        with pytest.raises(InterpreterFault):
+            interp.run_sample([1, 2, 3])
+
+
+class TestExecPlan:
+    def test_plan_covers_all_instances(self, flat_design, flat_solution):
+        plan = build_exec_plan(flat_design, flat_solution)
+        assert set(plan.unit_execs) == set(flat_solution.instances)
+        n_tasks = sum(len(v) for v in flat_solution.executions.values())
+        assert sum(len(v) for v in plan.unit_execs.values()) == n_tasks
+
+    def test_cell_compute_is_bit_true(self, flat_design, flat_solution):
+        plan = build_exec_plan(flat_design, flat_solution)
+        dfg = flat_solution.dfg
+        for execs in plan.unit_execs.values():
+            for sem in execs:
+                if sem.op_label == "mult":
+                    width = dfg.node("m1").width
+                    assert sem.compute(0, {0: 3, 1: 4}) == 12
+                    # Two's-complement wrap at the node width.
+                    big = 1 << (width - 1)
+                    assert sem.compute(0, {0: big, 1: 1}) == -big

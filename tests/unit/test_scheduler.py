@@ -6,14 +6,7 @@ from repro.dfg import GraphBuilder
 from repro.errors import ScheduleError
 from repro.scheduling import TaskSpec, schedule_tasks, task_dependencies
 
-
-def diamond():
-    b = GraphBuilder("t")
-    x, y, z = b.inputs("x", "y", "z")
-    m1 = b.mult(x, y, name="m1")
-    m2 = b.mult(y, z, name="m2")
-    b.output("o", b.add(m1, m2, name="a1"))
-    return b.build()
+from tests.designs import diamond_dfg as diamond
 
 
 class TestBasicScheduling:

@@ -13,14 +13,7 @@ from repro.scheduling import (
     task_slacks,
 )
 
-
-def chain_dfg():
-    b = GraphBuilder("t")
-    x, y = b.inputs("x", "y")
-    m = b.mult(x, y, name="m")
-    a = b.add(m, y, name="a")
-    b.output("o", a)
-    return b.build()
+from tests.designs import chain_dfg
 
 
 def chain_tasks():

@@ -1,0 +1,154 @@
+"""Unit tests for the differential verification oracle."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.power import speech_traces
+from repro.synthesis.context import SynthesisConfig, SynthesisEnv
+from repro.synthesis.initial import initial_solution
+from repro.verify import verify_solution
+
+
+@pytest.fixture
+def flat_solution(flat_design, library, flat_sim):
+    env = SynthesisEnv(flat_design, library, "area")
+    return initial_solution(env, flat_design.top, flat_sim, 10.0, 5.0, 500.0)
+
+
+class TestPassingSolutions:
+    def test_flat_solution_verifies(self, flat_design, flat_solution, flat_sim):
+        result = verify_solution(flat_design, flat_solution, sim=flat_sim)
+        assert result.ok
+        assert bool(result)
+        assert result.n_samples == 32
+        assert result.counterexample is None
+
+    def test_hierarchical_solution_verifies(
+        self, butterfly_design, library, butterfly_sim
+    ):
+        env = SynthesisEnv(butterfly_design, library, "area")
+        solution = initial_solution(
+            env, butterfly_design.top, butterfly_sim, 10.0, 5.0, 1000.0
+        )
+        assert verify_solution(butterfly_design, solution, sim=butterfly_sim).ok
+
+    def test_accepts_traces_instead_of_sim(self, flat_design, flat_solution):
+        traces = speech_traces(flat_design.top, n=8, seed=11)
+        result = verify_solution(flat_design, flat_solution, traces)
+        assert result.ok
+        assert result.n_samples == 8
+
+    def test_needs_some_stimulus(self, flat_design, flat_solution):
+        with pytest.raises(VerificationError):
+            verify_solution(flat_design, flat_solution)
+
+
+def _conflicted_binding(solution):
+    """Corrupt *solution* by merging two registers whose lifetimes clash.
+
+    A consistent rebinding still verifies (netlist, controller and plan
+    are all rebuilt from the solution); what genuinely miscomputes in
+    hardware is storage shared by two live values.  Returns None if no
+    merge of two registers conflicts.
+    """
+    registers = sorted(solution.reg_signals)
+    for src in registers:
+        for dst in registers:
+            if src == dst:
+                continue
+            corrupt = solution.clone()
+            regs = {r: list(s) for r, s in corrupt.reg_signals.items()}
+            regs[dst].extend(regs.pop(src))
+            corrupt.reg_signals = regs
+            if corrupt.register_conflicts():
+                return corrupt
+    return None
+
+
+class TestCorruptedSolutions:
+    def test_corrupted_register_binding_is_rejected(
+        self, flat_design, flat_solution, flat_sim
+    ):
+        corrupt = _conflicted_binding(flat_solution)
+        assert corrupt is not None, "expected a conflicting register merge"
+
+        result = verify_solution(flat_design, corrupt, sim=flat_sim)
+        assert not result.ok
+        cx = result.counterexample
+        assert cx is not None
+        # The counterexample names a divergent output (or a structural
+        # fault) at a concrete cycle, with a shrunk stimulus.
+        assert cx.output in flat_design.top.outputs or cx.fault is not None
+        assert cx.cycle >= 0
+        assert set(cx.inputs) == set(flat_design.top.inputs)
+        assert cx.describe()
+
+    def test_consistent_rebinding_still_verifies(
+        self, flat_design, flat_solution, flat_sim
+    ):
+        # Moving a signal between registers without a lifetime overlap
+        # yields a different but correct architecture: the oracle must
+        # not flag it (no false positives on legal bindings).
+        rebound = flat_solution.clone()
+        regs = {r: list(s) for r, s in rebound.reg_signals.items()}
+        donors = sorted(r for r in regs if regs[r])
+        moved = False
+        for src in donors:
+            for dst in donors:
+                if src == dst:
+                    continue
+                trial = flat_solution.clone()
+                t_regs = {r: list(s) for r, s in trial.reg_signals.items()}
+                t_regs[dst].extend(t_regs.pop(src))
+                trial.reg_signals = t_regs
+                if not trial.register_conflicts():
+                    rebound = trial
+                    moved = True
+                    break
+            if moved:
+                break
+        if not moved:
+            pytest.skip("every register merge conflicts on this schedule")
+        assert verify_solution(flat_design, rebound, sim=flat_sim).ok
+
+    def test_shrinking_can_be_disabled(self, flat_design, flat_solution, flat_sim):
+        corrupt = _conflicted_binding(flat_solution)
+        assert corrupt is not None
+        result = verify_solution(flat_design, corrupt, sim=flat_sim, shrink=False)
+        assert not result.ok
+
+
+class TestVerifyMovesWiring:
+    def test_improvement_under_verification(self, flat_design, library, flat_sim):
+        from repro.synthesis.improve import improve_solution
+
+        config = SynthesisConfig(verify_moves=True, max_passes=2, max_moves=4)
+        env = SynthesisEnv(flat_design, library, "area", config)
+        start = initial_solution(env, flat_design.top, flat_sim, 10.0, 5.0, 500.0)
+        improved = improve_solution(env, start, flat_sim)
+        assert verify_solution(flat_design, improved, sim=flat_sim).ok
+        if env.telemetry.moves_committed:
+            assert env.telemetry.verify_checks > 0
+        assert env.telemetry.verify_failures == 0
+
+    def test_synthesis_result_verify_accessor(self, flat_design):
+        from repro.synthesis.api import synthesize
+
+        result = synthesize(
+            flat_design, laxity_factor=1.6, objective="area", n_samples=8
+        )
+        check = result.verify()
+        assert check.ok
+        assert result.telemetry.verify_checks == 1
+        assert result.telemetry.verify_failures == 0
+
+    def test_telemetry_counters_merge_and_export(self):
+        from repro.telemetry import Telemetry
+
+        a, b = Telemetry(), Telemetry()
+        a.verify_checks, a.verify_failures = 3, 1
+        b.verify_checks = 2
+        a.merge(b)
+        assert a.verify_checks == 5
+        assert a.verify_failures == 1
+        assert a.as_dict()["verify"] == {"checks": 5, "failures": 1}

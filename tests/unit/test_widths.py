@@ -3,11 +3,12 @@
 import pytest
 
 from repro.dfg import Design, GraphBuilder
-from repro.power import simulate_subgraph, speech_traces
 from repro.rtl import ComponentKind, DatapathNetlist
 from repro.synthesis import EvaluationContext, build_netlist
 from repro.synthesis.context import SynthesisEnv
 from repro.synthesis.initial import initial_solution
+
+from tests.designs import sim_for
 
 
 def width_design(width: int) -> Design:
@@ -21,11 +22,9 @@ def width_design(width: int) -> Design:
 
 
 def solution_for(design, library):
-    top = design.top
-    traces = speech_traces(top, n=24, seed=2)
-    sim = simulate_subgraph(design, top, [traces[n] for n in top.inputs])
+    sim = sim_for(design, n=24, seed=2)
     env = SynthesisEnv(design, library, "power")
-    return initial_solution(env, top, sim, 10.0, 5.0, 500.0), sim
+    return initial_solution(env, design.top, sim, 10.0, 5.0, 500.0), sim
 
 
 class TestNetlistWidths:
