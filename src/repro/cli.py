@@ -95,6 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="differentially verify the RTL: re-check every "
                             "committed improvement pass and the final "
                             "architecture against the behavioral simulation")
+    synth.add_argument("--trace", type=Path, default=None, metavar="JSONL",
+                       help="record the search as a structured JSONL trace "
+                            "(inspect with `repro-trace report/replay/profile`)")
+    synth.add_argument("--no-trace-timings", action="store_true",
+                       help="omit wall-clock spans from the trace, making it "
+                            "byte-reproducible across runs and worker counts")
+    synth.add_argument("--profile", type=Path, default=None, metavar="PSTATS",
+                       help="run synthesis under cProfile and dump the stats "
+                            "here (inspect with `python -m pstats`)")
     synth.add_argument("--netlist", type=Path, default=None,
                        help="write the structural datapath netlist here")
     synth.add_argument("--fsm", type=Path, default=None,
@@ -150,15 +159,39 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     config.n_workers = args.workers
     config.verify_moves = args.verify
     library = default_library()
+    built_library = False
     if not args.no_library and not args.flatten and any(
         dfg.hier_nodes() for dfg in design.dfgs()
     ):
         print("building complex-module library...", file=sys.stderr)
+        # Library preparation is untraced: only the main run's search
+        # belongs in the trace (config.trace is still False here).
         library = build_complex_library(design, library, config=config)
+        built_library = True
+
+    if args.trace:
+        config.trace = True
+        config.trace_timings = not args.no_trace_timings
+        # Everything `repro-trace replay` needs to rebuild this run
+        # without the original process (see repro.trace.replay).
+        config.trace_meta = {
+            "benchmark": args.benchmark,
+            "design_path": str(args.design) if args.design else None,
+            "traces": args.traces,
+            "seed": args.seed,
+            "samples": args.samples,
+            "built_library": built_library,
+        }
 
     trace_gen = _TRACE_GENERATORS[args.traces]
     traces = trace_gen(design.top, n=args.samples, seed=args.seed)
 
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     run = synthesize_flat if args.flatten else synthesize
     result = run(
         design,
@@ -172,6 +205,9 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     )
     if args.voltage_scale:
         result = voltage_scale(result, continuous=True)
+    if profiler is not None:
+        profiler.disable()
+        profiler.dump_stats(args.profile)
 
     sched = result.solution.schedule()
     print(f"objective:      {args.objective}"
@@ -196,6 +232,13 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     if args.stats:
         print()
         print(render_stats(result.telemetry))
+    if args.trace:
+        from .trace import write_trace
+
+        n_events = write_trace(result.trace_events, args.trace)
+        print(f"trace written to {args.trace} ({n_events} events)")
+    if args.profile:
+        print(f"profile written to {args.profile}")
 
     if args.netlist:
         args.netlist.write_text(emit_netlist(result.netlist()) + "\n")

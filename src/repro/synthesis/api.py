@@ -15,11 +15,13 @@ as the schedule's slack allows, and re-estimate power.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..dfg.flatten import flatten
 from ..dfg.hierarchy import Design
@@ -32,6 +34,7 @@ from ..power.traces import TraceSet, default_traces
 from ..rtl.components import DatapathNetlist
 from ..rtl.controller import FSMController
 from ..telemetry import Telemetry
+from ..trace.events import SCHEMA_VERSION as TRACE_SCHEMA_VERSION
 from .context import SynthesisConfig, SynthesisEnv
 from .costs import EvaluationContext, Metrics, Objective
 from .datapath_build import build_controller, build_netlist
@@ -40,7 +43,13 @@ from .initial import initial_solution
 from .pruning import candidate_clocks, candidate_vdds, laxity_sampling_ns
 from .solution import Solution
 
-__all__ = ["SynthesisResult", "synthesize", "synthesize_flat", "voltage_scale"]
+__all__ = [
+    "SynthesisResult",
+    "flatten_for_synthesis",
+    "synthesize",
+    "synthesize_flat",
+    "voltage_scale",
+]
 
 
 @dataclass
@@ -60,13 +69,19 @@ class SynthesisResult:
     sim: SimTrace
     history: dict[tuple[float, float], list[PassRecord]] = field(default_factory=dict)
     telemetry: Telemetry = field(default_factory=Telemetry)
+    #: Structured search trace (``SynthesisConfig.trace``): one event
+    #: dict per span, in deterministic order; ``None`` when tracing was
+    #: off.  Serialize with :func:`repro.trace.write_trace`.
+    trace_events: list[dict[str, Any]] | None = None
 
     @property
     def area(self) -> float:
+        """Total active area of the winning architecture."""
         return self.metrics.area
 
     @property
     def power(self) -> float:
+        """Average power of the winning architecture at its (Vdd, clock)."""
         return self.metrics.power
 
     def netlist(self) -> DatapathNetlist:
@@ -101,6 +116,19 @@ def _prepare_traces(design: Design, traces: TraceSet | None, n_samples: int) -> 
     if traces is None:
         return default_traces(design.top, n=n_samples)
     return traces
+
+
+def flatten_for_synthesis(design: Design) -> Design:
+    """Wrap *design*'s fully expanded DFG as a single-behavior design.
+
+    This is the flattened-baseline preprocessing of
+    :func:`synthesize_flat`, factored out so trace replay can rebuild
+    the exact design object a recorded flat run synthesized.
+    """
+    flat = flatten(design)
+    wrapper = Design(f"{design.name}_flat")
+    wrapper.add_dfg(flat, top=True)
+    return wrapper
 
 
 def synthesize(
@@ -165,6 +193,10 @@ class _PointOutcome:
     solution: Solution | None
     metrics: Metrics | None
     history: list[PassRecord]
+    #: Trace events buffered by a *worker* recorder (parallel sweep
+    #: only; the serial path appends directly to the run's recorder).
+    events: list[dict[str, Any]] = field(default_factory=list)
+    events_dropped: int = 0
 
 
 def _run_point(
@@ -173,6 +205,7 @@ def _run_point(
     sampling_ns: float,
     vdd: float,
     clk_ns: float,
+    point_index: int = 0,
 ) -> _PointOutcome:
     """Synthesize one operating point: initial solution + improvement.
 
@@ -183,15 +216,26 @@ def _run_point(
     or instantiates fresh per worker (parallel sweep).
     """
     top = env.design.top
+    rec = env.trace
+    if rec is not None:
+        rec.point = point_index
+        t_point = rec.clock()
+        rec.emit("point_start", point=point_index, vdd=vdd, clk_ns=clk_ns)
     t0 = time.perf_counter()
     init = initial_solution(env, top, sim, clk_ns, vdd, sampling_ns)
     env.telemetry.add_time("initial", time.perf_counter() - t0)
+    if rec is not None:
+        rec.emit("init", point=point_index, cycles=init.schedule().length,
+                 budget=init.deadline_cycles)
     # A structurally hopeless point (even the unconstrained makespan far
     # beyond the budget) is skipped; a borderline miss is still
     # improved, since moves (e.g. replacing a quantization-wasteful
     # module) can recover feasibility.
     if init.schedule().length > 2 * init.deadline_cycles:
         env.telemetry.points_skipped += 1
+        if rec is not None:
+            rec.emit("point_end", point=point_index, status="skipped",
+                     dur_ns=rec.elapsed_ns(t_point))
         return _PointOutcome(vdd, clk_ns, None, None, [])
     env.telemetry.points_explored += 1
     point_history: list[PassRecord] = []
@@ -199,25 +243,39 @@ def _run_point(
     improved = improve_solution(env, init, sim, history=point_history)
     metrics = env.context(sim).evaluate(improved)
     env.telemetry.add_time("improve", time.perf_counter() - t1)
+    if rec is not None:
+        rec.emit(
+            "point_end", point=point_index, status="explored",
+            feasible=metrics.feasible,
+            cost=metrics.objective_value(env.objective),
+            area=metrics.area, power=metrics.power,
+            cycles=metrics.schedule_length,
+            dur_ns=rec.elapsed_ns(t_point),
+        )
     return _PointOutcome(vdd, clk_ns, improved, metrics, point_history)
 
 
 def _point_worker(
     payload: tuple[
         Design, ModuleLibrary, Objective, SynthesisConfig, SimTrace, float,
-        float, float,
+        float, float, int,
     ],
 ) -> tuple[_PointOutcome, Telemetry]:
     """Process-pool entry: run one operating point in a fresh env.
 
     A fresh :class:`SynthesisEnv` is bit-equivalent to a reset one (name
     counter at zero, empty caches), so worker results match the serial
-    sweep exactly.  The worker's telemetry rides back with the outcome
-    for the parent to merge.
+    sweep exactly.  The worker's telemetry — and, when tracing, its
+    buffered trace events — ride back with the outcome for the parent
+    to merge in point order.
     """
-    design, library, objective, config, sim, sampling_ns, vdd, clk_ns = payload
+    (design, library, objective, config, sim, sampling_ns, vdd, clk_ns,
+     point_index) = payload
     env = SynthesisEnv(design, library, objective, config)
-    outcome = _run_point(env, sim, sampling_ns, vdd, clk_ns)
+    outcome = _run_point(env, sim, sampling_ns, vdd, clk_ns, point_index)
+    if env.trace is not None:
+        outcome.events = env.trace.events
+        outcome.events_dropped = env.trace.dropped
     return outcome, env.telemetry
 
 
@@ -239,8 +297,8 @@ def _sweep_points(
     if n_workers > 1 and len(points) > 1:
         payloads = [
             (env.design, env.library, env.objective, env.config, sim,
-             sampling_ns, vdd, clk_ns)
-            for vdd, clk_ns in points
+             sampling_ns, vdd, clk_ns, idx)
+            for idx, (vdd, clk_ns) in enumerate(points)
         ]
         try:
             with ProcessPoolExecutor(
@@ -251,14 +309,19 @@ def _sweep_points(
                 pickle.PicklingError):
             paired = None
         if paired is not None:
-            for _outcome, worker_telemetry in paired:
+            for outcome, worker_telemetry in paired:
                 env.telemetry.merge(worker_telemetry)
+                if env.trace is not None:
+                    # Point order == serial emission order, so the
+                    # merged trace matches the n_workers=1 trace.
+                    env.trace.absorb(outcome.events, outcome.events_dropped)
+                    outcome.events = []
             return [outcome for outcome, _tel in paired]
 
     outcomes: list[_PointOutcome] = []
-    for vdd, clk_ns in points:
+    for idx, (vdd, clk_ns) in enumerate(points):
         env.reset_point_caches()
-        outcomes.append(_run_point(env, sim, sampling_ns, vdd, clk_ns))
+        outcomes.append(_run_point(env, sim, sampling_ns, vdd, clk_ns, idx))
     return outcomes
 
 
@@ -284,10 +347,7 @@ def _synthesize(
         sampling_ns = laxity_sampling_ns(design, library, laxity_factor)
 
     if flatten_input:
-        flat = flatten(design)
-        wrapper = Design(f"{design.name}_flat")
-        wrapper.add_dfg(flat, top=True)
-        design = wrapper
+        design = flatten_for_synthesis(design)
 
     top = design.top
     traces = _prepare_traces(design, traces, n_samples)
@@ -316,13 +376,26 @@ def _synthesize(
         )
     ]
 
+    if env.trace is not None:
+        env.trace.emit(
+            "run_start",
+            schema=TRACE_SCHEMA_VERSION,
+            design=design.name,
+            objective=objective,
+            sampling_ns=sampling_ns,
+            flattened=flatten_input,
+            n_points=len(points),
+            config=_traced_config(env.config),
+            provenance=env.config.trace_meta,
+        )
+
     t_sweep = time.perf_counter()
     outcomes = _sweep_points(env, sim, sampling_ns, points)
     env.telemetry.add_time("sweep", time.perf_counter() - t_sweep)
 
-    best: tuple[float, Solution, Metrics, float, float] | None = None
+    best: tuple[float, Solution, Metrics, float, float, int] | None = None
     history: dict[tuple[float, float], list[PassRecord]] = {}
-    for outcome in outcomes:
+    for idx, outcome in enumerate(outcomes):
         if outcome.solution is None or outcome.metrics is None:
             continue
         history[(outcome.vdd, outcome.clk_ns)] = outcome.history
@@ -332,7 +405,7 @@ def _synthesize(
         if best is None or value < best[0]:
             best = (
                 value, outcome.solution, outcome.metrics,
-                outcome.vdd, outcome.clk_ns,
+                outcome.vdd, outcome.clk_ns, idx,
             )
 
     if best is None:
@@ -341,7 +414,21 @@ def _synthesize(
             f"sampling period {sampling_ns:.1f} ns"
         )
 
-    _value, solution, metrics, vdd, clk_ns = best
+    value, solution, metrics, vdd, clk_ns, winner_idx = best
+    if env.trace is not None:
+        env.trace.emit(
+            "run_end",
+            winner={
+                "point": winner_idx, "vdd": vdd, "clk_ns": clk_ns,
+                "cost": value, "area": metrics.area, "power": metrics.power,
+            },
+            events_dropped=env.trace.dropped,
+            stage_s=(
+                {k: round(v, 6) for k, v in sorted(env.telemetry.stage_s.items())}
+                if env.trace.timings
+                else None
+            ),
+        )
     return SynthesisResult(
         solution=solution,
         metrics=metrics,
@@ -356,7 +443,25 @@ def _synthesize(
         sim=sim,
         history=history,
         telemetry=env.telemetry,
+        trace_events=env.trace.events if env.trace is not None else None,
     )
+
+
+def _traced_config(config: SynthesisConfig) -> dict[str, Any]:
+    """Search-shaping knobs recorded in a trace's ``run_start`` event.
+
+    Execution-only fields are excluded: ``n_workers`` and the ``trace_*``
+    family do not change what the search does, and keeping them out is
+    what lets a 1-worker and a 4-worker run produce byte-identical
+    traces.  ``trace_meta`` rides separately as the provenance field.
+    """
+    skip = {"n_workers", "trace", "trace_timings", "trace_evals",
+            "trace_max_events", "trace_meta"}
+    return {
+        f.name: getattr(config, f.name)
+        for f in dataclasses.fields(config)
+        if f.name not in skip
+    }
 
 
 def voltage_scale(
@@ -407,6 +512,14 @@ def voltage_scale(
     if best is None:
         return result
     solution, metrics, vdd, new_clk = best
+    trace_events = result.trace_events
+    if trace_events is not None:
+        # The scaled result keeps the synthesis trace and annotates the
+        # supply change; replay targets the pre-scale run_end winner.
+        trace_events = trace_events + [
+            {"k": "voltage_scale", "vdd": vdd, "clk_ns": new_clk,
+             "power": metrics.power}
+        ]
     return SynthesisResult(
         solution=solution,
         metrics=metrics,
@@ -421,6 +534,7 @@ def voltage_scale(
         sim=result.sim,
         history=result.history,
         telemetry=result.telemetry,
+        trace_events=trace_events,
     )
 
 

@@ -33,6 +33,7 @@ class LRUCache(Generic[K, V]):
         self.misses = 0
 
     def get(self, key: K, default: V | None = None) -> V | None:
+        """Look up ``key``, refreshing its recency; counts a hit or miss."""
         value = self._data.get(key, self._MISSING)
         if value is self._MISSING:
             self.misses += 1
@@ -44,6 +45,7 @@ class LRUCache(Generic[K, V]):
         return value  # type: ignore[return-value]
 
     def put(self, key: K, value: V) -> None:
+        """Insert ``key``, evicting the least recently used entry if full."""
         if self.maxsize <= 0:
             return
         if key in self._data:
@@ -62,6 +64,7 @@ class LRUCache(Generic[K, V]):
         self.put(key, value)
 
     def clear(self) -> None:
+        """Drop all entries (hit/miss counters are preserved)."""
         self._data.clear()
 
     def __contains__(self, key: K) -> bool:

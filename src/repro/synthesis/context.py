@@ -22,6 +22,7 @@ from ..library.library import ModuleLibrary
 from ..power.simulate import SimTrace, simulate_subgraph
 from ..rtl.module import RTLModule
 from ..telemetry import Telemetry
+from ..trace.recorder import TraceRecorder
 from .caching import LRUCache
 from .costs import DEFAULT_COST_CACHE_SIZE, EvaluationContext, Objective
 
@@ -74,6 +75,23 @@ class SynthesisConfig:
     #: counterexample.  Off by default — it roughly doubles the cost of a
     #: committed pass; see ``docs/VERIFICATION.md``.
     verify_moves: bool = False
+    #: Record the search as structured trace events (run → point → pass
+    #: → move, with gain attribution); surfaced on
+    #: ``SynthesisResult.trace_events`` and the CLI's ``--trace`` flag.
+    #: See ``docs/TRACING.md``.
+    trace: bool = False
+    #: Include ``perf_counter_ns`` span timings in the trace.  Disable
+    #: for byte-identical traces across runs and worker counts.
+    trace_timings: bool = True
+    #: Also emit one event per cost evaluation (cache hit/miss
+    #: provenance).  Verbose; off by default.
+    trace_evals: bool = False
+    #: Hard bound on buffered trace events (excess is dropped+counted).
+    trace_max_events: int = 1_000_000
+    #: Run metadata embedded in the trace's ``run_start`` event (the CLI
+    #: records benchmark/traces/seed here so ``repro-trace replay`` can
+    #: reconstruct the run without the original process).
+    trace_meta: dict | None = None
 
 
 class SynthesisEnv:
@@ -91,6 +109,17 @@ class SynthesisEnv:
         self.objective = objective
         self.config = config or SynthesisConfig()
         self.telemetry = Telemetry()
+        #: Structured search trace (None when tracing is off).  Workers
+        #: of the parallel sweep each own a fresh recorder; the parent
+        #: merges their buffers in point order.
+        self.trace: TraceRecorder | None = (
+            TraceRecorder(
+                timings=self.config.trace_timings,
+                max_events=self.config.trace_max_events,
+            )
+            if self.config.trace
+            else None
+        )
         cap = self.config.module_cache_size
         #: Modules synthesized on demand, keyed by (behavior, clk, vdd).
         self.module_cache: LRUCache[tuple[str, float, float], RTLModule] = (
@@ -112,6 +141,7 @@ class SynthesisEnv:
         self._contexts: dict[int, EvaluationContext] = {}
 
     def fresh_module_name(self, behavior: str) -> str:
+        """Mint a unique name for a newly synthesized complex module."""
         self._module_counter += 1
         return f"{behavior}_v{self._module_counter}"
 
@@ -142,6 +172,7 @@ class SynthesisEnv:
                 self.objective,
                 telemetry=self.telemetry,
                 cache_size=self.config.cost_cache_size,
+                recorder=self.trace if self.config.trace_evals else None,
             )
             # Bounded: evict the oldest context (and its strong sim ref;
             # live id() keys stay valid because live contexts pin their

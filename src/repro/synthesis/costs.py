@@ -34,6 +34,7 @@ from ..power.estimator import (
 from ..power.simulate import SimTrace
 from ..rtl.components import DatapathNetlist
 from ..telemetry import Telemetry
+from ..trace.recorder import TraceRecorder
 from .caching import LRUCache
 from .datapath_build import build_netlist, operand_port_map
 from .solution import Solution
@@ -80,6 +81,7 @@ class Metrics:
     violation: float = 0.0
 
     def objective_value(self, objective: Objective) -> float:
+        """Scalar cost under ``objective``; infeasible points cost ~1e9."""
         if not self.feasible:
             return _INFEASIBLE_COST * (1.0 + self.violation)
         if objective == "power":
@@ -109,11 +111,15 @@ class EvaluationContext:
         objective: Objective,
         telemetry: Telemetry | None = None,
         cache_size: int = DEFAULT_COST_CACHE_SIZE,
+        recorder: TraceRecorder | None = None,
     ):
         self.sim = sim
         self.path = path
         self.objective = objective
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: Optional trace recorder: when set, every evaluation emits one
+        #: ``eval`` span with its cache provenance (``trace_evals``).
+        self.recorder = recorder
         #: Memoized full evaluations, keyed by solution fingerprint.  The
         #: KL loop re-generates thousands of structurally identical
         #: candidates across steps and passes; pricing them is a lookup.
@@ -160,9 +166,21 @@ class EvaluationContext:
         cached = self._cost_cache.get(key)
         if cached is not None:
             self.telemetry.cache_hits += 1
+            if self.recorder is not None:
+                self.recorder.emit(
+                    "eval", point=self.recorder.point, cached=True
+                )
             return cached
         self.telemetry.cache_misses += 1
+        t0 = self.recorder.clock() if self.recorder is not None else None
         metrics = self._evaluate_uncached(solution)
+        if self.recorder is not None:
+            self.recorder.emit(
+                "eval",
+                point=self.recorder.point,
+                cached=False,
+                dur_ns=self.recorder.elapsed_ns(t0),
+            )
         self._cost_cache.put(key, metrics)
         return metrics
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..power.simulate import SimTrace
 from ..rtl.module import RTLModule
+from ..telemetry import move_family
 from .context import SynthesisEnv
 from .costs import EvaluationContext
 from .initial import hier_input_streams, initial_solution
@@ -83,6 +84,10 @@ def improve_solution(
     max_passes = max_passes if max_passes is not None else config.max_passes
     max_moves = max_moves if max_moves is not None else config.max_moves
     ctx = env.context(sim)
+    # Nested move-B resynthesis runs this same driver one level down;
+    # its passes are an implementation detail of pricing one candidate,
+    # so only the top-level search is traced.
+    rec = env.trace if not env._resynth_active else None
 
     current = solution
     current_cost = ctx.cost(current)
@@ -91,13 +96,25 @@ def improve_solution(
         locked: frozenset[str] = frozenset()
         work = current
         sequence: list[tuple[Candidate, float]] = []
+        if rec is not None:
+            t_pass = rec.clock()
+            rec.emit("pass_start", point=rec.point, **{"pass": _pass},
+                     cost=current_cost)
 
         for _step in range(max_moves):
-            m1 = _best(ctx, type_a_b_candidates(env, work, sim, locked))
-            m3 = _best(ctx, sharing_candidates(env, work, sim, locked))
+            if rec is not None:
+                t_step = rec.clock()
+                tel = ctx.telemetry
+                ev0 = (tel.evaluations, tel.cache_hits, tel.cache_misses)
+            cands_ab = type_a_b_candidates(env, work, sim, locked)
+            cands_c = sharing_candidates(env, work, sim, locked)
+            cands_d: list[Candidate] = []
+            m1 = _best(ctx, cands_ab)
+            m3 = _best(ctx, cands_c)
             work_cost = sequence[-1][1] if sequence else current_cost
             if m3 is None or (work_cost - m3.cost_after) < 0:
-                m4 = _best(ctx, splitting_candidates(env, work, sim, locked))
+                cands_d = splitting_candidates(env, work, sim, locked)
+                m4 = _best(ctx, cands_d)
                 if m4 is not None and (m3 is None or m4.cost_after < m3.cost_after):
                     m3 = m4
             chosen = None
@@ -108,11 +125,20 @@ def improve_solution(
                     chosen = move
             if chosen is None:
                 break
+            if rec is not None:
+                _emit_step(
+                    rec, ctx, _pass, _step, work, work_cost, chosen,
+                    cands_ab + cands_c + cands_d, ev0, t_step,
+                )
             work = chosen.candidate.solution
             locked = locked | chosen.candidate.touched
             sequence.append((chosen.candidate, chosen.cost_after))
 
         if not sequence:
+            if rec is not None:
+                rec.emit("pass_end", point=rec.point, **{"pass": _pass},
+                         steps=0, committed=0, cost=current_cost,
+                         dur_ns=rec.elapsed_ns(t_pass))
             break
 
         best_idx = min(range(len(sequence)), key=lambda i: sequence[i][1])
@@ -125,8 +151,16 @@ def improve_solution(
             for candidate, _cost in sequence[:committed]:
                 ctx.telemetry.count_move_committed(candidate.kind)
             if config.verify_moves:
+                t_verify = rec.clock() if rec is not None else None
                 _verify_commit(env, current, sim, sequence[:committed])
+                if rec is not None:
+                    rec.emit("verify", point=rec.point, **{"pass": _pass},
+                             ok=True, dur_ns=rec.elapsed_ns(t_verify))
 
+        if rec is not None:
+            rec.emit("pass_end", point=rec.point, **{"pass": _pass},
+                     steps=len(sequence), committed=committed,
+                     cost=current_cost, dur_ns=rec.elapsed_ns(t_pass))
         if history is not None:
             history.append(
                 PassRecord(
@@ -139,6 +173,56 @@ def improve_solution(
             break
 
     return current
+
+
+def _emit_step(
+    rec,
+    ctx: EvaluationContext,
+    pass_idx: int,
+    step_idx: int,
+    work: Solution,
+    work_cost: float,
+    chosen: ScoredMove,
+    candidates: list[Candidate],
+    ev0: tuple[int, int, int],
+    t_step,
+) -> None:
+    """Emit one ``step`` trace event with full gain attribution.
+
+    The gain is broken into its cost-model components by re-evaluating
+    the pre- and post-move solutions — both are cache hits, since the
+    move was just priced, so attribution costs no netlist rebuilds.
+    """
+    # Snapshot the pricing deltas first: the two attribution lookups
+    # below also tick the telemetry counters (as cache hits).
+    tel = ctx.telemetry
+    evals = {
+        "n": tel.evaluations - ev0[0],
+        "hits": tel.cache_hits - ev0[1],
+        "misses": tel.cache_misses - ev0[2],
+    }
+    before = ctx.evaluate(work)
+    after = ctx.evaluate(chosen.candidate.solution)
+    tried: dict[str, int] = {}
+    for cand in candidates:
+        family = move_family(cand.kind)
+        tried[family] = tried.get(family, 0) + 1
+    rec.emit(
+        "step",
+        point=rec.point,
+        **{"pass": pass_idx},
+        step=step_idx,
+        kind=chosen.candidate.kind,
+        move=chosen.candidate.description,
+        cost=chosen.cost_after,
+        gain=work_cost - chosen.cost_after,
+        d_power=after.power - before.power,
+        d_area=after.area - before.area,
+        d_cycles=after.schedule_length - before.schedule_length,
+        tried=dict(sorted(tried.items())),
+        eval=evals,
+        dur_ns=rec.elapsed_ns(t_step),
+    )
 
 
 def _verify_commit(

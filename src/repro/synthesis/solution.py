@@ -51,10 +51,12 @@ class Instance:
 
     @property
     def is_module(self) -> bool:
+        """True when this instance is a complex module, not a leaf cell."""
         return self.module is not None
 
     @property
     def type_name(self) -> str:
+        """Library name of the bound cell or module."""
         return self.module.name if self.module is not None else self.cell.name
 
 
@@ -89,6 +91,7 @@ class Solution:
     # Identity helpers
     # ------------------------------------------------------------------
     def fresh_id(self, prefix: str) -> str:
+        """Mint an identifier unused by any instance or register."""
         while True:
             self._counter += 1
             candidate = f"{prefix}{self._counter}"
@@ -109,6 +112,7 @@ class Solution:
         module: RTLModule | None = None,
         inst_id: str | None = None,
     ) -> Instance:
+        """Bind a new datapath instance of ``cell`` or ``module``."""
         inst_id = inst_id or self.fresh_id("u")
         if inst_id in self.instances:
             raise SynthesisError(f"duplicate instance id {inst_id!r}")
@@ -125,6 +129,7 @@ class Solution:
         self.invalidate()
 
     def remove_instance(self, inst_id: str) -> None:
+        """Delete an instance; it must have no remaining executions."""
         if self.executions.get(inst_id):
             raise SynthesisError(
                 f"cannot remove instance {inst_id!r}: it still has executions"
@@ -134,6 +139,7 @@ class Solution:
         self.invalidate()
 
     def add_register(self, signals: list[Signal], reg_id: str | None = None) -> str:
+        """Allocate a register holding the given signals; returns its id."""
         reg_id = reg_id or self.fresh_id("r")
         if reg_id in self.reg_signals:
             raise SynthesisError(f"duplicate register id {reg_id!r}")
@@ -243,6 +249,7 @@ class Solution:
     # Queries
     # ------------------------------------------------------------------
     def instance(self, inst_id: str) -> Instance:
+        """Look up an instance by id (SynthesisError if unknown)."""
         try:
             return self.instances[inst_id]
         except KeyError:
@@ -257,6 +264,7 @@ class Solution:
         raise SynthesisError(f"node {node_id!r} is not bound to any instance")
 
     def register_of(self, signal: Signal) -> str:
+        """Return the register a signal is bound to (error if none)."""
         for reg_id, signals in self.reg_signals.items():
             if signal in signals:
                 return reg_id
@@ -396,6 +404,7 @@ class Solution:
         return conflicts
 
     def schedule_feasible(self) -> bool:
+        """True when the schedule fits within the cycle budget."""
         return self.schedule().length <= self.deadline_cycles
 
     def is_feasible(self) -> bool:

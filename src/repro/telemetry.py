@@ -53,14 +53,17 @@ class Telemetry:
 
     # ------------------------------------------------------------------
     def count_move_tried(self, kind: str, n: int = 1) -> None:
+        """Record ``n`` candidates of ``kind`` generated (by family)."""
         family = move_family(kind)
         self.moves_tried[family] = self.moves_tried.get(family, 0) + n
 
     def count_move_committed(self, kind: str, n: int = 1) -> None:
+        """Record ``n`` moves of ``kind`` surviving a committed prefix."""
         family = move_family(kind)
         self.moves_committed[family] = self.moves_committed.get(family, 0) + n
 
     def add_time(self, stage: str, seconds: float) -> None:
+        """Accumulate wall-clock seconds against a named stage."""
         self.stage_s[stage] = self.stage_s.get(stage, 0.0) + seconds
 
     # ------------------------------------------------------------------

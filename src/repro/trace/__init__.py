@@ -1,0 +1,69 @@
+"""Structured search observability for the synthesis engine.
+
+The iterative-improvement engine (Figure 4 of the paper) commits the
+best *prefix* of a move sequence in which individual moves may have
+negative gain.  Aggregate telemetry counters cannot explain *why* a
+pass chose the moves it did; this package records the search itself as
+a stream of structured events — run → operating point → pass → move —
+with per-move gain attribution (cost, power, area and schedule deltas),
+cost-evaluation cache provenance, and optional ``perf_counter_ns`` span
+timings.
+
+Layout
+------
+:mod:`repro.trace.events`    — the JSONL schema (kinds, fields, version);
+:mod:`repro.trace.recorder`  — bounded in-memory recorder + JSONL I/O;
+:mod:`repro.trace.report`    — per-pass gain-attribution rendering;
+:mod:`repro.trace.replay`    — deterministic re-execution of a recorded
+                               move sequence, cross-checked against the
+                               differential verification oracle;
+:mod:`repro.trace.cli`       — the ``repro-trace`` command-line tool.
+
+Traces are produced by ``synthesize(..., config=SynthesisConfig(
+trace=True))`` (surfaced as ``SynthesisResult.trace_events``) or the
+CLI's ``--trace out.jsonl`` flag, and survive the parallel
+operating-point sweep: each worker buffers its own events and the
+parent merges them in point order, so a trace is byte-identical
+regardless of ``n_workers`` (when timings are disabled).  See
+``docs/TRACING.md`` for the full schema and a worked example.
+"""
+
+from .events import SCHEMA_VERSION, span_kinds
+from .recorder import TraceRecorder, dumps_trace, load_trace, write_trace
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ReplayError",
+    "ReplayResult",
+    "TraceRecorder",
+    "dumps_trace",
+    "load_trace",
+    "render_profile",
+    "render_report",
+    "replay_trace",
+    "span_kinds",
+    "write_trace",
+]
+
+#: Consumers (report rendering, replay) build on repro.synthesis, which
+#: itself emits into this package — so they are imported lazily (PEP
+#: 562) to keep ``repro.synthesis → repro.trace`` acyclic at load time.
+_LAZY = {
+    "render_report": "report",
+    "render_profile": "report",
+    "ReplayError": "replay",
+    "ReplayResult": "replay",
+    "replay_trace": "replay",
+}
+
+
+def __getattr__(name: str):
+    """Resolve the lazily exported consumer API on first access."""
+    if name in _LAZY:
+        from importlib import import_module
+
+        module = import_module(f".{_LAZY[name]}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,8 @@
+"""``python -m repro.trace`` — alias for the ``repro-trace`` tool."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

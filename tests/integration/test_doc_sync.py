@@ -1,0 +1,127 @@
+"""Documentation/code synchronization checks.
+
+Docs rot in three ways this module guards against:
+
+1. a CLI invocation shown in README/docs stops parsing (flag renamed or
+   removed) — every ``python -m repro``/``repro-trace`` command found in
+   a fenced code block is run through the real argument parsers;
+2. the README's examples table and ``examples/`` drift apart;
+3. a relative markdown link breaks — the same check
+   ``tools/check_markdown_links.py`` runs in CI.
+
+The slow tier additionally *executes* every example script end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "tools"))
+
+from check_markdown_links import broken_links, markdown_files  # noqa: E402
+
+DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+
+def _fenced_blocks(text: str) -> list[str]:
+    return re.findall(r"```(?:\w+)?\n(.*?)```", text, flags=re.DOTALL)
+
+
+def _command_lines() -> list[tuple[str, str]]:
+    """(source file, command) for every repro invocation in the docs."""
+    commands: list[tuple[str, str]] = []
+    for doc in DOC_FILES:
+        for block in _fenced_blocks(doc.read_text()):
+            # Join backslash continuations, drop trailing comments.
+            joined = re.sub(r"\\\n\s*", " ", block)
+            for line in joined.splitlines():
+                line = line.split(" #", 1)[0].strip()
+                if line.startswith("#") or not line:
+                    continue
+                if re.match(r"python -m repro(\.trace)?\b|repro-trace\b", line):
+                    commands.append((doc.name, line))
+    return commands
+
+
+def test_docs_show_at_least_the_core_invocations():
+    lines = [cmd for _doc, cmd in _command_lines()]
+    assert any("synth" in line and "--trace" in line for line in lines)
+    assert any(line.startswith(("repro-trace", "python -m repro.trace"))
+               for line in lines)
+
+
+@pytest.mark.parametrize(
+    "doc,command", _command_lines(), ids=lambda v: str(v)[:60]
+)
+def test_documented_cli_invocations_parse(doc, command):
+    from repro.cli import build_parser as repro_parser
+    from repro.trace.cli import build_parser as trace_parser
+
+    argv = shlex.split(command)
+    if argv[:3] == ["python", "-m", "repro.trace"]:
+        parser, args = trace_parser(), argv[3:]
+    elif argv[0] == "repro-trace":
+        parser, args = trace_parser(), argv[1:]
+    elif argv[:3] == ["python", "-m", "repro"]:
+        parser, args = repro_parser(), argv[3:]
+    else:
+        pytest.fail(f"unrecognized command shape in {doc}: {command}")
+    try:
+        parser.parse_args(args)
+    except SystemExit as exc:  # argparse reports errors via sys.exit
+        pytest.fail(
+            f"{doc} documents an invocation the CLI rejects "
+            f"(exit {exc.code}): {command}"
+        )
+
+
+def test_readme_examples_table_matches_examples_dir():
+    readme = (ROOT / "README.md").read_text()
+    documented = set(re.findall(r"`([a-z0-9_]+\.py)`", readme))
+    on_disk = {p.name for p in (ROOT / "examples").glob("*.py")}
+    assert on_disk <= documented, (
+        f"examples not mentioned in README: {sorted(on_disk - documented)}"
+    )
+    # Every script the README names must exist somewhere in the repo
+    # (examples/, benchmarks/, or the root).
+    phantoms = [
+        name for name in sorted(documented)
+        if not any((ROOT / d / name).exists()
+                   for d in ("examples", "benchmarks", "."))
+    ]
+    assert not phantoms, f"README references nonexistent scripts: {phantoms}"
+
+
+def test_markdown_links_resolve():
+    assert markdown_files(ROOT), "link checker found no markdown files"
+    problems = broken_links(ROOT)
+    assert not problems, "broken markdown links:\n  " + "\n  ".join(problems)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "script",
+    sorted(p.name for p in (ROOT / "examples").glob("*.py")),
+)
+def test_examples_run_end_to_end(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "examples" / script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=1800,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+    )

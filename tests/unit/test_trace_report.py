@@ -1,0 +1,97 @@
+"""Unit tests for trace report rendering on a hand-built trace.
+
+The synthetic trace below mimics a two-pass single-point run with a
+negative-gain move inside the committed prefix — the variable-depth
+behaviour the report exists to explain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import SCHEMA_VERSION
+from repro.trace.report import render_profile, render_report, run_overview
+
+
+def _step(p, s, kind, move, cost, gain, committed_hint=0):
+    return {
+        "k": "step", "point": 0, "pass": p, "step": s,
+        "kind": kind, "move": move, "cost": cost, "gain": gain,
+        "d_power": gain * 0.8, "d_area": -1.0, "d_cycles": 0,
+        "tried": {"A": 3, "C": 2, "D": 1},
+        "eval": {"n": 6, "hits": 4, "misses": 2},
+    }
+
+
+def _trace(timings=False):
+    dur = {"dur_ns": 1_000_000} if timings else {}
+    events = [
+        {"k": "run_start", "schema": SCHEMA_VERSION, "design": "toy",
+         "objective": "power", "sampling_ns": 100.0, "flattened": False,
+         "n_points": 1, "config": {}},
+        {"k": "point_start", "point": 0, "vdd": 5.0, "clk_ns": 10.0},
+        {"k": "pass_start", "point": 0, "pass": 0},
+        _step(0, 0, "A-swap", "swap u1 to add_fast", 2.0, 0.5),
+        _step(0, 1, "C-share-fu", "share u2 into u3", 2.4, -0.4),
+        _step(0, 2, "D-split", "split u4", 1.2, 1.2),
+        {"k": "pass_end", "point": 0, "pass": 0, "steps": 3,
+         "committed": 3, "cost": 1.2, **dur},
+        {"k": "pass_start", "point": 0, "pass": 1},
+        _step(1, 0, "B-resynth", "resynthesize dct_sub", 1.1, 0.1),
+        {"k": "pass_end", "point": 0, "pass": 1, "steps": 1,
+         "committed": 1, "cost": 1.1, **dur},
+        {"k": "point_end", "point": 0, "status": "explored",
+         "feasible": True, "cost": 1.1, "area": 10.0, "power": 0.5,
+         "cycles": 8, **dur},
+        {"k": "run_end",
+         "winner": {"point": 0, "vdd": 5.0, "clk_ns": 10.0,
+                    "cost": 1.1, "area": 10.0, "power": 0.5},
+         "events_dropped": 0,
+         **({"stage_s": {"improve": 0.5}} if timings else {})},
+    ]
+    return events
+
+
+def test_report_shows_passes_rollup_and_negative_gain_note():
+    text = render_report(_trace())
+    assert "trace: toy — objective power" in text
+    assert "winner: point 0 (Vdd 5.00 V, clock 10.00 ns)" in text
+    assert "point 0 pass 0: 3 moves, committed prefix 3" in text
+    assert "negative-gain moves in the committed prefix: 1" in text
+    # Per-family attribution table covers all four families.
+    for label in ("A (module selection)", "B (resynthesis)",
+                  "C (sharing/embedding)", "D (splitting)"):
+        assert label in text
+    # Cache provenance rollup: 4 steps x (6 evals, 4 hits).
+    assert "cost evaluations while pricing: 24 (16 cache hits" in text
+
+
+def test_report_rejects_wrong_schema_and_missing_header():
+    bad = _trace()
+    bad[0]["schema"] = SCHEMA_VERSION + 1
+    with pytest.raises(ValueError, match="schema"):
+        render_report(bad)
+    with pytest.raises(ValueError, match="run_start"):
+        render_report([{"k": "step"}])
+
+
+def test_report_handles_partial_trace():
+    partial = _trace()[:-1]  # no run_end
+    text = render_report(partial)
+    assert "run did not finish" in text
+    assert "pass 0" in text
+
+
+def test_run_overview_counts():
+    overview = run_overview(_trace())
+    assert overview["design"] == "toy"
+    assert overview["n_steps"] == 4
+    assert overview["n_passes"] == 2
+    assert overview["winner"]["cost"] == 1.1
+
+
+def test_profile_requires_timings():
+    assert "no timing spans" in render_profile(_trace(timings=False))
+    timed = render_profile(_trace(timings=True))
+    assert "wall-clock by stage" in timed
+    assert "slowest improvement passes" in timed

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans every tracked ``*.md`` file (repository root, ``docs/`` and other
+top-level directories), extracts inline markdown links and validates
+the relative ones against the filesystem.  External links (http/https/
+mailto) are only syntax-checked — CI must stay hermetic.
+
+Usage::
+
+    python tools/check_markdown_links.py [root]
+
+Exits nonzero listing every broken link.  The doc-sync test
+(``tests/integration/test_doc_sync.py``) runs the same check in-process.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that point outside the repository and are not checked.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+#: Directories never scanned for markdown.
+_SKIP_DIRS = {".git", ".venv", "__pycache__", "node_modules",
+              ".pytest_cache", "results"}
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """Every markdown file under *root*, skipping vendored/cache dirs."""
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if not any(part in _SKIP_DIRS for part in path.parts):
+            files.append(path)
+    return files
+
+
+def links_in(path: Path) -> list[str]:
+    """All inline link targets in one markdown file."""
+    text = path.read_text(encoding="utf-8")
+    # Fenced code blocks routinely contain [x](y)-shaped non-links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return _LINK.findall(text)
+
+
+def broken_links(root: Path) -> list[str]:
+    """Human-readable ``file: target`` entries for every broken link."""
+    problems: list[str] = []
+    for md in markdown_files(root):
+        for target in links_in(md):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (md.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(f"{md.relative_to(root)}: {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parents[1]
+    problems = broken_links(root)
+    n_files = len(markdown_files(root))
+    if problems:
+        print(f"broken markdown links ({len(problems)}):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"markdown links OK ({n_files} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
