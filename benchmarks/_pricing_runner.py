@@ -1,0 +1,97 @@
+"""Measure candidate-pricing throughput of whichever engine is on PYTHONPATH.
+
+Helper for ``bench_candidate_eval.py``: the bench runs this script twice
+with an identical workload — once against the current tree and once
+against the seed revision checked out into a scratch git worktree — and
+compares the two JSON reports.  The script therefore sticks to the API
+surface both revisions share (``improve_solution``,
+``EvaluationContext.evaluate``) and feature-detects the rest
+(``prune_candidates`` does not exist at the seed revision).
+
+"Pricing" time is accounted by wrapping ``EvaluationContext.evaluate``
+(and, when present, the pre-pricing pruner) with a ``perf_counter``
+accumulator, so candidate generation and bookkeeping are excluded on
+both sides.  A candidate counts as *dispositioned* when it was either
+priced or pruned; because both engines are bit-identical, they walk the
+same search trajectory and disposition the same candidates — the script
+prints the final (area, power) so the caller can assert exactly that.
+
+Usage: ``python _pricing_runner.py <circuit> <n_traces>`` → one JSON
+object on stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+
+def main() -> None:
+    """Run one improvement on <circuit> and report pricing time as JSON."""
+    circuit = sys.argv[1]
+    n_traces = int(sys.argv[2])
+
+    from repro.bench_suite import get_benchmark
+    from repro.library import default_library
+    from repro.power import simulate_subgraph, speech_traces
+    from repro.synthesis import SynthesisConfig, SynthesisEnv
+    from repro.synthesis import improve as improve_mod
+    from repro.synthesis.costs import EvaluationContext
+    from repro.synthesis.initial import initial_solution
+
+    design = get_benchmark(circuit)
+    top = design.top
+    traces = speech_traces(top, n=n_traces, seed=3)
+    sim = simulate_subgraph(design, top, [traces[name] for name in top.inputs])
+    env = SynthesisEnv(design, default_library(), "power", SynthesisConfig())
+    solution = initial_solution(env, top, sim, 10.0, 5.0, 2000.0)
+
+    state = {"pricing_s": 0.0, "evals": 0, "pruned": 0}
+    real_eval = EvaluationContext.evaluate
+
+    def timed_eval(self, solution, *args, **kwargs):
+        t0 = time.perf_counter()
+        try:
+            return real_eval(self, solution, *args, **kwargs)
+        finally:
+            state["pricing_s"] += time.perf_counter() - t0
+            state["evals"] += 1
+
+    EvaluationContext.evaluate = timed_eval
+
+    real_prune = getattr(improve_mod, "prune_candidates", None)
+    if real_prune is not None:
+
+        def timed_prune(env_, work, candidates):
+            t0 = time.perf_counter()
+            survivors = real_prune(env_, work, candidates)
+            state["pricing_s"] += time.perf_counter() - t0
+            state["pruned"] += len(candidates) - len(survivors)
+            return survivors
+
+        improve_mod.prune_candidates = timed_prune
+
+    t0 = time.perf_counter()
+    final = improve_mod.improve_solution(env, solution, sim)
+    improve_s = time.perf_counter() - t0
+
+    metrics = env.context(sim).evaluate(final)
+    print(
+        json.dumps(
+            {
+                "circuit": circuit,
+                "area": metrics.area,
+                "power": metrics.power,
+                "dispositioned": state["evals"] + state["pruned"],
+                "evals": state["evals"],
+                "pruned": state["pruned"],
+                "pricing_s": state["pricing_s"],
+                "improve_s": improve_s,
+            }
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

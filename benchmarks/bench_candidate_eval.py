@@ -1,0 +1,228 @@
+"""Candidate-pricing throughput: seed engine vs. incremental engine.
+
+The KL inner loop spends most of its time pricing candidate moves.  PR 4
+replaced the always-from-scratch evaluation with delta pricing against a
+per-term breakdown of the current solution (see
+``src/repro/synthesis/incremental.py``) plus dominance/feasibility
+pruning before pricing, schedule memoization, and identity-keyed
+activity caches.  This bench measures what all of that buys:
+
+* **microbenchmark** — check the PR's parent commit out into a scratch
+  git worktree and run the identical improvement workload
+  (``benchmarks/_pricing_runner.py``) against both trees, interleaved,
+  best-of-``_ROUNDS``.  Both engines walk the bit-identical search
+  trajectory (asserted via final area/power and the number of
+  dispositioned candidates), so the pricing-time ratio *is* the
+  candidate-throughput ratio.  Comparing against the real parent
+  revision — rather than this tree with ``--no-incremental`` — keeps
+  the baseline honest: generic hot-path optimizations (netlist bulk
+  build, activity memos) speed the flag-off mode up too and would
+  otherwise hide in the ratio.
+* **end-to-end** — full power-objective synthesis of ``test1`` with the
+  incremental engine on vs. off; results must be bit-identical, and the
+  incremental run must not be slower than 1.25x the non-incremental run
+  (the CI perf-smoke gate).
+
+Writes ``benchmarks/results/BENCH_4.json`` with the raw numbers; the CI
+perf-smoke job uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench_suite import get_benchmark
+from repro.power import speech_traces
+from repro.reporting import quick_config
+from repro.synthesis import synthesize
+
+from conftest import RESULTS_DIR, save_result
+
+CIRCUITS = ("paulin", "dct", "test1")
+_LAXITY = 2.2
+_N_TRACES = 256  # stream length: enough that pricing dominates setup
+_ROUNDS = 3  # best-of timing rounds per revision
+_SPEEDUP_TARGET = 2.0  # required on >= _SPEEDUP_MIN_CIRCUITS circuits
+_SPEEDUP_MIN_CIRCUITS = 2
+_E2E_REGRESSION_LIMIT = 1.25  # incremental may cost at most 25% extra
+
+#: The commit this PR stacks on: the last revision whose evaluator
+#: priced every candidate from scratch.  Pinned (not ``HEAD~1``) so the
+#: baseline stays meaningful when later PRs stack on top.
+_SEED_COMMIT = "56761849f197881f118f9c36c30a254a21190183"
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_RUNNER = Path(__file__).parent / "_pricing_runner.py"
+_WORKTREE = _REPO_ROOT / ".bench_seed_worktree"
+
+
+def _git(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        ["git", *argv], cwd=_REPO_ROOT, capture_output=True, text=True
+    )
+
+
+def _make_seed_worktree() -> Path:
+    """Check the seed revision out into a scratch worktree (or skip)."""
+    if _WORKTREE.exists():
+        _git("worktree", "remove", "--force", str(_WORKTREE))
+    proc = _git("worktree", "add", "--detach", str(_WORKTREE), _SEED_COMMIT)
+    if proc.returncode != 0:
+        # Shallow clone, missing object, or no git at all: the e2e
+        # section still runs, but there is no honest seed to race.
+        pytest.skip(
+            f"cannot create seed worktree at {_SEED_COMMIT[:12]}: "
+            + proc.stderr.strip()
+        )
+    return _WORKTREE
+
+
+def _drop_seed_worktree() -> None:
+    _git("worktree", "remove", "--force", str(_WORKTREE))
+
+
+def _run_pricing(tree: Path, circuit: str) -> dict:
+    """One improvement run of *circuit* against the engine in *tree*."""
+    proc = subprocess.run(
+        [sys.executable, str(_RUNNER), circuit, str(_N_TRACES)],
+        capture_output=True,
+        text=True,
+        cwd=_REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(tree / "src")},
+    )
+    assert proc.returncode == 0, (
+        f"pricing runner failed against {tree}:\n{proc.stderr}"
+    )
+    return json.loads(proc.stdout)
+
+
+def _micro(circuit: str, seed_tree: Path) -> dict:
+    """Best-of-``_ROUNDS`` interleaved pricing race on one circuit."""
+    current, seed = [], []
+    for _ in range(_ROUNDS):
+        new = _run_pricing(_REPO_ROOT, circuit)
+        old = _run_pricing(seed_tree, circuit)
+        # Bit-identical trajectory or the timing comparison is void.
+        assert (new["area"], new["power"], new["dispositioned"]) == (
+            old["area"], old["power"], old["dispositioned"]
+        ), f"engines diverged on {circuit}: {new} vs {old}"
+        current.append(new)
+        seed.append(old)
+    new_s = min(r["pricing_s"] for r in current)
+    old_s = min(r["pricing_s"] for r in seed)
+    n = current[0]["dispositioned"]
+    return {
+        "dispositioned": n,
+        "evals": current[0]["evals"],
+        "pruned": current[0]["pruned"],
+        "seed_s": old_s,
+        "seed_per_s": n / old_s,
+        "incremental_s": new_s,
+        "incremental_per_s": n / new_s,
+        "speedup": old_s / new_s,
+    }
+
+
+def _end_to_end(circuit: str) -> dict:
+    def run(incremental: bool):
+        config = quick_config()
+        config.incremental = incremental
+        config.prune = incremental
+        design = get_benchmark(circuit)
+        traces = speech_traces(design.top, n=24, seed=3)
+        t0 = time.perf_counter()
+        result = synthesize(
+            design,
+            laxity_factor=_LAXITY,
+            objective="power",
+            traces=traces,
+            config=config,
+            n_samples=24,
+        )
+        return result, time.perf_counter() - t0
+
+    seed_result, seed_s = run(incremental=False)
+    incr_result, incr_s = run(incremental=True)
+    assert (seed_result.area, seed_result.power, seed_result.vdd,
+            seed_result.clk_ns) == (incr_result.area, incr_result.power,
+                                    incr_result.vdd, incr_result.clk_ns), (
+        "incremental engine changed the synthesis result"
+    )
+    tel = incr_result.telemetry
+    return {
+        "seed_s": seed_s,
+        "incremental_s": incr_s,
+        "ratio": incr_s / seed_s,
+        "delta_hit_rate": tel.delta_hit_rate,
+        "delta_hits": tel.delta_hits,
+        "delta_fallbacks": tel.delta_fallbacks,
+        "full_evals": tel.full_evals,
+        "moves_pruned": sum(tel.moves_pruned.values()),
+        "area": incr_result.area,
+        "power": incr_result.power,
+    }
+
+
+def test_candidate_eval_throughput():
+    seed_tree = _make_seed_worktree()
+    try:
+        micro = {circuit: _micro(circuit, seed_tree) for circuit in CIRCUITS}
+    finally:
+        _drop_seed_worktree()
+    e2e = {"test1": _end_to_end("test1")}
+
+    snapshot = {
+        "bench": "candidate_eval",
+        "pr": 4,
+        "seed_commit": _SEED_COMMIT,
+        "laxity": _LAXITY,
+        "n_traces": _N_TRACES,
+        "rounds": _ROUNDS,
+        "micro": micro,
+        "end_to_end": e2e,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_4.json").write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
+
+    lines = [
+        "Candidate pricing: seed engine vs incremental (delta) evaluation",
+        f"(seed = {_SEED_COMMIT[:12]}, {_N_TRACES} trace samples, "
+        f"best of {_ROUNDS})",
+        "=================================================================",
+    ]
+    for circuit, m in micro.items():
+        lines.append(
+            f"{circuit:8s} {m['dispositioned']:4d} candidates "
+            f"({m['pruned']} pruned): "
+            f"{m['seed_per_s']:.0f}/s seed -> "
+            f"{m['incremental_per_s']:.0f}/s incremental "
+            f"({m['speedup']:.2f}x)"
+        )
+    t1 = e2e["test1"]
+    lines.append(
+        f"end-to-end test1: {t1['seed_s']:.2f} s non-incremental -> "
+        f"{t1['incremental_s']:.2f} s incremental "
+        f"({t1['delta_hit_rate']:.1%} delta-hit rate, "
+        f"{t1['moves_pruned']} moves pruned); results identical (asserted)"
+    )
+    save_result("candidate_eval", "\n".join(lines))
+
+    fast_enough = [c for c, m in micro.items() if m["speedup"] >= _SPEEDUP_TARGET]
+    assert len(fast_enough) >= _SPEEDUP_MIN_CIRCUITS, (
+        f"expected >= {_SPEEDUP_TARGET}x pricing throughput on at least "
+        f"{_SPEEDUP_MIN_CIRCUITS} circuits, got "
+        + ", ".join(f"{c}: {m['speedup']:.2f}x" for c, m in micro.items())
+    )
+    assert t1["ratio"] <= _E2E_REGRESSION_LIMIT, (
+        f"incremental end-to-end run is {t1['ratio']:.2f}x the seed-mode "
+        f"wall clock (limit {_E2E_REGRESSION_LIMIT}x)"
+    )

@@ -88,9 +88,25 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--workers", type=int, default=1,
                        help="processes for the (Vdd, clock) operating-point "
                             "sweep (1 = serial; results are identical)")
+    synth.add_argument("--score-workers", type=int, default=1,
+                       help="threads for candidate scoring inside each "
+                            "improvement step (1 = serial; results, telemetry "
+                            "and traces are identical)")
+    synth.add_argument("--no-incremental", action="store_true",
+                       help="price every candidate from scratch instead of "
+                            "by delta against the current solution "
+                            "(results are bit-identical either way)")
+    synth.add_argument("--validate-incremental", action="store_true",
+                       help="cross-check every delta-priced candidate against "
+                            "a from-scratch evaluation and fail on any "
+                            "bitwise mismatch (debug mode; slow)")
+    synth.add_argument("--no-prune", action="store_true",
+                       help="disable dominance/feasibility pruning of "
+                            "candidates before pricing")
     synth.add_argument("--stats", action="store_true",
                        help="print synthesis telemetry (evaluations, cost-cache "
-                            "hit rate, moves per family, stage times)")
+                            "hit rate, delta-hit rate, moves per family, "
+                            "stage times)")
     synth.add_argument("--verify", action="store_true",
                        help="differentially verify the RTL: re-check every "
                             "committed improvement pass and the final "
@@ -157,6 +173,10 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
     config = quick_config() if args.effort == "quick" else SynthesisConfig()
     config.n_workers = args.workers
+    config.score_workers = args.score_workers
+    config.incremental = not args.no_incremental
+    config.validate_incremental = args.validate_incremental
+    config.prune = not args.no_prune
     config.verify_moves = args.verify
     library = default_library()
     built_library = False

@@ -120,6 +120,13 @@ class DFG:
         self._nodes: dict[str, Node] = {}
         self._in_edges: dict[str, dict[int, Edge]] = {}
         self._out_edges: dict[str, list[Edge]] = {}
+        #: Port-sorted in-edge lists, built on demand per node and
+        #: dropped on rewiring.  :meth:`in_edges` is the hottest graph
+        #: query in cost evaluation (operand collection, scheduling,
+        #: netlist build all walk it per candidate), and re-sorting the
+        #: port dict on a graph that never changes mid-search is pure
+        #: waste.  Callers treat the list as read-only.
+        self._in_sorted: dict[str, list[Edge]] = {}
         #: Ordered primary inputs (node ids) - defines hierarchical port order.
         self.inputs: list[str] = []
         #: Ordered primary outputs (node ids).
@@ -217,6 +224,7 @@ class DFG:
         edge = Edge(src, src_port, dst, dst_port)
         self._in_edges[dst][dst_port] = edge
         self._out_edges[src].append(edge)
+        self._in_sorted.pop(dst, None)
         return edge
 
     # ------------------------------------------------------------------
@@ -245,9 +253,13 @@ class DFG:
             yield from ports.values()
 
     def in_edges(self, node_id: str) -> list[Edge]:
-        """In-edges of a node, sorted by destination port."""
-        ports = self._in_edges[node_id]
-        return [ports[p] for p in sorted(ports)]
+        """In-edges of a node, sorted by destination port (read-only)."""
+        cached = self._in_sorted.get(node_id)
+        if cached is None:
+            ports = self._in_edges[node_id]
+            cached = [ports[p] for p in sorted(ports)]
+            self._in_sorted[node_id] = cached
+        return cached
 
     def out_edges(self, node_id: str) -> list[Edge]:
         """Out-edges of a node (insertion order)."""

@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..dfg.ops import Operation
-from .voltage import delay_scale
+from .voltage import delay_scale, energy_scale
 
 __all__ = [
     "CellKind",
@@ -100,8 +100,6 @@ class LibraryCell:
 
     def energy_per_op(self, vdd: float, activity: float) -> float:
         """Energy of one activation, in capacitance·V² units."""
-        from .voltage import energy_scale
-
         activity = min(max(activity, 0.0), 1.0)
         return self.cap * (IDLE_FRACTION + activity) * energy_scale(vdd) * 25.0
 

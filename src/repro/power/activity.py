@@ -49,6 +49,11 @@ def hamming_distance(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
 #: value to pin its id.
 _STREAM_ACTIVITY_CACHE: dict[tuple[int, int], tuple[np.ndarray, float]] = {}
 
+#: Memo for interleaved activities keyed by the identities of the
+#: component streams (which are the long-lived simulated arrays); the
+#: stream references are kept in the value to pin their ids.
+_INTERLEAVED_ACTIVITY_CACHE: dict[tuple, tuple[tuple, float]] = {}
+
 
 def stream_activity(stream: np.ndarray, width: int) -> float:
     """Average toggle fraction between consecutive samples of one stream.
@@ -85,11 +90,28 @@ def interleaved_activity(streams: list[np.ndarray], width: int) -> float:
         return 0.0
     if len(streams) == 1:
         return stream_activity(streams[0], width)
+    # Same identity-keyed memo idiom as _STREAM_ACTIVITY_CACHE, one
+    # level up: candidate evaluation re-derives the same interleavings
+    # of the same simulated streams over and over (a full re-evaluation
+    # recomputes every instance, but most instances' operand streams are
+    # unchanged), and the interleaved array is built fresh each time so
+    # the per-stream cache below never sees it twice.
+    key = (tuple(id(s) for s in streams), width)
+    cached = _INTERLEAVED_ACTIVITY_CACHE.get(key)
+    if cached is not None and all(
+        kept is live for kept, live in zip(cached[0], streams)
+    ):
+        return cached[1]
     matrix = np.stack(
         [wrap_to_width(np.asarray(s, dtype=np.int64), width) for s in streams]
     )
     interleaved = matrix.T.reshape(-1)  # t-major: s0[0], s1[0], ..., s0[1], ...
-    return stream_activity(interleaved, width)
+    result = stream_activity(interleaved, width)
+    if all(isinstance(s, np.ndarray) for s in streams):
+        if len(_INTERLEAVED_ACTIVITY_CACHE) > 100_000:
+            _INTERLEAVED_ACTIVITY_CACHE.clear()
+        _INTERLEAVED_ACTIVITY_CACHE[key] = (tuple(streams), result)
+    return result
 
 
 def operand_activity(

@@ -65,7 +65,11 @@ class FUUsage:
     activations_per_sample: int | None = None
     glitch_evaluations: int = 0
 
-    def energy_per_sample(self, vdd: float) -> float:
+    def energy_per_sample(self, vdd: float, activity: float | None = None) -> float:
+        """Energy per sample; *activity* overrides the stream-derived
+        operand activity (used by incremental evaluation to reuse an
+        already-computed activity — the arithmetic below is identical
+        either way, so the result is bit-identical)."""
         activations = (
             self.activations_per_sample
             if self.activations_per_sample is not None
@@ -73,7 +77,8 @@ class FUUsage:
         )
         if activations == 0:
             return 0.0
-        activity = operand_activity(self.operand_streams_per_op, self.width)
+        if activity is None:
+            activity = operand_activity(self.operand_streams_per_op, self.width)
         useful = activations * self.cell.energy_per_op(vdd, activity)
         glitch = (
             self.glitch_evaluations
@@ -104,17 +109,27 @@ class RegisterUsage:
     value_streams: list[np.ndarray]
     width: int
     clocked_cycles: int = 0
+    writes_per_sample: int | None = None
 
-    def energy_per_sample(self, vdd: float) -> float:
-        if not self.value_streams:
+    def energy_per_sample(self, vdd: float, activity: float | None = None) -> float:
+        """Energy per sample; *activity* (with ``writes_per_sample``)
+        lets incremental evaluation reuse an already-computed write
+        activity without re-supplying the value streams — the
+        arithmetic is identical, so the result is bit-identical."""
+        writes = (
+            self.writes_per_sample
+            if self.writes_per_sample is not None
+            else len(self.value_streams)
+        )
+        if writes == 0:
             return 0.0
-        if len(self.value_streams) == 1:
-            activity = stream_activity(self.value_streams[0], self.width)
-        else:
-            from .activity import interleaved_activity
+        if activity is None:
+            if len(self.value_streams) == 1:
+                activity = stream_activity(self.value_streams[0], self.width)
+            else:
+                from .activity import interleaved_activity
 
-            activity = interleaved_activity(self.value_streams, self.width)
-        writes = len(self.value_streams)
+                activity = interleaved_activity(self.value_streams, self.width)
         write_energy = writes * self.cell.energy_per_op(vdd, activity)
         clock_energy = (
             REGISTER_CLOCK_FRACTION

@@ -30,6 +30,13 @@ def render_stats(telemetry: Telemetry, title: str = "Synthesis statistics") -> s
         ("cost-cache hits", telemetry.cache_hits),
         ("cost-cache misses", telemetry.cache_misses),
         ("cost-cache hit rate", f"{telemetry.cache_hit_rate:.1%}"),
+        (
+            "cache misses priced",
+            f"{telemetry.delta_hits} delta / "
+            f"{telemetry.delta_fallbacks} fallback / "
+            f"{telemetry.full_evals} full",
+        ),
+        ("delta-hit rate", f"{telemetry.delta_hit_rate:.1%}"),
         ("points explored", telemetry.points_explored),
         ("points skipped", telemetry.points_skipped),
     ]
@@ -42,6 +49,11 @@ def render_stats(telemetry: Telemetry, title: str = "Synthesis statistics") -> s
                 f"{telemetry.moves_committed.get(family, 0)} committed",
             )
         )
+    if telemetry.moves_pruned:
+        pruned = " / ".join(
+            f"{family}: {n}" for family, n in sorted(telemetry.moves_pruned.items())
+        )
+        rows.append(("moves pruned before pricing", pruned))
     if telemetry.verify_checks:
         rows.append(
             (

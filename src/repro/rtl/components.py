@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, NamedTuple
 
 from ..errors import DFGError
 
@@ -50,8 +50,7 @@ class ComponentKind(enum.Enum):
 REFERENCE_WIDTH = 16
 
 
-@dataclass(frozen=True)
-class Component:
+class Component(NamedTuple):
     """One datapath component instance.
 
     ``cell`` names the library cell (for FUNCTIONAL/REGISTER) or the
@@ -60,7 +59,8 @@ class Component:
     instance; cell characterization is at :data:`REFERENCE_WIDTH`, and
     area scales linearly with width (ripple structures; multipliers are
     conservatively linear too since their operand registers and wiring
-    dominate at these widths).
+    dominate at these widths).  A named tuple for the same hot-path
+    reason as :class:`Connection`.
     """
 
     comp_id: str
@@ -73,9 +73,13 @@ class Component:
         return self.width / REFERENCE_WIDTH
 
 
-@dataclass(frozen=True)
-class Connection:
-    """A point-to-point wire between two component ports."""
+class Connection(NamedTuple):
+    """A point-to-point wire between two component ports.
+
+    A named tuple rather than a dataclass: netlists are rebuilt per
+    candidate move, and constructing/hashing tens of thousands of these
+    per pricing step is measurably cheaper at C speed.
+    """
 
     src: str
     src_port: int
@@ -90,6 +94,21 @@ class DatapathNetlist:
         self.name = name
         self._components: dict[str, Component] = {}
         self._connections: set[Connection] = set()
+        #: Memoized fan-in map and per-library area, cleared by the two
+        #: mutators below.  Cost evaluation asks for both several times
+        #: per netlist (glitch counting, mux inference, area, controller
+        #: sizing), and module netlists are re-priced on every move.
+        self._fanin_cache: dict[tuple[str, int], int] | None = None
+        #: id(library) → (library, area).  The library reference is kept
+        #: in the value to pin its id (same idiom as the stream-activity
+        #: cache in repro.power.activity).
+        self._area_cache: dict[int, tuple[object, float]] = {}
+        self._sorted_conns: list[Connection] | None = None
+
+    def _invalidate(self) -> None:
+        self._fanin_cache = None
+        self._area_cache.clear()
+        self._sorted_conns = None
 
     # ------------------------------------------------------------------
     def add_component(
@@ -103,6 +122,7 @@ class DatapathNetlist:
             raise DFGError(f"duplicate component {comp_id!r} in netlist {self.name!r}")
         comp = Component(comp_id, kind, cell, width=width)
         self._components[comp_id] = comp
+        self._invalidate()
         return comp
 
     def connect(self, src: str, src_port: int, dst: str, dst_port: int) -> Connection:
@@ -111,6 +131,7 @@ class DatapathNetlist:
                 raise DFGError(f"unknown component {comp_id!r} in netlist {self.name!r}")
         conn = Connection(src, src_port, dst, dst_port)
         self._connections.add(conn)
+        self._invalidate()
         return conn
 
     # ------------------------------------------------------------------
@@ -131,10 +152,13 @@ class DatapathNetlist:
         return [c for c in self._components.values() if c.kind == kind]
 
     def connections(self) -> list[Connection]:
-        return sorted(
-            self._connections,
-            key=lambda c: (c.dst, c.dst_port, c.src, c.src_port),
-        )
+        """All connections, deterministically ordered (read-only list)."""
+        if self._sorted_conns is None:
+            self._sorted_conns = sorted(
+                self._connections,
+                key=lambda c: (c.dst, c.dst_port, c.src, c.src_port),
+            )
+        return self._sorted_conns
 
     def sources_of(self, dst: str, dst_port: int) -> list[tuple[str, int]]:
         """Distinct sources driving one input port (mux fan-in)."""
@@ -145,11 +169,14 @@ class DatapathNetlist:
 
     def fanin_ports(self) -> dict[tuple[str, int], int]:
         """Map (component, input port) → number of distinct sources."""
+        if self._fanin_cache is not None:
+            return self._fanin_cache
         fanin: dict[tuple[str, int], int] = {}
         for conn in self._connections:
             key = (conn.dst, conn.dst_port)
             fanin[key] = fanin.get(key, 0) + 1
         # Count distinct sources, not raw connections (sets dedupe already).
+        self._fanin_cache = fanin
         return fanin
 
     def mux_legs(self) -> int:
@@ -162,6 +189,9 @@ class DatapathNetlist:
     # ------------------------------------------------------------------
     def area(self, library: "ModuleLibrary") -> float:
         """Netlist area: cells + inferred muxes + interconnect measure."""
+        cached = self._area_cache.get(id(library))
+        if cached is not None and cached[0] is library:
+            return cached[1]
         total = 0.0
         for comp in self._components.values():
             if comp.kind in (ComponentKind.PORT, ComponentKind.MODULE):
@@ -175,7 +205,27 @@ class DatapathNetlist:
                 width_factor = self.component(dst).width_factor
                 total += (fanin - 1) * library.mux_cell.area * width_factor
         total += self.n_connections() * WIRE_AREA_PER_CONNECTION
+        self._area_cache[id(library)] = (library, total)
         return total
+
+    @classmethod
+    def _from_parts(
+        cls,
+        name: str,
+        components: dict[str, Component],
+        connections: set[Connection],
+    ) -> "DatapathNetlist":
+        """Adopt pre-built parts without per-call validation.
+
+        Fast path for bulk builders (``build_netlist`` constructs tens
+        of thousands of netlists per synthesis run) that guarantee
+        unique component ids and endpoints-exist by construction; the
+        dict and set are adopted, not copied.
+        """
+        netlist = cls(name)
+        netlist._components = components
+        netlist._connections = connections
+        return netlist
 
     def copy(self, name: str | None = None) -> "DatapathNetlist":
         clone = DatapathNetlist(name or self.name)

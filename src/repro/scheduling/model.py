@@ -102,6 +102,12 @@ class ScheduleResult:
     length: int
     instance_order: dict[str, list[str]]
     task_of_node: dict[str, str]
+    #: Per-signal lifetime memo, filled lazily by
+    #: :meth:`repro.synthesis.solution.Solution.signal_lifetime`.  A
+    #: lifetime is a pure function of (DFG, tasks, schedule), and one
+    #: ScheduleResult is shared across every candidate whose task set is
+    #: unchanged — so the memo rides on the schedule it is valid for.
+    lifetime_memo: dict = field(default_factory=dict, compare=False, repr=False)
 
     def start_of_node(self, node_id: str) -> int:
         return self.start[self.task_of_node[node_id]]

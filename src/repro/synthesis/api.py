@@ -450,12 +450,18 @@ def _synthesize(
 def _traced_config(config: SynthesisConfig) -> dict[str, Any]:
     """Search-shaping knobs recorded in a trace's ``run_start`` event.
 
-    Execution-only fields are excluded: ``n_workers`` and the ``trace_*``
-    family do not change what the search does, and keeping them out is
-    what lets a 1-worker and a 4-worker run produce byte-identical
-    traces.  ``trace_meta`` rides separately as the provenance field.
+    Execution-only fields are excluded: ``n_workers``,
+    ``score_workers``, ``validate_incremental`` and the ``trace_*``
+    family do not change what the search does (or what its trace
+    records), and keeping them out is what lets a 1-worker and a
+    4-worker run produce byte-identical traces.  ``incremental`` and
+    ``prune`` *are* recorded: both leave the search outcome intact, but
+    they shape per-step eval/pruned counts in the trace, so a replay
+    must run them the same way.  ``trace_meta`` rides separately as the
+    provenance field.
     """
-    skip = {"n_workers", "trace", "trace_timings", "trace_evals",
+    skip = {"n_workers", "score_workers", "validate_incremental",
+            "trace", "trace_timings", "trace_evals",
             "trace_max_events", "trace_meta"}
     return {
         f.name: getattr(config, f.name)

@@ -11,10 +11,40 @@ from __future__ import annotations
 
 from typing import Generic, Iterator, TypeVar
 
-__all__ = ["LRUCache"]
+__all__ = ["HashedKey", "LRUCache"]
 
 K = TypeVar("K")
 V = TypeVar("V")
+
+
+class HashedKey:
+    """A cache key wrapping a value with its hash precomputed.
+
+    Solution fingerprints are large nested tuples; hashing one walks the
+    whole structure.  The cost cache looks the same fingerprint up many
+    times per candidate-pricing round (pricing, gain attribution, the
+    breakdown store), so the key object computes the hash once at
+    construction and every dict operation afterwards reuses it.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: tuple):
+        self.value = value
+        self._hash = hash(value)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, HashedKey):
+            return self._hash == other._hash and self.value == other.value
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashedKey(hash={self._hash})"
 
 
 class LRUCache(Generic[K, V]):
@@ -43,6 +73,12 @@ class LRUCache(Generic[K, V]):
         self._data[key] = value  # type: ignore[assignment]
         self.hits += 1
         return value  # type: ignore[return-value]
+
+    def peek(self, key: K, default: V | None = None) -> V | None:
+        """Look up ``key`` without touching recency or the hit/miss
+        counters (used by speculative work that must not perturb the
+        cache statistics of the serial accounting pass)."""
+        return self._data.get(key, default)
 
     def put(self, key: K, value: V) -> None:
         """Insert ``key``, evicting the least recently used entry if full."""

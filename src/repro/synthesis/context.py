@@ -75,6 +75,25 @@ class SynthesisConfig:
     #: counterexample.  Off by default — it roughly doubles the cost of a
     #: committed pass; see ``docs/VERIFICATION.md``.
     verify_moves: bool = False
+    #: Price local candidate moves incrementally: by delta against the
+    #: current solution's per-term energy breakdown, with schedules
+    #: shared across candidates whose task sets are equal.  Bit-identical
+    #: results either way; see ``docs/PERFORMANCE.md``.
+    incremental: bool = True
+    #: Debug mode: recompute every delta-priced candidate from scratch
+    #: as well and raise :class:`~repro.errors.SynthesisError` on any
+    #: bitwise mismatch.  Roughly doubles pricing cost.
+    validate_incremental: bool = False
+    #: Discard provably dominated / structurally hopeless candidates
+    #: before pricing (counted per family in telemetry as
+    #: ``moves_pruned``).  Outcome-preserving by construction.
+    prune: bool = True
+    #: Threads for candidate scoring inside one improvement step.
+    #: 1 = serial; >1 prices uncached candidates speculatively on a
+    #: thread pool while all accounting stays serial, so results,
+    #: telemetry and traces are identical at any setting.  Composes
+    #: with ``n_workers`` (each sweep worker scores with its own pool).
+    score_workers: int = 1
     #: Record the search as structured trace events (run → point → pass
     #: → move, with gain attribution); surfaced on
     #: ``SynthesisResult.trace_events`` and the CLI's ``--trace`` flag.
@@ -173,6 +192,8 @@ class SynthesisEnv:
                 telemetry=self.telemetry,
                 cache_size=self.config.cost_cache_size,
                 recorder=self.trace if self.config.trace_evals else None,
+                validate_incremental=self.config.validate_incremental,
+                reuse_schedules=self.config.incremental,
             )
             # Bounded: evict the oldest context (and its strong sim ref;
             # live id() keys stay valid because live contexts pin their

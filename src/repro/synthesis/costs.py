@@ -1,10 +1,13 @@
 """Cost evaluation: area, trace-driven power, and the objective function.
 
-Every tentative move is priced by fully re-evaluating the mutated
-solution: rebuild the structural netlist (area side) and re-assemble
-the per-resource stream interleavings (power side).  Gains are then
+Every tentative move is priced by re-evaluating the mutated solution:
+rebuild the structural netlist (area side) and re-price the
+per-resource stream interleavings (power side).  Gains are then
 differences of these costs, exactly as in the paper's
-``Gain(move, Obj)`` (Figure 4).
+``Gain(move, Obj)`` (Figure 4).  Local moves are priced *by delta*
+against a per-term breakdown of the current solution (see
+:mod:`repro.synthesis.incremental`); the result is bit-identical to a
+from-scratch evaluation either way.
 
 The evaluation context pins everything that stays fixed during one
 iterative-improvement run: the module library, the simulated value
@@ -14,30 +17,25 @@ period and the objective.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 import numpy as np
 
-from ..dfg.graph import NodeKind, Signal
-from ..power.activity import interleaved_activity
-from ..power.estimator import (
-    ControllerUsage,
-    FUUsage,
-    InterconnectUsage,
-    MuxUsage,
-    PowerReport,
-    RegisterUsage,
-    estimate_power,
-)
+from ..dfg.graph import Signal
+from ..errors import SynthesisError
+from ..power.estimator import PowerReport
 from ..power.simulate import SimTrace
 from ..rtl.components import DatapathNetlist
 from ..telemetry import Telemetry
 from ..trace.recorder import TraceRecorder
-from .caching import LRUCache
+from .caching import HashedKey, LRUCache
 from .datapath_build import build_netlist, operand_port_map
+from .incremental import Breakdown, evaluate_solution
 from .solution import Solution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scheduling.model import ScheduleResult
 
 __all__ = [
     "Objective",
@@ -112,6 +110,8 @@ class EvaluationContext:
         telemetry: Telemetry | None = None,
         cache_size: int = DEFAULT_COST_CACHE_SIZE,
         recorder: TraceRecorder | None = None,
+        validate_incremental: bool = False,
+        reuse_schedules: bool = True,
     ):
         self.sim = sim
         self.path = path
@@ -120,10 +120,33 @@ class EvaluationContext:
         #: Optional trace recorder: when set, every evaluation emits one
         #: ``eval`` span with its cache provenance (``trace_evals``).
         self.recorder = recorder
+        #: Debug mode: recompute every delta-priced evaluation from
+        #: scratch and raise on any bitwise mismatch.
+        self.validate_incremental = validate_incremental
+        #: Share schedules across candidates with equal task signatures
+        #: (part of the incremental machinery; off reproduces the
+        #: schedule-per-candidate behavior of from-scratch pricing).
+        self.reuse_schedules = reuse_schedules
         #: Memoized full evaluations, keyed by solution fingerprint.  The
         #: KL loop re-generates thousands of structurally identical
         #: candidates across steps and passes; pricing them is a lookup.
-        self._cost_cache: LRUCache[tuple, Metrics] = LRUCache(cache_size)
+        self._cost_cache: LRUCache[HashedKey, Metrics] = LRUCache(cache_size)
+        #: Per-term energy breakdowns of evaluated solutions, keyed like
+        #: the cost cache; the improvement loop fetches the current
+        #: solution's breakdown to delta-price its candidates against.
+        self._breakdowns: LRUCache[HashedKey, Breakdown] = LRUCache(cache_size)
+        #: Results computed speculatively on scoring threads
+        #: (:meth:`prime`), consumed by the serial accounting pass.
+        self._primed: dict[
+            HashedKey, tuple[Metrics, Breakdown, int, int]
+        ] = {}
+        #: Schedules memoized by task signature (see
+        #: :meth:`schedule_of`): register-binding moves and equal-timing
+        #: cell swaps do not change the task set, so whole families of
+        #: candidates share one list-scheduling run.
+        self._schedules: LRUCache[HashedKey, "ScheduleResult"] = LRUCache(
+            cache_size
+        )
 
     # ------------------------------------------------------------------
     def _operand_streams(
@@ -152,17 +175,51 @@ class EvaluationContext:
             groups.append(solution.task(task_id).nodes)
         return groups
 
+    def schedule_of(self, solution: Solution) -> "ScheduleResult":
+        """Schedule *solution*, memoized by task signature.
+
+        List scheduling is a deterministic function of (DFG, tasks), so
+        an equal :meth:`~repro.synthesis.solution.Solution.
+        task_signature` guarantees a bit-identical result; sharing the
+        cached :class:`~repro.scheduling.model.ScheduleResult` (it is
+        never mutated downstream) changes nothing but the wall clock.
+        The hit is installed into the solution's own schedule cache so
+        feasibility checks, register lifetimes and serialization order
+        all see the same object.
+        """
+        sched = solution._schedule
+        if sched is not None:
+            return sched
+        if not self.reuse_schedules:
+            return solution.schedule()
+        key = HashedKey((id(solution.dfg), solution.task_signature()))
+        cached = self._schedules.get(key)
+        if cached is None:
+            cached = solution.schedule()
+            self._schedules.put(key, cached)
+        else:
+            solution.adopt_schedule(cached)
+        return cached
+
     # ------------------------------------------------------------------
-    def evaluate(self, solution: Solution) -> Metrics:
+    def evaluate(self, solution: Solution, base: Breakdown | None = None) -> Metrics:
         """Area/power evaluation of *solution*, memoized by fingerprint.
 
         Two solutions with equal :meth:`~repro.synthesis.solution.
         Solution.fingerprint` evaluate identically, so the second one is
         answered from the cache without rebuilding the netlist or
         re-running trace-driven power estimation.
+
+        When *base* carries the current solution's per-term breakdown
+        (see :mod:`repro.synthesis.incremental`), a cache miss is priced
+        incrementally: energy terms whose inputs are unchanged are
+        reused instead of recomputed.  The result is bit-identical to a
+        from-scratch evaluation; telemetry classifies each miss as a
+        delta hit, a delta fall-back (base offered, nothing reusable) or
+        a full evaluation.
         """
         self.telemetry.evaluations += 1
-        key = solution.fingerprint()
+        key = solution.fingerprint_key()
         cached = self._cost_cache.get(key)
         if cached is not None:
             self.telemetry.cache_hits += 1
@@ -173,165 +230,139 @@ class EvaluationContext:
             return cached
         self.telemetry.cache_misses += 1
         t0 = self.recorder.clock() if self.recorder is not None else None
-        metrics = self._evaluate_uncached(solution)
+        primed = self._primed.pop(key, None)
+        if primed is not None:
+            metrics, breakdown, reused, _terms = primed
+        else:
+            metrics, breakdown, reused, _terms = self._compute(solution, base)
+        if base is None:
+            self.telemetry.full_evals += 1
+            mode = None
+        elif reused:
+            self.telemetry.delta_hits += 1
+            mode = "delta"
+        else:
+            self.telemetry.delta_fallbacks += 1
+            mode = "fallback"
         if self.recorder is not None:
-            self.recorder.emit(
-                "eval",
-                point=self.recorder.point,
-                cached=False,
-                dur_ns=self.recorder.elapsed_ns(t0),
-            )
+            event: dict = {"point": self.recorder.point, "cached": False}
+            if mode is not None:
+                event["mode"] = mode
+            event["dur_ns"] = self.recorder.elapsed_ns(t0)
+            self.recorder.emit("eval", **event)
         self._cost_cache.put(key, metrics)
+        self._breakdowns.put(key, breakdown)
         return metrics
+
+    def _compute(
+        self, solution: Solution, base: Breakdown | None
+    ) -> tuple[Metrics, Breakdown, int, int]:
+        """Run the evaluator (delta or full), optionally cross-checked.
+
+        Pure with respect to context state: no telemetry, cache or
+        recorder side effects, so scoring threads can call it
+        speculatively (:meth:`prime`) without perturbing the serial
+        accounting.
+        """
+        result = evaluate_solution(self, solution, base)
+        if base is not None and self.validate_incremental:
+            reference = evaluate_solution(self, solution, None)[0]
+            _check_identical(result[0], reference)
+        return result
 
     def _evaluate_uncached(self, solution: Solution) -> Metrics:
         """Full evaluation: netlist rebuild + trace-driven estimation."""
-        netlist = build_netlist(solution)
-        area = area_of(solution, netlist)
-        sched = solution.schedule()
-        feasible = solution.is_feasible()
-        violation = 0.0
-        if not feasible:
-            excess = max(0, sched.length - solution.deadline_cycles)
-            violation = excess / max(solution.deadline_cycles, 1)
-            violation += 0.1 * len(solution.register_conflicts())
+        return evaluate_solution(self, solution, None)[0]
 
-        fanin = netlist.fanin_ports()
+    def breakdown_of(self, solution: Solution) -> Breakdown | None:
+        """The stored per-term breakdown of an already-evaluated solution.
 
-        def instance_width(inst_id: str) -> int:
-            return max(
-                (
-                    solution.dfg.node(node_id).width
-                    for group in solution.executions[inst_id]
-                    for node_id in group
-                ),
-                default=16,
-            )
+        Returns ``None`` when the solution has not been evaluated (or
+        its breakdown was evicted); callers then simply price without a
+        base, which is always correct.
+        """
+        return self._breakdowns.peek(solution.fingerprint_key())
 
-        def glitches(inst_id: str, n_execs: int) -> int:
-            """Spurious evaluations from input-mux switching on a shared
-            unit: each multi-source port re-triggers the combinational
-            logic once per select change (≈ executions − 1)."""
-            if n_execs < 2:
-                return 0
-            multi_ports = sum(
-                1 for (comp, _p), n in fanin.items() if comp == inst_id and n > 1
-            )
-            return multi_ports * (n_execs - 1)
+    # ------------------------------------------------------------------
+    def prime(
+        self,
+        work: list[tuple[Solution, Breakdown | None]],
+        workers: int,
+    ) -> None:
+        """Speculatively evaluate uncached solutions on a thread pool.
 
-        fu_usages: list[FUUsage] = []
-        extra_energy = 0.0
-        for inst_id, inst in solution.instances.items():
-            groups = self._execution_order(solution, inst_id)
-            if not groups:
+        ``work`` pairs each candidate solution with the base breakdown
+        it would be priced against.  Solutions already in the cost cache
+        (or already primed) are skipped; the rest are computed
+        concurrently and stashed for :meth:`evaluate` to consume.  All
+        accounting — telemetry, cache recency and eviction, trace
+        events — still happens in the caller's serial pass, so results,
+        counters and traces are identical at any worker count.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        jobs: list[tuple[HashedKey, Solution, Breakdown | None]] = []
+        seen: set[HashedKey] = set()
+        for solution, base in work:
+            key = solution.fingerprint_key()
+            if (
+                key in seen
+                or key in self._primed
+                or self._cost_cache.peek(key) is not None
+            ):
                 continue
-            width = instance_width(inst_id)
-            if inst.is_module:
-                assert inst.module is not None
-                streams_per_exec = [
-                    self._operand_streams(solution, group) for group in groups
-                ]
-                from ..power.activity import operand_activity
-                from ..power.estimator import GLITCH_FRACTION
-
-                input_activity = operand_activity(streams_per_exec, width)
-                for group in groups:
-                    (node_id,) = group
-                    behavior = solution.dfg.node(node_id).behavior
-                    extra_energy += inst.module.energy_per_exec(
-                        solution.vdd, input_activity, behavior=behavior
-                    )
-                # Shared modules glitch on their steering muxes too.
-                extra_energy += (
-                    glitches(inst_id, len(groups))
-                    * GLITCH_FRACTION
-                    * inst.module.energy_per_exec(solution.vdd, 0.5)
-                    / max(len(groups), 1)
-                )
-            else:
-                assert inst.cell is not None
-                fu_usages.append(
-                    FUUsage(
-                        cell=inst.cell,
-                        operand_streams_per_op=[
-                            self._operand_streams(solution, group)
-                            for group in groups
-                        ],
-                        width=width,
-                        glitch_evaluations=glitches(inst_id, len(groups)),
-                    )
-                )
-
-        reg_usages: list[RegisterUsage] = []
-        for reg_id, signals in solution.reg_signals.items():
-            ordered = sorted(signals, key=lambda s: sched.avail.get(s, 0))
-            reg_width = max(
-                (solution.dfg.node(src).width for src, _p in signals),
-                default=16,
+            seen.add(key)
+            jobs.append((key, solution, base))
+        if len(jobs) < 2 or workers < 2:
+            return
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(
+                pool.map(lambda job: self._compute(job[1], job[2]), jobs)
             )
-            reg_usages.append(
-                RegisterUsage(
-                    cell=solution.library.register_cell,
-                    value_streams=[
-                        self.sim.stream(self.path, signal) for signal in ordered
-                    ],
-                    width=reg_width,
-                    clocked_cycles=sched.length,
-                )
+        for (key, _solution, _base), result in zip(jobs, results):
+            self._primed[key] = result
+
+    def discard_primed(self) -> None:
+        """Drop unconsumed speculative results.
+
+        Called at the end of each pricing round: a stale primed entry
+        would later be consumed with reuse counts from the wrong base,
+        skewing the delta-hit telemetry away from the serial baseline.
+        """
+        self._primed.clear()
+
+    def cost(self, solution: Solution, base: Breakdown | None = None) -> float:
+        """Objective value of a solution (~1e9 when infeasible)."""
+        return self.evaluate(solution, base).objective_value(self.objective)
+
+
+def _check_identical(delta: Metrics, full: Metrics) -> None:
+    """Raise unless a delta-priced evaluation equals the full one bitwise."""
+    pairs = [
+        ("area", delta.area, full.area),
+        ("energy_per_sample", delta.energy_per_sample, full.energy_per_sample),
+        ("power", delta.power, full.power),
+        ("schedule_length", delta.schedule_length, full.schedule_length),
+        ("feasible", delta.feasible, full.feasible),
+        ("violation", delta.violation, full.violation),
+        ("fu_energy", delta.report.fu_energy, full.report.fu_energy),
+        (
+            "register_energy",
+            delta.report.register_energy,
+            full.report.register_energy,
+        ),
+        ("mux_energy", delta.report.mux_energy, full.report.mux_energy),
+        ("wire_energy", delta.report.wire_energy, full.report.wire_energy),
+        ("extra_energy", delta.report.extra_energy, full.report.extra_energy),
+        (
+            "controller_energy",
+            delta.report.controller_energy,
+            full.report.controller_energy,
+        ),
+    ]
+    for name, got, want in pairs:
+        if got != want:
+            raise SynthesisError(
+                "incremental evaluation diverged from full evaluation: "
+                f"{name} {got!r} != {want!r}"
             )
-
-        # Reuse the fanin map computed above; a same-named loop variable
-        # here used to shadow the dict captured by the glitches() closure.
-        mux_usages: list[MuxUsage] = []
-        for (_dst, _port), n_srcs in fanin.items():
-            if n_srcs > 1:
-                mux_usages.append(
-                    MuxUsage(
-                        cell=solution.library.mux_cell,
-                        n_inputs=n_srcs,
-                        accesses_per_sample=n_srcs,
-                    )
-                )
-
-        # Average wire length grows with the square root of circuit area;
-        # _AREA_REF pins the factor to 1.0 for a mid-size datapath.
-        interconnect = InterconnectUsage(
-            n_connections=netlist.n_connections(),
-            length_factor=math.sqrt(max(area, 1.0) / _AREA_REF),
-        )
-
-        # Controller estimate: one start per execution, one load per
-        # registered value, one select per mux leg (see the paper's
-        # FSM-controller output; SIS-synthesized in the original flow).
-        n_starts = sum(len(groups) for groups in solution.executions.values())
-        controller = ControllerUsage(
-            n_states=max(sched.length, 1),
-            n_control_signals=(
-                n_starts + len(solution.reg_signals) + netlist.mux_legs()
-            ),
-        )
-        area += controller.area()
-
-        report = estimate_power(
-            fus=fu_usages,
-            registers=reg_usages,
-            muxes=mux_usages,
-            interconnect=interconnect,
-            vdd=solution.vdd,
-            sampling_period_ns=solution.sampling_ns,
-            extra_energy=extra_energy,
-            controller=controller,
-        )
-        return Metrics(
-            area=area,
-            energy_per_sample=report.total_energy,
-            power=report.power,
-            schedule_length=sched.length,
-            feasible=feasible,
-            report=report,
-            violation=violation,
-        )
-
-    def cost(self, solution: Solution) -> float:
-        """Objective value of a solution (∞ when infeasible)."""
-        return self.evaluate(solution).objective_value(self.objective)

@@ -15,8 +15,13 @@ two different behaviors.
 from __future__ import annotations
 
 from ..dfg.graph import NodeKind, Signal
-from ..errors import SynthesisError
-from ..rtl.components import ComponentKind, DatapathNetlist
+from ..errors import DFGError
+from ..rtl.components import (
+    Component,
+    ComponentKind,
+    Connection,
+    DatapathNetlist,
+)
 from ..rtl.controller import (
     ControllerState,
     FSMController,
@@ -74,7 +79,14 @@ def build_netlist(
     twice).
     """
     dfg = solution.dfg
-    netlist = DatapathNetlist(name or f"{dfg.name}_dp")
+    # Built in bulk (plain list/set, adopted via ``_from_parts``): the
+    # netlist is rebuilt for every priced candidate, and the per-call
+    # bookkeeping of ``add_component``/``connect`` is measurable there.
+    # Validity is by construction — every connection endpoint below is a
+    # component this same function just created — with one duplicate-id
+    # check at the end.
+    comps: list[Component] = []
+    conns: set[Connection] = set()
 
     input_regs: set[str] = set()
     if skip_input_registers:
@@ -92,30 +104,28 @@ def build_netlist(
                 direct_inputs[signal] = f"in{idx}"
 
     for idx, _input in enumerate(dfg.inputs):
-        netlist.add_component(f"in{idx}", ComponentKind.PORT, "in")
+        comps.append(Component(f"in{idx}", ComponentKind.PORT, "in"))
     for idx, _output in enumerate(dfg.outputs):
-        netlist.add_component(f"out{idx}", ComponentKind.PORT, "out")
+        comps.append(Component(f"out{idx}", ComponentKind.PORT, "out"))
     for node in dfg.nodes():
         if node.kind == NodeKind.CONST:
-            netlist.add_component(f"k_{node.node_id}", ComponentKind.PORT, "const")
+            comps.append(Component(f"k_{node.node_id}", ComponentKind.PORT, "const"))
 
+    register_cell_name = solution.library.register_cell.name
     for reg_id, signals in solution.reg_signals.items():
         if reg_id in input_regs:
             continue
         reg_width = max(
             (dfg.node(src).width for src, _port in signals), default=16
         )
-        netlist.add_component(
-            reg_id,
-            ComponentKind.REGISTER,
-            solution.library.register_cell.name,
-            width=reg_width,
+        comps.append(
+            Component(reg_id, ComponentKind.REGISTER, register_cell_name, reg_width)
         )
 
     for inst_id, inst in solution.instances.items():
         if inst.is_module:
             assert inst.module is not None
-            netlist.add_component(inst_id, ComponentKind.MODULE, inst.module.name)
+            comps.append(Component(inst_id, ComponentKind.MODULE, inst.module.name))
         else:
             assert inst.cell is not None
             inst_width = max(
@@ -126,8 +136,8 @@ def build_netlist(
                 ),
                 default=16,
             )
-            netlist.add_component(
-                inst_id, ComponentKind.FUNCTIONAL, inst.cell.name, width=inst_width
+            comps.append(
+                Component(inst_id, ComponentKind.FUNCTIONAL, inst.cell.name, inst_width)
             )
 
     def source_of(signal):
@@ -141,23 +151,25 @@ def build_netlist(
         signal = (input_id, 0)
         if signal in direct_inputs:
             continue
-        netlist.connect(f"in{idx}", 0, solution.register_of(signal), 0)
+        conns.add(Connection(f"in{idx}", 0, solution.register_of(signal), 0))
 
     registered = set(solution.registered_signals())
 
     for inst_id, execs in solution.executions.items():
         inst = solution.instances[inst_id]
         for group in execs:
-            ports = operand_port_map(solution, group)
+            # Inlined operand_port_map: external operands get sequential
+            # instance ports in the very (node, edge) order walked here,
+            # so the port index is just a counter.
             inside = set(group)
+            port = 0
             for node_id in group:
                 for edge in solution.dfg.in_edges(node_id):
                     if edge.src in inside:
                         continue
                     src, src_port = source_of(edge.signal)
-                    netlist.connect(
-                        src, src_port, inst_id, ports[(node_id, edge.dst_port)]
-                    )
+                    conns.add(Connection(src, src_port, inst_id, port))
+                    port += 1
             # Produced signals land in their registers.
             if inst.is_module:
                 (node_id,) = group
@@ -165,21 +177,32 @@ def build_netlist(
                 for out_port in range(node.n_outputs):
                     signal = (node_id, out_port)
                     if signal in registered:
-                        netlist.connect(
-                            inst_id, out_port, solution.register_of(signal), 0
+                        conns.add(
+                            Connection(
+                                inst_id, out_port, solution.register_of(signal), 0
+                            )
                         )
             else:
                 for node_id in group:
                     signal = (node_id, 0)
                     if signal in registered:
-                        netlist.connect(inst_id, 0, solution.register_of(signal), 0)
+                        conns.add(
+                            Connection(inst_id, 0, solution.register_of(signal), 0)
+                        )
 
     for idx, output_id in enumerate(dfg.outputs):
         (edge,) = dfg.in_edges(output_id)
         src, src_port = source_of(edge.signal)
-        netlist.connect(src, src_port, f"out{idx}", 0)
+        conns.add(Connection(src, src_port, f"out{idx}", 0))
 
-    return netlist
+    components = {comp.comp_id: comp for comp in comps}
+    if len(components) != len(comps):
+        raise DFGError(
+            f"duplicate component ids while building netlist for {dfg.name!r}"
+        )
+    return DatapathNetlist._from_parts(
+        name or f"{dfg.name}_dp", components, conns
+    )
 
 
 def build_controller(

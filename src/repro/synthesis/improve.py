@@ -22,9 +22,12 @@ from ..telemetry import move_family
 from .context import SynthesisEnv
 from .costs import EvaluationContext
 from .initial import hier_input_streams, initial_solution
+from .incremental import Breakdown
 from .modulegen import ModuleInternal, characterize_module
 from .moves import (
     Candidate,
+    candidate_order_key,
+    prune_candidates,
     sharing_candidates,
     splitting_candidates,
     type_a_b_candidates,
@@ -52,17 +55,46 @@ class PassRecord:
 
 
 def _best(
-    ctx: EvaluationContext, candidates: list[Candidate]
+    ctx: EvaluationContext,
+    candidates: list[Candidate],
+    base: Breakdown | None = None,
+    workers: int = 1,
 ) -> ScoredMove | None:
-    """Price all candidates, return the cheapest feasible-or-not one."""
+    """Price all candidates, return the cheapest feasible-or-not one.
+
+    *base* is the current solution's per-term breakdown: candidates
+    carrying a local footprint are priced by delta against it (see
+    :mod:`repro.synthesis.incremental`), the rest from scratch.
+
+    Equal-cost candidates resolve by the deterministic
+    :func:`~repro.synthesis.moves.candidate_order_key`, never by
+    generation order — this pins the winner regardless of evaluation
+    order, which is what allows ``workers > 1`` to speculatively price
+    uncached candidates on a thread pool (via
+    :meth:`~repro.synthesis.costs.EvaluationContext.prime`) while the
+    loop below keeps all cache/telemetry/trace accounting exactly
+    serial.
+    """
+
+    def candidate_base(candidate: Candidate) -> Breakdown | None:
+        return base if candidate.footprint is not None else None
+
+    if workers > 1 and len(candidates) > 1:
+        ctx.prime(
+            [(c.solution, candidate_base(c)) for c in candidates], workers
+        )
     best: ScoredMove | None = None
+    best_key: tuple | None = None
     for candidate in candidates:
         ctx.telemetry.count_move_tried(candidate.kind)
-        cost = ctx.cost(candidate.solution)
+        cost = ctx.cost(candidate.solution, base=candidate_base(candidate))
         if math.isinf(cost):
             continue
-        if best is None or cost < best.cost_after:
+        key = (cost,) + candidate_order_key(candidate)
+        if best_key is None or key < best_key:
             best = ScoredMove(candidate, cost)
+            best_key = key
+    ctx.discard_primed()
     return best
 
 
@@ -105,16 +137,32 @@ def improve_solution(
             if rec is not None:
                 t_step = rec.clock()
                 tel = ctx.telemetry
-                ev0 = (tel.evaluations, tel.cache_hits, tel.cache_misses)
+                ev0 = (
+                    tel.evaluations,
+                    tel.cache_hits,
+                    tel.cache_misses,
+                    tel.delta_hits,
+                    sum(tel.moves_pruned.values()),
+                )
+            # The work solution was just priced (as a candidate or as the
+            # pass seed), so its breakdown is normally resident; a None
+            # (evicted) simply means candidates price from scratch.
+            base = ctx.breakdown_of(work) if config.incremental else None
+            workers = config.score_workers
             cands_ab = type_a_b_candidates(env, work, sim, locked)
             cands_c = sharing_candidates(env, work, sim, locked)
             cands_d: list[Candidate] = []
-            m1 = _best(ctx, cands_ab)
-            m3 = _best(ctx, cands_c)
+            if config.prune:
+                cands_ab = prune_candidates(env, work, cands_ab)
+                cands_c = prune_candidates(env, work, cands_c)
+            m1 = _best(ctx, cands_ab, base=base, workers=workers)
+            m3 = _best(ctx, cands_c, base=base, workers=workers)
             work_cost = sequence[-1][1] if sequence else current_cost
             if m3 is None or (work_cost - m3.cost_after) < 0:
                 cands_d = splitting_candidates(env, work, sim, locked)
-                m4 = _best(ctx, cands_d)
+                if config.prune:
+                    cands_d = prune_candidates(env, work, cands_d)
+                m4 = _best(ctx, cands_d, base=base, workers=workers)
                 if m4 is not None and (m3 is None or m4.cost_after < m3.cost_after):
                     m3 = m4
             chosen = None
@@ -184,7 +232,7 @@ def _emit_step(
     work_cost: float,
     chosen: ScoredMove,
     candidates: list[Candidate],
-    ev0: tuple[int, int, int],
+    ev0: tuple[int, int, int, int, int],
     t_step,
 ) -> None:
     """Emit one ``step`` trace event with full gain attribution.
@@ -200,6 +248,8 @@ def _emit_step(
         "n": tel.evaluations - ev0[0],
         "hits": tel.cache_hits - ev0[1],
         "misses": tel.cache_misses - ev0[2],
+        "delta": tel.delta_hits - ev0[3],
+        "pruned": sum(tel.moves_pruned.values()) - ev0[4],
     }
     before = ctx.evaluate(work)
     after = ctx.evaluate(chosen.candidate.solution)

@@ -1,0 +1,344 @@
+"""Incremental (delta) cost evaluation for the KL inner loop.
+
+Pricing a candidate move used to mean a full re-evaluation: rebuild the
+netlist, reschedule, and — the expensive part — re-assemble every
+per-resource stream interleaving and push it through the switched-
+capacitance model.  A local move (swap one cell, merge two registers)
+leaves most of those stream-derived energy terms untouched, so this
+module prices solutions *by delta*: the evaluation context keeps a
+:class:`Breakdown` of the last full evaluation, and every term whose
+inputs provably did not change is reused instead of recomputed.
+
+Bit-identity is the design constraint, enforced structurally rather
+than numerically: there is exactly **one** evaluation function
+(:func:`evaluate_solution`), used for both the from-scratch and the
+delta path.  It computes each energy term either fresh or by copying
+the base solution's float, and accumulates them in exactly the order
+the original evaluator used — so a reused term contributes the very
+same IEEE-754 value to the very same summation sequence, and the
+resulting :class:`~repro.synthesis.costs.Metrics` are equal bit for
+bit.  Golden cost snapshots therefore do not move when incremental
+evaluation is switched on.
+
+What is reused is the *switching activity* of each resource — the only
+stream-derived (and therefore expensive) factor of its energy term.
+Everything downstream of the activity (cell energy at that activity,
+glitch surcharge, width scaling, idle clocking) is cheap arithmetic and
+is always replayed, so a reused activity flows through the identical
+float operations a fresh one would.  What decides reuse is an
+*activity key*, not the move's footprint:
+
+* functional unit / complex module — (executions in scheduled order,
+  width): these determine the operand streams and their interleaving;
+* register — (written signals in availability order, width): these
+  determine the write-value stream.
+
+Notably the keys exclude the bound cell and the schedule length: an
+A-cell swap reuses the touched instance's own activity (same operands,
+different cell), and a schedule shift reuses every register's write
+activity while the idle-clocking arithmetic is replayed with the new
+length.  The keys are built from the candidate's own (cheaply
+recomputed) netlist and schedule, so any side effect a move has on an
+untouched resource — a register merge reordering writes, a serialization
+change on a shared unit — changes that resource's key and forces
+recomputation.  Moves that can change the schedule length or the
+register-conflict set globally (type-B resynthesis, chain formation,
+module merges) carry no footprint at all and are priced from scratch;
+for footprinted moves, a wholesale key mismatch degenerates into the
+full evaluation automatically (counted as a delta fall-back).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..power.activity import interleaved_activity, operand_activity
+from ..power.estimator import (
+    GLITCH_FRACTION,
+    ControllerUsage,
+    FUUsage,
+    InterconnectUsage,
+    MuxUsage,
+    PowerReport,
+    RegisterUsage,
+)
+from .datapath_build import build_netlist
+from .solution import Instance, Solution
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .costs import EvaluationContext, Metrics
+
+__all__ = ["Breakdown", "evaluate_solution"]
+
+
+@dataclass
+class Breakdown:
+    """Per-resource switching activities of one evaluated solution.
+
+    Each entry maps a resource id to ``(activity key, activity)``: the
+    key captures every input of the stream-driven activity computation
+    (the expensive factor of the resource's energy term), the value is
+    the float it produced.  A later evaluation reuses the activity when
+    — and only when — its own key is equal, then replays the cheap
+    energy arithmetic on top of it.  ``header`` pins the context the
+    activities were computed in (DFG identity and operating point); a
+    header mismatch discards the whole breakdown.
+    """
+
+    header: tuple
+    #: simple FU instance id → (key, interleaved operand activity).
+    fu: dict[str, tuple[tuple, float]] = field(default_factory=dict)
+    #: module instance id → (key, interleaved input activity).
+    module: dict[str, tuple[tuple, float]] = field(default_factory=dict)
+    #: register id → (key, interleaved write activity).
+    reg: dict[str, tuple[tuple, float]] = field(default_factory=dict)
+
+
+def _header(solution: Solution) -> tuple:
+    """Context fingerprint a breakdown is only valid under."""
+    return (
+        id(solution.dfg),
+        solution.clk_ns,
+        solution.vdd,
+        solution.sampling_ns,
+    )
+
+
+def _module_addends(
+    solution: Solution,
+    inst: Instance,
+    groups: list[tuple[str, ...]],
+    input_activity: float,
+    glitch_evals: int,
+) -> tuple[float, ...]:
+    """The ordered ``extra_energy`` addends of one module instance.
+
+    One addend per execution (characterized energy at the interleaved
+    input activity) plus the steering-mux glitch term, in the exact
+    order the original evaluator accumulated them.
+    """
+    assert inst.module is not None
+    addends: list[float] = []
+    for group in groups:
+        (node_id,) = group
+        behavior = solution.dfg.node(node_id).behavior
+        addends.append(
+            inst.module.energy_per_exec(
+                solution.vdd, input_activity, behavior=behavior
+            )
+        )
+    # Shared modules glitch on their steering muxes too.
+    addends.append(
+        glitch_evals
+        * GLITCH_FRACTION
+        * inst.module.energy_per_exec(solution.vdd, 0.5)
+        / max(len(groups), 1)
+    )
+    return tuple(addends)
+
+
+def evaluate_solution(
+    ctx: "EvaluationContext",
+    solution: Solution,
+    base: Breakdown | None = None,
+) -> tuple["Metrics", Breakdown, int, int]:
+    """Evaluate *solution*, reusing *base*'s terms where keys match.
+
+    With ``base=None`` this **is** the full evaluator (netlist rebuild
+    plus trace-driven estimation); with a base breakdown it prices the
+    solution incrementally.  Both paths run the identical float
+    operations in the identical order, so the returned metrics are bit
+    for bit the same either way.
+
+    Returns ``(metrics, breakdown, reused_terms, stream_terms)`` where
+    the counts cover the stream-derived terms (FU, module, register)
+    that were copied from the base versus present in total.
+    """
+    # Local import: costs imports this module lazily, so importing it
+    # back at module scope would be circular.
+    from .costs import _AREA_REF, Metrics, area_of
+
+    netlist = build_netlist(solution)
+    area = area_of(solution, netlist)
+    sched = ctx.schedule_of(solution)
+    feasible = solution.is_feasible()
+    violation = 0.0
+    if not feasible:
+        excess = max(0, sched.length - solution.deadline_cycles)
+        violation = excess / max(solution.deadline_cycles, 1)
+        violation += 0.1 * len(solution.register_conflicts())
+
+    fanin = netlist.fanin_ports()
+    header = _header(solution)
+    if base is not None and base.header != header:
+        base = None
+    breakdown = Breakdown(header)
+    reused = 0
+    stream_terms = 0
+    vdd = solution.vdd
+
+    def instance_width(inst_id: str) -> int:
+        return max(
+            (
+                solution.dfg.node(node_id).width
+                for group in solution.executions[inst_id]
+                for node_id in group
+            ),
+            default=16,
+        )
+
+    multi_ports_of: dict[str, int] = {}
+    for (comp, _p), n_srcs in fanin.items():
+        if n_srcs > 1:
+            multi_ports_of[comp] = multi_ports_of.get(comp, 0) + 1
+
+    def glitches(inst_id: str, n_execs: int) -> int:
+        """Spurious evaluations from input-mux switching on a shared
+        unit: each multi-source port re-triggers the combinational
+        logic once per select change (≈ executions − 1)."""
+        if n_execs < 2:
+            return 0
+        return multi_ports_of.get(inst_id, 0) * (n_execs - 1)
+
+    # Stream-derived terms, in instance insertion order — the order the
+    # original evaluator built (and summed) its usage records in.  Only
+    # the switching activity of each term is reused from the base; the
+    # energy arithmetic on top of it is replayed every time, with the
+    # candidate's own cell, glitch count and schedule length.
+    fu_terms: list[float] = []
+    extra_energy = 0.0
+    for inst_id, inst in solution.instances.items():
+        groups = ctx._execution_order(solution, inst_id)
+        if not groups:
+            continue
+        if inst.is_module:
+            # Module components carry no width in the netlist; their
+            # stream width is the widest hierarchical node they run.
+            width = instance_width(inst_id)
+        else:
+            # Same max-over-executed-nodes the netlist builder just
+            # computed for this FU component — read it back instead.
+            width = netlist.component(inst_id).width
+        glitch_evals = glitches(inst_id, len(groups))
+        key = (tuple(groups), width)
+        stream_terms += 1
+        if inst.is_module:
+            prior = base.module.get(inst_id) if base is not None else None
+            if prior is not None and prior[0] == key:
+                input_activity = prior[1]
+                reused += 1
+            else:
+                input_activity = operand_activity(
+                    [ctx._operand_streams(solution, group) for group in groups],
+                    width,
+                )
+            breakdown.module[inst_id] = (key, input_activity)
+            addends = _module_addends(
+                solution, inst, groups, input_activity, glitch_evals
+            )
+            for addend in addends:
+                extra_energy += addend
+        else:
+            assert inst.cell is not None
+            prior = base.fu.get(inst_id) if base is not None else None
+            if prior is not None and prior[0] == key:
+                activity = prior[1]
+                reused += 1
+            else:
+                activity = operand_activity(
+                    [ctx._operand_streams(solution, group) for group in groups],
+                    width,
+                )
+            breakdown.fu[inst_id] = (key, activity)
+            energy = FUUsage(
+                cell=inst.cell,
+                operand_streams_per_op=[],
+                width=width,
+                activations_per_sample=len(groups),
+                glitch_evaluations=glitch_evals,
+            ).energy_per_sample(vdd, activity=activity)
+            fu_terms.append(energy)
+
+    reg_terms: list[float] = []
+    for reg_id, signals in solution.reg_signals.items():
+        ordered = sorted(signals, key=lambda s: sched.avail.get(s, 0))
+        # The netlist builder computed this register's width from the
+        # same signal set moments ago (no registers are skipped on the
+        # evaluation path).
+        reg_width = netlist.component(reg_id).width
+        key = (tuple(ordered), reg_width)
+        stream_terms += 1
+        prior = base.reg.get(reg_id) if base is not None else None
+        if prior is not None and prior[0] == key:
+            activity = prior[1]
+            reused += 1
+        else:
+            activity = interleaved_activity(
+                [ctx.sim.stream(ctx.path, signal) for signal in ordered],
+                reg_width,
+            )
+        breakdown.reg[reg_id] = (key, activity)
+        energy = RegisterUsage(
+            cell=solution.library.register_cell,
+            value_streams=[],
+            width=reg_width,
+            clocked_cycles=sched.length,
+            writes_per_sample=len(ordered),
+        ).energy_per_sample(vdd, activity=activity)
+        reg_terms.append(energy)
+
+    # Stream-free terms are always recomputed: they are cheap, and
+    # computing them from the candidate's own netlist is what catches a
+    # local move's side effects on shared structure.
+    mux_terms: list[float] = []
+    for (_dst, _port), n_srcs in fanin.items():
+        if n_srcs > 1:
+            mux_terms.append(
+                MuxUsage(
+                    cell=solution.library.mux_cell,
+                    n_inputs=n_srcs,
+                    accesses_per_sample=n_srcs,
+                ).energy_per_sample(vdd)
+            )
+
+    # Average wire length grows with the square root of circuit area;
+    # _AREA_REF pins the factor to 1.0 for a mid-size datapath.
+    interconnect = InterconnectUsage(
+        n_connections=netlist.n_connections(),
+        length_factor=math.sqrt(max(area, 1.0) / _AREA_REF),
+    )
+
+    # Controller estimate: one start per execution, one load per
+    # registered value, one select per mux leg (see the paper's
+    # FSM-controller output; SIS-synthesized in the original flow).
+    n_starts = sum(len(groups) for groups in solution.executions.values())
+    controller = ControllerUsage(
+        n_states=max(sched.length, 1),
+        n_control_signals=(
+            n_starts + len(solution.reg_signals) + netlist.mux_legs()
+        ),
+    )
+    area += controller.area()
+
+    report = PowerReport(
+        fu_energy=sum(fu_terms),
+        register_energy=sum(reg_terms),
+        mux_energy=sum(mux_terms),
+        wire_energy=interconnect.energy_per_sample(vdd),
+        extra_energy=extra_energy,
+        sampling_period_ns=solution.sampling_ns,
+        vdd=vdd,
+        controller_energy=controller.energy_per_sample(vdd),
+    )
+    metrics = Metrics(
+        area=area,
+        energy_per_sample=report.total_energy,
+        power=report.power,
+        schedule_length=sched.length,
+        feasible=feasible,
+        report=report,
+        violation=violation,
+    )
+    return metrics, breakdown, reused, stream_terms

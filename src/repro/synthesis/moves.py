@@ -16,9 +16,12 @@
   un-interleaving streams.
 
 Every generator returns *candidates* — cloned, mutated solutions — that
-the iterative-improvement driver prices with the full cost function.
-Generators respect the KL *locked* set so a pass cannot ping-pong on
-the same resources.
+the iterative-improvement driver prices with the cost function (by
+delta against the current solution for local moves; see
+:mod:`repro.synthesis.incremental`).  Generators respect the KL
+*locked* set so a pass cannot ping-pong on the same resources.
+:func:`prune_candidates` discards provably dominated or structurally
+hopeless candidates before any of them are priced.
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ __all__ = [
     "type_a_b_candidates",
     "sharing_candidates",
     "splitting_candidates",
+    "prune_candidates",
     "normalize_registers",
 ]
 
@@ -50,6 +54,17 @@ class Candidate:
     description: str
     solution: Solution
     touched: frozenset[str]
+    #: Touched-resource footprint of a *local* move — one whose effects
+    #: on the cost are confined to the named instances/registers plus
+    #: cheap structural terms (muxes, wiring, controller).  ``None``
+    #: marks a global move (resynthesis, chain formation, module
+    #: merges, ...) that must always be priced from scratch: those can
+    #: change the schedule length or the register-conflict set
+    #: wholesale.  Only footprinted candidates are delta-priced against
+    #: the current solution's breakdown; correctness never depends on
+    #: the footprint (per-term keys catch every side effect), it is
+    #: purely the gate that decides when delta pricing is attempted.
+    footprint: frozenset[str] | None = None
 
 
 # ----------------------------------------------------------------------
@@ -110,6 +125,126 @@ def _instance_weight(env: SynthesisEnv, solution: Solution, inst_id: str) -> flo
     if env.objective == "power":
         return inst.cell.cap * n_exec
     return inst.cell.area
+
+
+def candidate_order_key(candidate: Candidate) -> tuple:
+    """Deterministic candidate ordering: (kind, sorted touched ids, text).
+
+    This is the tie-break used both by :func:`repro.synthesis.improve.
+    _best` (between equal-cost candidates) and by the pruning rules
+    below (to pick a canonical survivor among equivalent candidates),
+    so pruning can never change which move wins a pricing round.
+    """
+    return (candidate.kind, tuple(sorted(candidate.touched)), candidate.description)
+
+
+def _min_schedule_length(solution: Solution) -> int:
+    """A cheap lower bound on the schedule length, without scheduling.
+
+    Tasks bound to one instance serialize: any order starts successive
+    tasks at least one initiation interval apart, so ``(n - 1) ·
+    min(ii) + min(duration)`` cycles elapse on that instance no matter
+    how the scheduler arranges them.
+    """
+    per_instance: dict[str, list] = {}
+    for task in solution.tasks():
+        per_instance.setdefault(task.instance, []).append(task)
+    bound = 0
+    for tasks in per_instance.values():
+        iis = [t.initiation_interval or t.duration for t in tasks]
+        durations = [t.duration for t in tasks]
+        bound = max(bound, (len(tasks) - 1) * min(iis) + min(durations))
+    return bound
+
+
+def prune_candidates(
+    env: SynthesisEnv, solution: Solution, candidates: list[Candidate]
+) -> list[Candidate]:
+    """Discard candidates that provably cannot win the pricing round.
+
+    Three rules, each outcome-preserving given the deterministic
+    tie-break of :func:`candidate_order_key`:
+
+    1. **Duplicate structures** — candidates with equal solution
+       fingerprints evaluate to the same cost, so only the one with the
+       smallest order key (the one :func:`~repro.synthesis.improve.
+       _best` would pick anyway) is kept.
+    2. **Dominated cell swaps** — among ``A-cell`` swaps of the same
+       instance, a replacement cell with identical timing (delay cycles
+       and initiation interval at this operating point) yields an
+       identical schedule and netlist structure, so a candidate whose
+       cell also has no larger area and no larger switched capacitance
+       can only be at most as expensive under either objective; the
+       loser is dropped.  Ties (equal area *and* cap) resolve by order
+       key, so exactly the serial winner survives.
+    3. **Structurally hopeless** — a lower bound on the schedule length
+       already beyond twice the deadline means the candidate prices as
+       deeply infeasible and can never be chosen over the current
+       (finite-cost) solution; mirror of the operating-point skip in
+       :mod:`repro.synthesis.api`.
+
+    Pruned candidates are counted per family in telemetry
+    (``moves_pruned``); the surviving list preserves generation order.
+    """
+    if len(candidates) < 2:
+        return candidates
+    clk_ns, vdd = solution.clk_ns, solution.vdd
+    drop: set[int] = set()
+
+    # Rule 1: duplicate fingerprints.
+    best_by_fp: dict = {}
+    for idx, cand in enumerate(candidates):
+        fp = cand.solution.fingerprint_key()
+        prior = best_by_fp.get(fp)
+        if prior is None:
+            best_by_fp[fp] = idx
+        elif candidate_order_key(cand) < candidate_order_key(candidates[prior]):
+            drop.add(prior)
+            best_by_fp[fp] = idx
+        else:
+            drop.add(idx)
+
+    # Rule 2: dominated A-cell swaps on the same instance.
+    swap_groups: dict[frozenset[str], list[int]] = {}
+    for idx, cand in enumerate(candidates):
+        if cand.kind == "A-cell" and idx not in drop:
+            swap_groups.setdefault(cand.touched, []).append(idx)
+    for indices in swap_groups.values():
+        for i in indices:
+            cand_i = candidates[i]
+            (inst_id,) = cand_i.touched
+            cell_i = cand_i.solution.instances[inst_id].cell
+            assert cell_i is not None
+            for j in indices:
+                if j == i:
+                    continue
+                cell_j = candidates[j].solution.instances[inst_id].cell
+                assert cell_j is not None
+                if (
+                    cell_j.delay_cycles(clk_ns, vdd)
+                    == cell_i.delay_cycles(clk_ns, vdd)
+                    and cell_j.initiation_interval(clk_ns, vdd)
+                    == cell_i.initiation_interval(clk_ns, vdd)
+                    and cell_j.area <= cell_i.area
+                    and cell_j.cap <= cell_i.cap
+                    and candidate_order_key(candidates[j])
+                    < candidate_order_key(cand_i)
+                ):
+                    drop.add(i)
+                    break
+
+    # Rule 3: schedule length provably hopeless.
+    for idx, cand in enumerate(candidates):
+        if idx in drop:
+            continue
+        if _min_schedule_length(cand.solution) > 2 * cand.solution.deadline_cycles:
+            drop.add(idx)
+
+    if not drop:
+        return candidates
+    for idx in drop:
+        env.telemetry.count_move_pruned(candidates[idx].kind)
+    return [c for idx, c in enumerate(candidates) if idx not in drop]
 
 
 def _bound_behaviors(solution: Solution, inst_id: str) -> list[str]:
@@ -184,6 +319,7 @@ def _cell_replacements(
                 description=f"{inst_id}: {inst.cell.name} -> {cell.name}",
                 solution=clone,
                 touched=frozenset({inst_id}),
+                footprint=frozenset({inst_id}),
             )
         )
     return out
@@ -407,6 +543,7 @@ def _fu_sharing(
                 description=f"share: {b} -> {a} ({target.name})",
                 solution=clone,
                 touched=frozenset({a, b}),
+                footprint=frozenset({a, b}),
             )
         )
     return out
@@ -438,7 +575,10 @@ def _register_sharing(
                 return out
             if not disjoint(a, b):
                 continue
-            clone = solution.clone()
+            # Register moves leave tasks and schedule untouched, so the
+            # clone carries the parent's timing caches (no rescheduling
+            # when the candidate is priced).
+            clone = solution.clone(carry_timing=True)
             clone.merge_registers(a, b)
             out.append(
                 Candidate(
@@ -446,6 +586,7 @@ def _register_sharing(
                     description=f"share registers: {b} -> {a}",
                     solution=clone,
                     touched=frozenset({a, b}),
+                    footprint=frozenset({a, b}),
                 )
             )
     return out
@@ -631,6 +772,7 @@ def splitting_candidates(
                 description=f"split {inst_id} ({len(execs)} execs) -> {twin}",
                 solution=clone,
                 touched=frozenset({inst_id, twin}),
+                footprint=frozenset({inst_id, twin}),
             )
         )
 
@@ -642,7 +784,7 @@ def splitting_candidates(
     for reg_id in shared_regs[: env.config.max_split_candidates // 2]:
         signals = solution.reg_signals[reg_id]
         moved = signals[len(signals) // 2 :]
-        clone = solution.clone()
+        clone = solution.clone(carry_timing=True)
         twin = clone.split_register(reg_id, list(moved))
         out.append(
             Candidate(
@@ -650,6 +792,7 @@ def splitting_candidates(
                 description=f"split register {reg_id} -> {twin}",
                 solution=clone,
                 touched=frozenset({reg_id, twin}),
+                footprint=frozenset({reg_id, twin}),
             )
         )
 

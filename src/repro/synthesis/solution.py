@@ -31,6 +31,7 @@ from ..library.library import ModuleLibrary
 from ..rtl.module import RTLModule
 from ..scheduling.model import ScheduleResult, TaskSpec
 from ..scheduling.scheduler import schedule_tasks
+from .caching import HashedKey
 
 __all__ = ["Instance", "Solution"]
 
@@ -85,7 +86,14 @@ class Solution:
         self._schedule: ScheduleResult | None = None
         self._tasks: list[TaskSpec] | None = None
         self._task_index: dict[str, TaskSpec] = {}
+        self._task_signature: tuple | None = None
+        self._reg_of: dict[Signal, str] | None = None
         self._fingerprint: tuple | None = None
+        self._fingerprint_key: HashedKey | None = None
+        #: Mutation epoch: bumped by :meth:`invalidate` on every
+        #: structural edit, so derived caches can tell at a glance
+        #: whether a solution changed since they last saw it.
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # Identity helpers
@@ -144,7 +152,7 @@ class Solution:
         if reg_id in self.reg_signals:
             raise SynthesisError(f"duplicate register id {reg_id!r}")
         self.reg_signals[reg_id] = list(signals)
-        self.invalidate()
+        self._invalidate_binding()
         return reg_id
 
     def set_cell(self, inst_id: str, cell: LibraryCell) -> None:
@@ -191,7 +199,7 @@ class Solution:
             raise SynthesisError("cannot merge a register with itself")
         self.reg_signals[keep].extend(self.reg_signals[absorb])
         del self.reg_signals[absorb]
-        self.invalidate()
+        self._invalidate_binding()
 
     def split_register(self, reg_id: str, moved: list[Signal]) -> str:
         """Move the listed signals to a fresh register (move D)."""
@@ -201,14 +209,36 @@ class Solution:
             raise SynthesisError("register split must leave signals on both sides")
         twin = self.add_register(list(moved))
         self.reg_signals[reg_id] = remaining
-        self.invalidate()
+        self._invalidate_binding()
         return twin
+
+    def _invalidate_binding(self) -> None:
+        """Drop caches a register-binding edit invalidates; keep timing.
+
+        Tasks and the schedule are functions of the DFG, the instances,
+        the executions and the operating point only — the register
+        binding never enters them — so register moves keep those caches
+        and drop just the fingerprint and the signal→register map.
+        """
+        self._reg_of = None
+        self._fingerprint = None
+        self._fingerprint_key = None
+        self._epoch += 1
 
     def invalidate(self) -> None:
         """Drop cached schedule/tasks/fingerprint after any mutation."""
         self._schedule = None
         self._tasks = None
+        self._task_signature = None
+        self._reg_of = None
         self._fingerprint = None
+        self._fingerprint_key = None
+        self._epoch += 1
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter (see :meth:`invalidate`)."""
+        return self._epoch
 
     def fingerprint(self) -> tuple:
         """Structural identity of this solution (cost-cache key).
@@ -245,6 +275,18 @@ class Solution:
             )
         return self._fingerprint
 
+    def fingerprint_key(self) -> HashedKey:
+        """The fingerprint wrapped with its hash precomputed.
+
+        Cache layers key thousands of lookups by the same fingerprint
+        within one mutation epoch; wrapping it in a
+        :class:`~repro.synthesis.caching.HashedKey` means the nested
+        tuple is hashed once per epoch instead of once per lookup.
+        """
+        if self._fingerprint_key is None:
+            self._fingerprint_key = HashedKey(self.fingerprint())
+        return self._fingerprint_key
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -264,11 +306,27 @@ class Solution:
         raise SynthesisError(f"node {node_id!r} is not bound to any instance")
 
     def register_of(self, signal: Signal) -> str:
-        """Return the register a signal is bound to (error if none)."""
-        for reg_id, signals in self.reg_signals.items():
-            if signal in signals:
-                return reg_id
-        raise SynthesisError(f"signal {signal!r} is not bound to any register")
+        """Return the register a signal is bound to (error if none).
+
+        Backed by a lazily built reverse map (dropped by
+        :meth:`invalidate`): netlist construction and conflict checking
+        look up thousands of signals per evaluation, and a linear scan
+        over the register binding for each was the hottest single
+        function in candidate pricing.
+        """
+        if self._reg_of is None:
+            reg_of: dict[Signal, str] = {}
+            for reg_id, signals in self.reg_signals.items():
+                for s in signals:
+                    if s not in reg_of:
+                        reg_of[s] = reg_id
+            self._reg_of = reg_of
+        reg_id = self._reg_of.get(signal)
+        if reg_id is None:
+            raise SynthesisError(
+                f"signal {signal!r} is not bound to any register"
+            )
+        return reg_id
 
     def chain_internal_signals(self) -> set[Signal]:
         """Signals that live entirely inside a chained execution.
@@ -367,12 +425,59 @@ class Solution:
             self._schedule = schedule_tasks(self.dfg, self.tasks())
         return self._schedule
 
+    def task_signature(self) -> tuple:
+        """Hashable digest of everything the scheduler reads from tasks.
+
+        Two solutions of the same DFG with equal signatures schedule
+        identically: list scheduling is a deterministic function of the
+        DFG and the task list, and the signature captures every
+        :class:`~repro.scheduling.model.TaskSpec` field in task order.
+        Register-binding moves (and cell swaps that keep the timing)
+        have the same signature as the solution they were derived from,
+        which is what lets the evaluation context share one schedule
+        across them (cached; dropped by :meth:`invalidate`).
+        """
+        if self._task_signature is not None:
+            return self._task_signature
+        self._task_signature = tuple(
+            (
+                t.task_id,
+                t.nodes,
+                t.instance,
+                t.duration,
+                t.initiation_interval,
+                tuple(sorted(t.input_offsets.items())),
+                tuple(sorted(t.output_latency.items())),
+            )
+            for t in self.tasks()
+        )
+        return self._task_signature
+
+    def adopt_schedule(self, sched: ScheduleResult) -> None:
+        """Install a schedule computed for an identical task set.
+
+        Only sound when the caller proved (via :meth:`task_signature`)
+        that scheduling this solution would reproduce *sched* exactly —
+        see :meth:`EvaluationContext.schedule_of
+        <repro.synthesis.costs.EvaluationContext.schedule_of>`.
+        """
+        self._schedule = sched
+
     # ------------------------------------------------------------------
     # Register lifetimes / feasibility
     # ------------------------------------------------------------------
     def signal_lifetime(self, signal: Signal) -> tuple[int, int]:
-        """Half-open [birth, death) interval of a registered signal."""
+        """Half-open [birth, death) interval of a registered signal.
+
+        Memoized on the schedule object: the lifetime is fully
+        determined by (DFG, tasks, schedule), and candidates sharing a
+        schedule (register moves, equal-timing swaps) ask for the same
+        signals over and over during conflict checking.
+        """
         sched = self.schedule()
+        cached = sched.lifetime_memo.get(signal)
+        if cached is not None:
+            return cached
         birth = sched.avail.get(signal, 0)
         death = birth
         src, src_port = signal
@@ -389,7 +494,9 @@ class Solution:
             death = max(death, read_at)
         # A captured value occupies its register for at least one cycle
         # (written at the clock edge entering `birth`, readable during it).
-        return birth, max(death, birth + 1)
+        lifetime = (birth, max(death, birth + 1))
+        sched.lifetime_memo[signal] = lifetime
+        return lifetime
 
     def register_conflicts(self) -> list[str]:
         """Registers whose bound signals have overlapping lifetimes."""
@@ -475,8 +582,17 @@ class Solution:
             )
 
     # ------------------------------------------------------------------
-    def clone(self) -> "Solution":
-        """Cheap structural copy (instances/modules are shared, bindings copied)."""
+    def clone(self, carry_timing: bool = False) -> "Solution":
+        """Cheap structural copy (instances/modules are shared, bindings copied).
+
+        ``carry_timing=True`` additionally shares the cached tasks,
+        task signature and schedule with the clone.  Only sound when
+        the caller will touch nothing but the register binding (whose
+        mutators preserve those caches — see
+        :meth:`_invalidate_binding`): a default clone starts cold so
+        that the established idiom of cloning and then assigning a new
+        operating point directly stays correct.
+        """
         other = Solution(
             self.dfg, self.library, self.clk_ns, self.vdd, self.sampling_ns
         )
@@ -484,6 +600,11 @@ class Solution:
         other.executions = {k: list(v) for k, v in self.executions.items()}
         other.reg_signals = {k: list(v) for k, v in self.reg_signals.items()}
         other._counter = self._counter
+        if carry_timing:
+            other._tasks = self._tasks
+            other._task_index = self._task_index
+            other._task_signature = self._task_signature
+            other._schedule = self._schedule
         return other
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -37,6 +37,18 @@ class Telemetry:
     cache_hits: int = 0
     #: Full evaluations (netlist rebuild + power estimation).
     cache_misses: int = 0
+    #: Cache misses priced incrementally: at least one stream-derived
+    #: energy term was reused from the base solution's breakdown.
+    delta_hits: int = 0
+    #: Cache misses where a base breakdown was offered but no term
+    #: matched (schedule/structure changed too much) — automatic
+    #: fall-back to a from-scratch evaluation.
+    delta_fallbacks: int = 0
+    #: Cache misses priced entirely from scratch (no base breakdown).
+    full_evals: int = 0
+    #: Candidates discarded before pricing, keyed by family (dominance
+    #: and feasibility pruning in :mod:`repro.synthesis.moves`).
+    moves_pruned: dict[str, int] = field(default_factory=dict)
     #: Operating points explored / skipped as structurally hopeless.
     points_explored: int = 0
     points_skipped: int = 0
@@ -62,6 +74,11 @@ class Telemetry:
         family = move_family(kind)
         self.moves_committed[family] = self.moves_committed.get(family, 0) + n
 
+    def count_move_pruned(self, kind: str, n: int = 1) -> None:
+        """Record ``n`` candidates of ``kind`` discarded before pricing."""
+        family = move_family(kind)
+        self.moves_pruned[family] = self.moves_pruned.get(family, 0) + n
+
     def add_time(self, stage: str, seconds: float) -> None:
         """Accumulate wall-clock seconds against a named stage."""
         self.stage_s[stage] = self.stage_s.get(stage, 0.0) + seconds
@@ -74,17 +91,29 @@ class Telemetry:
             return 0.0
         return self.cache_hits / self.evaluations
 
+    @property
+    def delta_hit_rate(self) -> float:
+        """Fraction of cache misses priced incrementally (0 when idle)."""
+        if self.cache_misses == 0:
+            return 0.0
+        return self.delta_hits / self.cache_misses
+
     def merge(self, other: "Telemetry") -> "Telemetry":
         """Fold *other*'s counts into this instance (returns self)."""
         self.evaluations += other.evaluations
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.delta_hits += other.delta_hits
+        self.delta_fallbacks += other.delta_fallbacks
+        self.full_evals += other.full_evals
         self.points_explored += other.points_explored
         self.points_skipped += other.points_skipped
         for family, n in other.moves_tried.items():
             self.moves_tried[family] = self.moves_tried.get(family, 0) + n
         for family, n in other.moves_committed.items():
             self.moves_committed[family] = self.moves_committed.get(family, 0) + n
+        for family, n in other.moves_pruned.items():
+            self.moves_pruned[family] = self.moves_pruned.get(family, 0) + n
         self.verify_checks += other.verify_checks
         self.verify_failures += other.verify_failures
         for stage, s in other.stage_s.items():
@@ -98,10 +127,15 @@ class Telemetry:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "delta_hits": self.delta_hits,
+            "delta_fallbacks": self.delta_fallbacks,
+            "full_evals": self.full_evals,
+            "delta_hit_rate": self.delta_hit_rate,
             "points_explored": self.points_explored,
             "points_skipped": self.points_skipped,
             "moves_tried": dict(sorted(self.moves_tried.items())),
             "moves_committed": dict(sorted(self.moves_committed.items())),
+            "moves_pruned": dict(sorted(self.moves_pruned.items())),
             "verify": {
                 "checks": self.verify_checks,
                 "failures": self.verify_failures,

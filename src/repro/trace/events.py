@@ -64,8 +64,11 @@ _SPAN_KINDS: dict[str, tuple[str, tuple[str, ...]]] = {
     ),
     "eval": (
         "one cost evaluation (only with trace_evals; cached=True means "
-        "the fingerprint cache answered instead of a netlist rebuild)",
-        ("point", "cached", "dur_ns?"),
+        "the fingerprint cache answered instead of a netlist rebuild; "
+        "mode attributes a rebuild to the incremental engine: 'delta' "
+        "= priced against the base breakdown, 'fallback' = base "
+        "offered but nothing reusable, absent = full evaluation)",
+        ("point", "cached", "mode?", "dur_ns?"),
     ),
     "point_end": (
         "operating point finished (status: explored | skipped)",

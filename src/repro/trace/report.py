@@ -188,13 +188,26 @@ def _cache_line(by_kind: dict[str, list[dict]], point: int) -> str | None:
     n = sum(e["eval"]["n"] for e in steps)
     hits = sum(e["eval"]["hits"] for e in steps)
     misses = sum(e["eval"]["misses"] for e in steps)
+    # Older traces predate the incremental engine; default the new
+    # counters to zero so their reports still render.
+    delta = sum(e["eval"].get("delta", 0) for e in steps)
+    pruned = sum(e["eval"].get("pruned", 0) for e in steps)
     if n == 0:
         return None
-    return (
+    line = (
         f"cost evaluations while pricing: {n} "
-        f"({hits} cache hits / {misses} full rebuilds, "
+        f"({hits} cache hits / {misses} rebuilds, "
         f"{hits / n:.1%} hit rate)"
     )
+    if delta and misses:
+        line += (
+            f"; of the rebuilds, {delta} delta-priced / "
+            f"{misses - delta} from scratch "
+            f"({delta / misses:.1%} delta-hit rate)"
+        )
+    if pruned:
+        line += f"; {pruned} candidates pruned before pricing"
+    return line
 
 
 def render_report(
@@ -329,10 +342,14 @@ def render_profile(events: Sequence[dict[str, Any]]) -> str:
     if evals:
         cached = sum(1 for e in evals if e["cached"])
         rebuild_ns = sum(e.get("dur_ns", 0) for e in evals if not e["cached"])
-        out.append("")
-        out.append(
+        delta = sum(1 for e in evals if e.get("mode") == "delta")
+        line = (
             f"cost evaluations: {len(evals)} spans, {cached} cache hits, "
             f"{len(evals) - cached} rebuilds "
             f"({rebuild_ns / 1e9:.3f} s rebuilding)"
         )
+        if delta:
+            line += f"; {delta} of the rebuilds were delta-priced"
+        out.append("")
+        out.append(line)
     return "\n".join(out)

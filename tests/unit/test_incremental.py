@@ -1,0 +1,285 @@
+"""Unit tests for incremental (delta) cost evaluation.
+
+The contract under test is *bit-identity*: pricing a candidate by delta
+against the current solution's per-term breakdown must produce exactly
+the Metrics a from-scratch evaluation produces — same floats, not
+approximately equal floats.
+"""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synthesis.caching import HashedKey, LRUCache
+from repro.synthesis.context import SynthesisConfig, SynthesisEnv
+from repro.synthesis.costs import EvaluationContext
+from repro.synthesis.improve import _best
+from repro.synthesis.incremental import evaluate_solution
+from repro.synthesis.initial import initial_solution
+from repro.synthesis.moves import (
+    sharing_candidates,
+    splitting_candidates,
+    type_a_b_candidates,
+)
+
+
+@pytest.fixture
+def setup(flat_design, library, flat_sim):
+    env = SynthesisEnv(flat_design, library, "power", SynthesisConfig())
+    sol = initial_solution(env, flat_design.top, flat_sim, 10.0, 5.0, 500.0)
+    return env, sol, flat_sim
+
+
+def _all_candidates(env, sol, sim):
+    out = []
+    out += type_a_b_candidates(env, sol, sim, frozenset())
+    out += sharing_candidates(env, sol, sim, frozenset())
+    out += splitting_candidates(env, sol, sim, frozenset())
+    return out
+
+
+class TestHashedKey:
+    def test_equal_values_equal_keys(self):
+        assert HashedKey((1, "a")) == HashedKey((1, "a"))
+        assert hash(HashedKey((1, "a"))) == hash(HashedKey((1, "a")))
+
+    def test_different_values_differ(self):
+        assert HashedKey((1, "a")) != HashedKey((1, "b"))
+
+    def test_usable_as_dict_key(self):
+        d = {HashedKey((1, 2)): "x"}
+        assert d[HashedKey((1, 2))] == "x"
+
+
+class TestLRUPeek:
+    def test_peek_does_not_count_or_refresh(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.peek("missing") is None
+        assert cache.hits == 0 and cache.misses == 0
+        # "a" was NOT refreshed by peek, so it is still the LRU entry.
+        cache.put("c", 3)
+        assert "a" not in cache and "b" in cache
+
+
+class TestFingerprintMemo:
+    def test_key_cached_until_mutation(self, setup):
+        _env, sol, _sim = setup
+        k1 = sol.fingerprint_key()
+        assert sol.fingerprint_key() is k1
+        epoch = sol.epoch
+        sol.invalidate()
+        assert sol.epoch == epoch + 1
+        k2 = sol.fingerprint_key()
+        assert k2 is not k1
+        assert k2 == k1  # structure unchanged, only the memo was dropped
+
+    def test_clone_does_not_share_memo(self, setup):
+        _env, sol, _sim = setup
+        sol.fingerprint_key()
+        clone = sol.clone()
+        assert clone.fingerprint_key() == sol.fingerprint_key()
+
+
+class TestDeltaBitIdentity:
+    def test_every_candidate_prices_identically(self, setup):
+        env, sol, sim = setup
+        ctx = env.context(sim)
+        _m, base, _r, _t = evaluate_solution(ctx, sol, None)
+        candidates = _all_candidates(env, sol, sim)
+        assert candidates
+        for cand in candidates:
+            delta = evaluate_solution(ctx, cand.solution, base)
+            full = evaluate_solution(ctx, cand.solution, None)
+            assert delta[0] == full[0], cand.description
+
+    def test_local_moves_reuse_terms(self, setup):
+        env, sol, sim = setup
+        ctx = env.context(sim)
+        _m, base, _r, _t = evaluate_solution(ctx, sol, None)
+        footprinted = [
+            c for c in _all_candidates(env, sol, sim) if c.footprint is not None
+        ]
+        assert footprinted
+        reuse = 0
+        for cand in footprinted:
+            _m, _b, reused, terms = evaluate_solution(ctx, cand.solution, base)
+            assert 0 <= reused <= terms
+            reuse += reused
+        assert reuse > 0  # the delta engine earns its keep on local moves
+
+    def test_cell_swap_reuses_touched_activity(self, setup, library):
+        env, sol, sim = setup
+        ctx = env.context(sim)
+        _m, base, _r, _t = evaluate_solution(ctx, sol, None)
+        # A cell swap keeps the instance's operand streams, so even the
+        # touched instance's *activity* is reused — only the energy
+        # arithmetic is replayed with the new cell.
+        cands = [
+            c
+            for c in type_a_b_candidates(env, sol, sim, frozenset())
+            if c.kind == "A-cell"
+        ]
+        assert cands
+        cand = cands[0]
+        (inst_id,) = cand.touched
+        _m, after, reused, terms = evaluate_solution(ctx, cand.solution, base)
+        if after.fu[inst_id][0] == base.fu[inst_id][0]:
+            assert after.fu[inst_id][1] == base.fu[inst_id][1]
+
+    def test_sharing_changes_touched_keys(self, setup):
+        env, sol, sim = setup
+        ctx = env.context(sim)
+        _m, base, _r, _t = evaluate_solution(ctx, sol, None)
+        # Merging two units interleaves their operand streams: the
+        # surviving instance's activity key must change.
+        cands = [
+            c
+            for c in sharing_candidates(env, sol, sim, frozenset())
+            if c.kind == "C-share-fu"
+        ]
+        if not cands:
+            pytest.skip("flat design offers no FU sharing here")
+        cand = cands[0]
+        _m, after, _r, _t = evaluate_solution(ctx, cand.solution, base)
+        changed = [
+            i for i in cand.touched
+            if i in base.fu and i in after.fu
+            and after.fu[i][0] != base.fu[i][0]
+        ]
+        assert changed
+
+
+class TestFallbackTriggers:
+    def test_other_operating_point_discards_base(self, setup):
+        env, sol, sim = setup
+        ctx = env.context(sim)
+        _m, base, _r, _t = evaluate_solution(ctx, sol, None)
+        other = sol.clone()
+        other.vdd = 3.3
+        _m, _b, reused, _t = evaluate_solution(ctx, other, base)
+        assert reused == 0  # header mismatch: nothing may be reused
+
+    def test_schedule_length_enters_arithmetic_not_keys(self, setup):
+        env, sol, sim = setup
+        ctx = env.context(sim)
+        m1, base, _r, _t = evaluate_solution(ctx, sol, None)
+        slower = sol.clone()
+        slower.clk_ns = sol.clk_ns * 2
+        slower.invalidate()
+        if slower.schedule().length == sol.schedule().length:
+            pytest.skip("clock change did not move the schedule length")
+        m2, b2, _r, _t = evaluate_solution(ctx, slower, None)
+        # Write activities do not depend on the schedule length, so the
+        # keys stay equal — the idle-clocking arithmetic is what gets
+        # replayed (register energy must move with the length).
+        for reg_id in base.reg:
+            assert b2.reg[reg_id][0] == base.reg[reg_id][0]
+        assert m2.report.register_energy != m1.report.register_energy
+
+    def test_global_moves_have_no_footprint(self, setup):
+        env, sol, sim = setup
+        for cand in _all_candidates(env, sol, sim):
+            if cand.kind in ("B-resynth", "C-chain", "C-chain3", "C-embed",
+                             "A-module", "A-remerge", "C-share-module",
+                             "D-unchain"):
+                assert cand.footprint is None, cand.kind
+            if cand.kind in ("A-cell", "C-share-fu", "C-share-reg",
+                             "D-split-fu", "D-split-reg"):
+                assert cand.footprint is not None, cand.kind
+
+
+class TestEvaluateTelemetry:
+    def test_miss_classification(self, setup):
+        env, sol, sim = setup
+        ctx = env.context(sim)
+        tel = ctx.telemetry
+        ctx.evaluate(sol)
+        assert tel.full_evals == 1 and tel.delta_hits == 0
+        base = ctx.breakdown_of(sol)
+        assert base is not None
+        cands = [
+            c
+            for c in type_a_b_candidates(env, sol, sim, frozenset())
+            if c.kind == "A-cell"
+        ]
+        assert cands
+        ctx.evaluate(cands[0].solution, base=base)
+        assert tel.delta_hits == 1
+        assert tel.delta_hit_rate == pytest.approx(0.5)
+
+    def test_cache_hit_skips_classification(self, setup):
+        env, sol, sim = setup
+        ctx = env.context(sim)
+        tel = ctx.telemetry
+        ctx.evaluate(sol)
+        ctx.evaluate(sol)
+        assert tel.cache_hits == 1
+        assert tel.full_evals == 1  # the hit is not re-classified
+
+
+class TestValidateMode:
+    def test_tampered_base_raises(self, setup, flat_sim):
+        env, sol, sim = setup
+        ctx = EvaluationContext(
+            flat_sim, (), "power", validate_incremental=True
+        )
+        _m, base, _r, _t = evaluate_solution(ctx, sol, None)
+        # Corrupt one reusable term's stored float, keeping its key: the
+        # delta path now mis-prices, and validation must catch it.
+        cands = [
+            c
+            for c in type_a_b_candidates(env, sol, sim, frozenset())
+            if c.kind == "A-cell"
+        ]
+        assert cands
+        (touched,) = cands[0].touched
+        victim = next(i for i in base.fu if i != touched)
+        key, value = base.fu[victim]
+        base.fu[victim] = (key, value + 1.0)
+        with pytest.raises(SynthesisError, match="diverged"):
+            ctx.evaluate(cands[0].solution, base=base)
+
+    def test_clean_base_passes(self, setup, flat_sim):
+        env, sol, sim = setup
+        ctx = EvaluationContext(
+            flat_sim, (), "power", validate_incremental=True
+        )
+        ctx.evaluate(sol)
+        base = ctx.breakdown_of(sol)
+        for cand in _all_candidates(env, sol, sim):
+            if cand.footprint is not None:
+                ctx.evaluate(cand.solution, base=base)
+
+
+class TestParallelScoring:
+    def test_workers_match_serial_exactly(self, setup, flat_sim):
+        env, sol, sim = setup
+        candidates = _all_candidates(env, sol, sim)
+        assert len(candidates) > 2
+
+        def score(workers):
+            ctx = EvaluationContext(flat_sim, (), "power")
+            ctx.evaluate(sol)
+            base = ctx.breakdown_of(sol)
+            best = _best(ctx, candidates, base=base, workers=workers)
+            return best, ctx.telemetry
+
+        serial, tel1 = score(1)
+        parallel, tel4 = score(4)
+        assert serial is not None and parallel is not None
+        assert serial.candidate.description == parallel.candidate.description
+        assert serial.cost_after == parallel.cost_after
+        assert tel1.as_dict() == tel4.as_dict()
+
+    def test_order_independent_tiebreak(self, setup, flat_sim):
+        env, sol, sim = setup
+        candidates = _all_candidates(env, sol, sim)
+
+        def winner(cands):
+            ctx = EvaluationContext(flat_sim, (), "power")
+            best = _best(ctx, cands)
+            return best.candidate.description
+
+        assert winner(candidates) == winner(list(reversed(candidates)))
