@@ -1,0 +1,169 @@
+"""Cold vs. warm wall time for a Table-3-style sweep (tiered store).
+
+Runs the full six-synthesis cell (flat/hier x area/power plus voltage
+scaling, including the complex-library build) for three Table 3
+circuits twice against one ``--cache-dir``: once with an empty store
+(cold) and once warm-started from the first run's persistent tier.
+
+Asserts:
+
+* every cell's winning metrics and emitted netlists are bit-identical
+  between the cold and the warm run (the store changes wall-clock
+  only);
+* the warm sweep is at least 1.5x faster than the cold sweep.
+
+Writes ``results/store_warmstart.txt`` (human-readable) and
+``results/BENCH_5.json`` (wall-clock ratio plus per-tier hit rates).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+
+from repro.reporting.sweep import run_cell
+from repro.rtl import emit_netlist
+from repro.synthesis import SynthesisConfig
+
+from conftest import RESULTS_DIR, save_result
+
+_CIRCUITS = ("paulin", "test1", "dct")
+_LAXITY = 2.2
+_SAMPLES = 24
+_SPEEDUP_TARGET = 1.5
+_FIELDS = (
+    "flat_area",
+    "flat_area_scaled",
+    "flat_power",
+    "hier_area",
+    "hier_area_scaled",
+    "hier_power",
+)
+
+
+def _config(cache_dir: str) -> SynthesisConfig:
+    return SynthesisConfig(
+        max_moves=6,
+        max_passes=2,
+        max_ab_targets=4,
+        max_share_pairs=8,
+        max_split_candidates=4,
+        n_clocks=2,
+        resynth_passes=1,
+        resynth_moves=4,
+        cache_dir=cache_dir,
+    )
+
+
+def _identity(cell):
+    out = []
+    for field in _FIELDS:
+        r = getattr(cell, field)
+        out.append(
+            (
+                field,
+                r.area,
+                r.power,
+                r.vdd,
+                r.clk_ns,
+                r.metrics.schedule_length,
+                emit_netlist(r.netlist()),
+            )
+        )
+    return out
+
+
+def _store_counters(cell):
+    hits: dict[str, int] = {}
+    misses: dict[str, int] = {}
+    for field in _FIELDS:
+        t = getattr(cell, field).telemetry
+        for key, n in t.store_hits.items():
+            hits[key] = hits.get(key, 0) + n
+        for key, n in t.store_misses.items():
+            misses[key] = misses.get(key, 0) + n
+    return hits, misses
+
+
+def _run_sweep(cache_dir: str):
+    cells = {}
+    started = time.perf_counter()
+    for circuit in _CIRCUITS:
+        cells[circuit] = run_cell(
+            circuit, _LAXITY, _config(cache_dir), _SAMPLES
+        )
+    return cells, time.perf_counter() - started
+
+
+def test_store_warmstart(benchmark):
+    cache_dir = tempfile.mkdtemp(prefix="repro-store-bench-")
+    try:
+        cold, cold_s = _run_sweep(cache_dir)
+        warm, warm_s = benchmark.pedantic(
+            _run_sweep, args=(cache_dir,), rounds=1, iterations=1
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    for circuit in _CIRCUITS:
+        assert _identity(warm[circuit]) == _identity(cold[circuit]), (
+            f"warm {circuit} cell must be bit-identical to the cold cell"
+        )
+
+    speedup = cold_s / max(warm_s, 1e-9)
+
+    hits: dict[str, int] = {}
+    misses: dict[str, int] = {}
+    for circuit in _CIRCUITS:
+        cell_hits, cell_misses = _store_counters(warm[circuit])
+        for key, n in cell_hits.items():
+            hits[key] = hits.get(key, 0) + n
+        for key, n in cell_misses.items():
+            misses[key] = misses.get(key, 0) + n
+    hit_rates = {
+        key: hits.get(key, 0) / max(hits.get(key, 0) + misses.get(key, 0), 1)
+        for key in sorted(set(hits) | set(misses))
+    }
+
+    lines = [
+        "Store warm start: cold vs. warm Table-3-style sweep",
+        "===================================================",
+        f"circuits:        {', '.join(_CIRCUITS)} (laxity {_LAXITY:g}, "
+        f"{_SAMPLES} samples)",
+        f"cold wall time:  {cold_s:.2f} s  (empty --cache-dir)",
+        f"warm wall time:  {warm_s:.2f} s  (persistent tier pre-populated)",
+        f"speedup:         {speedup:.2f}x  (target >= {_SPEEDUP_TARGET}x)",
+        "results identical: yes (asserted)",
+        "",
+        "warm per-tier hit rates (synthesis telemetry):",
+    ]
+    for key, rate in hit_rates.items():
+        lines.append(
+            f"  {key:<22} {hits.get(key, 0):>6} hits / "
+            f"{misses.get(key, 0):>6} misses  ({rate:.1%})"
+        )
+    save_result("store_warmstart", "\n".join(lines))
+
+    snapshot = {
+        "bench": "store_warmstart",
+        "circuits": list(_CIRCUITS),
+        "laxity": _LAXITY,
+        "n_samples": _SAMPLES,
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup": round(speedup, 3),
+        "target_speedup": _SPEEDUP_TARGET,
+        "warm_store_hits": dict(sorted(hits.items())),
+        "warm_store_misses": dict(sorted(misses.items())),
+        "warm_hit_rates": {k: round(v, 4) for k, v in hit_rates.items()},
+    }
+    (RESULTS_DIR / "BENCH_5.json").write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
+
+    assert speedup >= _SPEEDUP_TARGET, (
+        f"expected the warm sweep to be >= {_SPEEDUP_TARGET}x faster than "
+        f"cold, got {speedup:.2f}x"
+    )

@@ -103,6 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--no-prune", action="store_true",
                        help="disable dominance/feasibility pruning of "
                             "candidates before pricing")
+    synth.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                       help="persist the content-addressed synthesis store "
+                            "here so later runs warm-start (results are "
+                            "bit-identical cold vs. warm)")
+    synth.add_argument("--no-persistent-cache", action="store_true",
+                       help="with --cache-dir: read/write nothing on disk "
+                            "(keeps only the in-memory point/run tiers)")
     synth.add_argument("--stats", action="store_true",
                        help="print synthesis telemetry (evaluations, cost-cache "
                             "hit rate, delta-hit rate, moves per family, "
@@ -132,6 +139,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated laxity factors")
     tables.add_argument("--workers", type=int, default=1,
                         help="processes for each run's operating-point sweep")
+    tables.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                        help="persist the synthesis store here so repeated "
+                             "table regenerations warm-start")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear a persistent synthesis store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="print entry counts and size of a store"
+    )
+    cache_stats.add_argument("--cache-dir", type=Path, required=True,
+                             metavar="DIR", help="store directory to inspect")
+    cache_clear = cache_sub.add_parser(
+        "clear", help="delete every entry from a store"
+    )
+    cache_clear.add_argument("--cache-dir", type=Path, required=True,
+                             metavar="DIR", help="store directory to clear")
 
     hier = sub.add_parser(
         "hierarchize",
@@ -178,6 +203,10 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     config.validate_incremental = args.validate_incremental
     config.prune = not args.no_prune
     config.verify_moves = args.verify
+    # Set before the library build so module pre-characterization also
+    # warm-starts from (and feeds) the persistent store.
+    config.cache_dir = str(args.cache_dir) if args.cache_dir else None
+    config.persistent_cache = not args.no_persistent_cache
     library = default_library()
     built_library = False
     if not args.no_library and not args.flatten and any(
@@ -274,6 +303,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     laxities = tuple(float(x) for x in args.laxity_factors.split(","))
     config = quick_config()
     config.n_workers = args.workers
+    config.cache_dir = str(args.cache_dir) if args.cache_dir else None
     results = run_sweep(
         circuits=circuits,
         laxity_factors=laxities,
@@ -285,6 +315,31 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     print()
     print(render_table4(results))
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .synthesis.store import SynthesisStore
+
+    store = SynthesisStore(cache_dir=str(args.cache_dir))
+    try:
+        if not store.persistent:
+            print(f"error: no usable store under {args.cache_dir}",
+                  file=sys.stderr)
+            return 1
+        if args.cache_command == "stats":
+            stats = store.persistent_stats()
+            print(f"store:   {stats['path']}")
+            print(f"entries: {stats['total_entries']}")
+            for ns, count in sorted(stats["entries"].items()):
+                print(f"  {ns}: {count}")
+            print(f"size:    {stats['bytes']} bytes")
+            return 0
+        assert args.cache_command == "clear"
+        removed = store.clear_persistent()
+        print(f"cleared {removed} entries from {args.cache_dir}")
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_hierarchize(args: argparse.Namespace) -> int:
@@ -324,6 +379,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_synth(args)
         if args.command == "tables":
             return _cmd_tables(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "hierarchize":
             return _cmd_hierarchize(args)
     except ReproError as exc:

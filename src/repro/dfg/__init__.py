@@ -20,6 +20,14 @@ from .analysis import (
     op_histogram,
 )
 from .builder import GraphBuilder, Wire
+from .canonical import (
+    canonical_fingerprint,
+    config_signature,
+    design_fingerprint,
+    graph_signature,
+    library_signature,
+    stream_digest,
+)
 from .flatten import flatten
 from .graph import DEFAULT_WIDTH, DFG, Edge, Node, NodeKind, Signal
 from .hierarchy import Design
@@ -43,8 +51,14 @@ __all__ = [
     "Wire",
     "apply_operation",
     "asap_levels",
+    "canonical_fingerprint",
     "check_dfg",
+    "config_signature",
     "critical_path_length",
+    "design_fingerprint",
+    "graph_signature",
+    "library_signature",
+    "stream_digest",
     "flatten",
     "longest_input_output_distance",
     "op_histogram",

@@ -50,6 +50,17 @@ class SimTrace:
     def has(self, path: Path, signal: Signal) -> bool:
         return (path, signal) in self._values
 
+    def items_at(self, path: Path) -> list[tuple[Signal, np.ndarray]]:
+        """All ``(signal, stream)`` pairs at one level, sorted by signal."""
+        return sorted(
+            (
+                (signal, stream)
+                for (p, signal), stream in self._values.items()
+                if p == path
+            ),
+            key=lambda item: item[0],
+        )
+
     def __len__(self) -> int:
         return len(self._values)
 

@@ -62,6 +62,19 @@ def render_stats(telemetry: Telemetry, title: str = "Synthesis statistics") -> s
                 f"{telemetry.verify_failures} failures",
             )
         )
+    store_keys = sorted(
+        set(telemetry.store_hits)
+        | set(telemetry.store_misses)
+        | set(telemetry.store_evictions)
+    )
+    for key in store_keys:
+        hits = telemetry.store_hits.get(key, 0)
+        misses = telemetry.store_misses.get(key, 0)
+        evictions = telemetry.store_evictions.get(key, 0)
+        value = f"{hits} hits / {misses} misses"
+        if evictions:
+            value += f" / {evictions} evicted"
+        rows.append((f"store {key}", value))
     for stage, seconds in sorted(telemetry.stage_s.items()):
         rows.append((f"time: {stage}", f"{seconds:.3f} s"))
     return render_table(("counter", "value"), rows, title=title)

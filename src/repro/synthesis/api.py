@@ -197,6 +197,11 @@ class _PointOutcome:
     #: only; the serial path appends directly to the run's recorder).
     events: list[dict[str, Any]] = field(default_factory=list)
     events_dropped: int = 0
+    #: Run-tier store entries minted by a *worker* — ``(namespace,
+    #: digest, blob)`` triples exported via
+    #: :meth:`~repro.synthesis.store.SynthesisStore.export_fresh` for
+    #: the parent to absorb into the run tier in point order.
+    store_entries: list[tuple[str, str, bytes]] = field(default_factory=list)
 
 
 def _run_point(
@@ -276,6 +281,7 @@ def _point_worker(
     if env.trace is not None:
         outcome.events = env.trace.events
         outcome.events_dropped = env.trace.dropped
+    outcome.store_entries = env.store.export_fresh()
     return outcome, env.telemetry
 
 
@@ -316,6 +322,11 @@ def _sweep_points(
                     # merged trace matches the n_workers=1 trace.
                     env.trace.absorb(outcome.events, outcome.events_dropped)
                     outcome.events = []
+                # Fold worker-minted store entries into the parent's run
+                # tier (and persistent tier writes already happened in
+                # the worker), so later runs warm-start from them.
+                env.store.absorb(outcome.store_entries)
+                outcome.store_entries = []
             return [outcome for outcome, _tel in paired]
 
     outcomes: list[_PointOutcome] = []
@@ -428,6 +439,10 @@ def _synthesize(
                 if env.trace.timings
                 else None
             ),
+            # Store counters ride with the timings gate: totals vary
+            # with worker counts (each worker probes its own tiers), so
+            # they would break byte-identical --no-trace-timings traces.
+            store=(env.store.counters() if env.trace.timings else None),
         )
     return SynthesisResult(
         solution=solution,
@@ -451,10 +466,12 @@ def _traced_config(config: SynthesisConfig) -> dict[str, Any]:
     """Search-shaping knobs recorded in a trace's ``run_start`` event.
 
     Execution-only fields are excluded: ``n_workers``,
-    ``score_workers``, ``validate_incremental`` and the ``trace_*``
-    family do not change what the search does (or what its trace
-    records), and keeping them out is what lets a 1-worker and a
-    4-worker run produce byte-identical traces.  ``incremental`` and
+    ``score_workers``, ``validate_incremental``, the ``trace_*``
+    family and the store knobs (``cache_dir``, ``persistent_cache``,
+    ``run_cache_size``) do not change what the search does (or what its
+    trace records), and keeping them out is what lets a 1-worker and a
+    4-worker run — or a cold and a warm-cache run — produce
+    byte-identical traces.  ``incremental`` and
     ``prune`` *are* recorded: both leave the search outcome intact, but
     they shape per-step eval/pruned counts in the trace, so a replay
     must run them the same way.  ``trace_meta`` rides separately as the
@@ -462,7 +479,8 @@ def _traced_config(config: SynthesisConfig) -> dict[str, Any]:
     """
     skip = {"n_workers", "score_workers", "validate_incremental",
             "trace", "trace_timings", "trace_evals",
-            "trace_max_events", "trace_meta"}
+            "trace_max_events", "trace_meta",
+            "cache_dir", "persistent_cache", "run_cache_size"}
     return {
         f.name: getattr(config, f.name)
         for f in dataclasses.fields(config)

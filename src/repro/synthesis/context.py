@@ -10,6 +10,7 @@ cannot supply.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -25,6 +26,7 @@ from ..telemetry import Telemetry
 from ..trace.recorder import TraceRecorder
 from .caching import LRUCache
 from .costs import DEFAULT_COST_CACHE_SIZE, EvaluationContext, Objective
+from .store import SynthesisStore, context_signature, module_content_signature
 
 __all__ = ["SynthesisConfig", "SynthesisEnv", "ensure_behavior"]
 
@@ -111,6 +113,18 @@ class SynthesisConfig:
     #: records benchmark/traces/seed here so ``repro-trace replay`` can
     #: reconstruct the run without the original process).
     trace_meta: dict | None = None
+    #: Directory of the persistent (cross-run) synthesis-store tier;
+    #: ``None`` keeps the store purely in-memory.  See
+    #: :mod:`repro.synthesis.store` and the CLI's ``--cache-dir``.
+    cache_dir: str | None = None
+    #: Disable the persistent tier even when ``cache_dir`` is set
+    #: (``--no-persistent-cache``): the directory is neither read nor
+    #: written, but the in-memory run tier still works.
+    persistent_cache: bool = True
+    #: Bound on the run-level blob tier of the synthesis store
+    #: (entries; each holds one pickled module/resynthesis/schedule
+    #: result, shared across operating points within a run).
+    run_cache_size: int = 4096
 
 
 class SynthesisEnv:
@@ -122,6 +136,7 @@ class SynthesisEnv:
         library: ModuleLibrary,
         objective: Objective,
         config: SynthesisConfig | None = None,
+        store: SynthesisStore | None = None,
     ):
         self.design = design
         self.library = library
@@ -139,21 +154,36 @@ class SynthesisEnv:
             if self.config.trace
             else None
         )
-        cap = self.config.module_cache_size
-        #: Modules synthesized on demand, keyed by (behavior, clk, vdd).
-        self.module_cache: LRUCache[tuple[str, float, float], RTLModule] = (
-            LRUCache(cap)
+        #: The tiered synthesis store (point / run / persistent); every
+        #: memoized module, resynthesis result and schedule routes
+        #: through it.  See :mod:`repro.synthesis.store`.
+        self.store = store if store is not None else SynthesisStore.from_config(
+            self.config
         )
-        #: Move-B resynthesis memo, keyed by
-        #: (module name, node, budget, clk, vdd).  Generated module names
-        #: are only unique within one operating point, so this cache (and
-        #: module_cache) must be dropped between points — see
+        self.store.bind(self.telemetry)
+        #: Invalidation signature shared by every content key this env
+        #: writes: schema version + library + search-shaping config.
+        self.store_signature = context_signature(library, self.config)
+        #: Modules synthesized on demand, keyed by (behavior, clk, vdd).
+        #: This *is* the store's point tier for the "module" namespace —
+        #: the attribute is kept for its legacy name.
+        self.module_cache: LRUCache[tuple[str, float, float], RTLModule] = (
+            self.store.point_tier("module")
+        )
+        #: Move-B resynthesis memo (the store's "resynth" point tier),
+        #: keyed by canonical module content — not by generated module
+        #: names, which are only unique within one operating point.
+        #: Point tiers are dropped between points; see
         #: :meth:`reset_point_caches`.
-        self._resynth_cache: LRUCache[tuple, RTLModule | None] = LRUCache(cap)
+        self._resynth_cache: LRUCache = self.store.point_tier("resynth")
         #: Re-entrancy guard: move B never descends more than one level.
         self._resynth_active = False
         #: Fresh-name counter for generated module types.
         self._module_counter = 0
+        #: Per-point registry of generated module names (name → module
+        #: object): detects collisions between store-loaded and locally
+        #: minted modules so a name always denotes one module per point.
+        self._loaded_names: dict[str, RTLModule] = {}
         #: One shared EvaluationContext per SimTrace object, so the cost
         #: cache persists across the many context() calls of one point.
         #: The context holds the sim strongly, keeping id() keys valid.
@@ -164,21 +194,91 @@ class SynthesisEnv:
         self._module_counter += 1
         return f"{behavior}_v{self._module_counter}"
 
+    def register_module(self, module: RTLModule) -> RTLModule:
+        """Record a freshly characterized module's generated name.
+
+        Keeps the per-point name registry complete, so a later
+        store-loaded module carrying the same stored name is detected
+        and renamed instead of aliasing two distinct modules (module
+        names feed solution fingerprints and candidate descriptions).
+        """
+        self._loaded_names.setdefault(module.name, module)
+        return module
+
+    def adopt_loaded_module(self, module: RTLModule | None) -> RTLModule | None:
+        """Integrate a module unpickled from the run/persistent tier.
+
+        Two obligations keep warm runs bit-identical to cold ones:
+
+        1. The name counter is bumped past every ``_v{k}`` suffix in the
+           loaded module tree.  In an identical rerun, loaded names are
+           exactly the names the cold run minted, and the counter then
+           tracks the cold run's sequence, so any later genuine miss
+           mints the same next name cold and warm — and never collides
+           with a loaded name.
+        2. Every module in the tree is checked against the per-point
+           name registry.  A loaded module whose name is already bound
+           to an *equal-content* module (e.g. a standalone load of a
+           module that also arrived nested inside an earlier load — one
+           object cold, two unpickled copies warm) keeps its name: all
+           pricing reads values, never object identity.  A name bound
+           to *different* content (possible only when mixing cache
+           entries from non-identical runs) is renamed via
+           :meth:`fresh_module_name` so a name always denotes one
+           module per point.
+        """
+        if module is None:
+            return None
+        highest = 0
+        seen: set[int] = set()
+        stack = [module]
+        tree: list[RTLModule] = []
+        while stack:
+            mod = stack.pop()
+            if id(mod) in seen:
+                continue
+            seen.add(id(mod))
+            tree.append(mod)
+            match = re.search(r"_v(\d+)$", mod.name)
+            if match:
+                highest = max(highest, int(match.group(1)))
+            solution = getattr(getattr(mod, "internal", None), "solution", None)
+            if solution is not None:
+                for inst in solution.instances.values():
+                    if inst.module is not None:
+                        stack.append(inst.module)
+        if highest > self._module_counter:
+            self._module_counter = highest
+        for mod in tree:
+            existing = self._loaded_names.get(mod.name)
+            if existing is None:
+                self._loaded_names[mod.name] = mod
+            elif existing is not mod and (
+                module_content_signature(existing, self.design)
+                != module_content_signature(mod, self.design)
+            ):
+                fresh = self.fresh_module_name(mod.behavior)
+                mod.name = fresh
+                mod.netlist.name = fresh
+                self._loaded_names[fresh] = mod
+        return module
+
     def reset_point_caches(self) -> None:
         """Drop per-operating-point state between (Vdd, clock) points.
 
         Generated module names restart from ``_v1`` at every point, so a
-        cache entry surviving from another point could be hit through a
-        name collision while describing a module characterized at a
-        different (clk, vdd).  Resetting the counter too makes the names
-        (and thus results) of the serial sweep bit-identical to the
-        parallel sweep, which runs every point in a fresh worker.
-        Telemetry is cumulative and deliberately survives the reset.
+        point-tier entry surviving from another point could be hit while
+        describing a module characterized at a different (clk, vdd).
+        Resetting the counter too makes the names (and thus results) of
+        the serial sweep bit-identical to the parallel sweep, which runs
+        every point in a fresh worker.  The store's run and persistent
+        tiers survive — they are content-addressed, not name-addressed —
+        as does telemetry, which is cumulative by design.
         """
-        self.module_cache.clear()
-        self._resynth_cache.clear()
+        self.store.reset_point()
         self._resynth_active = False
         self._module_counter = 0
+        self._loaded_names.clear()
         self._contexts.clear()
 
     def context(self, sim: SimTrace) -> EvaluationContext:
@@ -191,9 +291,28 @@ class SynthesisEnv:
                 self.objective,
                 telemetry=self.telemetry,
                 cache_size=self.config.cost_cache_size,
-                recorder=self.trace if self.config.trace_evals else None,
+                # Nested resynthesis is untraced (see improve_solution),
+                # including its eval spans: a warm store hit skips the
+                # nested run wholesale, so recording it would break
+                # cold-vs-warm trace identity.
+                recorder=(
+                    self.trace
+                    if self.config.trace_evals and not self._resynth_active
+                    else None
+                ),
                 validate_incremental=self.config.validate_incremental,
                 reuse_schedules=self.config.incremental,
+                store=self.store,
+                design=self.design,
+                store_prefix=self.store_signature,
+                # Metrics sharing elides counted top-level evaluations,
+                # so it stays off whenever this context's evaluations
+                # land in a recorded trace; nested resynthesis is
+                # untraced wholesale (scratch telemetry, no recorder)
+                # and therefore always shares.
+                share_metrics=(
+                    not self.config.trace or self._resynth_active
+                ),
             )
             # Bounded: evict the oldest context (and its strong sim ref;
             # live id() keys stay valid because live contexts pin their

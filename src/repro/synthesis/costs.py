@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Literal
 
 import numpy as np
 
+from ..dfg.canonical import graph_signature
 from ..dfg.graph import Signal
 from ..errors import SynthesisError
 from ..power.estimator import PowerReport
@@ -30,6 +31,12 @@ from ..rtl.components import DatapathNetlist
 from ..telemetry import Telemetry
 from ..trace.recorder import TraceRecorder
 from .caching import HashedKey, LRUCache
+from .store import (
+    MISSING,
+    SynthesisStore,
+    sim_level_digest,
+    solution_pricing_signature,
+)
 from .datapath_build import build_netlist, operand_port_map
 from .incremental import Breakdown, evaluate_solution
 from .solution import Solution
@@ -112,6 +119,10 @@ class EvaluationContext:
         recorder: TraceRecorder | None = None,
         validate_incremental: bool = False,
         reuse_schedules: bool = True,
+        store: SynthesisStore | None = None,
+        design: object | None = None,
+        store_prefix: str | None = None,
+        share_metrics: bool = False,
     ):
         self.sim = sim
         self.path = path
@@ -140,7 +151,26 @@ class EvaluationContext:
         self._primed: dict[
             HashedKey, tuple[Metrics, Breakdown, int, int]
         ] = {}
-        #: Schedules memoized by task signature (see
+        #: Tiered synthesis store carrying the shared schedule memo
+        #: (namespace ``"schedule"``); ``None`` for bare contexts
+        #: (voltage scaling, module characterization), which fall back
+        #: to the local LRU below.
+        self.store = store
+        #: Design resolving module instances in content signatures.
+        self.design = design
+        #: Store invalidation signature (library + config) prefixed to
+        #: every metrics content key.
+        self._store_prefix = store_prefix
+        #: Share evaluated :class:`Metrics` through the store's run and
+        #: persistent tiers, addressed by canonical content.  Only ever
+        #: enabled for *untraced* contexts: a store hit skips the
+        #: full/delta evaluation below, which would perturb the counter
+        #: deltas recorded into trace ``step`` events and break the
+        #: cold-vs-warm trace-identity contract.
+        self._share_metrics = bool(
+            share_metrics and store is not None and design is not None
+        )
+        #: Local schedule memo for store-less contexts (see
         #: :meth:`schedule_of`): register-binding moves and equal-timing
         #: cell swaps do not change the task set, so whole families of
         #: candidates share one list-scheduling run.
@@ -193,12 +223,31 @@ class EvaluationContext:
         if not self.reuse_schedules:
             return solution.schedule()
         key = HashedKey((id(solution.dfg), solution.task_signature()))
-        cached = self._schedules.get(key)
-        if cached is None:
-            cached = solution.schedule()
-            self._schedules.put(key, cached)
-        else:
-            solution.adopt_schedule(cached)
+        if self.store is None:
+            cached = self._schedules.get(key)
+            if cached is None:
+                cached = solution.schedule()
+                self._schedules.put(key, cached)
+            else:
+                solution.adopt_schedule(cached)
+            return cached
+        cached = self.store.get("schedule", key)
+        if cached is MISSING:
+            # List scheduling is a pure function of the graph and the
+            # task list, so the content key needs nothing else; the
+            # graph signature is identity-exact because the schedule's
+            # dicts reference concrete node/task ids.
+            content = (
+                "schedule",
+                graph_signature(solution.dfg),
+                solution.task_signature(),
+            )
+            cached = self.store.fetch("schedule", key, content)
+            if cached is MISSING:
+                cached = solution.schedule()
+                self.store.put("schedule", key, content, cached)
+                return cached
+        solution.adopt_schedule(cached)
         return cached
 
     # ------------------------------------------------------------------
@@ -231,6 +280,19 @@ class EvaluationContext:
         self.telemetry.cache_misses += 1
         t0 = self.recorder.clock() if self.recorder is not None else None
         primed = self._primed.pop(key, None)
+        content = (
+            self._metrics_content(solution) if self._share_metrics else None
+        )
+        if primed is None and content is not None:
+            shared = self.store.fetch("metrics", key, content)
+            if shared is not MISSING:
+                # Untraced context (see ``_share_metrics``): skipping
+                # the full/delta classification below cannot reach any
+                # recorded trace.  The metrics themselves are
+                # bit-identical to a recomputation, so results and the
+                # search trajectory are unchanged.
+                self._cost_cache.put(key, shared)
+                return shared
         if primed is not None:
             metrics, breakdown, reused, _terms = primed
         else:
@@ -252,7 +314,23 @@ class EvaluationContext:
             self.recorder.emit("eval", **event)
         self._cost_cache.put(key, metrics)
         self._breakdowns.put(key, breakdown)
+        if content is not None:
+            self.store.put("metrics", key, content, metrics)
         return metrics
+
+    def _metrics_content(self, solution: Solution) -> tuple:
+        """Canonical content address of one solution's metrics.
+
+        Name-free and process-independent: the pricing signature covers
+        the solution side, the level digest covers the operand streams,
+        and the store prefix covers library and configuration.
+        """
+        return (
+            "metrics",
+            self._store_prefix,
+            solution_pricing_signature(solution, self.design),
+            sim_level_digest(self.sim, self.path),
+        )
 
     def _compute(
         self, solution: Solution, base: Breakdown | None
@@ -310,6 +388,12 @@ class EvaluationContext:
                 or key in self._primed
                 or self._cost_cache.peek(key) is not None
             ):
+                continue
+            if self._share_metrics and self.store.contains(
+                "metrics", self._metrics_content(solution)
+            ):
+                # The serial accounting pass will answer this candidate
+                # from the store; computing it here would waste a slot.
                 continue
             seen.add(key)
             jobs.append((key, solution, base))

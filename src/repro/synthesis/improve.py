@@ -16,14 +16,19 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
+from ..dfg.canonical import stream_digest
 from ..power.simulate import SimTrace
 from ..rtl.module import RTLModule
-from ..telemetry import move_family
+from ..telemetry import Telemetry, move_family
+from .caching import HashedKey
 from .context import SynthesisEnv
 from .costs import EvaluationContext
 from .initial import hier_input_streams, initial_solution
 from .incremental import Breakdown
 from .modulegen import ModuleInternal, characterize_module
+from .store import MISSING, module_content_signature
 from .moves import (
     Candidate,
     candidate_order_key,
@@ -329,18 +334,59 @@ def resynthesize_module(
 
     # Resynthesizing the same module under the same budget for the same
     # node is deterministic; memoize per operating point (the move
-    # generator asks again every KL step).  The cache is declared in
-    # SynthesisEnv.__init__, bounded, and cleared between points by
-    # env.reset_point_caches().
-    cache = env._resynth_cache
-    cache_key = (module.name, node_id, budget_cycles, parent.clk_ns, parent.vdd)
-    if cache_key in cache:
-        return cache[cache_key]
-
-    result = _resynthesize_uncached(
-        env, parent, parent_sim, node_id, behavior, module, budget_cycles
+    # generator asks again every KL step).  The point key identifies the
+    # module by canonical *content*, not by its generated name: two
+    # structurally identical modules minted under different names (the
+    # old key's failure mode) now share one entry.  node_id stays in the
+    # point key so the hot path needs no stream gathering.
+    module_sig = module_content_signature(module, env.design)
+    cache_key = HashedKey(
+        (
+            "resynth", module_sig, node_id, budget_cycles,
+            parent.clk_ns, parent.vdd,
+        )
     )
-    cache[cache_key] = result
+    cached = env.store.get("resynth", cache_key)
+    if cached is not MISSING:
+        return cached
+
+    # Point miss: build the content key (streams capture everything the
+    # node contributes, so node_id drops out) and consult the run and
+    # persistent tiers before resynthesizing.
+    streams = hier_input_streams(parent.dfg, node_id, parent_sim)
+    content = (
+        "resynth",
+        env.store_signature,
+        env.objective,
+        behavior,
+        module_sig,
+        stream_digest(streams),
+        budget_cycles,
+        parent.clk_ns,
+        parent.vdd,
+    )
+    loaded = env.store.fetch(
+        "resynth", cache_key, content, decode=env.adopt_loaded_module
+    )
+    if loaded is not MISSING:
+        return loaded
+
+    # The nested synthesis charges a scratch Telemetry: its evaluations
+    # are an implementation detail of pricing one candidate, and a warm
+    # run skips them entirely — counting them would make per-step eval
+    # deltas (and --stats totals) differ between a cold and a warm run
+    # of the same search.  Store counters are exempt: they were bound to
+    # the run telemetry's dicts by reference and keep counting.
+    saved_telemetry = env.telemetry
+    env.telemetry = Telemetry()
+    try:
+        result = _resynthesize_uncached(
+            env, parent, parent_sim, node_id, behavior, module,
+            budget_cycles, streams,
+        )
+    finally:
+        env.telemetry = saved_telemetry
+    env.store.put("resynth", cache_key, content, result)
     return result
 
 
@@ -352,6 +398,7 @@ def _resynthesize_uncached(
     behavior: str,
     module: RTLModule,
     budget_cycles: int,
+    streams: list[np.ndarray],
 ) -> RTLModule | None:
     if isinstance(module.internal, ModuleInternal):
         sub_dfg = module.internal.solution.dfg
@@ -360,7 +407,6 @@ def _resynthesize_uncached(
     else:
         return None
 
-    streams = hier_input_streams(parent.dfg, node_id, parent_sim)
     sub_sim = env.sub_sim(sub_dfg, streams)
     budget_ns = budget_cycles * parent.clk_ns
 
@@ -391,6 +437,8 @@ def _resynthesize_uncached(
 
     if not improved.is_feasible():
         return None
-    return characterize_module(
-        env.fresh_module_name(behavior), behavior, improved, sub_sim, ()
+    return env.register_module(
+        characterize_module(
+            env.fresh_module_name(behavior), behavior, improved, sub_sim, ()
+        )
     )

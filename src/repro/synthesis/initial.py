@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..dfg.canonical import design_fingerprint, stream_digest
 from ..dfg.graph import DFG, Node, NodeKind
 from ..errors import SynthesisError
 from ..power.simulate import SimTrace
@@ -24,6 +25,7 @@ from ..rtl.module import RTLModule
 from .context import SynthesisEnv, ensure_behavior
 from .modulegen import characterize_module
 from .solution import Solution
+from .store import MISSING
 
 __all__ = ["initial_solution", "initial_module_for"]
 
@@ -61,23 +63,44 @@ def initial_module_for(
                 candidates.append(module)
 
     cache_key = (behavior, clk_ns, vdd)
-    if cache_key in env.module_cache:
-        candidates.append(env.module_cache[cache_key])
+    cached = env.store.get("module", cache_key)
+    if cached is not MISSING:
+        candidates.append(cached)
     elif env.design.has_behavior(behavior):
         sub_dfg = env.design.default_variant(behavior)
         streams = hier_input_streams(dfg, node.node_id, sim)
-        sub_sim = env.sub_sim(sub_dfg, streams)
-        sub_solution = initial_solution(
-            env, sub_dfg, sub_sim, clk_ns, vdd, _UNCONSTRAINED_NS
+        # The content key omits the objective on purpose: this routine
+        # builds the *fastest* implementation (fastest cells, then the
+        # makespan-tightened budget), which is objective-independent, so
+        # area and power runs share entries.
+        content = (
+            "module",
+            env.store_signature,
+            behavior,
+            design_fingerprint(env.design, sub_dfg),
+            stream_digest(streams),
+            clk_ns,
+            vdd,
         )
-        # Tighten the budget to the achieved makespan before packaging.
-        sub_solution.sampling_ns = max(
-            sub_solution.schedule().length * clk_ns, clk_ns
+        module = env.store.fetch(
+            "module", cache_key, content, decode=env.adopt_loaded_module
         )
-        module = characterize_module(
-            env.fresh_module_name(behavior), behavior, sub_solution, sub_sim, ()
-        )
-        env.module_cache[cache_key] = module
+        if module is MISSING:
+            sub_sim = env.sub_sim(sub_dfg, streams)
+            sub_solution = initial_solution(
+                env, sub_dfg, sub_sim, clk_ns, vdd, _UNCONSTRAINED_NS
+            )
+            # Tighten the budget to the achieved makespan before packaging.
+            sub_solution.sampling_ns = max(
+                sub_solution.schedule().length * clk_ns, clk_ns
+            )
+            module = env.register_module(
+                characterize_module(
+                    env.fresh_module_name(behavior), behavior, sub_solution,
+                    sub_sim, ()
+                )
+            )
+            env.store.put("module", cache_key, content, module)
         candidates.append(module)
 
     if not candidates:

@@ -62,6 +62,13 @@ class Telemetry:
     verify_failures: int = 0
     #: Wall seconds per stage ("simulate", "initial", "improve", ...).
     stage_s: dict[str, float] = field(default_factory=dict)
+    #: Tiered synthesis-store counters, keyed ``"{tier}.{namespace}"``
+    #: (e.g. ``"point.resynth"``, ``"run.module"``,
+    #: ``"persistent.schedule"``); written by the bound
+    #: :class:`~repro.synthesis.store.SynthesisStore`.
+    store_hits: dict[str, int] = field(default_factory=dict)
+    store_misses: dict[str, int] = field(default_factory=dict)
+    store_evictions: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def count_move_tried(self, kind: str, n: int = 1) -> None:
@@ -118,6 +125,13 @@ class Telemetry:
         self.verify_failures += other.verify_failures
         for stage, s in other.stage_s.items():
             self.add_time(stage, s)
+        for mine, theirs in (
+            (self.store_hits, other.store_hits),
+            (self.store_misses, other.store_misses),
+            (self.store_evictions, other.store_evictions),
+        ):
+            for key, n in theirs.items():
+                mine[key] = mine.get(key, 0) + n
         return self
 
     def as_dict(self) -> dict[str, Any]:
@@ -141,4 +155,7 @@ class Telemetry:
                 "failures": self.verify_failures,
             },
             "stage_s": {k: round(v, 6) for k, v in sorted(self.stage_s.items())},
+            "store_hits": dict(sorted(self.store_hits.items())),
+            "store_misses": dict(sorted(self.store_misses.items())),
+            "store_evictions": dict(sorted(self.store_evictions.items())),
         }

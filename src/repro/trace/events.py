@@ -24,7 +24,9 @@ __all__ = ["SCHEMA_VERSION", "span_kinds"]
 
 #: Bump when an event kind gains/loses/renames a field.  Consumers
 #: (report, replay) check it and refuse traces from a different major.
-SCHEMA_VERSION = 1
+#: Version 2 added the optional ``store`` field (tiered synthesis-store
+#: counters) to ``run_end``.
+SCHEMA_VERSION = 2
 
 #: kind → (one-line description, tuple of field names in emission order).
 #: Fields marked with a trailing ``?`` are optional: timing fields appear
@@ -76,8 +78,11 @@ _SPAN_KINDS: dict[str, tuple[str, tuple[str, ...]]] = {
          "cycles?", "dur_ns?"),
     ),
     "run_end": (
-        "run finished; winner identifies the best feasible point",
-        ("winner", "events_dropped", "stage_s?"),
+        "run finished; winner identifies the best feasible point "
+        "(store: per-tier synthesis-store hit/miss/eviction counters, "
+        "present only with trace_timings — totals vary with worker "
+        "counts, like wall-clock)",
+        ("winner", "events_dropped", "stage_s?", "store?"),
     ),
     "voltage_scale": (
         "post-synthesis supply scaling applied to the winner",

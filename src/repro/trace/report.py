@@ -306,6 +306,28 @@ def render_profile(events: Sequence[dict[str, Any]]) -> str:
         out.append("")
         out.append(render_table(("stage", "seconds"), rows,
                                 title="wall-clock by stage"))
+    store = (run_end or {}).get("store")
+    if store:
+        keys = sorted(
+            set(store.get("hits", {}))
+            | set(store.get("misses", {}))
+            | set(store.get("evictions", {}))
+        )
+        rows = [
+            (
+                key,
+                store.get("hits", {}).get(key, 0),
+                store.get("misses", {}).get(key, 0),
+                store.get("evictions", {}).get(key, 0),
+            )
+            for key in keys
+        ]
+        if rows:
+            out.append("")
+            out.append(render_table(
+                ("tier.namespace", "hits", "misses", "evictions"), rows,
+                title="synthesis store",
+            ))
     if timed_points:
         rows = [
             (

@@ -1,0 +1,156 @@
+"""Cold-vs-warm determinism of the persistent synthesis store.
+
+The tentpole contract of the tiered store: synthesis results are
+**bit-identical** whether the store starts empty (cold) or pre-populated
+by an earlier identical run (warm) — same winner, same generated module
+names, same netlist text, same trace.  The cache changes wall-clock
+only, never results.
+"""
+
+import pytest
+
+from repro.bench_suite import get_benchmark
+from repro.power import speech_traces
+from repro.rtl import emit_netlist
+from repro.synthesis import SynthesisConfig, synthesize
+
+SEED = 11
+SAMPLES = 24
+LAXITY = 2.2
+
+
+def _config(cache_dir, n_workers=1, trace=True):
+    return SynthesisConfig(
+        max_moves=6,
+        max_passes=2,
+        max_ab_targets=4,
+        max_share_pairs=8,
+        max_split_candidates=4,
+        n_clocks=2,
+        resynth_passes=1,
+        resynth_moves=4,
+        n_workers=n_workers,
+        cache_dir=str(cache_dir) if cache_dir else None,
+        trace=trace,
+        trace_timings=False,
+    )
+
+
+def _run(circuit, cache_dir, n_workers=1, objective="power", trace=True):
+    design = get_benchmark(circuit)
+    traces = speech_traces(design.top, n=SAMPLES, seed=SEED)
+    return synthesize(
+        design,
+        laxity_factor=LAXITY,
+        objective=objective,
+        traces=traces,
+        config=_config(cache_dir, n_workers, trace),
+        n_samples=SAMPLES,
+    )
+
+
+def _identity(result):
+    return (
+        result.area,
+        result.power,
+        result.vdd,
+        result.clk_ns,
+        result.metrics.schedule_length,
+        emit_netlist(result.netlist()),
+    )
+
+
+class TestColdVsWarm:
+    def test_bit_identical_and_warm_hits(self, tmp_path):
+        cold = _run("test1", tmp_path)
+        warm = _run("test1", tmp_path)
+
+        assert _identity(warm) == _identity(cold)
+        # Identical search trajectory, not just an identical winner:
+        # with timings off the traces must match event for event.
+        assert warm.trace_events == cold.trace_events
+        # The warm run actually used the disk tier.
+        persistent_hits = sum(
+            n for key, n in warm.telemetry.store_hits.items()
+            if key.startswith("persistent.")
+        )
+        assert persistent_hits > 0
+
+    def test_warm_matches_uncached_run(self, tmp_path):
+        uncached = _run("test1", None)
+        _run("test1", tmp_path)
+        warm = _run("test1", tmp_path)
+        assert _identity(warm) == _identity(uncached)
+        assert warm.trace_events == uncached.trace_events
+
+    def test_parallel_workers_share_persistent_tier(self, tmp_path):
+        serial_cold = _run("test1", None)
+        parallel_cold = _run("test1", tmp_path, n_workers=2)
+        parallel_warm = _run("test1", tmp_path, n_workers=2)
+        assert _identity(parallel_cold) == _identity(serial_cold)
+        assert _identity(parallel_warm) == _identity(serial_cold)
+        assert parallel_warm.trace_events == serial_cold.trace_events
+
+    def test_warm_result_verifies(self, tmp_path):
+        _run("test1", tmp_path)
+        warm = _run("test1", tmp_path)
+        check = warm.verify()
+        assert check.ok
+
+
+class TestRunTierSharing:
+    def test_cross_point_hits_without_cache_dir(self):
+        """The in-memory run tier answers across operating points."""
+        result = _run("test1", None)
+        run_hits = sum(
+            n for key, n in result.telemetry.store_hits.items()
+            if key.startswith("run.")
+        )
+        assert run_hits > 0
+
+
+class TestMetricsSharing:
+    """Untraced runs additionally warm-start the pricing layer itself."""
+
+    def test_untraced_cold_vs_warm_identical(self, tmp_path):
+        cold = _run("test1", tmp_path, trace=False)
+        warm = _run("test1", tmp_path, trace=False)
+        assert _identity(warm) == _identity(cold)
+        # The warm run answered top-level evaluations from disk.
+        assert warm.telemetry.store_hits.get("persistent.metrics", 0) > 0
+
+    def test_untraced_warm_matches_traced_run(self, tmp_path):
+        """Metrics sharing changes wall-clock, never the search."""
+        traced = _run("test1", None, trace=True)
+        _run("test1", tmp_path, trace=False)
+        warm = _run("test1", tmp_path, trace=False)
+        assert _identity(warm) == _identity(traced)
+
+    def test_traced_top_level_pricing_never_shares(self, tmp_path):
+        """Counted evaluations must run under tracing (step events
+        snapshot their counter deltas), so a traced warm run computes
+        them even when the store could answer."""
+        _run("paulin", tmp_path, trace=False)
+        warm = _run("paulin", tmp_path, trace=True)
+        # paulin is resynthesis-free, so any metrics counter would have
+        # to come from the (forbidden) traced top-level context.
+        assert warm.telemetry.store_hits.get("persistent.metrics", 0) == 0
+        assert warm.telemetry.store_misses.get("run.metrics", 0) == 0
+
+
+class TestObjectiveSeparation:
+    def test_area_and_power_runs_do_not_collide(self, tmp_path):
+        """Warm-starting a power run from an area run's store is safe."""
+        baseline = _run("test1", None, objective="area")
+        _run("test1", tmp_path, objective="power")
+        area_warm = _run("test1", tmp_path, objective="area")
+        assert _identity(area_warm) == _identity(baseline)
+
+
+@pytest.mark.slow
+class TestSecondBenchmark:
+    def test_paulin_cold_vs_warm(self, tmp_path):
+        cold = _run("paulin", tmp_path)
+        warm = _run("paulin", tmp_path)
+        assert _identity(warm) == _identity(cold)
+        assert warm.trace_events == cold.trace_events

@@ -1,6 +1,6 @@
 """Unit tests for the bounded LRU cache behind the synthesis memo layers."""
 
-from repro.synthesis.caching import LRUCache
+from repro.synthesis.caching import HashedKey, LRUCache
 
 
 class TestBasics:
@@ -70,11 +70,31 @@ class TestEviction:
         assert cache.get("a") == 10
         assert "b" in cache
 
+    def test_eviction_is_least_recently_used_first(self):
+        """Eviction follows access recency exactly, oldest first."""
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.get("a")  # recency now b < c < a
+        cache.put("d", 4)  # evicts b
+        assert list(cache) == ["c", "a", "d"]
+        cache.put("e", 5)  # evicts c
+        assert list(cache) == ["a", "d", "e"]
+
     def test_zero_size_disables_storage(self):
         cache = LRUCache(0)
         cache.put("a", 1)
         assert len(cache) == 0
         assert cache.get("a") is None
+
+    def test_negative_size_disables_storage(self):
+        cache = LRUCache(-3)
+        cache.put("a", 1)
+        cache["b"] = 2
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert "b" not in cache
 
 
 class TestCounters:
@@ -86,3 +106,44 @@ class TestCounters:
         cache.get("b")
         assert cache.hits == 2
         assert cache.misses == 1
+
+
+class _AlwaysHashZero:
+    """Helper with a forced hash collision but value-based equality."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __hash__(self):
+        return 0
+
+    def __eq__(self, other):
+        return isinstance(other, _AlwaysHashZero) and self.tag == other.tag
+
+
+class TestHashedKey:
+    def test_equal_values_are_equal_keys(self):
+        a = HashedKey(("fp", 1, 2.5))
+        b = HashedKey(("fp", 1, 2.5))
+        assert a == b
+        assert hash(a) == hash(b)
+        cache = LRUCache(2)
+        cache.put(a, "v")
+        assert cache.get(b) == "v"
+
+    def test_equal_hash_different_value_is_not_equal(self):
+        """A hash collision must not make distinct keys alias."""
+        a = HashedKey((_AlwaysHashZero("x"),))
+        b = HashedKey((_AlwaysHashZero("y"),))
+        assert hash(a) == hash(b)
+        assert a != b
+        cache = LRUCache(4)
+        cache.put(a, "for-x")
+        cache.put(b, "for-y")
+        assert cache.get(a) == "for-x"
+        assert cache.get(b) == "for-y"
+
+    def test_non_hashedkey_comparison(self):
+        key = HashedKey(("fp",))
+        assert key != ("fp",)
+        assert (key == object()) is False

@@ -1,0 +1,146 @@
+"""Unit tests for canonical content keys (repro.dfg.canonical).
+
+The tiered synthesis store addresses entries by these fingerprints, so
+they must be invariant under everything that does not change synthesis
+results (node names, construction order) and sensitive to everything
+that does (operations, wiring, port order, nested behavior bodies).
+"""
+
+import numpy as np
+
+from repro.dfg import (
+    Design,
+    GraphBuilder,
+    canonical_fingerprint,
+    clusters_isomorphic,
+    config_signature,
+    design_fingerprint,
+    graph_signature,
+    library_signature,
+    stream_digest,
+)
+from repro.library import default_library
+from repro.synthesis import SynthesisConfig
+
+from tests.designs import make_butterfly_design
+
+
+def _mac(names=("m", "a"), order="ma"):
+    """x*y + z with configurable node names and construction order."""
+    b = GraphBuilder("mac")
+    x, y, z = b.inputs("x", "y", "z")
+    m = b.mult(x, y, name=names[0])
+    b.output("o", b.add(m, z, name=names[1]))
+    return b.build()
+
+
+class TestCanonicalFingerprint:
+    def test_name_invariance(self):
+        assert canonical_fingerprint(_mac(("m", "a"))) == canonical_fingerprint(
+            _mac(("prod", "sum"))
+        )
+
+    def test_construction_order_invariance(self):
+        b1 = GraphBuilder("t")
+        x, y, z = b1.inputs("x", "y", "z")
+        m1 = b1.mult(x, y, name="first")
+        m2 = b1.mult(y, z, name="second")
+        b1.output("o", b1.add(m1, m2, name="a"))
+
+        b2 = GraphBuilder("t")
+        x, y, z = b2.inputs("x", "y", "z")
+        m2 = b2.mult(y, z, name="zz_late")  # built first this time
+        m1 = b2.mult(x, y, name="aa_early")
+        b2.output("o", b2.add(m1, m2, name="a"))
+        assert canonical_fingerprint(b1.build()) == canonical_fingerprint(
+            b2.build()
+        )
+
+    def test_distinct_operations_differ(self):
+        b = GraphBuilder("t")
+        x, y, z = b.inputs("x", "y", "z")
+        m = b.mult(x, y, name="m")
+        b.output("o", b.sub(m, z, name="s"))  # sub instead of add
+        assert canonical_fingerprint(_mac()) != canonical_fingerprint(b.build())
+
+    def test_port_order_matters_like_isomorphism(self):
+        """Fingerprint equality must track clusters_isomorphic exactly."""
+
+        def body(swap):
+            b = GraphBuilder("c")
+            x, y = b.inputs("in0", "in1")
+            if swap:
+                b.output("out0", b.sub(y, x))
+            else:
+                b.output("out0", b.sub(x, y))
+            return b.build()
+
+        same = clusters_isomorphic(body(False), body(False))
+        diff = clusters_isomorphic(body(False), body(True))
+        assert same and not diff
+        assert canonical_fingerprint(body(False)) == canonical_fingerprint(
+            body(False)
+        )
+        assert canonical_fingerprint(body(False)) != canonical_fingerprint(
+            body(True)
+        )
+
+    def test_memoized_per_graph(self):
+        dfg = _mac()
+        assert canonical_fingerprint(dfg) == canonical_fingerprint(dfg)
+
+
+class TestDesignFingerprint:
+    def test_recurses_into_behaviors(self):
+        """Changing a nested body changes the parent's fingerprint."""
+        base = make_butterfly_design()
+        changed = make_butterfly_design()
+        # Same top graph, but the butterfly body's subtract becomes an add.
+        b = GraphBuilder("butterfly")
+        a, c = b.inputs("a", "b")
+        b.output("o0", b.add(a, c, name="badd"))
+        b.output("o1", b.add(a, c, name="bsub"))
+        changed2 = Design("bf_design")
+        changed2.add_dfg(b.build())
+        changed2.add_dfg(changed.top, top=True)
+        assert design_fingerprint(base, base.top) == design_fingerprint(
+            make_butterfly_design(), make_butterfly_design().top
+        )
+        assert design_fingerprint(base, base.top) != design_fingerprint(
+            changed2, changed2.top
+        )
+
+
+class TestGraphSignature:
+    def test_identity_exact(self):
+        """Node renames change the signature (schedules key by node id)."""
+        assert graph_signature(_mac(("m", "a"))) != graph_signature(
+            _mac(("prod", "sum"))
+        )
+        assert graph_signature(_mac()) == graph_signature(_mac())
+
+
+class TestStreamDigest:
+    def test_value_and_dtype_sensitivity(self):
+        a = [np.arange(8, dtype=np.int64)]
+        b = [np.arange(8, dtype=np.int64)]
+        c = [np.arange(8, dtype=np.int32)]
+        d = [np.arange(1, 9, dtype=np.int64)]
+        assert stream_digest(a) == stream_digest(b)
+        assert stream_digest(a) != stream_digest(c)
+        assert stream_digest(a) != stream_digest(d)
+
+
+class TestContextSignatures:
+    def test_library_signature_is_stable(self):
+        assert library_signature(default_library()) == library_signature(
+            default_library()
+        )
+
+    def test_config_signature_ignores_execution_knobs(self):
+        base = SynthesisConfig()
+        execy = SynthesisConfig(n_workers=8, score_workers=4, trace=True,
+                                cache_dir="/tmp/x", run_cache_size=7)
+        functional = SynthesisConfig(max_passes=1)
+        assert config_signature(base) == config_signature(execy)
+        assert config_signature(base) != config_signature(functional)

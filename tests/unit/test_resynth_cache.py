@@ -1,0 +1,76 @@
+"""Regression tests for the move-B resynthesis memo's content keying.
+
+The legacy cache key started with ``module.name`` — a counter-generated
+string — so two structurally identical modules minted under different
+names (which happens whenever generated-name sequences diverge, e.g.
+across operating points or warm starts) missed each other's entries and
+resynthesized twice.  The key now leads with the module's canonical
+content signature, making the name irrelevant.
+"""
+
+import pickle
+
+import pytest
+
+from repro.synthesis.context import SynthesisConfig, SynthesisEnv
+from repro.synthesis.improve import resynthesize_module
+from repro.synthesis.initial import initial_solution
+
+from tests.designs import make_butterfly_design, sim_for
+
+
+@pytest.fixture
+def resynth_setup(library):
+    design = make_butterfly_design()
+    env = SynthesisEnv(design, library, "power", SynthesisConfig(max_moves=4))
+    sim = sim_for(design)
+    sol = initial_solution(env, design.top, sim, 10.0, 5.0, 2000.0)
+    inst = next(
+        i for i in sol.instances.values()
+        if i.module is not None and i.module.behavior == "butterfly"
+    )
+    node_id = sol.executions[inst.inst_id][0][0]
+    return env, sol, sim, node_id, inst.module
+
+
+def _renamed_copy(module, name):
+    clone = pickle.loads(pickle.dumps(module))
+    clone.name = name
+    clone.netlist.name = name
+    return clone
+
+
+class TestContentKeyedResynthMemo:
+    def test_identical_modules_with_different_names_share_entry(
+        self, resynth_setup
+    ):
+        env, sol, sim, node_id, module = resynth_setup
+        budget = module.internal.solution.schedule().length + 3
+
+        first = resynthesize_module(
+            env, sol, sim, node_id, "butterfly", module, budget
+        )
+        hits_before = env.telemetry.store_hits.get("point.resynth", 0)
+
+        other = _renamed_copy(module, "totally_different_name")
+        second = resynthesize_module(
+            env, sol, sim, node_id, "butterfly", other, budget
+        )
+        # Same content, same budget, same site: the second call must be
+        # answered by the memo (the legacy name-keyed cache missed here).
+        assert env.telemetry.store_hits.get("point.resynth", 0) == hits_before + 1
+        assert second is first
+        assert len(env._resynth_cache) == 1
+
+    def test_different_budgets_do_not_collide(self, resynth_setup):
+        env, sol, sim, node_id, module = resynth_setup
+        budget = module.internal.solution.schedule().length + 3
+        resynthesize_module(env, sol, sim, node_id, "butterfly", module, budget)
+        misses_before = env.telemetry.store_misses.get("point.resynth", 0)
+        resynthesize_module(
+            env, sol, sim, node_id, "butterfly", module, budget + 1
+        )
+        assert (
+            env.telemetry.store_misses.get("point.resynth", 0)
+            == misses_before + 1
+        )

@@ -1,0 +1,195 @@
+"""Unit tests for the tiered synthesis store (repro.synthesis.store)."""
+
+import sqlite3
+
+import pytest
+
+from repro.synthesis.store import (
+    MISSING,
+    STORE_SCHEMA_VERSION,
+    SynthesisStore,
+    digest_content,
+)
+from repro.telemetry import Telemetry
+
+
+class TestPointTier:
+    def test_get_probes_point_only(self):
+        store = SynthesisStore()
+        assert store.get("module", "k") is MISSING
+        store.put("module", "k", ("content",), 42)
+        assert store.get("module", "k") == 42
+
+    def test_stored_none_is_not_missing(self):
+        """The resynthesis memo stores None for infeasible budgets."""
+        store = SynthesisStore()
+        store.put("resynth", "k", ("c",), None)
+        assert store.get("resynth", "k") is None
+        assert store.get("other", "k") is MISSING
+
+    def test_reset_point_clears_point_not_run(self):
+        store = SynthesisStore()
+        store.put("module", "k", ("c",), {"v": 1})
+        store.reset_point()
+        assert store.get("module", "k") is MISSING
+        # The run tier still answers through fetch, with a fresh copy.
+        value = store.fetch("module", "k", ("c",))
+        assert value == {"v": 1}
+        assert store.get("module", "k") == {"v": 1}
+
+    def test_point_sizes_respected(self):
+        store = SynthesisStore(point_sizes={"module": 2})
+        for i in range(4):
+            store.put("module", i, ("c", i), i)
+        assert len(store.point_tier("module")) == 2
+        counters = store.counters()
+        assert counters["evictions"]["point.module"] == 2
+
+
+class TestRunTier:
+    def test_fetch_returns_fresh_copies(self):
+        """Mutating a fetched value must not poison later fetches."""
+        store = SynthesisStore()
+        store.put("module", "k", ("c",), {"behaviors": ["a"]})
+        store.reset_point()
+        first = store.fetch("module", "k", ("c",))
+        first["behaviors"].append("b")
+        store.reset_point()
+        second = store.fetch("module", "k", ("c",))
+        assert second == {"behaviors": ["a"]}
+
+    def test_fetch_decode_callback(self):
+        store = SynthesisStore()
+        store.put("module", "k", ("c",), 10)
+        store.reset_point()
+        assert store.fetch("module", "k", ("c",), decode=lambda v: v + 1) == 11
+        # The decoded value is what lands in the point tier.
+        assert store.get("module", "k") == 11
+
+    def test_content_addressing_ignores_point_key(self):
+        """Two different point keys with equal content share one blob."""
+        store = SynthesisStore()
+        store.put("resynth", "key-one", ("same", "content"), "value")
+        store.reset_point()
+        assert store.fetch("resynth", "other-key", ("same", "content")) == "value"
+        assert store.fetch("resynth", "third", ("different",)) is MISSING
+
+    def test_export_and_absorb(self):
+        worker = SynthesisStore()
+        worker.put("module", "k", ("c",), [1, 2])
+        entries = worker.export_fresh()
+        assert [(ns, digest) for ns, digest, _blob in entries] == [
+            ("module", digest_content(("c",)))
+        ]
+        assert worker.export_fresh() == []
+
+        parent = SynthesisStore()
+        parent.absorb(entries)
+        assert parent.fetch("module", "k2", ("c",)) == [1, 2]
+
+    def test_reset_point_drops_pending_exports(self):
+        """The serial sweep must not accumulate stale export lists."""
+        store = SynthesisStore()
+        store.put("module", "k", ("c",), 1)
+        store.reset_point()
+        assert store.export_fresh() == []
+
+
+class TestCounters:
+    def test_tick_pattern(self):
+        store = SynthesisStore()
+        store.get("module", "k")  # point miss
+        store.fetch("module", "k", ("c",))  # run miss
+        store.put("module", "k", ("c",), 1)
+        store.get("module", "k")  # point hit
+        store.reset_point()
+        store.fetch("module", "k", ("c",))  # run hit
+        counters = store.counters()
+        assert counters["misses"]["point.module"] == 1
+        assert counters["misses"]["run.module"] == 1
+        assert counters["hits"]["point.module"] == 1
+        assert counters["hits"]["run.module"] == 1
+
+    def test_bind_shares_dicts_with_telemetry(self):
+        store = SynthesisStore()
+        store.get("module", "k")
+        telemetry = Telemetry()
+        store.bind(telemetry)
+        assert telemetry.store_misses == {"point.module": 1}
+        store.get("module", "k2")
+        assert telemetry.store_misses == {"point.module": 2}
+
+
+class TestPersistentTier:
+    def test_round_trip_across_stores(self, tmp_path):
+        first = SynthesisStore(cache_dir=str(tmp_path))
+        first.put("schedule", "k", ("c",), (1, 2, 3))
+        first.close()
+
+        second = SynthesisStore(cache_dir=str(tmp_path))
+        assert second.fetch("schedule", "fresh-key", ("c",)) == (1, 2, 3)
+        counters = second.counters()
+        assert counters["hits"]["persistent.schedule"] == 1
+        second.close()
+
+    def test_no_cache_dir_means_no_persistence(self):
+        store = SynthesisStore()
+        assert not store.persistent
+        assert store.persistent_stats()["total_entries"] == 0
+
+    def test_persistent_flag_off_disables_db(self, tmp_path):
+        store = SynthesisStore(cache_dir=str(tmp_path), persistent=False)
+        assert not store.persistent
+        store.put("module", "k", ("c",), 1)
+        store.close()
+        assert not any(tmp_path.iterdir())
+
+    def test_schema_version_mismatch_drops_entries(self, tmp_path):
+        store = SynthesisStore(cache_dir=str(tmp_path))
+        store.put("module", "k", ("c",), 1)
+        stats = store.persistent_stats()
+        assert stats["total_entries"] == 1
+        store.close()
+
+        db = sqlite3.connect(tmp_path / "synthesis_store.sqlite")
+        db.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(STORE_SCHEMA_VERSION + 1),),
+        )
+        db.commit()
+        db.close()
+
+        reopened = SynthesisStore(cache_dir=str(tmp_path))
+        assert reopened.persistent_stats()["total_entries"] == 0
+        assert reopened.fetch("module", "k", ("c",)) is MISSING
+        reopened.close()
+
+    def test_concurrent_writers_are_idempotent(self, tmp_path):
+        a = SynthesisStore(cache_dir=str(tmp_path))
+        b = SynthesisStore(cache_dir=str(tmp_path))
+        a.put("module", "k", ("c",), "same")
+        b.put("module", "k", ("c",), "same")
+        assert a.persistent_stats()["total_entries"] == 1
+        a.close()
+        b.close()
+
+    def test_stats_and_clear(self, tmp_path):
+        store = SynthesisStore(cache_dir=str(tmp_path))
+        store.put("module", "k1", ("c1",), 1)
+        store.put("schedule", "k2", ("c2",), 2)
+        stats = store.persistent_stats()
+        assert stats["entries"] == {"module": 1, "schedule": 1}
+        assert stats["bytes"] > 0
+        assert store.clear_persistent() == 2
+        assert store.persistent_stats()["total_entries"] == 0
+        store.close()
+
+    def test_unusable_cache_dir_degrades_gracefully(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("file in the way")
+        with pytest.raises(Exception):
+            target.joinpath("x").mkdir()  # sanity: path is unusable
+        store = SynthesisStore(cache_dir=str(target / "sub"))
+        assert not store.persistent
+        store.put("module", "k", ("c",), 1)  # still works in memory
+        assert store.get("module", "k") == 1
