@@ -60,6 +60,22 @@ def main() -> None:
 
     EvaluationContext.evaluate = timed_eval
 
+    # Newer trees price whole candidate batches through one activity-kernel
+    # call before `evaluate` replays them from the primed stash; that work
+    # is pricing too, so fold it into the same accumulator (absent at the
+    # seed revision).
+    real_eval_batch = getattr(EvaluationContext, "evaluate_batch", None)
+    if real_eval_batch is not None:
+
+        def timed_eval_batch(self, work, *args, **kwargs):
+            t0 = time.perf_counter()
+            try:
+                return real_eval_batch(self, work, *args, **kwargs)
+            finally:
+                state["pricing_s"] += time.perf_counter() - t0
+
+        EvaluationContext.evaluate_batch = timed_eval_batch
+
     real_prune = getattr(improve_mod, "prune_candidates", None)
     if real_prune is not None:
 

@@ -103,6 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--no-prune", action="store_true",
                        help="disable dominance/feasibility pruning of "
                             "candidates before pricing")
+    synth.add_argument("--no-batch-activity", action="store_true",
+                       help="price candidate activities one stream set at a "
+                            "time instead of through the batched kernel "
+                            "(results are bit-identical either way)")
+    synth.add_argument("--corners", action="store_true",
+                       help="after synthesis, re-price every explored "
+                            "architecture across the ±10%% supply × "
+                            "(-40..125 °C) corner grid and print the "
+                            "per-corner Pareto report")
     synth.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
                        help="persist the content-addressed synthesis store "
                             "here so later runs warm-start (results are "
@@ -202,6 +211,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     config.incremental = not args.no_incremental
     config.validate_incremental = args.validate_incremental
     config.prune = not args.no_prune
+    config.batch_activity = not args.no_batch_activity
     config.verify_moves = args.verify
     # Set before the library build so module pre-characterization also
     # warm-starts from (and feeds) the persistent store.
@@ -278,6 +288,23 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             return 1
         print(f"verification:   OK ({check.n_samples} samples, "
               f"{result.telemetry.verify_checks} checks)")
+    if args.corners:
+        from .reporting import evaluate_corners, render_corner_report
+
+        store = None
+        prefix = None
+        if config.cache_dir:
+            from .synthesis.store import SynthesisStore, context_signature
+
+            store = SynthesisStore.from_config(config)
+            prefix = context_signature(library, config)
+        try:
+            report = evaluate_corners(result, store=store, store_prefix=prefix)
+        finally:
+            if store is not None:
+                store.close()
+        print()
+        print(render_corner_report(report))
     if args.stats:
         print()
         print(render_stats(result.telemetry))

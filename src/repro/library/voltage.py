@@ -20,10 +20,13 @@ __all__ = [
     "V_REF",
     "V_THRESHOLD",
     "V_FLOOR",
+    "T_REF",
     "SUPPLY_VOLTAGES",
     "delay_scale",
     "energy_scale",
     "min_feasible_vdd",
+    "temperature_delay_scale",
+    "temperature_energy_scale",
     "vdd_for_delay_scale",
 ]
 
@@ -39,6 +42,33 @@ V_THRESHOLD = 0.8
 #: Supply voltages considered during synthesis, highest first.  These are
 #: the levels used by the paper's comparison baseline (ref. [10]).
 SUPPLY_VOLTAGES: tuple[float, ...] = (5.0, 3.3, 2.4)
+
+#: Reference (characterization) junction temperature, °C.
+T_REF = 25.0
+
+#: First-order temperature derating coefficients, per °C away from
+#: :data:`T_REF`.  Carrier mobility degrades with temperature, so hot
+#: silicon is slower (the classic slow corner pairs low supply with high
+#: temperature); dynamic energy is only weakly temperature-dependent —
+#: a small residual term covers short-circuit current growth.  The
+#: linearization is valid over the industrial/automotive range the
+#: corner sweep uses (−40 °C … 125 °C).
+TEMP_DELAY_COEFF = 0.0013
+TEMP_ENERGY_COEFF = 0.0002
+
+
+def temperature_delay_scale(temp_c: float, tref: float = T_REF) -> float:
+    """Cell delay multiplier at *temp_c* relative to *tref*.
+
+    ``temperature_delay_scale(T_REF) == 1.0``; hotter junctions give
+    factors > 1 (mobility degradation), colder ones < 1.
+    """
+    return 1.0 + TEMP_DELAY_COEFF * (temp_c - tref)
+
+
+def temperature_energy_scale(temp_c: float, tref: float = T_REF) -> float:
+    """Switched-energy multiplier at *temp_c* relative to *tref*."""
+    return 1.0 + TEMP_ENERGY_COEFF * (temp_c - tref)
 
 
 def _raw_delay(vdd: float, vt: float) -> float:

@@ -8,9 +8,12 @@ energies into a power report.
 """
 
 from .activity import (
+    activity_cache_sizes,
+    batch_activities,
     hamming_distance,
     interleaved_activity,
     operand_activity,
+    reset_activity_caches,
     stream_activity,
 )
 from .estimator import (
@@ -44,12 +47,15 @@ __all__ = [
     "SimTrace",
     "TraceSet",
     "WIRE_CAP_PER_CONNECTION",
+    "activity_cache_sizes",
+    "batch_activities",
     "default_traces",
     "estimate_power",
     "hamming_distance",
     "image_traces",
     "interleaved_activity",
     "operand_activity",
+    "reset_activity_caches",
     "simulate_design",
     "simulate_dfg",
     "simulate_subgraph",

@@ -9,10 +9,19 @@ cycle, so more bits toggle than if each computation had a dedicated
 unit fed by its own well-correlated stream.
 
 This module turns value streams into activity factors, including the
-*interleaved* activity a shared resource sees.
+*interleaved* activity a shared resource sees.  The hot entry point is
+:func:`batch_activities`, which resolves a whole set of
+``(streams, width)`` requests in one array pass: all cache misses are
+wrapped, interleaved, diffed and popcounted over a single concatenated
+matrix instead of one resource at a time.  The scalar functions
+(:func:`stream_activity`, :func:`interleaved_activity`,
+:func:`operand_activity`) are thin wrappers over the same kernel, so
+batched and per-call results are bit-identical by construction.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -23,6 +32,9 @@ __all__ = [
     "stream_activity",
     "interleaved_activity",
     "operand_activity",
+    "batch_activities",
+    "reset_activity_caches",
+    "activity_cache_sizes",
 ]
 
 
@@ -54,6 +66,162 @@ _STREAM_ACTIVITY_CACHE: dict[tuple[int, int], tuple[np.ndarray, float]] = {}
 #: stream references are kept in the value to pin their ids.
 _INTERLEAVED_ACTIVITY_CACHE: dict[tuple, tuple[tuple, float]] = {}
 
+#: Entry bound before a cache is wholesale-cleared (cheap, and by the
+#: time a cache is this large the working set has clearly moved on).
+_CACHE_BOUND = 100_000
+
+
+def reset_activity_caches() -> None:
+    """Drop both activity memos (and the stream arrays they pin).
+
+    Wired into per-point cache teardown and end-of-run cleanup so a
+    long-lived process does not retain simulated streams from finished
+    runs; within a run the caches repopulate from the same long-lived
+    arrays, so results are unaffected.
+    """
+    _STREAM_ACTIVITY_CACHE.clear()
+    _INTERLEAVED_ACTIVITY_CACHE.clear()
+
+
+def activity_cache_sizes() -> tuple[int, int]:
+    """(stream-cache entries, interleaved-cache entries) — for tests."""
+    return (len(_STREAM_ACTIVITY_CACHE), len(_INTERLEAVED_ACTIVITY_CACHE))
+
+
+def _cached_activity(streams: Sequence[np.ndarray], width: int) -> float | None:
+    """Cache probe for one request; ``None`` means miss (0.0 is a hit)."""
+    if not streams:
+        return 0.0
+    if len(streams) == 1:
+        stream = streams[0]
+        cached = _STREAM_ACTIVITY_CACHE.get((id(stream), width))
+        if cached is not None and cached[0] is stream:
+            return cached[1]
+        return None
+    cached = _INTERLEAVED_ACTIVITY_CACHE.get(
+        (tuple(id(s) for s in streams), width)
+    )
+    if cached is not None and all(
+        kept is live for kept, live in zip(cached[0], streams)
+    ):
+        return cached[1]
+    return None
+
+
+def _cache_activity(streams: Sequence[np.ndarray], width: int, result: float) -> None:
+    """Insert one resolved request into the matching memo.
+
+    Single-stream requests go to the per-stream cache; interleavings go
+    to the interleaved cache *only* — the interleaved array itself is a
+    per-call temporary and must never be pinned under its (dead) id in
+    the per-stream cache.
+    """
+    if len(streams) == 1:
+        stream = streams[0]
+        if isinstance(stream, np.ndarray):
+            if len(_STREAM_ACTIVITY_CACHE) > _CACHE_BOUND:
+                _STREAM_ACTIVITY_CACHE.clear()
+            _STREAM_ACTIVITY_CACHE[(id(stream), width)] = (stream, result)
+    elif all(isinstance(s, np.ndarray) for s in streams):
+        if len(_INTERLEAVED_ACTIVITY_CACHE) > _CACHE_BOUND:
+            _INTERLEAVED_ACTIVITY_CACHE.clear()
+        _INTERLEAVED_ACTIVITY_CACHE[
+            (tuple(id(s) for s in streams), width)
+        ] = (tuple(streams), result)
+
+
+def _compute_activities(
+    misses: list[tuple[Sequence[np.ndarray], int]]
+) -> list[float]:
+    """Batched activity kernel over cache-missed requests.
+
+    All requests' interleaved streams are wrapped, consecutive-sample
+    diffs taken, and the diffs concatenated into one flat ``int64``
+    vector that is popcounted with a single byte-table gather per byte
+    lane; per-request toggle totals come from one ``np.add.reduceat``.
+    Toggle counts are exact integers well below 2**53, so the final
+    ``total / n / width`` float arithmetic is bit-identical to the
+    scalar path's ``float(np.mean(toggles)) / width``.
+    """
+    results = [0.0] * len(misses)
+    diffs: list[np.ndarray] = []
+    segment_meta: list[tuple[int, int, int]] = []  # (slot, n_samples, width)
+    wrap_memo: dict[tuple[int, int], np.ndarray] = {}
+    for slot, (streams, width) in enumerate(misses):
+        wrapped = []
+        for s in streams:
+            memo_key = (id(s), width)
+            w = wrap_memo.get(memo_key)
+            if w is None:
+                w = wrap_to_width(np.asarray(s, dtype=np.int64), width)
+                wrap_memo[memo_key] = w
+            wrapped.append(w)
+        if len(wrapped) == 1:
+            flat = wrapped[0]
+        else:
+            # t-major interleave: s0[0], s1[0], ..., s0[1], s1[1], ...
+            flat = np.stack(wrapped).T.reshape(-1)
+        n = flat.shape[0]
+        if n < 2:
+            continue  # activity of a <2-sample stream is defined as 0.0
+        mask = (1 << width) - 1
+        diffs.append((flat[:-1] ^ flat[1:]) & mask)
+        segment_meta.append((slot, n - 1, width))
+    if not diffs:
+        return results
+    flat_diffs = diffs[0] if len(diffs) == 1 else np.concatenate(diffs)
+    counts = _POPCOUNT_TABLE[flat_diffs & 0xFF]
+    work = flat_diffs >> 8
+    max_width = max(width for _slot, _n, width in segment_meta)
+    for _ in range((max_width + 7) // 8 - 1):
+        # Diffs are masked to their own width, so the extra byte lanes of
+        # narrower requests contribute exactly zero — per-request counts
+        # match a per-width loop bit for bit.
+        counts += _POPCOUNT_TABLE[work & 0xFF]
+        work = work >> 8
+    offsets = np.zeros(len(segment_meta), dtype=np.intp)
+    if len(segment_meta) > 1:
+        np.cumsum([n for _slot, n, _w in segment_meta[:-1]], out=offsets[1:])
+    totals = np.add.reduceat(counts, offsets)
+    for (slot, n, width), total in zip(segment_meta, totals):
+        results[slot] = (float(total) / n) / width
+    return results
+
+
+def batch_activities(
+    requests: Sequence[tuple[Sequence[np.ndarray], int]]
+) -> list[float]:
+    """Resolve many ``(streams, width)`` activity requests in one pass.
+
+    Cache hits are answered from the scalar functions' memos; all
+    misses are priced together through :func:`_compute_activities` and
+    inserted back into the same memos, so interleaving batched and
+    scalar calls in any order yields identical values.
+    """
+    results: list[float | None] = [None] * len(requests)
+    misses: list[tuple[Sequence[np.ndarray], int]] = []
+    miss_of: list[tuple[int, int]] = []  # (request slot, miss slot)
+    seen: dict[tuple, int] = {}
+    for i, (streams, width) in enumerate(requests):
+        hit = _cached_activity(streams, width)
+        if hit is not None:
+            results[i] = hit
+            continue
+        key = (tuple(id(s) for s in streams), width)
+        miss_slot = seen.get(key)
+        if miss_slot is None:
+            miss_slot = len(misses)
+            seen[key] = miss_slot
+            misses.append((streams, width))
+        miss_of.append((i, miss_slot))
+    if misses:
+        computed = _compute_activities(misses)
+        for i, miss_slot in miss_of:
+            results[i] = computed[miss_slot]
+        for (streams, width), value in zip(misses, computed):
+            _cache_activity(streams, width, value)
+    return results  # type: ignore[return-value]
+
 
 def stream_activity(stream: np.ndarray, width: int) -> float:
     """Average toggle fraction between consecutive samples of one stream.
@@ -61,20 +229,11 @@ def stream_activity(stream: np.ndarray, width: int) -> float:
     This is the activity a resource sees when it is *dedicated* to one
     value sequence.  Returns 0 for streams shorter than two samples.
     """
-    key = (id(stream), width)
-    cached = _STREAM_ACTIVITY_CACHE.get(key)
+    cached = _STREAM_ACTIVITY_CACHE.get((id(stream), width))
     if cached is not None and cached[0] is stream:
         return cached[1]
-    wrapped = wrap_to_width(np.asarray(stream, dtype=np.int64), width)
-    if wrapped.shape[0] < 2:
-        result = 0.0
-    else:
-        toggles = hamming_distance(wrapped[:-1], wrapped[1:], width)
-        result = float(np.mean(toggles)) / width
-    if isinstance(stream, np.ndarray):
-        if len(_STREAM_ACTIVITY_CACHE) > 100_000:
-            _STREAM_ACTIVITY_CACHE.clear()
-        _STREAM_ACTIVITY_CACHE[key] = (stream, result)
+    result = _compute_activities([((stream,), width)])[0]
+    _cache_activity((stream,), width, result)
     return result
 
 
@@ -94,23 +253,15 @@ def interleaved_activity(streams: list[np.ndarray], width: int) -> float:
     # level up: candidate evaluation re-derives the same interleavings
     # of the same simulated streams over and over (a full re-evaluation
     # recomputes every instance, but most instances' operand streams are
-    # unchanged), and the interleaved array is built fresh each time so
-    # the per-stream cache below never sees it twice.
-    key = (tuple(id(s) for s in streams), width)
-    cached = _INTERLEAVED_ACTIVITY_CACHE.get(key)
-    if cached is not None and all(
-        kept is live for kept, live in zip(cached[0], streams)
-    ):
-        return cached[1]
-    matrix = np.stack(
-        [wrap_to_width(np.asarray(s, dtype=np.int64), width) for s in streams]
-    )
-    interleaved = matrix.T.reshape(-1)  # t-major: s0[0], s1[0], ..., s0[1], ...
-    result = stream_activity(interleaved, width)
-    if all(isinstance(s, np.ndarray) for s in streams):
-        if len(_INTERLEAVED_ACTIVITY_CACHE) > 100_000:
-            _INTERLEAVED_ACTIVITY_CACHE.clear()
-        _INTERLEAVED_ACTIVITY_CACHE[key] = (tuple(streams), result)
+    # unchanged).  The interleaved array itself stays a kernel-local
+    # temporary — it is deliberately *not* pushed through
+    # stream_activity, whose id-keyed cache would pin one dead array
+    # per miss.
+    cached = _cached_activity(streams, width)
+    if cached is not None:
+        return cached
+    result = _compute_activities([(streams, width)])[0]
+    _cache_activity(streams, width, result)
     return result
 
 
@@ -123,17 +274,19 @@ def operand_activity(
     ``i``-th operation bound to the unit, in the serialization order the
     scheduler chose.  Each operand *port* of the unit sees the
     interleaving of the corresponding operand across all bound
-    operations; the unit's activity is the mean over its ports.
+    operations; the unit's activity is the mean over its ports.  All
+    ports are priced through one batched kernel call.
     """
     if not operand_streams_per_op:
         return 0.0
     n_ports = max(len(ops) for ops in operand_streams_per_op)
     if n_ports == 0:
         return 0.0
-    port_activities = []
+    requests = []
     for port in range(n_ports):
         port_streams = [
             ops[port] for ops in operand_streams_per_op if port < len(ops)
         ]
-        port_activities.append(interleaved_activity(port_streams, width))
+        requests.append((port_streams, width))
+    port_activities = batch_activities(requests)
     return float(np.mean(port_activities))

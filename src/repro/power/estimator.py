@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..library.cells import LibraryCell
+from ..library.voltage import energy_scale
 from .activity import operand_activity, stream_activity
 
 __all__ = [
@@ -122,15 +123,20 @@ class RegisterUsage:
             else len(self.value_streams)
         )
         if writes == 0:
-            return 0.0
-        if activity is None:
-            if len(self.value_streams) == 1:
-                activity = stream_activity(self.value_streams[0], self.width)
-            else:
-                from .activity import interleaved_activity
+            # A register nobody writes still clocks every cycle; the
+            # clock-tree term below is exactly the area→power coupling
+            # REGISTER_CLOCK_FRACTION exists to model, so it must not be
+            # skipped just because the write count is zero.
+            write_energy = 0.0
+        else:
+            if activity is None:
+                if len(self.value_streams) == 1:
+                    activity = stream_activity(self.value_streams[0], self.width)
+                else:
+                    from .activity import interleaved_activity
 
-                activity = interleaved_activity(self.value_streams, self.width)
-        write_energy = writes * self.cell.energy_per_op(vdd, activity)
+                    activity = interleaved_activity(self.value_streams, self.width)
+            write_energy = writes * self.cell.energy_per_op(vdd, activity)
         clock_energy = (
             REGISTER_CLOCK_FRACTION
             * self.clocked_cycles
@@ -190,8 +196,6 @@ class InterconnectUsage:
     length_factor: float = 1.0
 
     def energy_per_sample(self, vdd: float) -> float:
-        from ..library.voltage import energy_scale
-
         return (
             self.n_connections
             * WIRE_CAP_PER_CONNECTION
@@ -224,8 +228,6 @@ class ControllerUsage:
     CAP_PER_CYCLE = 0.15
 
     def energy_per_sample(self, vdd: float) -> float:
-        from ..library.voltage import energy_scale
-
         switching = (
             self.n_states * self.CAP_PER_CYCLE
             + self.n_control_signals * self.CAP_PER_SIGNAL * self.n_states * 0.1

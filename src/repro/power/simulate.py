@@ -122,9 +122,11 @@ def simulate_subgraph(
             f"{dfg.name!r} has {len(dfg.inputs)} inputs, got "
             f"{len(input_streams)} streams"
         )
-    n = input_streams[0].shape[0] if input_streams else 0
+    # Coerce before touching .shape so plain Python lists work as streams.
+    streams = [np.asarray(s, dtype=np.int64) for s in input_streams]
+    n = streams[0].shape[0] if streams else 0
     result = SimTrace(n)
-    _simulate_into(result, (), dfg, [np.asarray(s, dtype=np.int64) for s in input_streams], choose)
+    _simulate_into(result, (), dfg, streams, choose)
     return result
 
 

@@ -1,5 +1,15 @@
 """Experiment harness: regenerate the paper's tables from the library."""
 
+from .corners import (
+    CornerCell,
+    CornerReport,
+    DEFAULT_CORNERS,
+    OperatingCorner,
+    corner_grid,
+    evaluate_corners,
+    pareto_indices,
+    render_corner_report,
+)
 from .export import cell_to_dict, result_to_dict, save_sweep_json, sweep_to_dict
 from .stats import render_stats
 from .summary import HeadlineClaims, compute_claims, render_claims
@@ -17,6 +27,14 @@ from .tables import fmt, render_table
 
 __all__ = [
     "CellResult",
+    "CornerCell",
+    "CornerReport",
+    "DEFAULT_CORNERS",
+    "OperatingCorner",
+    "corner_grid",
+    "evaluate_corners",
+    "pareto_indices",
+    "render_corner_report",
     "cell_to_dict",
     "result_to_dict",
     "save_sweep_json",

@@ -1,0 +1,309 @@
+"""Operating-corner grid sweep and Pareto reporting.
+
+A synthesized architecture is committed at one nominal operating point,
+but silicon ships across *corners*: supply tolerance (±10 %) crossed
+with junction temperature (−40 °C … 125 °C).  This module re-prices the
+architectures a synthesis run explored across such a grid and reports
+the per-corner Pareto frontiers over (power, area, schedule), so the
+cross-condition robustness of a power- or area-optimized circuit is
+visible rather than implied by a single nominal row.
+
+Corner evaluation reuses the voltage-scaling trick of
+:func:`repro.synthesis.api.voltage_scale`: the clone's clock is
+stretched by the exact CMOS delay ratio of the corner supply, which
+keeps every cycle count — and therefore the schedule and binding —
+identical, so the re-evaluation prices the *same* architecture at the
+corner supply.  Temperature enters analytically on top (first-order
+derating from :mod:`repro.library.voltage`): the corner clock is
+stretched by the mobility factor for the timing check, and switched
+energy is scaled by the temperature energy factor.
+
+Corner metrics persist through the synthesis store's ``"metrics"``
+namespace (content-addressed under a ``"corner"`` prefix), so repeated
+reporting runs over a warm cache skip the re-evaluations entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ..library.voltage import (
+    T_REF,
+    V_THRESHOLD,
+    delay_scale,
+    temperature_delay_scale,
+    temperature_energy_scale,
+)
+from .tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..synthesis.api import PointCandidate, SynthesisResult
+    from ..synthesis.store import SynthesisStore
+
+__all__ = [
+    "OperatingCorner",
+    "CornerCell",
+    "CornerReport",
+    "DEFAULT_CORNERS",
+    "corner_grid",
+    "evaluate_corners",
+    "pareto_indices",
+    "render_corner_report",
+]
+
+
+@dataclass(frozen=True)
+class OperatingCorner:
+    """One (supply factor, junction temperature) operating condition."""
+
+    name: str
+    vdd_factor: float
+    temp_c: float
+
+
+def corner_grid(
+    vdd_factors: Sequence[float] = (0.9, 1.0, 1.1),
+    temps_c: Sequence[float] = (-40.0, T_REF, 125.0),
+) -> tuple[OperatingCorner, ...]:
+    """Full supply × temperature grid with canonical PVT names.
+
+    The three classic corners get their traditional names — ``slow``
+    (low supply, hot), ``typ`` (nominal, reference temperature) and
+    ``fast`` (high supply, cold); the rest of the grid is named
+    systematically (``v0.90/t25``).
+    """
+    lo, hi = min(vdd_factors), max(vdd_factors)
+    canonical = {
+        (lo, max(temps_c)): "slow",
+        (1.0, T_REF): "typ",
+        (hi, min(temps_c)): "fast",
+    }
+    corners = []
+    for factor in vdd_factors:
+        for temp in temps_c:
+            name = canonical.get(
+                (factor, temp), f"v{factor:.2f}/t{temp:g}"
+            )
+            corners.append(OperatingCorner(name, factor, temp))
+    return tuple(corners)
+
+
+#: Default sweep grid: ±10 % supply crossed with the industrial
+#: temperature range.
+DEFAULT_CORNERS: tuple[OperatingCorner, ...] = corner_grid()
+
+
+@dataclass
+class CornerCell:
+    """One (architecture, corner) row of the sweep."""
+
+    corner: OperatingCorner
+    #: Nominal operating point the architecture was synthesized at.
+    source_vdd: float
+    source_clk_ns: float
+    #: Corner supply and the clock the circuit must run at there (CMOS
+    #: delay ratio × temperature derating — cycle counts unchanged).
+    vdd: float
+    clk_ns: float
+    cycles: int
+    #: Does the derated schedule still fit the sampling period?
+    meets_timing: bool
+    area: float
+    power: float
+    energy_per_sample: float
+    #: Schedule latency at the corner clock, ns.
+    schedule_ns: float
+    #: Set by :func:`evaluate_corners`: on the corner's Pareto frontier
+    #: over (power, area, schedule) among timing-clean rows.
+    on_frontier: bool = False
+
+
+@dataclass
+class CornerReport:
+    """All corner cells of one sweep plus the evaluated grid."""
+
+    corners: tuple[OperatingCorner, ...]
+    cells: list[CornerCell] = field(default_factory=list)
+    #: Number of distinct architectures evaluated.
+    n_architectures: int = 0
+
+    @property
+    def frontier(self) -> list[CornerCell]:
+        return [cell for cell in self.cells if cell.on_frontier]
+
+
+def pareto_indices(points: Sequence[tuple[float, ...]]) -> list[int]:
+    """Indices of non-dominated points (all objectives minimized).
+
+    A point is dominated when another is ≤ in every coordinate and < in
+    at least one; ties survive together.
+    """
+    front: list[int] = []
+    for i, p in enumerate(points):
+        dominated = False
+        for j, q in enumerate(points):
+            if j == i:
+                continue
+            if all(qc <= pc for qc, pc in zip(q, p)) and any(
+                qc < pc for qc, pc in zip(q, p)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(i)
+    return front
+
+
+def _architectures(result: "SynthesisResult") -> list["PointCandidate"]:
+    """The sweep's feasible architectures, winner guaranteed present."""
+    from ..synthesis.api import PointCandidate
+
+    candidates = list(result.candidates)
+    if not any(cand.solution is result.solution for cand in candidates):
+        candidates.insert(
+            0,
+            PointCandidate(
+                result.vdd, result.clk_ns, result.solution, result.metrics
+            ),
+        )
+    return candidates
+
+
+def _nominal_corner_metrics(
+    cand: "PointCandidate",
+    vdd: float,
+    clk_ns: float,
+    result: "SynthesisResult",
+    store: "SynthesisStore | None",
+    store_prefix: str | None,
+) -> tuple[float, float, float, int]:
+    """(power, energy, area, cycles) of *cand* rescaled to *vdd*.
+
+    Evaluated through the same single-evaluator path as synthesis (a
+    clone with the delay-ratio-stretched clock), memoized through the
+    store's ``"metrics"`` namespace when one is supplied.
+    """
+    from ..synthesis.caching import HashedKey
+    from ..synthesis.costs import EvaluationContext
+    from ..synthesis.store import (
+        MISSING,
+        sim_level_digest,
+        solution_pricing_signature,
+    )
+
+    content = key = None
+    if store is not None:
+        content = (
+            "corner",
+            store_prefix,
+            solution_pricing_signature(cand.solution, result.design),
+            sim_level_digest(result.sim, ()),
+            round(vdd, 12),
+            round(clk_ns, 12),
+        )
+        key = HashedKey(content)
+        cached = store.get("metrics", key)
+        if cached is MISSING:
+            cached = store.fetch("metrics", key, content)
+        if cached is not MISSING:
+            return cached
+    scaled = cand.solution.clone()
+    scaled.vdd = vdd
+    scaled.clk_ns = clk_ns
+    scaled.sampling_ns = cand.solution.sampling_ns
+    ctx = EvaluationContext(result.sim, (), result.objective)
+    metrics = ctx.evaluate(scaled)
+    data = (
+        metrics.power,
+        metrics.energy_per_sample,
+        metrics.area,
+        metrics.schedule_length,
+    )
+    if store is not None:
+        store.put("metrics", key, content, data)
+    return data
+
+
+def evaluate_corners(
+    result: "SynthesisResult",
+    corners: Sequence[OperatingCorner] = DEFAULT_CORNERS,
+    store: "SynthesisStore | None" = None,
+    store_prefix: str | None = None,
+) -> CornerReport:
+    """Sweep every explored architecture across *corners*.
+
+    Returns a :class:`CornerReport` whose cells carry per-corner power,
+    area and schedule latency; within each corner, timing-clean cells on
+    the (power, area, schedule) Pareto frontier are flagged.  Supplies
+    derated below the device threshold are skipped.
+    """
+    candidates = _architectures(result)
+    report = CornerReport(
+        corners=tuple(corners), n_architectures=len(candidates)
+    )
+    for corner in corners:
+        corner_cells: list[CornerCell] = []
+        for cand in candidates:
+            vdd = cand.vdd * corner.vdd_factor
+            if vdd <= V_THRESHOLD + 1e-6:
+                continue  # below threshold: the corner supply is unusable
+            # Voltage-only stretch first (cycle counts identical), then
+            # temperature derating on the corner clock.
+            clk_v = cand.clk_ns * (delay_scale(vdd) / delay_scale(cand.vdd))
+            clk_corner = clk_v * temperature_delay_scale(corner.temp_c)
+            power, energy, area, cycles = _nominal_corner_metrics(
+                cand, vdd, clk_v, result, store, store_prefix
+            )
+            tes = temperature_energy_scale(corner.temp_c)
+            sampling_ns = cand.solution.sampling_ns
+            corner_cells.append(
+                CornerCell(
+                    corner=corner,
+                    source_vdd=cand.vdd,
+                    source_clk_ns=cand.clk_ns,
+                    vdd=vdd,
+                    clk_ns=clk_corner,
+                    cycles=cycles,
+                    meets_timing=cycles * clk_corner <= sampling_ns + 1e-9,
+                    area=area,
+                    power=power * tes,
+                    energy_per_sample=energy * tes,
+                    schedule_ns=cycles * clk_corner,
+                )
+            )
+        timed = [cell for cell in corner_cells if cell.meets_timing]
+        for idx in pareto_indices(
+            [(cell.power, cell.area, cell.schedule_ns) for cell in timed]
+        ):
+            timed[idx].on_frontier = True
+        report.cells.extend(corner_cells)
+    return report
+
+
+def render_corner_report(report: CornerReport) -> str:
+    """ASCII table of the corner sweep, frontier rows starred."""
+    headers = [
+        "corner", "arch", "vdd", "clk_ns", "timing",
+        "power", "area", "sched_ns", "pareto",
+    ]
+    rows = []
+    for cell in report.cells:
+        rows.append(
+            [
+                cell.corner.name,
+                f"{cell.source_vdd:g}V/{cell.source_clk_ns:.1f}ns",
+                cell.vdd,
+                cell.clk_ns,
+                "ok" if cell.meets_timing else "MISS",
+                cell.power,
+                cell.area,
+                cell.schedule_ns,
+                "*" if cell.on_frontier else "",
+            ]
+        )
+    title = (
+        f"Operating-corner sweep ({report.n_architectures} architectures "
+        f"x {len(report.corners)} corners)"
+    )
+    return render_table(headers, rows, title=title)

@@ -36,6 +36,9 @@ __all__ = [
 #: free.
 WIRE_AREA_PER_CONNECTION = 2.0
 
+#: id(library) → (library, {cell name: area}) — see DatapathNetlist.area.
+_CELL_AREAS: dict = {}
+
 
 class ComponentKind(enum.Enum):
     """Structural class of a datapath component."""
@@ -192,18 +195,36 @@ class DatapathNetlist:
         cached = self._area_cache.get(id(library))
         if cached is not None and cached[0] is library:
             return cached[1]
+        # Cell areas resolved once per library, not once per component
+        # per netlist (thousands of netlists per pricing step share one
+        # library).  The library is pinned in the memo value, same idiom
+        # as the activity caches.
+        entry = _CELL_AREAS.get(id(library))
+        if entry is None or entry[0] is not library:
+            if len(_CELL_AREAS) >= 8:
+                _CELL_AREAS.clear()
+            entry = (library, {})
+            _CELL_AREAS[id(library)] = entry
+        areas = entry[1]
+        skip = (ComponentKind.PORT, ComponentKind.MODULE)
         total = 0.0
         for comp in self._components.values():
-            if comp.kind in (ComponentKind.PORT, ComponentKind.MODULE):
+            if comp.kind in skip:
                 # Ports are free; nested module instances are priced by the
                 # owner (it knows the RTLModule object) — see
                 # repro.synthesis.costs.area_of.
                 continue
-            total += library.cell(comp.cell).area * comp.width_factor
+            cell_area = areas.get(comp.cell)
+            if cell_area is None:
+                cell_area = library.cell(comp.cell).area
+                areas[comp.cell] = cell_area
+            total += cell_area * (comp.width / REFERENCE_WIDTH)
+        mux_area = library.mux_cell.area
+        components = self._components
         for (dst, _port), fanin in self.fanin_ports().items():
             if fanin > 1:
-                width_factor = self.component(dst).width_factor
-                total += (fanin - 1) * library.mux_cell.area * width_factor
+                width_factor = components[dst].width_factor
+                total += (fanin - 1) * mux_area * width_factor
         total += self.n_connections() * WIRE_AREA_PER_CONNECTION
         self._area_cache[id(library)] = (library, total)
         return total

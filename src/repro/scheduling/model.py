@@ -108,6 +108,13 @@ class ScheduleResult:
     #: ScheduleResult is shared across every candidate whose task set is
     #: unchanged — so the memo rides on the schedule it is valid for.
     lifetime_memo: dict = field(default_factory=dict, compare=False, repr=False)
+    #: Per-instance execution order memo (instance id → tuple of node
+    #: groups in serialization order), filled lazily during candidate
+    #: pricing.  Valid for every solution sharing this schedule: sharing
+    #: requires an equal task signature, which pins each task's nodes
+    #: and instance, and ``instance_order`` lives on the schedule
+    #: itself.
+    exec_groups_memo: dict = field(default_factory=dict, compare=False, repr=False)
 
     def start_of_node(self, node_id: str) -> int:
         return self.start[self.task_of_node[node_id]]

@@ -18,7 +18,13 @@ sets) and :mod:`datapath_build` (netlist + FSM construction).
 """
 
 from ..telemetry import Telemetry
-from .api import SynthesisResult, synthesize, synthesize_flat, voltage_scale
+from .api import (
+    PointCandidate,
+    SynthesisResult,
+    synthesize,
+    synthesize_flat,
+    voltage_scale,
+)
 from .caching import LRUCache
 from .context import SynthesisConfig, SynthesisEnv, ensure_behavior
 from .costs import EvaluationContext, Metrics, Objective, area_of
@@ -51,6 +57,7 @@ __all__ = [
     "ModuleInternal",
     "Objective",
     "PassRecord",
+    "PointCandidate",
     "Solution",
     "SynthesisConfig",
     "SynthesisEnv",

@@ -29,6 +29,7 @@ from ..dfg.validate import validate_design
 from ..errors import SynthesisError
 from ..library.library import ModuleLibrary, default_library
 from ..library.voltage import SUPPLY_VOLTAGES, delay_scale
+from ..power.activity import reset_activity_caches
 from ..power.simulate import SimTrace, simulate_subgraph
 from ..power.traces import TraceSet, default_traces
 from ..rtl.components import DatapathNetlist
@@ -36,6 +37,7 @@ from ..rtl.controller import FSMController
 from ..telemetry import Telemetry
 from ..trace.events import SCHEMA_VERSION as TRACE_SCHEMA_VERSION
 from .context import SynthesisConfig, SynthesisEnv
+from .incremental import _reset_energy_memos
 from .costs import EvaluationContext, Metrics, Objective
 from .datapath_build import build_controller, build_netlist
 from .improve import PassRecord, improve_solution
@@ -44,12 +46,29 @@ from .pruning import candidate_clocks, candidate_vdds, laxity_sampling_ns
 from .solution import Solution
 
 __all__ = [
+    "PointCandidate",
     "SynthesisResult",
     "flatten_for_synthesis",
     "synthesize",
     "synthesize_flat",
     "voltage_scale",
 ]
+
+
+@dataclass
+class PointCandidate:
+    """One feasible architecture explored by the operating-point sweep.
+
+    The sweep's non-winning feasible solutions are kept on
+    :attr:`SynthesisResult.candidates` so post-processing (the
+    ``--corners`` sweep, Pareto reporting) can compare architectures
+    rather than just the single objective winner.
+    """
+
+    vdd: float
+    clk_ns: float
+    solution: Solution
+    metrics: Metrics
 
 
 @dataclass
@@ -73,6 +92,9 @@ class SynthesisResult:
     #: dict per span, in deterministic order; ``None`` when tracing was
     #: off.  Serialize with :func:`repro.trace.write_trace`.
     trace_events: list[dict[str, Any]] | None = None
+    #: Every feasible architecture the sweep explored (winner included),
+    #: in point order — the material for corner/Pareto reporting.
+    candidates: list[PointCandidate] = field(default_factory=list)
 
     @property
     def area(self) -> float:
@@ -406,12 +428,18 @@ def _synthesize(
 
     best: tuple[float, Solution, Metrics, float, float, int] | None = None
     history: dict[tuple[float, float], list[PassRecord]] = {}
+    candidates: list[PointCandidate] = []
     for idx, outcome in enumerate(outcomes):
         if outcome.solution is None or outcome.metrics is None:
             continue
         history[(outcome.vdd, outcome.clk_ns)] = outcome.history
         if not outcome.metrics.feasible:
             continue
+        candidates.append(
+            PointCandidate(
+                outcome.vdd, outcome.clk_ns, outcome.solution, outcome.metrics
+            )
+        )
         value = outcome.metrics.objective_value(objective)
         if best is None or value < best[0]:
             best = (
@@ -444,6 +472,12 @@ def _synthesize(
             # they would break byte-identical --no-trace-timings traces.
             store=(env.store.counters() if env.trace.timings else None),
         )
+    # Run teardown: the activity memos pin simulated streams by id; a
+    # long-lived process (job server, REPL) must not retain them after
+    # the run.  Post-processing (voltage scaling, corner sweeps) simply
+    # repopulates them from the result's own sim.
+    reset_activity_caches()
+    _reset_energy_memos()
     return SynthesisResult(
         solution=solution,
         metrics=metrics,
@@ -459,6 +493,7 @@ def _synthesize(
         history=history,
         telemetry=env.telemetry,
         trace_events=env.trace.events if env.trace is not None else None,
+        candidates=candidates,
     )
 
 
@@ -466,9 +501,10 @@ def _traced_config(config: SynthesisConfig) -> dict[str, Any]:
     """Search-shaping knobs recorded in a trace's ``run_start`` event.
 
     Execution-only fields are excluded: ``n_workers``,
-    ``score_workers``, ``validate_incremental``, the ``trace_*``
-    family and the store knobs (``cache_dir``, ``persistent_cache``,
-    ``run_cache_size``) do not change what the search does (or what its
+    ``score_workers``, ``validate_incremental``, ``batch_activity``,
+    the ``trace_*`` family and the store knobs (``cache_dir``,
+    ``persistent_cache``, ``run_cache_size``) do not change what the
+    search does (or what its
     trace records), and keeping them out is what lets a 1-worker and a
     4-worker run — or a cold and a warm-cache run — produce
     byte-identical traces.  ``incremental`` and
@@ -478,6 +514,7 @@ def _traced_config(config: SynthesisConfig) -> dict[str, Any]:
     provenance field.
     """
     skip = {"n_workers", "score_workers", "validate_incremental",
+            "batch_activity",
             "trace", "trace_timings", "trace_evals",
             "trace_max_events", "trace_meta",
             "cache_dir", "persistent_cache", "run_cache_size"}
@@ -559,6 +596,7 @@ def voltage_scale(
         history=result.history,
         telemetry=result.telemetry,
         trace_events=trace_events,
+        candidates=result.candidates,
     )
 
 

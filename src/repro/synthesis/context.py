@@ -20,6 +20,8 @@ from ..dfg.graph import DFG
 from ..dfg.hierarchy import Design
 from ..errors import LibraryError
 from ..library.library import ModuleLibrary
+from ..power.activity import reset_activity_caches
+from .incremental import _reset_energy_memos
 from ..power.simulate import SimTrace, simulate_subgraph
 from ..rtl.module import RTLModule
 from ..telemetry import Telemetry
@@ -86,6 +88,13 @@ class SynthesisConfig:
     #: as well and raise :class:`~repro.errors.SynthesisError` on any
     #: bitwise mismatch.  Roughly doubles pricing cost.
     validate_incremental: bool = False
+    #: Price each KL round's candidate set through the batched activity
+    #: kernel: collect every activity-key miss across the whole set and
+    #: resolve them in one array pass (see
+    #: :meth:`~repro.synthesis.costs.EvaluationContext.evaluate_batch`).
+    #: Execution knob only — results, counters and traces are
+    #: bit-identical either way.
+    batch_activity: bool = True
     #: Discard provably dominated / structurally hopeless candidates
     #: before pricing (counted per family in telemetry as
     #: ``moves_pruned``).  Outcome-preserving by construction.
@@ -280,6 +289,13 @@ class SynthesisEnv:
         self._module_counter = 0
         self._loaded_names.clear()
         self._contexts.clear()
+        # Activity memos are keyed by stream-array identity; dropping
+        # them costs only a (batched) recompute at the next point while
+        # guaranteeing a long-lived process never pins streams of
+        # finished points.  Matches the parallel sweep, whose workers
+        # start each point with empty process-local caches.
+        reset_activity_caches()
+        _reset_energy_memos()
 
     def context(self, sim: SimTrace) -> EvaluationContext:
         """Evaluation context (with shared cost cache) for *sim* at path ``()``."""
@@ -313,6 +329,7 @@ class SynthesisEnv:
                 share_metrics=(
                     not self.config.trace or self._resynth_active
                 ),
+                batch_pricing=self.config.batch_activity,
             )
             # Bounded: evict the oldest context (and its strong sim ref;
             # live id() keys stay valid because live contexts pin their

@@ -37,8 +37,14 @@ from .store import (
     sim_level_digest,
     solution_pricing_signature,
 )
+from ..power.activity import batch_activities
 from .datapath_build import build_netlist, operand_port_map
-from .incremental import Breakdown, evaluate_solution
+from .incremental import (
+    Breakdown,
+    evaluate_solution,
+    finish_evaluation,
+    plan_evaluation,
+)
 from .solution import Solution
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -123,6 +129,7 @@ class EvaluationContext:
         design: object | None = None,
         store_prefix: str | None = None,
         share_metrics: bool = False,
+        batch_pricing: bool = True,
     ):
         self.sim = sim
         self.path = path
@@ -134,6 +141,11 @@ class EvaluationContext:
         #: Debug mode: recompute every delta-priced evaluation from
         #: scratch and raise on any bitwise mismatch.
         self.validate_incremental = validate_incremental
+        #: Price candidate sets through :meth:`evaluate_batch`: plan all
+        #: uncached candidates, resolve every activity-key miss with one
+        #: batched kernel call, then replay each candidate's arithmetic.
+        #: Results are bit-identical either way (execution knob only).
+        self.batch_pricing = batch_pricing
         #: Share schedules across candidates with equal task signatures
         #: (part of the incremental machinery; off reproduces the
         #: schedule-per-candidate behavior of from-scratch pricing).
@@ -151,6 +163,13 @@ class EvaluationContext:
         self._primed: dict[
             HashedKey, tuple[Metrics, Breakdown, int, int]
         ] = {}
+        #: Canonical metrics content keys, memoized per fingerprint.
+        #: One candidate's content is needed up to three times (the
+        #: speculative ``contains`` filter, then ``fetch`` and ``put``
+        #: in the serial pass); building the pricing signature each time
+        #: was measurable, and returning the *same* tuple object lets
+        #: the store's digest memo answer repeat hashings for free.
+        self._content_memo: LRUCache[HashedKey, tuple] = LRUCache(cache_size)
         #: Tiered synthesis store carrying the shared schedule memo
         #: (namespace ``"schedule"``); ``None`` for bare contexts
         #: (voltage scaling, module characterization), which fall back
@@ -166,9 +185,18 @@ class EvaluationContext:
         #: enabled for *untraced* contexts: a store hit skips the
         #: full/delta evaluation below, which would perturb the counter
         #: deltas recorded into trace ``step`` events and break the
-        #: cold-vs-warm trace-identity contract.
+        #: cold-vs-warm trace-identity contract.  Also requires the
+        #: persistent tier: metrics content keys embed ``vdd``/``clk_ns``
+        #: (and the level's stream digest), so run-tier-only sharing has
+        #: nothing to hit — candidates at one operating point are already
+        #: deduplicated by the fingerprint cost cache, and other points
+        #: never address the same content.  Without a database behind it
+        #: the machinery is pure per-candidate overhead.
         self._share_metrics = bool(
-            share_metrics and store is not None and design is not None
+            share_metrics
+            and store is not None
+            and design is not None
+            and store.persistent
         )
         #: Local schedule memo for store-less contexts (see
         #: :meth:`schedule_of`): register-binding moves and equal-timing
@@ -222,7 +250,7 @@ class EvaluationContext:
             return sched
         if not self.reuse_schedules:
             return solution.schedule()
-        key = HashedKey((id(solution.dfg), solution.task_signature()))
+        key = solution.schedule_key()
         if self.store is None:
             cached = self._schedules.get(key)
             if cached is None:
@@ -281,7 +309,9 @@ class EvaluationContext:
         t0 = self.recorder.clock() if self.recorder is not None else None
         primed = self._primed.pop(key, None)
         content = (
-            self._metrics_content(solution) if self._share_metrics else None
+            self._metrics_content(solution, key)
+            if self._share_metrics
+            else None
         )
         if primed is None and content is not None:
             shared = self.store.fetch("metrics", key, content)
@@ -318,19 +348,29 @@ class EvaluationContext:
             self.store.put("metrics", key, content, metrics)
         return metrics
 
-    def _metrics_content(self, solution: Solution) -> tuple:
+    def _metrics_content(
+        self, solution: Solution, key: HashedKey | None = None
+    ) -> tuple:
         """Canonical content address of one solution's metrics.
 
         Name-free and process-independent: the pricing signature covers
         the solution side, the level digest covers the operand streams,
         and the store prefix covers library and configuration.
+        Memoized per fingerprint (equal fingerprints imply equal pricing
+        signatures at one synthesis point).
         """
-        return (
-            "metrics",
-            self._store_prefix,
-            solution_pricing_signature(solution, self.design),
-            sim_level_digest(self.sim, self.path),
-        )
+        if key is None:
+            key = solution.fingerprint_key()
+        content = self._content_memo.get(key)
+        if content is None:
+            content = (
+                "metrics",
+                self._store_prefix,
+                solution_pricing_signature(solution, self.design),
+                sim_level_digest(self.sim, self.path),
+            )
+            self._content_memo.put(key, content)
+        return content
 
     def _compute(
         self, solution: Solution, base: Breakdown | None
@@ -390,7 +430,7 @@ class EvaluationContext:
             ):
                 continue
             if self._share_metrics and self.store.contains(
-                "metrics", self._metrics_content(solution)
+                "metrics", self._metrics_content(solution, key)
             ):
                 # The serial accounting pass will answer this candidate
                 # from the store; computing it here would waste a slot.
@@ -404,6 +444,76 @@ class EvaluationContext:
                 pool.map(lambda job: self._compute(job[1], job[2]), jobs)
             )
         for (key, _solution, _base), result in zip(jobs, results):
+            self._primed[key] = result
+
+    def evaluate_batch(
+        self,
+        work: list[tuple[Solution, Breakdown | None]],
+        workers: int = 1,
+    ) -> None:
+        """Price a whole candidate set through one batched activity call.
+
+        Every uncached ``(solution, base)`` pair is *planned* (netlist,
+        schedule, stream-free terms, activity-key matching against its
+        base); the activity requests of all plans are then resolved with
+        a single :func:`~repro.power.activity.batch_activities` kernel
+        call, and each plan's per-term float arithmetic is replayed
+        unchanged.  Results land in the same speculative stash
+        :meth:`prime` uses, so the caller's serial :meth:`evaluate` pass
+        keeps all telemetry/cache/trace accounting — and therefore
+        counters, traces and metrics — identical to unbatched pricing.
+
+        With ``workers > 1`` the planning phase runs on a thread pool
+        (the kernel call and the arithmetic replay stay serial).
+        """
+        jobs: list[tuple[HashedKey, Solution, Breakdown | None]] = []
+        seen: set[HashedKey] = set()
+        for solution, base in work:
+            key = solution.fingerprint_key()
+            if (
+                key in seen
+                or key in self._primed
+                or self._cost_cache.peek(key) is not None
+            ):
+                continue
+            if self._share_metrics and self.store.contains(
+                "metrics", self._metrics_content(solution, key)
+            ):
+                # The serial accounting pass will answer this candidate
+                # from the store; planning it here would waste the work.
+                continue
+            seen.add(key)
+            jobs.append((key, solution, base))
+        if not jobs:
+            return
+        if workers > 1 and len(jobs) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                plans = list(
+                    pool.map(
+                        lambda job: plan_evaluation(self, job[1], job[2]),
+                        jobs,
+                    )
+                )
+        else:
+            plans = [
+                plan_evaluation(self, solution, base)
+                for _key, solution, base in jobs
+            ]
+        requests: list = []
+        offsets: list[int] = []
+        for plan in plans:
+            offsets.append(len(requests))
+            requests.extend(plan.requests)
+        activities = batch_activities(requests) if requests else []
+        for (key, solution, base), plan, lo in zip(jobs, plans, offsets):
+            result = finish_evaluation(
+                plan, activities[lo:lo + len(plan.requests)]
+            )
+            if self.validate_incremental:
+                reference = evaluate_solution(self, solution, None)[0]
+                _check_identical(result[0], reference)
             self._primed[key] = result
 
     def discard_primed(self) -> None:

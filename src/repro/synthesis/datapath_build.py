@@ -63,6 +63,50 @@ def _source_component(
     return (solution.register_of(signal), 0)
 
 
+#: id(dfg) → (dfg, port/const components, const-source map).  The port
+#: and const components of a netlist depend only on the DFG, and
+#: :class:`~repro.rtl.components.Component` is an immutable named tuple,
+#: so the same objects are shared by every netlist built for that DFG
+#: (thousands per pricing step).  The dfg is kept in the value to pin
+#: its id, same idiom as the activity caches.
+_STATIC_PARTS: dict[
+    int,
+    tuple[
+        object,
+        list[Component],
+        dict[str, tuple[str, int]],
+        dict[str, int],
+    ],
+] = {}
+
+
+def _static_parts(
+    dfg,
+) -> tuple[list[Component], dict[str, tuple[str, int]], dict[str, int]]:
+    """Per-DFG invariants: boundary ports, constants, node widths."""
+    entry = _STATIC_PARTS.get(id(dfg))
+    if entry is not None and entry[0] is dfg:
+        return entry[1], entry[2], entry[3]
+    comps: list[Component] = []
+    for idx, _input in enumerate(dfg.inputs):
+        comps.append(Component(f"in{idx}", ComponentKind.PORT, "in"))
+    for idx, _output in enumerate(dfg.outputs):
+        comps.append(Component(f"out{idx}", ComponentKind.PORT, "out"))
+    const_src: dict[str, tuple[str, int]] = {}
+    widths: dict[str, int] = {}
+    for node in dfg.nodes():
+        widths[node.node_id] = node.width
+        if node.kind == NodeKind.CONST:
+            comps.append(
+                Component(f"k_{node.node_id}", ComponentKind.PORT, "const")
+            )
+            const_src[node.node_id] = (f"k_{node.node_id}", 0)
+    if len(_STATIC_PARTS) >= 64:
+        _STATIC_PARTS.clear()
+    _STATIC_PARTS[id(dfg)] = (dfg, comps, const_src, widths)
+    return comps, const_src, widths
+
+
 def build_netlist(
     solution: Solution,
     name: str | None = None,
@@ -103,47 +147,61 @@ def build_netlist(
             if solution.register_of(signal) in input_regs:
                 direct_inputs[signal] = f"in{idx}"
 
-    for idx, _input in enumerate(dfg.inputs):
-        comps.append(Component(f"in{idx}", ComponentKind.PORT, "in"))
-    for idx, _output in enumerate(dfg.outputs):
-        comps.append(Component(f"out{idx}", ComponentKind.PORT, "out"))
-    for node in dfg.nodes():
-        if node.kind == NodeKind.CONST:
-            comps.append(Component(f"k_{node.node_id}", ComponentKind.PORT, "const"))
+    static_comps, const_src, widths = _static_parts(dfg)
+    comps.extend(static_comps)
+
+    # Raw tuple construction for per-candidate components and wires:
+    # the NamedTuple ``__new__`` wrapper costs an extra Python frame per
+    # object, and this function runs for every priced candidate.
+    new_nt = tuple.__new__
 
     register_cell_name = solution.library.register_cell.name
+    reg_kind = ComponentKind.REGISTER
     for reg_id, signals in solution.reg_signals.items():
         if reg_id in input_regs:
             continue
-        reg_width = max(
-            (dfg.node(src).width for src, _port in signals), default=16
+        reg_width = (
+            max([widths[src] for src, _port in signals]) if signals else 16
         )
         comps.append(
-            Component(reg_id, ComponentKind.REGISTER, register_cell_name, reg_width)
+            new_nt(Component, (reg_id, reg_kind, register_cell_name, reg_width))
         )
 
+    fu_kind = ComponentKind.FUNCTIONAL
     for inst_id, inst in solution.instances.items():
         if inst.is_module:
             assert inst.module is not None
-            comps.append(Component(inst_id, ComponentKind.MODULE, inst.module.name))
+            comps.append(
+                Component(inst_id, ComponentKind.MODULE, inst.module.name)
+            )
         else:
             assert inst.cell is not None
-            inst_width = max(
-                (
-                    dfg.node(node_id).width
-                    for group in solution.executions[inst_id]
-                    for node_id in group
-                ),
-                default=16,
-            )
+            bound = [
+                widths[node_id]
+                for group in solution.executions[inst_id]
+                for node_id in group
+            ]
+            inst_width = max(bound) if bound else 16
             comps.append(
-                Component(inst_id, ComponentKind.FUNCTIONAL, inst.cell.name, inst_width)
+                new_nt(Component, (inst_id, fu_kind, inst.cell.name, inst_width))
             )
 
-    def source_of(signal):
-        if signal in direct_inputs:
-            return (direct_inputs[signal], 0)
-        return _source_component(solution, signal)
+    # Raw signal → register map: dozens of lookups per build make even
+    # the ``register_of`` method-call wrapper measurable.  A missing
+    # binding surfaces as a KeyError instead of a SynthesisError, which
+    # only an internally inconsistent solution can trigger.
+    reg_of = solution.registered_map()
+
+    # Source resolution is inlined at both use sites below: a plain
+    # const-map probe plus the register reverse map (plus the
+    # direct-input overlay when registers are skipped).  A closure here
+    # used to cost one Python call per connection, which is measurable
+    # at thousands of connections per priced candidate.  Const node ids
+    # and input signals are disjoint, so probe order does not matter.
+    has_direct = bool(direct_inputs)
+
+    new_conn = new_nt
+    add_conn = conns.add
 
     # Primary inputs are sampled into their registers (unless served
     # directly from the module boundary).
@@ -151,10 +209,14 @@ def build_netlist(
         signal = (input_id, 0)
         if signal in direct_inputs:
             continue
-        conns.add(Connection(f"in{idx}", 0, solution.register_of(signal), 0))
+        add_conn(new_conn(Connection, (f"in{idx}", 0, reg_of[signal], 0)))
 
-    registered = set(solution.registered_signals())
+    # Membership via the binding reverse map: for a valid solution its
+    # key set equals ``registered_signals()`` (an enforced invariant),
+    # and it is already built for the source lookups above.
+    registered = reg_of
 
+    in_edges = dfg.in_edges
     for inst_id, execs in solution.executions.items():
         inst = solution.instances[inst_id]
         for group in execs:
@@ -164,11 +226,17 @@ def build_netlist(
             inside = set(group)
             port = 0
             for node_id in group:
-                for edge in solution.dfg.in_edges(node_id):
+                for edge in in_edges(node_id):
                     if edge.src in inside:
                         continue
-                    src, src_port = source_of(edge.signal)
-                    conns.add(Connection(src, src_port, inst_id, port))
+                    sig = edge.signal
+                    src = const_src.get(sig[0])
+                    if src is None:
+                        if has_direct and sig in direct_inputs:
+                            src = (direct_inputs[sig], 0)
+                        else:
+                            src = (reg_of[sig], 0)
+                    add_conn(new_conn(Connection, src + (inst_id, port)))
                     port += 1
             # Produced signals land in their registers.
             if inst.is_module:
@@ -176,24 +244,25 @@ def build_netlist(
                 node = dfg.node(node_id)
                 for out_port in range(node.n_outputs):
                     signal = (node_id, out_port)
-                    if signal in registered:
-                        conns.add(
-                            Connection(
-                                inst_id, out_port, solution.register_of(signal), 0
-                            )
-                        )
+                    reg_id = registered.get(signal)
+                    if reg_id is not None:
+                        add_conn(new_conn(Connection, (inst_id, out_port, reg_id, 0)))
             else:
                 for node_id in group:
-                    signal = (node_id, 0)
-                    if signal in registered:
-                        conns.add(
-                            Connection(inst_id, 0, solution.register_of(signal), 0)
-                        )
+                    reg_id = registered.get((node_id, 0))
+                    if reg_id is not None:
+                        add_conn(new_conn(Connection, (inst_id, 0, reg_id, 0)))
 
     for idx, output_id in enumerate(dfg.outputs):
         (edge,) = dfg.in_edges(output_id)
-        src, src_port = source_of(edge.signal)
-        conns.add(Connection(src, src_port, f"out{idx}", 0))
+        sig = edge.signal
+        src = const_src.get(sig[0])
+        if src is None:
+            if has_direct and sig in direct_inputs:
+                src = (direct_inputs[sig], 0)
+            else:
+                src = (reg_of[sig], 0)
+        add_conn(new_conn(Connection, src + (f"out{idx}", 0)))
 
     components = {comp.comp_id: comp for comp in comps}
     if len(components) != len(comps):

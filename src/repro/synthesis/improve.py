@@ -84,7 +84,14 @@ def _best(
     def candidate_base(candidate: Candidate) -> Breakdown | None:
         return base if candidate.footprint is not None else None
 
-    if workers > 1 and len(candidates) > 1:
+    if ctx.batch_pricing and len(candidates) > 1:
+        # Collect every activity-key miss across the whole candidate set
+        # and price them through one batched kernel call; the serial
+        # loop below then consumes the stashed results.
+        ctx.evaluate_batch(
+            [(c.solution, candidate_base(c)) for c in candidates], workers
+        )
+    elif workers > 1 and len(candidates) > 1:
         ctx.prime(
             [(c.solution, candidate_base(c)) for c in candidates], workers
         )

@@ -52,17 +52,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, NamedTuple
 
-from ..power.activity import interleaved_activity, operand_activity
+import numpy as np
+
+from ..power.activity import batch_activities
 from ..power.estimator import (
     GLITCH_FRACTION,
+    REGISTER_CLOCK_FRACTION,
     ControllerUsage,
-    FUUsage,
     InterconnectUsage,
     MuxUsage,
     PowerReport,
-    RegisterUsage,
 )
 from .datapath_build import build_netlist
 from .solution import Instance, Solution
@@ -70,7 +71,13 @@ from .solution import Instance, Solution
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .costs import EvaluationContext, Metrics
 
-__all__ = ["Breakdown", "evaluate_solution"]
+__all__ = [
+    "Breakdown",
+    "EvaluationPlan",
+    "evaluate_solution",
+    "plan_evaluation",
+    "finish_evaluation",
+]
 
 
 @dataclass
@@ -85,15 +92,57 @@ class Breakdown:
     energy arithmetic on top of it.  ``header`` pins the context the
     activities were computed in (DFG identity and operating point); a
     header mismatch discards the whole breakdown.
+
+    FU and register entries additionally carry ``(energy signature,
+    energy)``: the signature covers every input of the term's energy
+    arithmetic *beyond* the activity key and header (the cell and
+    glitch count for FUs, the schedule length for registers).  When a
+    later evaluation matches both the key and the signature, the term's
+    energy is the same pure function of the same inputs, so the cached
+    float is copied instead of recomputed — bit-identical by
+    construction, it merely skips re-running identical arithmetic.
     """
 
     header: tuple
-    #: simple FU instance id → (key, interleaved operand activity).
-    fu: dict[str, tuple[tuple, float]] = field(default_factory=dict)
+    #: simple FU instance id → (key, activity, energy sig, energy).
+    fu: dict[str, tuple] = field(default_factory=dict)
     #: module instance id → (key, interleaved input activity).
     module: dict[str, tuple[tuple, float]] = field(default_factory=dict)
-    #: register id → (key, interleaved write activity).
-    reg: dict[str, tuple[tuple, float]] = field(default_factory=dict)
+    #: register id → (key, activity, energy sig, energy).
+    reg: dict[str, tuple] = field(default_factory=dict)
+
+
+#: (id(mux cell), fan-in, vdd) → (cell, energy): memoized
+#: ``MuxUsage(...).energy_per_sample`` results.  The energy is a pure
+#: function of the key; the cell is pinned in the value (id-reuse
+#: idiom).  Candidates at one operating point hit the same handful of
+#: fan-ins thousands of times per pricing step.
+_MUX_ENERGY: dict = {}
+
+#: (n_states, n_control_signals, vdd) → energy: memoized
+#: ``ControllerUsage(...).energy_per_sample`` results (pure arithmetic
+#: on the key — nothing to pin).
+_CTRL_ENERGY: dict = {}
+
+
+def _reset_energy_memos() -> None:
+    _MUX_ENERGY.clear()
+    _CTRL_ENERGY.clear()
+
+
+#: ``(_AREA_REF, area_of, Metrics)`` bound from ``.costs`` on first use.
+#: A module-scope import would be circular (costs imports this module),
+#: and re-importing inside :func:`plan_evaluation` /
+#: :func:`finish_evaluation` costs a trip through the import machinery
+#: per priced candidate; a None check replaces it.
+_COSTS_NAMES: tuple | None = None
+
+
+def _bind_costs() -> None:
+    global _COSTS_NAMES
+    from .costs import _AREA_REF, Metrics, area_of
+
+    _COSTS_NAMES = (_AREA_REF, area_of, Metrics)
 
 
 def _header(solution: Solution) -> tuple:
@@ -139,26 +188,82 @@ def _module_addends(
     return tuple(addends)
 
 
-def evaluate_solution(
+class _StreamTerm(NamedTuple):
+    """One stream-derived energy term of a planned evaluation.
+
+    ``activity`` is set when the term's switching activity is already
+    known (reused from the base breakdown, or structurally zero);
+    otherwise ``ports`` indexes into the plan's activity-request list —
+    one request per operand port for FU/module terms, exactly one for
+    register terms.
+
+    A NamedTuple built positionally via ``_make`` (plain-tuple
+    construction): tens of thousands of terms are created per pricing
+    step, and a dataclass ``__init__`` costs ~1µs each.
+    """
+
+    kind: str  # "module" | "fu" | "reg"
+    res_id: str
+    key: tuple
+    width: int
+    reused: bool
+    activity: float | None
+    ports: tuple[int, ...]
+    # FU/module extras.
+    inst: Instance | None
+    groups: tuple[tuple[str, ...], ...]
+    glitch_evals: int
+    # Register extras.
+    n_writes: int
+    # Energy caching (FU/reg only): ``energy_sig`` covers the term's
+    # energy inputs beyond (header, key, activity); ``energy`` is the
+    # base's cached float when both key and sig matched, else None.
+    energy_sig: tuple
+    energy: float | None
+
+
+@dataclass
+class EvaluationPlan:
+    """Everything :func:`finish_evaluation` needs except the activities.
+
+    Produced by :func:`plan_evaluation`: the netlist has been rebuilt,
+    the schedule resolved, every stream-free term computed, and every
+    stream-derived term either matched against the base breakdown or
+    turned into entries of ``requests`` — the ``(streams, width)``
+    activity requests still to be priced.  Splitting the evaluator here
+    lets :meth:`~repro.synthesis.costs.EvaluationContext.evaluate_batch`
+    gather the requests of a whole candidate set and resolve them with
+    one batched kernel call before replaying each candidate's float
+    arithmetic unchanged.
+    """
+
+    solution: Solution
+    header: tuple
+    terms: list[_StreamTerm]
+    requests: list[tuple[list[np.ndarray], int]]
+    area: float  # includes controller area
+    schedule_length: int
+    feasible: bool
+    violation: float
+    mux_terms: list[float]
+    wire_energy: float
+    controller_energy: float
+
+
+def plan_evaluation(
     ctx: "EvaluationContext",
     solution: Solution,
     base: Breakdown | None = None,
-) -> tuple["Metrics", Breakdown, int, int]:
-    """Evaluate *solution*, reusing *base*'s terms where keys match.
+) -> EvaluationPlan:
+    """Phase one of :func:`evaluate_solution`: everything but activities.
 
-    With ``base=None`` this **is** the full evaluator (netlist rebuild
-    plus trace-driven estimation); with a base breakdown it prices the
-    solution incrementally.  Both paths run the identical float
-    operations in the identical order, so the returned metrics are bit
-    for bit the same either way.
-
-    Returns ``(metrics, breakdown, reused_terms, stream_terms)`` where
-    the counts cover the stream-derived terms (FU, module, register)
-    that were copied from the base versus present in total.
+    Rebuilds the netlist, resolves the schedule and computes all
+    stream-free terms; stream-derived terms are keyed against *base*
+    and unresolved activities become batched kernel requests.
     """
-    # Local import: costs imports this module lazily, so importing it
-    # back at module scope would be circular.
-    from .costs import _AREA_REF, Metrics, area_of
+    if _COSTS_NAMES is None:
+        _bind_costs()
+    _AREA_REF, area_of, _Metrics = _COSTS_NAMES
 
     netlist = build_netlist(solution)
     area = area_of(solution, netlist)
@@ -174,9 +279,6 @@ def evaluate_solution(
     header = _header(solution)
     if base is not None and base.header != header:
         base = None
-    breakdown = Breakdown(header)
-    reused = 0
-    stream_terms = 0
     vdd = solution.vdd
 
     def instance_width(inst_id: str) -> int:
@@ -194,114 +296,156 @@ def evaluate_solution(
         if n_srcs > 1:
             multi_ports_of[comp] = multi_ports_of.get(comp, 0) + 1
 
-    def glitches(inst_id: str, n_execs: int) -> int:
-        """Spurious evaluations from input-mux switching on a shared
-        unit: each multi-source port re-triggers the combinational
-        logic once per select change (≈ executions − 1)."""
-        if n_execs < 2:
-            return 0
-        return multi_ports_of.get(inst_id, 0) * (n_execs - 1)
+    # Glitch counts — spurious evaluations from input-mux switching on a
+    # shared unit: each multi-source port re-triggers the combinational
+    # logic once per select change (≈ executions − 1) — are computed
+    # inline in the instance loop below.
+
+    terms: list[_StreamTerm] = []
+    new_term = _StreamTerm._make
+    netlist_comps = netlist._components
+    requests: list[tuple[list[np.ndarray], int]] = []
+
+    def port_requests(groups: list[tuple[str, ...]], width: int) -> tuple[int, ...]:
+        """Per-port activity requests of one FU/module instance — the
+        same port decomposition :func:`~repro.power.activity.
+        operand_activity` performs."""
+        streams_per_op = [
+            ctx._operand_streams(solution, group) for group in groups
+        ]
+        n_ports = max(len(ops) for ops in streams_per_op)
+        slots = []
+        for port in range(n_ports):
+            port_streams = [
+                ops[port] for ops in streams_per_op if port < len(ops)
+            ]
+            slots.append(len(requests))
+            requests.append((port_streams, width))
+        return tuple(slots)
 
     # Stream-derived terms, in instance insertion order — the order the
     # original evaluator built (and summed) its usage records in.  Only
     # the switching activity of each term is reused from the base; the
     # energy arithmetic on top of it is replayed every time, with the
     # candidate's own cell, glitch count and schedule length.
-    fu_terms: list[float] = []
-    extra_energy = 0.0
+    exec_groups = sched.exec_groups_memo
+    base_fu = base.fu if base is not None else None
+    base_module = base.module if base is not None else None
+    base_reg = base.reg if base is not None else None
     for inst_id, inst in solution.instances.items():
-        groups = ctx._execution_order(solution, inst_id)
+        groups = exec_groups.get(inst_id)
+        if groups is None:
+            groups = tuple(ctx._execution_order(solution, inst_id))
+            exec_groups[inst_id] = groups
         if not groups:
             continue
-        if inst.is_module:
+        is_module = inst.is_module
+        if is_module:
             # Module components carry no width in the netlist; their
             # stream width is the widest hierarchical node they run.
             width = instance_width(inst_id)
+            kind = "module"
+            energy_sig: tuple = ()
+            prior = base_module.get(inst_id) if base_module is not None else None
         else:
             # Same max-over-executed-nodes the netlist builder just
-            # computed for this FU component — read it back instead.
-            width = netlist.component(inst_id).width
-        glitch_evals = glitches(inst_id, len(groups))
-        key = (tuple(groups), width)
-        stream_terms += 1
-        if inst.is_module:
-            prior = base.module.get(inst_id) if base is not None else None
-            if prior is not None and prior[0] == key:
-                input_activity = prior[1]
-                reused += 1
-            else:
-                input_activity = operand_activity(
-                    [ctx._operand_streams(solution, group) for group in groups],
-                    width,
-                )
-            breakdown.module[inst_id] = (key, input_activity)
-            addends = _module_addends(
-                solution, inst, groups, input_activity, glitch_evals
-            )
-            for addend in addends:
-                extra_energy += addend
-        else:
+            # computed for this FU component — read it back instead
+            # (raw component map: the accessor wrapper is measurable
+            # at this call rate, and the id exists by construction).
+            width = netlist_comps[inst_id].width
+            kind = "fu"
+            # Beyond (header, key, activity) the FU energy depends only
+            # on the bound cell (A-cell swaps keep the key!) and the
+            # netlist-derived glitch count.
+            prior = base_fu.get(inst_id) if base_fu is not None else None
+        n_execs = len(groups)
+        glitch_evals = (
+            multi_ports_of.get(inst_id, 0) * (n_execs - 1)
+            if n_execs > 1
+            else 0
+        )
+        if not is_module:
             assert inst.cell is not None
-            prior = base.fu.get(inst_id) if base is not None else None
-            if prior is not None and prior[0] == key:
-                activity = prior[1]
-                reused += 1
-            else:
-                activity = operand_activity(
-                    [ctx._operand_streams(solution, group) for group in groups],
-                    width,
-                )
-            breakdown.fu[inst_id] = (key, activity)
-            energy = FUUsage(
-                cell=inst.cell,
-                operand_streams_per_op=[],
-                width=width,
-                activations_per_sample=len(groups),
-                glitch_evaluations=glitch_evals,
-            ).energy_per_sample(vdd, activity=activity)
-            fu_terms.append(energy)
+            energy_sig = (inst.cell.name, glitch_evals)
+        key = (groups, width)
+        energy: float | None = None
+        if prior is not None and prior[0] == key:
+            activity: float | None = prior[1]
+            reused, ports = True, ()
+            if (
+                not is_module
+                and len(prior) == 4
+                and prior[2] == energy_sig
+            ):
+                energy = prior[3]
+        else:
+            activity, reused = None, False
+            ports = port_requests(groups, width)
+            if not ports:
+                activity = 0.0  # no operand ports → defined as zero
+        terms.append(new_term((
+            kind, inst_id, key, width, reused, activity, ports,
+            inst, groups, glitch_evals, 0, energy_sig, energy,
+        )))
 
-    reg_terms: list[float] = []
+    sched_avail = sched.avail
+    # Beyond (header, key, activity) a register's energy depends only on
+    # the schedule length (idle clocking) and the library register cell.
+    reg_sig = (sched.length, solution.library.register_cell.name)
     for reg_id, signals in solution.reg_signals.items():
-        ordered = sorted(signals, key=lambda s: sched.avail.get(s, 0))
+        # Single-value registers dominate; sorting their one signal
+        # (with a lambda key) was measurable across thousands of plans.
+        if len(signals) > 1:
+            ordered = sorted(signals, key=lambda s: sched_avail.get(s, 0))
+        else:
+            ordered = signals
         # The netlist builder computed this register's width from the
         # same signal set moments ago (no registers are skipped on the
         # evaluation path).
-        reg_width = netlist.component(reg_id).width
+        reg_width = netlist_comps[reg_id].width
         key = (tuple(ordered), reg_width)
-        stream_terms += 1
-        prior = base.reg.get(reg_id) if base is not None else None
+        prior = base_reg.get(reg_id) if base_reg is not None else None
+        energy = None
         if prior is not None and prior[0] == key:
             activity = prior[1]
-            reused += 1
+            reused, ports = True, ()
+            if len(prior) == 4 and prior[2] == reg_sig:
+                energy = prior[3]
         else:
-            activity = interleaved_activity(
-                [ctx.sim.stream(ctx.path, signal) for signal in ordered],
-                reg_width,
+            activity, reused = None, False
+            ports = (len(requests),)
+            requests.append(
+                (
+                    [ctx.sim.stream(ctx.path, signal) for signal in ordered],
+                    reg_width,
+                )
             )
-        breakdown.reg[reg_id] = (key, activity)
-        energy = RegisterUsage(
-            cell=solution.library.register_cell,
-            value_streams=[],
-            width=reg_width,
-            clocked_cycles=sched.length,
-            writes_per_sample=len(ordered),
-        ).energy_per_sample(vdd, activity=activity)
-        reg_terms.append(energy)
+        terms.append(new_term((
+            "reg", reg_id, key, reg_width, reused, activity, ports,
+            None, (), 0, len(ordered), reg_sig, energy,
+        )))
 
     # Stream-free terms are always recomputed: they are cheap, and
     # computing them from the candidate's own netlist is what catches a
     # local move's side effects on shared structure.
     mux_terms: list[float] = []
+    mux_cell = solution.library.mux_cell
     for (_dst, _port), n_srcs in fanin.items():
         if n_srcs > 1:
-            mux_terms.append(
-                MuxUsage(
-                    cell=solution.library.mux_cell,
+            mkey = (id(mux_cell), n_srcs, vdd)
+            cached = _MUX_ENERGY.get(mkey)
+            if cached is not None and cached[0] is mux_cell:
+                mux_terms.append(cached[1])
+            else:
+                if len(_MUX_ENERGY) >= 4096:
+                    _MUX_ENERGY.clear()
+                mux_energy = MuxUsage(
+                    cell=mux_cell,
                     n_inputs=n_srcs,
                     accesses_per_sample=n_srcs,
                 ).energy_per_sample(vdd)
-            )
+                _MUX_ENERGY[mkey] = (mux_cell, mux_energy)
+                mux_terms.append(mux_energy)
 
     # Average wire length grows with the square root of circuit area;
     # _AREA_REF pins the factor to 1.0 for a mid-size datapath.
@@ -320,25 +464,169 @@ def evaluate_solution(
             n_starts + len(solution.reg_signals) + netlist.mux_legs()
         ),
     )
-    area += controller.area()
+    ckey = (controller.n_states, controller.n_control_signals, vdd)
+    controller_energy = _CTRL_ENERGY.get(ckey)
+    if controller_energy is None:
+        if len(_CTRL_ENERGY) >= 4096:
+            _CTRL_ENERGY.clear()
+        controller_energy = controller.energy_per_sample(vdd)
+        _CTRL_ENERGY[ckey] = controller_energy
+
+    return EvaluationPlan(
+        solution=solution,
+        header=header,
+        terms=terms,
+        requests=requests,
+        area=area + controller.area(),
+        schedule_length=sched.length,
+        feasible=feasible,
+        violation=violation,
+        mux_terms=mux_terms,
+        wire_energy=interconnect.energy_per_sample(vdd),
+        controller_energy=controller_energy,
+    )
+
+
+def finish_evaluation(
+    plan: EvaluationPlan, activities: list[float]
+) -> tuple["Metrics", Breakdown, int, int]:
+    """Phase two: replay the per-term float arithmetic of a plan.
+
+    ``activities`` resolves ``plan.requests`` position for position
+    (:func:`repro.power.activity.batch_activities` output).  The
+    arithmetic below accumulates terms in exactly the order the
+    original single-pass evaluator used, so results are bit-identical
+    regardless of how the activities were batched.
+    """
+    if _COSTS_NAMES is None:
+        _bind_costs()
+    Metrics = _COSTS_NAMES[2]
+
+    solution = plan.solution
+    vdd = solution.vdd
+    breakdown = Breakdown(plan.header)
+    bd_fu = breakdown.fu
+    bd_reg = breakdown.reg
+    # Every register term of one plan scales the identical idle
+    # clock-tree product (fraction × schedule length × idle-op energy),
+    # so it is computed once here — same floats in the same order as
+    # ``RegisterUsage.energy_per_sample``, whose arithmetic the replay
+    # branches below mirror term for term.
+    reg_cell = solution.library.register_cell
+    reg_clock_energy = (
+        REGISTER_CLOCK_FRACTION
+        * plan.schedule_length
+        * reg_cell.energy_per_op(vdd, 0.0)
+    )
+    reused = 0
+    fu_terms: list[float] = []
+    reg_terms: list[float] = []
+    extra_energy = 0.0
+    for term in plan.terms:
+        # One positional unpack per term (attribute access per field
+        # would cost ~10 extra lookups on this very hot loop).
+        (kind, res_id, key, width, was_reused, activity, ports, inst,
+         groups, glitch_evals, n_writes, energy_sig, energy) = term
+        if activity is None:
+            if kind == "reg" or len(ports) == 1:
+                # Registers request exactly one activity; a one-port
+                # unit's mean IS that port's activity (np.mean of a
+                # single float is exact), so the kernel result is used
+                # directly either way.
+                activity = activities[ports[0]]
+            else:
+                # The unit's activity is the mean over its operand ports
+                # — the same float(np.mean([...])) the scalar path
+                # computes.
+                activity = float(
+                    np.mean([activities[p] for p in ports])
+                )
+        reused += was_reused
+        if kind == "module":
+            assert inst is not None
+            breakdown.module[res_id] = (key, activity)
+            addends = _module_addends(
+                solution, inst, list(groups), activity, glitch_evals,
+            )
+            for addend in addends:
+                extra_energy += addend
+        elif kind == "fu":
+            # A None energy means key or signature mismatch: replay the
+            # arithmetic.  A cached float is the result of the identical
+            # arithmetic on identical inputs (same key, same signature,
+            # same header).
+            if energy is None:
+                # Inlined ``FUUsage.energy_per_sample`` (identical ops
+                # in identical order): constructing a usage record per
+                # term is measurable on this loop.
+                assert inst is not None and inst.cell is not None
+                cell = inst.cell
+                activations = len(groups)
+                if activations == 0:
+                    energy = 0.0
+                else:
+                    useful = activations * cell.energy_per_op(vdd, activity)
+                    glitch = (
+                        glitch_evals
+                        * GLITCH_FRACTION
+                        * cell.energy_per_op(vdd, 0.5)
+                    )
+                    energy = (useful + glitch) * (width / 16.0)
+            bd_fu[res_id] = (key, activity, energy_sig, energy)
+            fu_terms.append(energy)
+        else:
+            if energy is None:
+                # Inlined ``RegisterUsage.energy_per_sample`` with the
+                # plan-constant clock term hoisted above.
+                if n_writes == 0:
+                    write_energy = 0.0
+                else:
+                    write_energy = n_writes * reg_cell.energy_per_op(
+                        vdd, activity
+                    )
+                energy = (write_energy + reg_clock_energy) * (width / 16.0)
+            bd_reg[res_id] = (key, activity, energy_sig, energy)
+            reg_terms.append(energy)
 
     report = PowerReport(
         fu_energy=sum(fu_terms),
         register_energy=sum(reg_terms),
-        mux_energy=sum(mux_terms),
-        wire_energy=interconnect.energy_per_sample(vdd),
+        mux_energy=sum(plan.mux_terms),
+        wire_energy=plan.wire_energy,
         extra_energy=extra_energy,
         sampling_period_ns=solution.sampling_ns,
         vdd=vdd,
-        controller_energy=controller.energy_per_sample(vdd),
+        controller_energy=plan.controller_energy,
     )
     metrics = Metrics(
-        area=area,
+        area=plan.area,
         energy_per_sample=report.total_energy,
         power=report.power,
-        schedule_length=sched.length,
-        feasible=feasible,
+        schedule_length=plan.schedule_length,
+        feasible=plan.feasible,
         report=report,
-        violation=violation,
+        violation=plan.violation,
     )
-    return metrics, breakdown, reused, stream_terms
+    return metrics, breakdown, reused, len(plan.terms)
+
+
+def evaluate_solution(
+    ctx: "EvaluationContext",
+    solution: Solution,
+    base: Breakdown | None = None,
+) -> tuple["Metrics", Breakdown, int, int]:
+    """Evaluate *solution*, reusing *base*'s terms where keys match.
+
+    With ``base=None`` this **is** the full evaluator (netlist rebuild
+    plus trace-driven estimation); with a base breakdown it prices the
+    solution incrementally.  Both paths run the identical float
+    operations in the identical order, so the returned metrics are bit
+    for bit the same either way.
+
+    Returns ``(metrics, breakdown, reused_terms, stream_terms)`` where
+    the counts cover the stream-derived terms (FU, module, register)
+    that were copied from the base versus present in total.
+    """
+    plan = plan_evaluation(ctx, solution, base)
+    activities = batch_activities(plan.requests) if plan.requests else []
+    return finish_evaluation(plan, activities)

@@ -138,6 +138,14 @@ def candidate_order_key(candidate: Candidate) -> tuple:
     return (candidate.kind, tuple(sorted(candidate.touched)), candidate.description)
 
 
+#: fingerprint key → schedule-length lower bound.  The bound is a pure
+#: function of the solution fingerprint (tasks derive from the DFG,
+#: bindings and operating point, all of which the fingerprint covers),
+#: and KL rounds regenerate largely the same candidate structures — so
+#: the memo turns rule 3 into a dict probe for repeat candidates.
+_MIN_LEN_MEMO: dict = {}
+
+
 def _min_schedule_length(solution: Solution) -> int:
     """A cheap lower bound on the schedule length, without scheduling.
 
@@ -146,14 +154,34 @@ def _min_schedule_length(solution: Solution) -> int:
     min(ii) + min(duration)`` cycles elapse on that instance no matter
     how the scheduler arranges them.
     """
-    per_instance: dict[str, list] = {}
+    fp = solution.fingerprint_key()
+    cached = _MIN_LEN_MEMO.get(fp)
+    if cached is not None:
+        return cached
+    # Single pass, no per-instance task lists: (count, min ii, min
+    # duration) is all the bound needs, and this runs once per candidate
+    # per pricing round.
+    stats: dict[str, list[int]] = {}
     for task in solution.tasks():
-        per_instance.setdefault(task.instance, []).append(task)
+        duration = task.duration
+        ii = task.initiation_interval or duration
+        entry = stats.get(task.instance)
+        if entry is None:
+            stats[task.instance] = [1, ii, duration]
+        else:
+            entry[0] += 1
+            if ii < entry[1]:
+                entry[1] = ii
+            if duration < entry[2]:
+                entry[2] = duration
     bound = 0
-    for tasks in per_instance.values():
-        iis = [t.initiation_interval or t.duration for t in tasks]
-        durations = [t.duration for t in tasks]
-        bound = max(bound, (len(tasks) - 1) * min(iis) + min(durations))
+    for n, min_ii, min_duration in stats.values():
+        per = (n - 1) * min_ii + min_duration
+        if per > bound:
+            bound = per
+    if len(_MIN_LEN_MEMO) >= 100_000:
+        _MIN_LEN_MEMO.clear()
+    _MIN_LEN_MEMO[fp] = bound
     return bound
 
 
@@ -191,6 +219,17 @@ def prune_candidates(
     clk_ns, vdd = solution.clk_ns, solution.vdd
     drop: set[int] = set()
 
+    # Order keys are pure per candidate and compared repeatedly by
+    # rules 1 and 2 — compute each at most once.
+    _order_keys: list[tuple | None] = [None] * len(candidates)
+
+    def order_key(idx: int) -> tuple:
+        key = _order_keys[idx]
+        if key is None:
+            key = candidate_order_key(candidates[idx])
+            _order_keys[idx] = key
+        return key
+
     # Rule 1: duplicate fingerprints.
     best_by_fp: dict = {}
     for idx, cand in enumerate(candidates):
@@ -198,37 +237,45 @@ def prune_candidates(
         prior = best_by_fp.get(fp)
         if prior is None:
             best_by_fp[fp] = idx
-        elif candidate_order_key(cand) < candidate_order_key(candidates[prior]):
+        elif order_key(idx) < order_key(prior):
             drop.add(prior)
             best_by_fp[fp] = idx
         else:
             drop.add(idx)
 
-    # Rule 2: dominated A-cell swaps on the same instance.
+    # Rule 2: dominated A-cell swaps on the same instance.  Timing and
+    # size are resolved once per candidate; the pairwise scan then
+    # compares plain tuples.
     swap_groups: dict[frozenset[str], list[int]] = {}
     for idx, cand in enumerate(candidates):
         if cand.kind == "A-cell" and idx not in drop:
             swap_groups.setdefault(cand.touched, []).append(idx)
     for indices in swap_groups.values():
+        cells = []
         for i in indices:
-            cand_i = candidates[i]
-            (inst_id,) = cand_i.touched
-            cell_i = cand_i.solution.instances[inst_id].cell
-            assert cell_i is not None
-            for j in indices:
+            (inst_id,) = candidates[i].touched
+            cell = candidates[i].solution.instances[inst_id].cell
+            assert cell is not None
+            cells.append(
+                (
+                    cell.delay_cycles(clk_ns, vdd),
+                    cell.initiation_interval(clk_ns, vdd),
+                    cell.area,
+                    cell.cap,
+                )
+            )
+        for pos_i, i in enumerate(indices):
+            delay_i, ii_i, area_i, cap_i = cells[pos_i]
+            for pos_j, j in enumerate(indices):
                 if j == i:
                     continue
-                cell_j = candidates[j].solution.instances[inst_id].cell
-                assert cell_j is not None
+                delay_j, ii_j, area_j, cap_j = cells[pos_j]
                 if (
-                    cell_j.delay_cycles(clk_ns, vdd)
-                    == cell_i.delay_cycles(clk_ns, vdd)
-                    and cell_j.initiation_interval(clk_ns, vdd)
-                    == cell_i.initiation_interval(clk_ns, vdd)
-                    and cell_j.area <= cell_i.area
-                    and cell_j.cap <= cell_i.cap
-                    and candidate_order_key(candidates[j])
-                    < candidate_order_key(cand_i)
+                    delay_j == delay_i
+                    and ii_j == ii_i
+                    and area_j <= area_i
+                    and cap_j <= cap_i
+                    and order_key(j) < order_key(i)
                 ):
                     drop.add(i)
                     break

@@ -87,6 +87,7 @@ class Solution:
         self._tasks: list[TaskSpec] | None = None
         self._task_index: dict[str, TaskSpec] = {}
         self._task_signature: tuple | None = None
+        self._sched_key: HashedKey | None = None
         self._reg_of: dict[Signal, str] | None = None
         self._fingerprint: tuple | None = None
         self._fingerprint_key: HashedKey | None = None
@@ -230,6 +231,7 @@ class Solution:
         self._schedule = None
         self._tasks = None
         self._task_signature = None
+        self._sched_key = None
         self._reg_of = None
         self._fingerprint = None
         self._fingerprint_key = None
@@ -253,6 +255,10 @@ class Solution:
         evaluation results.  Cached until :meth:`invalidate`.
         """
         if self._fingerprint is None:
+            execs = self.executions
+            # List comprehensions (not genexprs) inside tuple(): this
+            # runs once per candidate per pricing round and the
+            # genexpr frame overhead is measurable at that rate.
             self._fingerprint = (
                 self.dfg.name,
                 id(self.dfg),
@@ -260,17 +266,21 @@ class Solution:
                 self.vdd,
                 self.sampling_ns,
                 tuple(
-                    (
-                        inst_id,
-                        inst.type_name,
-                        inst.is_module,
-                        tuple(self.executions[inst_id]),
-                    )
-                    for inst_id, inst in self.instances.items()
+                    [
+                        (
+                            inst_id,
+                            inst.type_name,
+                            inst.is_module,
+                            tuple(execs[inst_id]),
+                        )
+                        for inst_id, inst in self.instances.items()
+                    ]
                 ),
                 tuple(
-                    (reg_id, tuple(signals))
-                    for reg_id, signals in self.reg_signals.items()
+                    [
+                        (reg_id, tuple(signals))
+                        for reg_id, signals in self.reg_signals.items()
+                    ]
                 ),
             )
         return self._fingerprint
@@ -314,6 +324,21 @@ class Solution:
         over the register binding for each was the hottest single
         function in candidate pricing.
         """
+        reg_id = self.registered_map().get(signal)
+        if reg_id is None:
+            raise SynthesisError(
+                f"signal {signal!r} is not bound to any register"
+            )
+        return reg_id
+
+    def registered_map(self) -> dict[Signal, str]:
+        """The signal → register reverse map (built lazily, see above).
+
+        For a structurally valid solution its key set equals
+        :meth:`registered_signals` (``check_invariants`` enforces that
+        bindings cover exactly the registered signals), so hot paths use
+        it for membership tests without re-deriving the signal list.
+        """
         if self._reg_of is None:
             reg_of: dict[Signal, str] = {}
             for reg_id, signals in self.reg_signals.items():
@@ -321,12 +346,7 @@ class Solution:
                     if s not in reg_of:
                         reg_of[s] = reg_id
             self._reg_of = reg_of
-        reg_id = self._reg_of.get(signal)
-        if reg_id is None:
-            raise SynthesisError(
-                f"signal {signal!r} is not bound to any register"
-            )
-        return reg_id
+        return self._reg_of
 
     def chain_internal_signals(self) -> set[Signal]:
         """Signals that live entirely inside a chained execution.
@@ -453,6 +473,18 @@ class Solution:
         )
         return self._task_signature
 
+    def schedule_key(self) -> HashedKey:
+        """Memoized schedule-sharing key: graph identity + task digest.
+
+        Hashing the (large) task signature tuple once per solution
+        instead of once per lookup is measurable across thousands of
+        candidates; binding moves carry the key through clones just
+        like the signature itself.
+        """
+        if self._sched_key is None:
+            self._sched_key = HashedKey((id(self.dfg), self.task_signature()))
+        return self._sched_key
+
     def adopt_schedule(self, sched: ScheduleResult) -> None:
         """Install a schedule computed for an identical task set.
 
@@ -502,6 +534,8 @@ class Solution:
         """Registers whose bound signals have overlapping lifetimes."""
         conflicts: list[str] = []
         for reg_id, signals in self.reg_signals.items():
+            if len(signals) < 2:
+                continue
             intervals = sorted(self.signal_lifetime(s) for s in signals)
             for (b1, d1), (b2, _d2) in zip(intervals, intervals[1:]):
                 # A value may be replaced in the cycle it was last read.
@@ -604,6 +638,7 @@ class Solution:
             other._tasks = self._tasks
             other._task_index = self._task_index
             other._task_signature = self._task_signature
+            other._sched_key = self._sched_key
             other._schedule = self._schedule
         return other
 

@@ -74,7 +74,7 @@ __all__ = [
 #: Bumped whenever the serialized value format or the content-key
 #: construction changes incompatibly; a persistent database recorded
 #: under a different version is dropped on open.
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 
 #: Sentinel distinguishing "not stored" from a stored ``None``.
 MISSING = object()
@@ -262,6 +262,15 @@ class SynthesisStore:
         #: speculative candidate scoring calls :meth:`get`/:meth:`put`
         #: from threads (``score_workers > 1``).
         self._lock = threading.Lock()
+        #: id(content) → (content, digest).  One content tuple flows
+        #: through up to three digesting calls per candidate
+        #: (``contains`` during speculative filtering, then ``fetch``
+        #: and ``put`` in the serial pass); re-hashing the multi-KB repr
+        #: each time was a measurable fraction of pricing.  The content
+        #: tuple is kept in the value so its id cannot be recycled while
+        #: the entry lives; the identity check on lookup makes a stale
+        #: entry merely a recompute, never a wrong digest.
+        self._digest_memo: dict[int, tuple[tuple, str]] = {}
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.persistent = self.cache_dir is not None and persistent
         self._db: sqlite3.Connection | None = None
@@ -329,6 +338,17 @@ class SynthesisStore:
     def _tick(self, counters: dict[str, int], key: str) -> None:
         counters[key] = counters.get(key, 0) + 1
 
+    def _digest(self, content: tuple) -> str:
+        """Memoized :func:`digest_content` (same object → cached digest)."""
+        entry = self._digest_memo.get(id(content))
+        if entry is not None and entry[0] is content:
+            return entry[1]
+        digest = digest_content(content)
+        if len(self._digest_memo) >= 4096:
+            self._digest_memo.clear()
+        self._digest_memo[id(content)] = (content, digest)
+        return digest
+
     def get(self, ns: str, key) -> Any:
         """Probe the point tier only; returns :data:`MISSING` on a miss.
 
@@ -359,7 +379,7 @@ class SynthesisStore:
         sequences consistent), installed into the point tier under
         *key*, and returned; otherwise :data:`MISSING`.
         """
-        blob_key = (ns, digest_content(content))
+        blob_key = (ns, self._digest(content))
         with self._lock:
             blob = self._run.get(blob_key)
             if blob is not None:
@@ -386,7 +406,7 @@ class SynthesisStore:
         uses it to skip candidates the serial accounting pass will
         answer from the store anyway.
         """
-        blob_key = (ns, digest_content(content))
+        blob_key = (ns, self._digest(content))
         with self._lock:
             if self._run.peek(blob_key) is not None:
                 return True
@@ -403,7 +423,7 @@ class SynthesisStore:
     def put(self, ns: str, key, content: tuple, value: Any) -> None:
         """Store a freshly computed value in every tier."""
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        blob_key = (ns, digest_content(content))
+        blob_key = (ns, self._digest(content))
         with self._lock:
             self._point_put(ns, key, value)
             self._run_put(blob_key, blob)

@@ -5,9 +5,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.power import (
+    batch_activities,
     hamming_distance,
     interleaved_activity,
     operand_activity,
+    reset_activity_caches,
     stream_activity,
 )
 
@@ -54,6 +56,29 @@ def test_operand_activity_bounded(stream_list, arity):
     n = min(len(s) for s in stream_list)
     ops = [[s[:n]] * arity for s in stream_list]
     assert 0.0 <= operand_activity(ops, 16) <= 1.0
+
+
+@given(
+    st.lists(st.lists(streams, min_size=0, max_size=3), min_size=0, max_size=5),
+    st.sampled_from([4, 8, 12, 16]),
+)
+@settings(max_examples=50)
+def test_batch_matches_scalar_bitwise(stream_lists, width):
+    """One batched call returns exactly what per-request scalar calls
+    return — bit-identical floats, any mix of widths and arities."""
+    trimmed = []
+    for group in stream_lists:
+        n = min((len(s) for s in group), default=0)
+        trimmed.append(tuple(s[:n] for s in group))
+    requests = [(group, width) for group in trimmed]
+    reset_activity_caches()
+    batched = batch_activities(requests)
+    reset_activity_caches()
+    scalar = [
+        interleaved_activity(list(group), w) for group, w in requests
+    ]
+    reset_activity_caches()
+    assert batched == scalar
 
 
 @given(streams, st.integers(2, 4))

@@ -4,11 +4,21 @@ import numpy as np
 import pytest
 
 from repro.power import (
+    activity_cache_sizes,
+    batch_activities,
     hamming_distance,
     interleaved_activity,
     operand_activity,
+    reset_activity_caches,
     stream_activity,
 )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    reset_activity_caches()
+    yield
+    reset_activity_caches()
 
 
 class TestHamming:
@@ -92,3 +102,96 @@ class TestOperandActivity:
         b = np.full(16, 2)
         act = operand_activity([[a, b], [a]], 16)
         assert 0.0 <= act <= 1.0
+
+
+class TestBatchActivities:
+    """The batched kernel is bit-identical to the scalar functions."""
+
+    def _streams(self, seed, k, n=64):
+        rng = np.random.default_rng(seed)
+        return [
+            rng.integers(-(1 << 15), 1 << 15, size=n) for _ in range(k)
+        ]
+
+    def test_matches_scalars_bitwise(self):
+        single = self._streams(10, 1)
+        pair = self._streams(11, 2)
+        triple = self._streams(12, 3, n=40)
+        narrow = self._streams(13, 2)
+        requests = [
+            (tuple(single), 16),
+            (tuple(pair), 16),
+            (tuple(triple), 16),
+            (tuple(narrow), 8),
+            (tuple(single), 8),  # same stream, different width
+        ]
+        got = batch_activities(requests)
+        reset_activity_caches()  # force the scalar path to recompute
+        expected = [
+            interleaved_activity(list(streams), width)
+            for streams, width in requests
+        ]
+        assert got == expected  # exact float equality, not approx
+
+    def test_empty_and_short_requests(self):
+        assert batch_activities([((), 16)]) == [0.0]
+        assert batch_activities([((np.array([7]),), 16)]) == [0.0]
+        assert batch_activities([]) == []
+
+    def test_duplicate_requests_deduped(self):
+        pair = tuple(self._streams(14, 2))
+        got = batch_activities([(pair, 16), (pair, 16), (pair, 16)])
+        assert got[0] == got[1] == got[2]
+        assert got[0] == interleaved_activity(list(pair), 16)
+
+    def test_mixed_hits_and_misses(self):
+        a, b = self._streams(15, 2)
+        warm = stream_activity(a, 16)  # pre-populate the stream cache
+        got = batch_activities([((a,), 16), ((b,), 16), ((a, b), 16)])
+        assert got[0] == warm
+        reset_activity_caches()
+        assert got[1] == stream_activity(b, 16)
+        assert got[2] == interleaved_activity([a, b], 16)
+
+
+class TestActivityCaches:
+    def test_scalar_and_batch_share_memos(self):
+        rng = np.random.default_rng(20)
+        s = rng.integers(-(1 << 15), 1 << 15, size=64)
+        first = batch_activities([((s,), 16)])[0]
+        # The scalar wrapper must answer from the same memo entry.
+        assert stream_activity(s, 16) == first
+        assert activity_cache_sizes() == (1, 0)
+
+    def test_interleaved_does_not_pollute_stream_cache(self):
+        """The interleaved temporary array must never be pinned in the
+        per-stream cache — only the interleaved memo may grow."""
+        rng = np.random.default_rng(21)
+        streams = [
+            rng.integers(-(1 << 15), 1 << 15, size=64) for _ in range(2)
+        ]
+        before = activity_cache_sizes()
+        for _ in range(5):
+            interleaved_activity(streams, 16)
+        stream_entries, interleaved_entries = activity_cache_sizes()
+        assert stream_entries == before[0]  # untouched
+        assert interleaved_entries == 1  # one memo entry, not 5
+
+    def test_reset_empties_both_caches(self):
+        rng = np.random.default_rng(22)
+        s1 = rng.integers(-(1 << 15), 1 << 15, size=32)
+        s2 = rng.integers(-(1 << 15), 1 << 15, size=32)
+        stream_activity(s1, 16)
+        interleaved_activity([s1, s2], 16)
+        assert activity_cache_sizes() != (0, 0)
+        reset_activity_caches()
+        assert activity_cache_sizes() == (0, 0)
+
+    def test_results_identical_after_reset(self):
+        rng = np.random.default_rng(23)
+        streams = [
+            rng.integers(-(1 << 15), 1 << 15, size=48) for _ in range(3)
+        ]
+        warm = interleaved_activity(streams, 16)
+        reset_activity_caches()
+        assert interleaved_activity(streams, 16) == warm

@@ -112,6 +112,39 @@ class TestSynth:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_corners_flag_prints_sweep(self, design_file, capsys):
+        code = main(
+            [
+                "synth",
+                str(design_file),
+                "--laxity", "2.0",
+                "--objective", "area",
+                "--corners",
+                "--samples", "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("slow", "typ", "fast"):
+            assert name in out
+        assert "pareto" in out
+
+    def test_corners_with_cache_dir(self, design_file, capsys, tmp_path):
+        args = [
+            "synth",
+            str(design_file),
+            "--laxity", "2.0",
+            "--objective", "area",
+            "--corners",
+            "--samples", "16",
+            "--cache-dir", str(tmp_path / "store"),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args) == 0  # second run answers from the store
+        warm = capsys.readouterr().out
+        assert cold[cold.index("corner"):] == warm[warm.index("corner"):]
+
     def test_stats_flag_prints_telemetry(self, design_file, capsys):
         code = main(
             [

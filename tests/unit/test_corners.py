@@ -1,0 +1,150 @@
+"""Unit tests for the operating-corner sweep and Pareto reporting."""
+
+import pytest
+
+from repro.library.voltage import T_REF
+from repro.reporting.corners import (
+    DEFAULT_CORNERS,
+    OperatingCorner,
+    corner_grid,
+    evaluate_corners,
+    pareto_indices,
+    render_corner_report,
+)
+from repro.synthesis import SynthesisConfig, synthesize
+from repro.synthesis.store import SynthesisStore
+
+QUICK = SynthesisConfig(max_moves=5, max_passes=2, n_clocks=1)
+
+
+@pytest.fixture
+def result(flat_design):
+    return synthesize(
+        flat_design, laxity_factor=2.0, objective="power", config=QUICK
+    )
+
+
+class TestCornerGrid:
+    def test_full_grid_size(self):
+        assert len(corner_grid()) == 9
+        assert len(DEFAULT_CORNERS) == 9
+
+    def test_canonical_names(self):
+        by_name = {c.name: c for c in corner_grid()}
+        assert by_name["slow"].vdd_factor == 0.9
+        assert by_name["slow"].temp_c == 125.0
+        assert by_name["typ"].vdd_factor == 1.0
+        assert by_name["typ"].temp_c == T_REF
+        assert by_name["fast"].vdd_factor == 1.1
+        assert by_name["fast"].temp_c == -40.0
+
+    def test_systematic_names_for_off_corners(self):
+        names = {c.name for c in corner_grid()}
+        assert "v0.90/t25" in names
+        assert "v1.10/t125" in names
+
+    def test_custom_axes(self):
+        grid = corner_grid(vdd_factors=(0.95, 1.05), temps_c=(0.0, 100.0))
+        assert len(grid) == 4
+        by_name = {c.name: c for c in grid}
+        assert (by_name["slow"].vdd_factor, by_name["slow"].temp_c) == (
+            0.95,
+            100.0,
+        )
+        assert (by_name["fast"].vdd_factor, by_name["fast"].temp_c) == (
+            1.05,
+            0.0,
+        )
+
+
+class TestParetoIndices:
+    def test_single_point_is_frontier(self):
+        assert pareto_indices([(1.0, 2.0)]) == [0]
+
+    def test_dominated_point_excluded(self):
+        assert pareto_indices([(1.0, 1.0), (2.0, 2.0)]) == [0]
+
+    def test_tradeoff_points_both_survive(self):
+        assert pareto_indices([(1.0, 2.0), (2.0, 1.0)]) == [0, 1]
+
+    def test_ties_survive_together(self):
+        assert pareto_indices([(1.0, 1.0), (1.0, 1.0)]) == [0, 1]
+
+    def test_empty(self):
+        assert pareto_indices([]) == []
+
+
+class TestEvaluateCorners:
+    def test_grid_covered(self, result):
+        report = evaluate_corners(result)
+        assert report.n_architectures >= 1
+        assert {cell.corner.name for cell in report.cells} == {
+            c.name for c in DEFAULT_CORNERS
+        }
+
+    def test_typ_corner_matches_nominal_metrics(self, result):
+        """At the typ corner the winner reprices to its nominal numbers:
+        same supply, same clock, same evaluator."""
+        report = evaluate_corners(result)
+        typ = [
+            cell
+            for cell in report.cells
+            if cell.corner.name == "typ"
+            and cell.source_vdd == result.vdd
+            and cell.source_clk_ns == result.clk_ns
+        ]
+        assert typ, "winner missing from typ corner"
+        cell = typ[0]
+        assert cell.vdd == result.vdd
+        assert cell.area == pytest.approx(result.metrics.area)
+        assert cell.power == pytest.approx(result.metrics.power)
+        assert cell.meets_timing
+
+    def test_each_corner_has_a_frontier(self, result):
+        report = evaluate_corners(result)
+        for corner in DEFAULT_CORNERS:
+            cells = [
+                c
+                for c in report.cells
+                if c.corner.name == corner.name and c.meets_timing
+            ]
+            if cells:
+                assert any(c.on_frontier for c in cells)
+        assert report.frontier
+
+    def test_hot_corner_costs_more_energy(self, result):
+        report = evaluate_corners(
+            result,
+            corners=(
+                OperatingCorner("ref", 1.0, T_REF),
+                OperatingCorner("hot", 1.0, 125.0),
+            ),
+        )
+        ref = [c for c in report.cells if c.corner.name == "ref"]
+        hot = [c for c in report.cells if c.corner.name == "hot"]
+        for r, h in zip(ref, hot):
+            assert h.energy_per_sample > r.energy_per_sample
+            assert h.clk_ns > r.clk_ns
+
+    def test_subthreshold_corner_skipped(self, result):
+        report = evaluate_corners(
+            result, corners=(OperatingCorner("dead", 0.01, T_REF),)
+        )
+        assert report.cells == []
+
+    def test_store_roundtrip(self, result, tmp_path):
+        store = SynthesisStore(cache_dir=tmp_path)
+        cold = evaluate_corners(result, store=store, store_prefix="t")
+        warm = evaluate_corners(result, store=store, store_prefix="t")
+        assert [
+            (c.power, c.area, c.energy_per_sample) for c in cold.cells
+        ] == [(c.power, c.area, c.energy_per_sample) for c in warm.cells]
+
+
+class TestRenderCornerReport:
+    def test_mentions_corners_and_stars_frontier(self, result):
+        report = evaluate_corners(result)
+        text = render_corner_report(report)
+        for name in ("slow", "typ", "fast"):
+            assert name in text
+        assert "*" in text

@@ -62,9 +62,23 @@ class TestRegisterUsage:
             expected_clock + expected_write
         )
 
-    def test_empty_register_zero(self):
+    def test_empty_register_still_clocks(self):
+        """A register nobody writes still burns clock-tree energy every
+        cycle — the write term is zero, the idle clock term is not."""
         usage = RegisterUsage(REGISTER_CELL, [], 16, clocked_cycles=100)
-        assert usage.energy_per_sample(5.0) == 0.0
+        idle = usage.energy_per_sample(5.0)
+        assert idle > 0.0
+        # Exactly the clock term: the same usage with no clocked cycles
+        # costs nothing at all.
+        unclocked = RegisterUsage(REGISTER_CELL, [], 16, clocked_cycles=0)
+        assert unclocked.energy_per_sample(5.0) == 0.0
+        written = RegisterUsage(
+            REGISTER_CELL,
+            [np.array([0, 0xFFFF, 0], dtype=np.int64)],
+            16,
+            clocked_cycles=100,
+        )
+        assert written.energy_per_sample(5.0) > idle
 
 
 class TestMuxUsage:

@@ -236,8 +236,8 @@ class TestValidateMode:
         assert cands
         (touched,) = cands[0].touched
         victim = next(i for i in base.fu if i != touched)
-        key, value = base.fu[victim]
-        base.fu[victim] = (key, value + 1.0)
+        key, activity, sig, energy = base.fu[victim]
+        base.fu[victim] = (key, activity + 1.0, sig, energy + 1.0)
         with pytest.raises(SynthesisError, match="diverged"):
             ctx.evaluate(cands[0].solution, base=base)
 
@@ -283,3 +283,86 @@ class TestParallelScoring:
             return best.candidate.description
 
         assert winner(candidates) == winner(list(reversed(candidates)))
+
+
+class TestBatchedPricing:
+    """Batched activity pricing is bit-identical to unbatched pricing."""
+
+    def _price_all(self, flat_sim, sol, candidates, batch, validate=False):
+        from repro.power import reset_activity_caches
+
+        reset_activity_caches()
+        ctx = EvaluationContext(
+            flat_sim,
+            (),
+            "power",
+            batch_pricing=batch,
+            validate_incremental=validate,
+        )
+        ctx.evaluate(sol)
+        base = ctx.breakdown_of(sol)
+        best = _best(ctx, candidates, base=base)
+        metrics = [
+            ctx.evaluate(
+                c.solution, base=base if c.footprint is not None else None
+            )
+            for c in candidates
+        ]
+        return best, metrics, ctx.telemetry
+
+    def test_batch_off_vs_on_bitwise(self, setup, flat_sim):
+        env, sol, sim = setup
+        candidates = _all_candidates(env, sol, sim)
+        assert len(candidates) > 2
+        off_best, off_metrics, _ = self._price_all(
+            flat_sim, sol, candidates, batch=False
+        )
+        on_best, on_metrics, _ = self._price_all(
+            flat_sim, sol, candidates, batch=True
+        )
+        assert off_best.candidate.description == on_best.candidate.description
+        assert off_best.cost_after == on_best.cost_after
+        for off, on in zip(off_metrics, on_metrics):
+            assert (off.area, off.power, off.energy_per_sample) == (
+                on.area,
+                on.power,
+                on.energy_per_sample,
+            )
+
+    def test_batch_keeps_accounting_serial(self, setup, flat_sim):
+        """evaluate_batch stashes speculative results; the serial pass
+        must still report the exact unbatched telemetry."""
+        env, sol, sim = setup
+        candidates = _all_candidates(env, sol, sim)
+        _, _, tel_off = self._price_all(flat_sim, sol, candidates, batch=False)
+        _, _, tel_on = self._price_all(flat_sim, sol, candidates, batch=True)
+        assert tel_off.as_dict() == tel_on.as_dict()
+
+    def test_batch_under_validate_mode(self, setup, flat_sim):
+        """The validate_incremental cross-check re-prices every batched
+        delta from scratch and must find zero divergence."""
+        env, sol, sim = setup
+        candidates = _all_candidates(env, sol, sim)
+        best, _, _ = self._price_all(
+            flat_sim, sol, candidates, batch=True, validate=True
+        )
+        assert best is not None
+
+    def test_cache_reset_mid_sweep_is_bit_identical(self, setup, flat_sim):
+        """Dropping the activity memos between sweeps must not change a
+        single float: the caches are pure memoization."""
+        from repro.power import reset_activity_caches
+        from repro.synthesis.incremental import _reset_energy_memos
+
+        env, sol, sim = setup
+        candidates = _all_candidates(env, sol, sim)
+        _, warm, _ = self._price_all(flat_sim, sol, candidates, batch=True)
+        reset_activity_caches()
+        _reset_energy_memos()
+        _, cold, _ = self._price_all(flat_sim, sol, candidates, batch=True)
+        for w, c in zip(warm, cold):
+            assert (w.area, w.power, w.energy_per_sample) == (
+                c.area,
+                c.power,
+                c.energy_per_sample,
+            )

@@ -85,3 +85,21 @@ class TestSubgraphSimulation:
         sub = butterfly_design.dfg("butterfly")
         with pytest.raises(DFGError, match="inputs"):
             simulate_subgraph(butterfly_design, sub, [np.array([1])])
+
+    def test_plain_list_streams(self, butterfly_design):
+        """Regression: plain Python lists used to hit ``.shape[0]``
+        before the int64 coercion and crash with AttributeError."""
+        sub = butterfly_design.dfg("butterfly")
+        sim = simulate_subgraph(butterfly_design, sub, [[10, 20], [3, 5]])
+        np.testing.assert_array_equal(sim.stream((), ("badd", 0)), [13, 25])
+
+    def test_list_matches_array_input(self, butterfly_design):
+        sub = butterfly_design.dfg("butterfly")
+        from_list = simulate_subgraph(butterfly_design, sub, [[7, 8], [1, 2]])
+        from_array = simulate_subgraph(
+            butterfly_design, sub, [np.array([7, 8]), np.array([1, 2])]
+        )
+        np.testing.assert_array_equal(
+            from_list.stream((), ("badd", 0)),
+            from_array.stream((), ("badd", 0)),
+        )

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.library import delay_scale, energy_scale, min_feasible_vdd
-from repro.library.voltage import V_FLOOR, vdd_for_delay_scale
+from repro.library.voltage import (
+    T_REF,
+    V_FLOOR,
+    temperature_delay_scale,
+    temperature_energy_scale,
+    vdd_for_delay_scale,
+)
 
 
 class TestDelayScale:
@@ -57,3 +63,34 @@ class TestMinFeasibleVdd:
 
     def test_impossible_budget(self):
         assert min_feasible_vdd(100.0, 50.0) is None
+
+
+class TestTemperatureDerating:
+    def test_reference_temperature_is_unity(self):
+        assert temperature_delay_scale(T_REF) == 1.0
+        assert temperature_energy_scale(T_REF) == 1.0
+
+    def test_hot_junction_slower_and_hungrier(self):
+        assert temperature_delay_scale(125.0) > 1.0
+        assert temperature_energy_scale(125.0) > 1.0
+
+    def test_cold_junction_faster_and_leaner(self):
+        assert temperature_delay_scale(-40.0) < 1.0
+        assert temperature_energy_scale(-40.0) < 1.0
+
+    def test_monotone_in_temperature(self):
+        temps = [-40.0, 0.0, T_REF, 85.0, 125.0]
+        delays = [temperature_delay_scale(t) for t in temps]
+        energies = [temperature_energy_scale(t) for t in temps]
+        assert delays == sorted(delays)
+        assert energies == sorted(energies)
+
+    def test_delay_more_sensitive_than_energy(self):
+        # The derating model makes timing the dominant corner effect.
+        assert (temperature_delay_scale(125.0) - 1.0) > (
+            temperature_energy_scale(125.0) - 1.0
+        )
+
+    def test_custom_reference(self):
+        assert temperature_delay_scale(60.0, tref=60.0) == 1.0
+        assert temperature_energy_scale(60.0, tref=60.0) == 1.0
