@@ -5,7 +5,8 @@ Subcommands
 ``info``   — parse/validate a textual design and print its statistics;
 ``synth``  — synthesize a textual design or a built-in benchmark and
              optionally write the datapath netlist and FSM controller;
-``tables`` — regenerate the paper's Table 3/Table 4 for chosen circuits.
+``tables`` — regenerate the paper's Table 3/Table 4 for chosen circuits;
+``gen``    — emit seeded random hierarchical designs (fuzzing corpus).
 
 Examples::
 
@@ -14,6 +15,7 @@ Examples::
         --netlist dct.v --fsm dct.fsm
     python -m repro synth mydesign.dfg --sampling-ns 400 --flatten
     python -m repro tables --circuits lat,test1 --laxity-factors 1.2,2.2
+    python -m repro gen --seed 7 --count 20 --out-dir corpus/
 """
 
 from __future__ import annotations
@@ -166,6 +168,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_clear.add_argument("--cache-dir", type=Path, required=True,
                              metavar="DIR", help="store directory to clear")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="evict oldest entries beyond a size bound"
+    )
+    cache_prune.add_argument("--cache-dir", type=Path, required=True,
+                             metavar="DIR", help="store directory to prune")
+    cache_prune.add_argument("--max-entries", type=int, required=True,
+                             help="keep at most this many entries "
+                                  "(oldest-inserted evicted first)")
+
+    gen = sub.add_parser(
+        "gen",
+        help="generate seeded random hierarchical designs",
+    )
+    gen.add_argument("--seed", type=int, default=0,
+                     help="base seed; per-design seeds derive from it")
+    gen.add_argument("--count", type=int, default=1,
+                     help="number of designs to generate")
+    gen.add_argument("--out-dir", type=Path, default=None, metavar="DIR",
+                     help="write a corpus (design files + manifest.json) "
+                          "here instead of printing designs to stdout")
+    gen.add_argument("--hierarchy-depth", type=int, default=None,
+                     help="maximum hierarchy depth (1 = flat)")
+    gen.add_argument("--max-ops", type=int, default=None,
+                     help="upper bound of simple operations per DFG body")
+    gen.add_argument("--max-variants", type=int, default=None,
+                     help="upper bound of DFG variants per behavior "
+                          "(>1 exercises anisomorphic-module moves)")
+    gen.add_argument("--stimulus", choices=sorted(_TRACE_GENERATORS),
+                     default=None, help="paired stimulus family")
+    gen.add_argument("--samples", type=int, default=None,
+                     help="samples per input in the paired stimulus")
 
     hier = sub.add_parser(
         "hierarchize",
@@ -180,7 +213,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_design(path: Path) -> Design:
-    design = parse_design(path.read_text(), name_hint=path.stem)
+    design = parse_design(
+        path.read_text(), name_hint=path.stem, source=path.name
+    )
     validate_design(design)
     return design
 
@@ -361,12 +396,53 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 print(f"  {ns}: {count}")
             print(f"size:    {stats['bytes']} bytes")
             return 0
+        if args.cache_command == "prune":
+            removed = store.prune_persistent(args.max_entries)
+            kept = store.persistent_stats()["total_entries"]
+            print(f"pruned {removed} entries from {args.cache_dir} "
+                  f"({kept} kept)")
+            return 0
         assert args.cache_command == "clear"
         removed = store.clear_persistent()
         print(f"cleared {removed} entries from {args.cache_dir}")
         return 0
     finally:
         store.close()
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .gen import GenConfig, generate_batch, write_corpus
+
+    config = GenConfig()
+    overrides: dict[str, object] = {}
+    if args.hierarchy_depth is not None:
+        overrides["hierarchy_depth"] = args.hierarchy_depth
+    if args.max_ops is not None:
+        lo = min(config.ops_per_dfg[0], args.max_ops)
+        overrides["ops_per_dfg"] = (lo, args.max_ops)
+    if args.max_variants is not None:
+        lo = min(config.variants_per_behavior[0], args.max_variants)
+        overrides["variants_per_behavior"] = (lo, args.max_variants)
+    if args.stimulus is not None:
+        overrides["stimulus"] = args.stimulus
+    if args.samples is not None:
+        overrides["n_samples"] = args.samples
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    generated = generate_batch(args.seed, args.count, config)
+    if args.out_dir is not None:
+        manifest = write_corpus(args.out_dir, generated)
+        total_ops = sum(g.design.total_operations() for g in generated)
+        print(f"wrote {len(generated)} designs ({total_ops} operations) "
+              f"to {args.out_dir}")
+        print(f"manifest: {manifest}")
+        return 0
+    for gen in generated:
+        sys.stdout.write(gen.text)
+    return 0
 
 
 def _cmd_hierarchize(args: argparse.Namespace) -> int:
@@ -408,6 +484,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_tables(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "gen":
+            return _cmd_gen(args)
         if args.command == "hierarchize":
             return _cmd_hierarchize(args)
     except ReproError as exc:

@@ -41,6 +41,12 @@ Statement forms
 
 A *ref* is ``node`` (output port 0) or ``node.K`` (output port ``K``).
 ``#`` starts a comment; blank lines are ignored.
+
+Every deliberate rejection — duplicate ids, dangling references, bad
+``hier`` arity against a behavior defined in the same description, port
+conflicts — raises :class:`~repro.errors.ParseError` carrying the
+source name and line of the offending statement, never a bare
+``KeyError``/``IndexError``.
 """
 
 from __future__ import annotations
@@ -67,11 +73,36 @@ def parse_ref(token: str) -> tuple[str, int]:
     return token, 0
 
 
-def parse_design(text: str, name_hint: str = "design") -> Design:
-    """Parse the textual format into a :class:`~repro.dfg.hierarchy.Design`."""
+def _parse_int(text: str, what: str, line_no: int, source: str | None) -> int:
+    """Parse an integer field, rejecting garbage with statement context."""
+    try:
+        return int(text)
+    except ValueError:
+        raise ParseError(
+            f"{what} must be an integer, got {text!r}", line_no, source
+        ) from None
+
+
+def parse_design(
+    text: str, name_hint: str = "design", source: str | None = None
+) -> Design:
+    """Parse the textual format into a :class:`~repro.dfg.hierarchy.Design`.
+
+    *source* (typically the file name) is attached to every
+    :class:`~repro.errors.ParseError` so diagnostics read
+    ``mydesign.dfg:4: ...``.
+    """
     design: Design | None = None
     current: DFG | None = None
+    current_line = 0
     pending_edges: list[tuple[str, int, str, int, int]] = []
+    #: ``(dfg name, node id, behavior, n_refs, n_out, line)`` for every
+    #: parsed ``hier`` statement — cross-checked against same-file
+    #: behavior definitions once all blocks are in.
+    hier_sites: list[tuple[str, str, str, int, int, int]] = []
+
+    def fail(message: str, line_no: int | None = None) -> ParseError:
+        return ParseError(message, line_no, source)
 
     def finish_dfg() -> None:
         nonlocal current
@@ -80,12 +111,12 @@ def parse_design(text: str, name_hint: str = "design") -> Design:
             try:
                 current.connect(src, src_port, dst, dst_port)
             except Exception as exc:
-                raise ParseError(str(exc), line_no) from exc
+                raise fail(str(exc), line_no) from exc
         pending_edges.clear()
         try:
             design.add_dfg(current)
         except Exception as exc:
-            raise ParseError(str(exc)) from exc
+            raise fail(str(exc), current_line) from exc
         current = None
 
     for line_no, raw in enumerate(text.splitlines(), start=1):
@@ -97,9 +128,9 @@ def parse_design(text: str, name_hint: str = "design") -> Design:
 
         if keyword == "design":
             if design is not None:
-                raise ParseError("duplicate 'design' statement", line_no)
+                raise fail("duplicate 'design' statement", line_no)
             if len(args) != 1:
-                raise ParseError("'design' takes exactly one name", line_no)
+                raise fail("'design' takes exactly one name", line_no)
             design = Design(args[0])
             continue
 
@@ -108,44 +139,85 @@ def parse_design(text: str, name_hint: str = "design") -> Design:
 
         if keyword == "top":
             if len(args) != 1:
-                raise ParseError("'top' takes exactly one DFG name", line_no)
+                raise fail("'top' takes exactly one DFG name", line_no)
             design._top = args[0]  # validated at the end
             continue
 
         if keyword == "dfg":
             if current is not None:
-                raise ParseError("nested 'dfg' block (missing 'end'?)", line_no)
+                raise fail("nested 'dfg' block (missing 'end'?)", line_no)
             if len(args) == 1:
                 current = DFG(args[0])
             elif len(args) == 3 and args[1] == "behavior":
                 current = DFG(args[0], behavior=args[2])
             else:
-                raise ParseError("expected 'dfg <name> [behavior <b>]'", line_no)
+                raise fail("expected 'dfg <name> [behavior <b>]'", line_no)
+            current_line = line_no
             continue
 
         if keyword == "end":
             if current is None:
-                raise ParseError("'end' outside a dfg block", line_no)
+                raise fail("'end' outside a dfg block", line_no)
             finish_dfg()
             continue
 
         if current is None:
-            raise ParseError(f"statement {keyword!r} outside a dfg block", line_no)
+            raise fail(f"statement {keyword!r} outside a dfg block", line_no)
 
         try:
-            _parse_body_statement(current, keyword, args, pending_edges, line_no)
+            _parse_body_statement(
+                current, keyword, args, pending_edges, hier_sites,
+                line_no, source,
+            )
         except ParseError:
             raise
         except Exception as exc:
-            raise ParseError(str(exc), line_no) from exc
+            raise fail(str(exc), line_no) from exc
 
     if current is not None:
-        raise ParseError("unterminated dfg block (missing 'end')")
+        raise fail("unterminated dfg block (missing 'end')")
     if design is None:
-        raise ParseError("empty design description")
+        raise fail("empty design description")
     if design._top is not None and design._top not in design.dfg_names():
-        raise ParseError(f"top DFG {design._top!r} is not defined")
+        raise fail(f"top DFG {design._top!r} is not defined")
+    _check_hier_sites(design, hier_sites, source)
     return design
+
+
+def _check_hier_sites(
+    design: Design,
+    hier_sites: list[tuple[str, str, str, int, int, int]],
+    source: str | None,
+) -> None:
+    """Cross-check ``hier`` arity against same-description behaviors.
+
+    A ``hier`` statement names a behavior that may be defined later in
+    the file, so the check runs after all blocks are parsed.  Behaviors
+    the description never defines are left to
+    :func:`~repro.dfg.validate.validate_design` (they may be supplied
+    externally); defined ones must match every variant's port counts
+    here, with the statement's line in the diagnostic.
+    """
+    for dfg_name, node_id, behavior, n_refs, n_out, line_no in hier_sites:
+        if not design.has_behavior(behavior):
+            continue
+        for variant in design.variants(behavior):
+            if len(variant.inputs) != n_refs:
+                raise ParseError(
+                    f"hier node {node_id!r} in {dfg_name!r} passes {n_refs} "
+                    f"inputs but behavior {behavior!r} variant "
+                    f"{variant.name!r} has {len(variant.inputs)}",
+                    line_no,
+                    source,
+                )
+            if len(variant.outputs) != n_out:
+                raise ParseError(
+                    f"hier node {node_id!r} in {dfg_name!r} declares {n_out} "
+                    f"outputs but behavior {behavior!r} variant "
+                    f"{variant.name!r} has {len(variant.outputs)}",
+                    line_no,
+                    source,
+                )
 
 
 def _parse_body_statement(
@@ -153,26 +225,36 @@ def _parse_body_statement(
     keyword: str,
     args: list[str],
     pending_edges: list[tuple[str, int, str, int, int]],
+    hier_sites: list[tuple[str, str, str, int, int, int]],
     line_no: int,
+    source: str | None,
 ) -> None:
     """Handle one statement inside a ``dfg`` block."""
     if keyword == "input":
         if len(args) not in (1, 2):
-            raise ParseError("expected 'input <id> [<width>]'", line_no)
-        width = int(args[1]) if len(args) == 2 else DEFAULT_WIDTH
+            raise ParseError("expected 'input <id> [<width>]'", line_no, source)
+        width = (
+            _parse_int(args[1], "input width", line_no, source)
+            if len(args) == 2
+            else DEFAULT_WIDTH
+        )
         dfg.add_input(args[0], width=width)
     elif keyword == "const":
         if len(args) != 2:
-            raise ParseError("expected 'const <id> <value>'", line_no)
-        dfg.add_const(args[0], int(args[1]))
+            raise ParseError("expected 'const <id> <value>'", line_no, source)
+        dfg.add_const(
+            args[0], _parse_int(args[1], "const value", line_no, source)
+        )
     elif keyword == "op":
         if len(args) < 3:
-            raise ParseError("expected 'op <id> <operation> <ref>...'", line_no)
+            raise ParseError(
+                "expected 'op <id> <operation> <ref>...'", line_no, source
+            )
         node_id, op_name, refs = args[0], args[1], args[2:]
         try:
             op = Operation.from_name(op_name)
         except ValueError as exc:
-            raise ParseError(str(exc), line_no) from exc
+            raise ParseError(str(exc), line_no, source) from exc
         dfg.add_op(node_id, op)
         for port, ref in enumerate(refs):
             src, src_port = parse_ref(ref)
@@ -180,22 +262,24 @@ def _parse_body_statement(
     elif keyword == "hier":
         if len(args) < 4:
             raise ParseError(
-                "expected 'hier <id> <behavior> <n_out> <ref>...'", line_no
+                "expected 'hier <id> <behavior> <n_out> <ref>...'",
+                line_no,
+                source,
             )
         node_id, behavior, n_out_text, refs = args[0], args[1], args[2], args[3:]
-        try:
-            n_out = int(n_out_text)
-        except ValueError:
-            raise ParseError("hier output count must be an integer", line_no) from None
+        n_out = _parse_int(n_out_text, "hier output count", line_no, source)
         dfg.add_hier(node_id, behavior, n_inputs=len(refs), n_outputs=n_out)
+        hier_sites.append(
+            (dfg.name, node_id, behavior, len(refs), n_out, line_no)
+        )
         for port, ref in enumerate(refs):
             src, src_port = parse_ref(ref)
             pending_edges.append((src, src_port, node_id, port, line_no))
     elif keyword == "output":
         if len(args) != 2:
-            raise ParseError("expected 'output <id> <ref>'", line_no)
+            raise ParseError("expected 'output <id> <ref>'", line_no, source)
         dfg.add_output(args[0])
         src, src_port = parse_ref(args[1])
         pending_edges.append((src, src_port, args[0], 0, line_no))
     else:
-        raise ParseError(f"unknown statement {keyword!r}", line_no)
+        raise ParseError(f"unknown statement {keyword!r}", line_no, source)

@@ -16,11 +16,26 @@ class DFGError(ReproError):
 
 
 class ParseError(ReproError):
-    """Malformed textual DFG description."""
+    """Malformed textual DFG description.
 
-    def __init__(self, message: str, line_no: int | None = None):
+    Carries the source file name and line number of the offending
+    statement when known, rendered as ``file.dfg:4: ...`` (or
+    ``line 4: ...`` when the text did not come from a file).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line_no: int | None = None,
+        source: str | None = None,
+    ):
         self.line_no = line_no
-        if line_no is not None:
+        self.source = source
+        if source is not None and line_no is not None:
+            message = f"{source}:{line_no}: {message}"
+        elif source is not None:
+            message = f"{source}: {message}"
+        elif line_no is not None:
             message = f"line {line_no}: {message}"
         super().__init__(message)
 

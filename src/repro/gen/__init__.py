@@ -1,0 +1,37 @@
+"""Seeded random hierarchical-design generation.
+
+Every benchmark the engine ships is hand-constructed; this package
+*searches* the design space instead.  :func:`generate_design` turns a
+``(seed, config)`` pair into a valid hierarchical design — deterministic
+down to the byte in the textual format — plus the paired stimulus
+streams power estimation needs.  :mod:`repro.gen.corpus` materializes
+whole corpora (designs + manifest) for fuzzing, load tests and
+transfer-learning experiments, and :mod:`repro.gen.shrink` reduces a
+failing design to a minimal reproducer.
+
+The differential-fuzzing harness built on top lives in
+``benchmarks/fuzz_designs.py``; the CLI entry point is ``repro gen``.
+"""
+
+from .corpus import CorpusEntry, build_corpus, load_manifest, write_corpus
+from .generator import (
+    DEFAULT_OP_WEIGHTS,
+    GenConfig,
+    GeneratedDesign,
+    generate_batch,
+    generate_design,
+)
+from .shrink import shrink_design
+
+__all__ = [
+    "CorpusEntry",
+    "DEFAULT_OP_WEIGHTS",
+    "GenConfig",
+    "GeneratedDesign",
+    "build_corpus",
+    "generate_batch",
+    "generate_design",
+    "load_manifest",
+    "shrink_design",
+    "write_corpus",
+]

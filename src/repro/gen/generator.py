@@ -1,0 +1,406 @@
+"""Seeded, deterministic random generator of hierarchical designs.
+
+One ``(seed, config)`` pair maps to exactly one design: the same pair
+produces the same :class:`~repro.dfg.hierarchy.Design`, the same
+byte-identical textual description (:func:`repro.dfg.writer.
+write_design`) and the same paired stimulus streams, in any process on
+any platform.  All randomness flows from one :class:`random.Random`
+seeded from the pair; nothing reads wall clocks, hash seeds or set
+iteration order.
+
+The generated space covers the paper's input domain knobs:
+
+* **op mix** — weighted choice over the full operation alphabet;
+* **DFG shape** — operation count, input/output counts, constant
+  operands;
+* **hierarchy** — sub-behaviors called through ``hier`` nodes, nested up
+  to a configured depth, with shared-behavior *reuse* (several call
+  sites of one behavior);
+* **anisomorphic variants** — each behavior may carry extra DFG variants
+  derived by bit-true rewrites (commuted operands, ``a-b`` as
+  ``a+neg(b)``, pass-through stages), exercising move A's
+  functionally-equivalent-module choices;
+* **stimulus** — a paired trace set from the white/speech/image
+  families, seeded from the same pair.
+
+Every emitted design passes :func:`~repro.dfg.validate.validate_design`
+before it leaves this module.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+
+from ..dfg.graph import DEFAULT_WIDTH, DFG, NodeKind, Signal
+from ..dfg.hierarchy import Design
+from ..dfg.ops import OP_INFO, Operation
+from ..dfg.validate import validate_design
+from ..dfg.writer import write_design
+from ..power.traces import TraceSet, image_traces, speech_traces, white_traces
+
+__all__ = [
+    "DEFAULT_OP_WEIGHTS",
+    "GenConfig",
+    "GeneratedDesign",
+    "generate_batch",
+    "generate_design",
+]
+
+_STIMULUS = {
+    "white": white_traces,
+    "speech": speech_traces,
+    "image": image_traces,
+}
+
+#: Default operation mix: adder/multiplier-dominated like the DSP
+#: benchmarks, with the rest of the alphabet present at low weight so
+#: ALU/comparator/shifter binding paths stay exercised.
+DEFAULT_OP_WEIGHTS: tuple[tuple[str, int], ...] = (
+    ("add", 6),
+    ("sub", 3),
+    ("mult", 4),
+    ("min", 1),
+    ("max", 1),
+    ("lt", 1),
+    ("gt", 1),
+    ("lshift", 1),
+    ("rshift", 1),
+    ("neg", 1),
+    ("pass", 1),
+)
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Shape knobs of the generated-design distribution.
+
+    Ranges are inclusive ``(lo, hi)`` pairs sampled uniformly per
+    design.  The config is frozen and built from scalars/tuples only,
+    so :meth:`content` is a stable cross-process signature.
+    """
+
+    #: Number of distinct sub-behaviors (0 = flat designs).
+    n_behaviors: tuple[int, int] = (1, 2)
+    #: DFG variants registered per behavior (>1 = anisomorphic modules).
+    variants_per_behavior: tuple[int, int] = (1, 2)
+    #: Maximum hierarchy depth (1 = flat top level, paper's Figure 1
+    #: nesting beyond that).
+    hierarchy_depth: int = 2
+    #: Simple-operation count per generated DFG body.
+    ops_per_dfg: tuple[int, int] = (3, 7)
+    #: Primary-input count per generated DFG.
+    inputs_per_dfg: tuple[int, int] = (2, 3)
+    #: Primary-output count per generated DFG.
+    outputs_per_dfg: tuple[int, int] = (1, 2)
+    #: Probability that a grown node is a hierarchical call (when any
+    #: callable behavior is in scope).
+    p_hier: float = 0.35
+    #: Probability that an operand is a fresh constant node.
+    p_const: float = 0.12
+    #: Constant value range (inclusive).
+    const_range: tuple[int, int] = (-64, 64)
+    #: Bit width of every node in the design.
+    width: int = DEFAULT_WIDTH
+    #: Weighted operation mix, ``(op name, weight)`` pairs.
+    op_weights: tuple[tuple[str, int], ...] = DEFAULT_OP_WEIGHTS
+    #: Stimulus family for the paired traces (white/speech/image).
+    stimulus: str = "speech"
+    #: Samples per primary input in the paired trace set.
+    n_samples: int = 16
+
+    def content(self) -> tuple:
+        """Stable content tuple (for signatures and manifests)."""
+        return tuple(
+            (f.name, getattr(self, f.name)) for f in fields(self)
+        )
+
+
+@dataclass
+class GeneratedDesign:
+    """One generated design plus everything needed to replay it."""
+
+    seed: int
+    config: GenConfig
+    design: Design
+    #: Paired stimulus streams for the top level's primary inputs.
+    traces: TraceSet
+    #: Byte-exact textual form (``parse_design(text)`` round-trips).
+    text: str
+
+
+@dataclass
+class _BehaviorSpec:
+    """Callable-behavior summary used while growing DFG bodies."""
+
+    name: str
+    n_inputs: int
+    n_outputs: int
+    #: Hierarchy depth of the behavior's own DFG (1 = leaf).
+    depth: int
+
+
+class _Grower:
+    """Grows one DFG body under a shared id counter and RNG."""
+
+    def __init__(self, rng: random.Random, cfg: GenConfig):
+        self.rng = rng
+        self.cfg = cfg
+        self._ops = [Operation.from_name(name) for name, _w in cfg.op_weights]
+        self._weights = [w for _name, w in cfg.op_weights]
+        self._counter = 0
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _operand(self, dfg: DFG, wires: list[Signal]) -> Signal:
+        """A random operand: an existing wire, or a fresh constant."""
+        if self.rng.random() < self.cfg.p_const:
+            nid = self._fresh("c")
+            lo, hi = self.cfg.const_range
+            dfg.add_const(nid, self.rng.randint(lo, hi), width=self.cfg.width)
+            return (nid, 0)
+        return self.rng.choice(wires)
+
+    def grow(
+        self,
+        dfg: DFG,
+        input_ids: list[str],
+        n_ops: int,
+        n_outputs: int,
+        callables: list[_BehaviorSpec],
+    ) -> None:
+        """Grow a random body over *input_ids* ending in *n_outputs* outputs.
+
+        Every primary input seeds at least one operation; dangling
+        results are folded with adders (or duplicated through pass
+        stages) until exactly *n_outputs* sinks remain.
+        """
+        rng, cfg = self.rng, self.cfg
+        wires: list[Signal] = [(i, 0) for i in input_ids]
+        used: set[Signal] = set()
+        sinks: list[Signal] = []
+        n_ops = max(n_ops, len(input_ids))
+        for k in range(n_ops):
+            # Operand 0 of the k-th grown node is pinned to the k-th
+            # primary input (when one remains unseeded), *before* random
+            # operands are drawn — overriding afterwards would orphan
+            # freshly minted constant nodes.
+            pinned = (input_ids[k], 0) if k < len(input_ids) else None
+            if callables and rng.random() < cfg.p_hier:
+                spec = rng.choice(callables)
+                operands = [
+                    pinned if port == 0 and pinned is not None
+                    else self._operand(dfg, wires)
+                    for port in range(spec.n_inputs)
+                ]
+                nid = self._fresh("h")
+                dfg.add_hier(
+                    nid,
+                    spec.name,
+                    n_inputs=spec.n_inputs,
+                    n_outputs=spec.n_outputs,
+                    width=cfg.width,
+                )
+                results: list[Signal] = [(nid, p) for p in range(spec.n_outputs)]
+            else:
+                op = rng.choices(self._ops, weights=self._weights, k=1)[0]
+                arity = OP_INFO[op].arity
+                operands = [
+                    pinned if port == 0 and pinned is not None
+                    else self._operand(dfg, wires)
+                    for port in range(arity)
+                ]
+                nid = self._fresh("n")
+                dfg.add_op(nid, op, width=cfg.width)
+                results = [(nid, 0)]
+            for port, (src, src_port) in enumerate(operands):
+                dfg.connect(src, src_port, nid, port)
+            used.update(operands)
+            wires.extend(results)
+            sinks.extend(results)
+
+        sinks = [w for w in sinks if w not in used]
+        if not sinks:
+            sinks = [wires[-1]]
+        while len(sinks) > n_outputs:
+            lhs = sinks.pop(rng.randrange(len(sinks)))
+            rhs = sinks.pop()
+            nid = self._fresh("n")
+            dfg.add_op(nid, Operation.ADD, width=cfg.width)
+            dfg.connect(lhs[0], lhs[1], nid, 0)
+            dfg.connect(rhs[0], rhs[1], nid, 1)
+            sinks.append((nid, 0))
+        while len(sinks) < n_outputs:
+            src, src_port = rng.choice(wires)
+            nid = self._fresh("n")
+            dfg.add_op(nid, Operation.PASS, width=cfg.width)
+            dfg.connect(src, src_port, nid, 0)
+            sinks.append((nid, 0))
+        for o_idx, (src, src_port) in enumerate(sinks):
+            out = f"o{o_idx}"
+            dfg.add_output(out, width=cfg.width)
+            dfg.connect(src, src_port, out, 0)
+
+
+def _derive_variant(base: DFG, name: str, rng: random.Random, width: int) -> DFG:
+    """A functionally equivalent but anisomorphic variant of *base*.
+
+    Applies bit-true rewrites while rebuilding the body: commutative
+    operand swaps, ``a-b`` → ``a+neg(b)`` (exact under two's-complement
+    wrapping), and pass-through stages before outputs.  Primary
+    input/output ids and port orders are preserved, so the variant is a
+    drop-in implementation of the same behavior.
+    """
+    dfg = DFG(name, behavior=base.behavior)
+    counter = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"v{prefix}{counter}"
+
+    sig_map: dict[Signal, Signal] = {}
+    for nid in base.topo_order():
+        node = base.node(nid)
+        if node.kind == NodeKind.INPUT:
+            dfg.add_input(nid, width=node.width)
+            sig_map[(nid, 0)] = (nid, 0)
+        elif node.kind == NodeKind.CONST:
+            new = fresh("c")
+            dfg.add_const(new, node.value, width=node.width)
+            sig_map[(nid, 0)] = (new, 0)
+        elif node.kind == NodeKind.OP:
+            assert node.op is not None
+            operands = [sig_map[e.signal] for e in base.in_edges(nid)]
+            if OP_INFO[node.op].commutative and rng.random() < 0.5:
+                operands = operands[::-1]
+            if node.op == Operation.SUB and rng.random() < 0.5:
+                neg = fresh("n")
+                dfg.add_op(neg, Operation.NEG, width=node.width)
+                dfg.connect(operands[1][0], operands[1][1], neg, 0)
+                new = fresh("n")
+                dfg.add_op(new, Operation.ADD, width=node.width)
+                dfg.connect(operands[0][0], operands[0][1], new, 0)
+                dfg.connect(neg, 0, new, 1)
+            else:
+                new = fresh("n")
+                dfg.add_op(new, node.op, width=node.width)
+                for port, (src, src_port) in enumerate(operands):
+                    dfg.connect(src, src_port, new, port)
+            sig_map[(nid, 0)] = (new, 0)
+        elif node.kind == NodeKind.HIER:
+            assert node.behavior is not None
+            new = fresh("h")
+            dfg.add_hier(
+                new,
+                node.behavior,
+                n_inputs=node.n_inputs,
+                n_outputs=node.n_outputs,
+                width=node.width,
+            )
+            for port, edge in enumerate(base.in_edges(nid)):
+                src, src_port = sig_map[edge.signal]
+                dfg.connect(src, src_port, new, port)
+            for p in range(node.n_outputs):
+                sig_map[(nid, p)] = (new, p)
+        elif node.kind == NodeKind.OUTPUT:
+            (edge,) = base.in_edges(nid)
+            src, src_port = sig_map[edge.signal]
+            if rng.random() < 0.4:
+                stage = fresh("n")
+                dfg.add_op(stage, Operation.PASS, width=node.width)
+                dfg.connect(src, src_port, stage, 0)
+                src, src_port = stage, 0
+            dfg.add_output(nid, width=node.width)
+            dfg.connect(src, src_port, nid, 0)
+    dfg.inputs = list(base.inputs)
+    dfg.outputs = list(base.outputs)
+    return dfg
+
+
+def generate_design(seed: int, config: GenConfig | None = None) -> GeneratedDesign:
+    """Generate one valid hierarchical design from ``(seed, config)``.
+
+    Deterministic: the same pair yields the same design object graph,
+    byte-identical :attr:`GeneratedDesign.text` and identical stimulus
+    streams across processes and platforms.
+    """
+    cfg = config or GenConfig()
+    if cfg.stimulus not in _STIMULUS:
+        raise ValueError(f"unknown stimulus family {cfg.stimulus!r}")
+    rng = random.Random(f"repro.gen:{seed}:{cfg.content()!r}")
+    design = Design(f"gen_s{seed}")
+
+    specs: list[_BehaviorSpec] = []
+    n_behaviors = rng.randint(*cfg.n_behaviors) if cfg.hierarchy_depth > 1 else 0
+    for b_idx in range(n_behaviors):
+        name = f"beh{b_idx}"
+        n_inputs = rng.randint(*cfg.inputs_per_dfg)
+        n_outputs = rng.randint(*cfg.outputs_per_dfg)
+        # Callees must leave room for this behavior plus the top level
+        # within the configured depth.
+        callables = [s for s in specs if s.depth <= cfg.hierarchy_depth - 2]
+        grower = _Grower(rng, cfg)
+        base = DFG(f"{name}_v0", behavior=name)
+        input_ids = [f"i{k}" for k in range(n_inputs)]
+        for iid in input_ids:
+            base.add_input(iid, width=cfg.width)
+        grower.grow(
+            base, input_ids, rng.randint(*cfg.ops_per_dfg), n_outputs, callables
+        )
+        design.add_dfg(base)
+        depth = 1 + max(
+            (s.depth for s in callables
+             for node in base.hier_nodes() if node.behavior == s.name),
+            default=0,
+        )
+        specs.append(_BehaviorSpec(name, n_inputs, n_outputs, depth))
+        for v_idx in range(1, rng.randint(*cfg.variants_per_behavior)):
+            design.add_dfg(
+                _derive_variant(base, f"{name}_v{v_idx}", rng, cfg.width)
+            )
+
+    top = DFG("main")
+    grower = _Grower(rng, cfg)
+    top_inputs = [f"x{k}" for k in range(rng.randint(*cfg.inputs_per_dfg))]
+    for iid in top_inputs:
+        top.add_input(iid, width=cfg.width)
+    callables = [s for s in specs if s.depth <= cfg.hierarchy_depth - 1]
+    grower.grow(
+        top,
+        top_inputs,
+        rng.randint(*cfg.ops_per_dfg),
+        rng.randint(*cfg.outputs_per_dfg),
+        callables,
+    )
+    design.add_dfg(top, top=True)
+    validate_design(design)
+
+    traces = _STIMULUS[cfg.stimulus](
+        top, n=cfg.n_samples, seed=seed & 0x7FFFFFFF
+    )
+    return GeneratedDesign(
+        seed=seed,
+        config=cfg,
+        design=design,
+        traces=traces,
+        text=write_design(design) + "\n",
+    )
+
+
+def generate_batch(
+    base_seed: int, count: int, config: GenConfig | None = None
+) -> list[GeneratedDesign]:
+    """Generate *count* designs with decorrelated per-design seeds.
+
+    Per-design seeds are drawn from one seeder keyed by *base_seed* (the
+    :mod:`benchmarks.fuzz_moves` convention), so any single design
+    replays in isolation from the seed printed in a report.
+    """
+    seeder = random.Random(f"repro.gen.batch:{base_seed}")
+    return [
+        generate_design(seeder.randrange(1 << 30), config)
+        for _ in range(count)
+    ]

@@ -1,0 +1,227 @@
+"""Design shrinking: reduce a failing design to a minimal reproducer.
+
+Given a design and a *predicate* (``True`` = "still exhibits the
+failure"), :func:`shrink_design` greedily applies structure-reducing
+transformations and keeps every reduction the predicate accepts:
+
+* **drop a variant** — remove a non-default DFG variant of a behavior;
+* **bypass a node** — delete one operation/hierarchical node, rewiring
+  each of its output ports to one of its own operand signals;
+* **drop an output** — remove one primary output of a multi-output DFG.
+
+After every reduction the affected DFG is garbage-collected (computing
+nodes no longer reaching an output are removed, recursively) and
+behaviors no longer reachable from the top level are dropped, so the
+result always passes :func:`~repro.dfg.validate.validate_design`.
+Reductions do **not** preserve semantics — the predicate re-runs the
+whole failing check, which is what makes the shrunk design a genuine
+reproducer.
+
+The predicate is typically expensive (a full synthesis + verification
+round), so the search is budgeted by ``max_checks``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..dfg.graph import DFG, NodeKind, Signal
+from ..dfg.hierarchy import Design
+from ..dfg.validate import validate_design
+from ..errors import ReproError
+
+__all__ = ["shrink_design"]
+
+
+def _resolve(remap: dict[Signal, Signal], signal: Signal) -> Signal:
+    """Follow a substitution chain to its live producing signal."""
+    while signal in remap:
+        signal = remap[signal]
+    return signal
+
+
+def _rebuild(
+    dfg: DFG,
+    drop: set[str] = frozenset(),
+    remap: dict[Signal, Signal] | None = None,
+    drop_outputs: set[str] = frozenset(),
+) -> DFG:
+    """Copy *dfg* without *drop*/*drop_outputs* nodes, applying *remap*."""
+    remap = remap or {}
+    clone = DFG(dfg.name, behavior=dfg.behavior)
+    for nid in dfg.topo_order():
+        if nid in drop or nid in drop_outputs:
+            continue
+        node = dfg.node(nid)
+        if node.kind == NodeKind.INPUT:
+            clone.add_input(nid, width=node.width)
+            continue
+        if node.kind == NodeKind.CONST:
+            assert node.value is not None
+            clone.add_const(nid, node.value, width=node.width)
+            continue
+        if node.kind == NodeKind.OP:
+            assert node.op is not None
+            clone.add_op(nid, node.op, width=node.width)
+        elif node.kind == NodeKind.HIER:
+            assert node.behavior is not None
+            clone.add_hier(
+                nid,
+                node.behavior,
+                n_inputs=node.n_inputs,
+                n_outputs=node.n_outputs,
+                width=node.width,
+            )
+        else:
+            clone.add_output(nid, width=node.width)
+        for edge in dfg.in_edges(nid):
+            src, src_port = _resolve(remap, edge.signal)
+            clone.connect(src, src_port, nid, edge.dst_port)
+    clone.inputs = [i for i in dfg.inputs if i not in drop]
+    clone.outputs = [o for o in dfg.outputs if o not in drop_outputs]
+    return clone
+
+
+def _gc(dfg: DFG) -> DFG:
+    """Drop computing/const nodes that reach no primary output."""
+    live: set[str] = set(dfg.outputs)
+    for nid in reversed(dfg.topo_order()):
+        if nid in live:
+            for edge in dfg.in_edges(nid):
+                live.add(edge.src)
+    dead = {
+        node.node_id
+        for node in dfg.nodes()
+        if node.node_id not in live
+        and node.kind in (NodeKind.OP, NodeKind.HIER, NodeKind.CONST)
+    }
+    if not dead:
+        return dfg
+    return _rebuild(dfg, drop=dead)
+
+
+def _bypass_map(dfg: DFG, nid: str) -> dict[Signal, Signal]:
+    """Remap each output port of *nid* onto one of its operand signals."""
+    operands = [edge.signal for edge in dfg.in_edges(nid)]
+    node = dfg.node(nid)
+    return {
+        (nid, p): operands[min(p, len(operands) - 1)]
+        for p in range(node.n_outputs)
+    }
+
+
+def _with_dfg(design: Design, new_dfg: DFG) -> Design:
+    """A new design with *new_dfg* replacing its namesake."""
+    reduced = Design(design.name)
+    for dfg in design.dfgs():
+        reduced.add_dfg(new_dfg if dfg.name == new_dfg.name else dfg.copy())
+    reduced.set_top(design.top_name)
+    return _prune_behaviors(reduced)
+
+
+def _without_dfg(design: Design, name: str) -> Design:
+    """A new design with the DFG *name* removed."""
+    reduced = Design(design.name)
+    for dfg in design.dfgs():
+        if dfg.name != name:
+            reduced.add_dfg(dfg.copy())
+    reduced.set_top(design.top_name)
+    return _prune_behaviors(reduced)
+
+
+def _prune_behaviors(design: Design) -> Design:
+    """Drop behaviors no longer reachable from the top level."""
+    reachable: set[str] = set()
+    frontier = [design.top_name]
+    keep = {design.top_name}
+    while frontier:
+        dfg = design.dfg(frontier.pop())
+        for node in dfg.hier_nodes():
+            assert node.behavior is not None
+            if node.behavior in reachable:
+                continue
+            reachable.add(node.behavior)
+            for variant in design.variants(node.behavior):
+                keep.add(variant.name)
+                frontier.append(variant.name)
+    if keep == set(design.dfg_names()):
+        return design
+    pruned = Design(design.name)
+    for dfg in design.dfgs():
+        if dfg.name in keep:
+            pruned.add_dfg(dfg.copy())
+    pruned.set_top(design.top_name)
+    return pruned
+
+
+def _size(design: Design) -> int:
+    return sum(len(dfg) for dfg in design.dfgs())
+
+
+def _reductions(design: Design) -> Iterator[Design]:
+    """Candidate reduced designs, cheapest-structural-cut first."""
+    # Drop non-default behavior variants.
+    for behavior in design.behaviors():
+        variants = design.variants(behavior)
+        if len(variants) > 1:
+            for variant in variants[1:]:
+                yield _without_dfg(design, variant.name)
+    # Drop one primary output of a multi-output DFG.
+    for dfg in design.dfgs():
+        if len(dfg.outputs) > 1 and dfg.name == design.top_name:
+            for out in dfg.outputs:
+                yield _with_dfg(
+                    design, _gc(_rebuild(dfg, drop_outputs={out}))
+                )
+    # Bypass one computing node.
+    for dfg in design.dfgs():
+        for node in dfg.operation_nodes():
+            if not dfg.in_edges(node.node_id):
+                continue
+            reduced = _gc(
+                _rebuild(
+                    dfg,
+                    drop={node.node_id},
+                    remap=_bypass_map(dfg, node.node_id),
+                )
+            )
+            yield _with_dfg(design, reduced)
+
+
+def shrink_design(
+    design: Design,
+    predicate: Callable[[Design], bool],
+    max_checks: int = 200,
+) -> Design:
+    """Greedily minimize *design* while *predicate* stays ``True``.
+
+    Only structurally valid reductions are offered to the predicate;
+    predicate exceptions count as "reduction rejected" (an unrelated
+    crash must not masquerade as the original failure).  Stops at a
+    fixpoint or after *max_checks* predicate calls, returning the
+    smallest accepted design (possibly the input itself).
+    """
+    current = design
+    checks = 0
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for candidate in _reductions(current):
+            if checks >= max_checks:
+                break
+            if _size(candidate) >= _size(current):
+                continue
+            try:
+                validate_design(candidate)
+            except ReproError:
+                continue
+            checks += 1
+            try:
+                still_failing = predicate(candidate)
+            except Exception:
+                still_failing = False
+            if still_failing:
+                current = candidate
+                improved = True
+                break
+    return current

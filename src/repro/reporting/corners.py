@@ -74,11 +74,16 @@ def corner_grid(
     systematically (``v0.90/t25``).
     """
     lo, hi = min(vdd_factors), max(vdd_factors)
-    canonical = {
-        (lo, max(temps_c)): "slow",
-        (1.0, T_REF): "typ",
-        (hi, min(temps_c)): "fast",
-    }
+    canonical = {}
+    if (lo, max(temps_c)) != (hi, min(temps_c)):
+        # Only a grid with genuine spread has slow/fast extremes; in a
+        # degenerate 1×1 grid those keys collide and neither name fits.
+        canonical[(lo, max(temps_c))] = "slow"
+        canonical[(hi, min(temps_c))] = "fast"
+    # Inserted last: the nominal point is "typ" even when it doubles as
+    # a slow/fast extreme (e.g. single-supply or single-temperature
+    # grids).
+    canonical[(1.0, T_REF)] = "typ"
     corners = []
     for factor in vdd_factors:
         for temp in temps_c:

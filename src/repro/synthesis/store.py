@@ -576,6 +576,40 @@ class SynthesisStore:
             self._db.commit()
             return int(n)
 
+    def prune_persistent(self, max_entries: int) -> int:
+        """Evict oldest-inserted entries beyond *max_entries*.
+
+        Content-addressed entries are immutable and never rewritten
+        (``INSERT OR IGNORE``), so SQLite's implicit ``rowid`` is a
+        faithful insertion clock: pruning lowest rowids first drops the
+        longest-stored results — for a fuzzing/corpus workload, the
+        designs least likely to recur.  Returns the number evicted, and
+        counts them in telemetry as ``persistent.<ns>`` evictions.
+        """
+        if self._db is None:
+            return 0
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        with self._lock:
+            try:
+                victims = self._db.execute(
+                    "SELECT rowid, ns FROM store ORDER BY rowid DESC"
+                    " LIMIT -1 OFFSET ?",
+                    (max_entries,),
+                ).fetchall()
+                if not victims:
+                    return 0
+                self._db.executemany(
+                    "DELETE FROM store WHERE rowid = ?",
+                    [(rowid,) for rowid, _ns in victims],
+                )
+                self._db.commit()
+            except sqlite3.Error:
+                return 0
+            for _rowid, ns in victims:
+                self._tick(self._evictions, f"persistent.{ns}")
+            return len(victims)
+
     def close(self) -> None:
         """Close the persistent connection (idempotent)."""
         if self._db is not None:

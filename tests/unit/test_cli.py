@@ -189,3 +189,83 @@ class TestSynth:
                 ]
             )
             assert code == 0
+
+
+class TestGen:
+    def test_stdout_single_design_parses(self, capsys):
+        from repro.dfg import parse_design, validate_design
+
+        assert main(["gen", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        validate_design(parse_design(out))
+
+    def test_stdout_is_deterministic(self, capsys):
+        main(["gen", "--seed", "7", "--count", "3"])
+        first = capsys.readouterr().out
+        main(["gen", "--seed", "7", "--count", "3"])
+        assert capsys.readouterr().out == first
+
+    def test_corpus_directory(self, tmp_path, capsys):
+        from repro.gen import load_manifest
+
+        out_dir = tmp_path / "corpus"
+        code = main(
+            ["gen", "--seed", "3", "--count", "4", "--out-dir", str(out_dir)]
+        )
+        assert code == 0
+        assert "wrote 4 designs" in capsys.readouterr().out
+        manifest = load_manifest(out_dir)
+        assert len(manifest["entries"]) == 4
+        for entry in manifest["entries"]:
+            assert (out_dir / entry["file"]).exists()
+
+    def test_config_knobs_change_output(self, capsys):
+        main(["gen", "--seed", "7"])
+        base = capsys.readouterr().out
+        main(["gen", "--seed", "7", "--hierarchy-depth", "1",
+              "--max-ops", "3"])
+        assert capsys.readouterr().out != base
+
+    def test_flat_knob(self, capsys):
+        from repro.dfg import parse_design
+
+        main(["gen", "--seed", "5", "--hierarchy-depth", "1"])
+        design = parse_design(capsys.readouterr().out)
+        assert design.depth() == 1
+
+
+class TestCachePrune:
+    def test_prune_reports_counts(self, tmp_path, capsys):
+        from repro.synthesis.store import SynthesisStore
+
+        store = SynthesisStore(cache_dir=str(tmp_path))
+        for i in range(5):
+            store.put("module", f"k{i}", ("c", i), i)
+        store.close()
+
+        code = main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--max-entries", "2"])
+        assert code == 0
+        assert "pruned 3 entries" in capsys.readouterr().out
+
+        store = SynthesisStore(cache_dir=str(tmp_path))
+        assert store.persistent_stats()["total_entries"] == 2
+        store.close()
+
+    def test_prune_missing_store_fails(self, tmp_path, capsys):
+        target = tmp_path / "not-a-dir"
+        target.write_text("file in the way")
+        code = main(["cache", "prune", "--cache-dir", str(target / "sub"),
+                     "--max-entries", "2"])
+        assert code == 1
+        assert "no usable store" in capsys.readouterr().err
+
+
+class TestSourceContext:
+    def test_parse_errors_name_the_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.dfg"
+        path.write_text("dfg a\n weird x\nend\ntop a\n")
+        code = main(["info", str(path)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "broken.dfg:2" in err

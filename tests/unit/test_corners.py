@@ -73,6 +73,50 @@ class TestParetoIndices:
     def test_empty(self):
         assert pareto_indices([]) == []
 
+    def test_duplicate_points_all_survive(self):
+        """Exact duplicates tie on every coordinate — none dominates."""
+        points = [(3.0, 1.0), (1.0, 2.0), (3.0, 1.0), (1.0, 2.0)]
+        assert pareto_indices(points) == [0, 1, 2, 3]
+
+    def test_duplicates_of_a_dominated_point_all_excluded(self):
+        points = [(1.0, 1.0), (2.0, 2.0), (2.0, 2.0)]
+        assert pareto_indices(points) == [0]
+
+    def test_all_dominated_chain_keeps_only_minimum(self):
+        """A totally ordered chain collapses to its single minimum."""
+        chain = [(float(k), float(k)) for k in range(5, 0, -1)]
+        assert pareto_indices(chain) == [4]
+
+    def test_partial_tie_with_strict_coordinate_dominates(self):
+        # (1, 1) ≤ (1, 2) everywhere and < in one coordinate.
+        assert pareto_indices([(1.0, 2.0), (1.0, 1.0)]) == [1]
+
+    def test_three_objectives(self):
+        points = [
+            (1.0, 2.0, 3.0),
+            (2.0, 1.0, 3.0),
+            (2.0, 2.0, 3.0),  # dominated by 0 (≤ everywhere, < in x)
+            (2.0, 3.0, 4.0),  # dominated by 1
+        ]
+        assert pareto_indices(points) == [0, 1]
+
+
+class TestSingleCornerGrid:
+    def test_single_corner_grid(self):
+        grid = corner_grid(vdd_factors=(1.0,), temps_c=(T_REF,))
+        assert len(grid) == 1
+        corner = grid[0]
+        # The lone nominal corner is simultaneously the lo and hi
+        # supply point; the canonical-name table labels it "typ".
+        assert corner.name == "typ"
+        assert corner.vdd_factor == 1.0
+        assert corner.temp_c == T_REF
+
+    def test_single_off_nominal_corner_named_systematically(self):
+        grid = corner_grid(vdd_factors=(0.95,), temps_c=(60.0,))
+        assert len(grid) == 1
+        assert grid[0].name == "v0.95/t60"
+
 
 class TestEvaluateCorners:
     def test_grid_covered(self, result):

@@ -1,0 +1,209 @@
+"""Unit tests for the seeded design generator (repro.gen)."""
+
+import dataclasses
+import json
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.dfg import parse_design, validate_design
+from repro.dfg.canonical import design_fingerprint
+from repro.gen import (
+    DEFAULT_OP_WEIGHTS,
+    GenConfig,
+    build_corpus,
+    generate_batch,
+    generate_design,
+    load_manifest,
+    write_corpus,
+)
+from repro.power import simulate_subgraph
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        a = generate_design(42)
+        b = generate_design(42)
+        assert a.text == b.text
+        assert design_fingerprint(a.design, a.design.top) == (
+            design_fingerprint(b.design, b.design.top)
+        )
+
+    def test_same_seed_same_stimulus(self):
+        a = generate_design(42)
+        b = generate_design(42)
+        assert sorted(a.traces) == sorted(b.traces)
+        for name in a.traces:
+            np.testing.assert_array_equal(a.traces[name], b.traces[name])
+
+    def test_different_seeds_differ(self):
+        texts = {generate_design(seed).text for seed in range(8)}
+        assert len(texts) == 8
+
+    def test_config_is_part_of_the_pair(self):
+        base = generate_design(7)
+        other = generate_design(
+            7, dataclasses.replace(GenConfig(), ops_per_dfg=(8, 12))
+        )
+        assert base.text != other.text
+
+    def test_cross_process_byte_identity(self, tmp_path):
+        """Same (seed, config) in a fresh interpreter: identical bytes.
+
+        Guards against accidental dependence on hash randomization, set
+        iteration order, or any other per-process state.
+        """
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.gen import generate_design
+            for seed in (0, 1, 99, 12345):
+                sys.stdout.write(generate_design(seed).text)
+            """
+        )
+        runs = [
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout
+            for _ in range(2)
+        ]
+        local = "".join(generate_design(s).text for s in (0, 1, 99, 12345))
+        assert runs[0] == runs[1] == local
+
+    def test_batch_seeds_are_deterministic_and_distinct(self):
+        a = generate_batch(5, 10)
+        b = generate_batch(5, 10)
+        assert [g.seed for g in a] == [g.seed for g in b]
+        assert len({g.seed for g in a}) == 10
+        assert all(x.text == y.text for x, y in zip(a, b))
+
+
+class TestValidity:
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_designs_validate_at_every_depth(self, depth):
+        config = dataclasses.replace(GenConfig(), hierarchy_depth=depth)
+        for seed in range(10):
+            gen = generate_design(seed, config)
+            validate_design(gen.design)
+            assert gen.design.depth() <= depth
+
+    def test_flat_config_produces_flat_designs(self):
+        config = dataclasses.replace(
+            GenConfig(), n_behaviors=(0, 0), hierarchy_depth=1
+        )
+        for seed in range(5):
+            gen = generate_design(seed, config)
+            assert gen.design.depth() == 1
+            assert not gen.design.top.hier_nodes()
+
+    def test_text_round_trips(self):
+        gen = generate_design(13)
+        reparsed = parse_design(gen.text)
+        validate_design(reparsed)
+        assert design_fingerprint(reparsed, reparsed.top) == (
+            design_fingerprint(gen.design, gen.design.top)
+        )
+
+    def test_traces_cover_top_inputs(self):
+        gen = generate_design(21)
+        assert set(gen.traces) == set(gen.design.top.inputs)
+        for stream in gen.traces.values():
+            assert len(stream) == gen.config.n_samples
+
+    def test_op_mix_is_configurable(self):
+        # An add-only mix must emit no other operation.
+        config = dataclasses.replace(
+            GenConfig(), op_weights=(("add", 1),), variants_per_behavior=(1, 1)
+        )
+        for seed in range(5):
+            gen = generate_design(seed, config)
+            for dfg in gen.design.dfgs():
+                for node in dfg.op_nodes():
+                    assert node.op.name.lower() == "add"
+
+    def test_default_weights_cover_full_alphabet(self):
+        from repro.dfg.ops import Operation
+
+        weighted = {name for name, _w in DEFAULT_OP_WEIGHTS}
+        assert weighted == {op.name.lower() for op in Operation}
+
+
+class TestAnisomorphicVariants:
+    def test_variants_are_bit_true_equivalent(self):
+        """Every extra variant must compute exactly the base behavior."""
+        config = dataclasses.replace(
+            GenConfig(), variants_per_behavior=(2, 3)
+        )
+        checked = 0
+        for seed in range(8):
+            gen = generate_design(seed, config)
+            design = gen.design
+            rng = np.random.default_rng(seed)
+            for behavior in design.behaviors():
+                variants = design.variants(behavior)
+                base = variants[0]
+                streams = [
+                    rng.integers(-1000, 1000, size=12) for _ in base.inputs
+                ]
+                def out_streams(dfg):
+                    sim = simulate_subgraph(design, dfg, streams)
+                    return [
+                        sim.stream((), dfg.in_edges(o)[0].signal)
+                        for o in dfg.outputs
+                    ]
+
+                base_out = out_streams(base)
+                for variant in variants[1:]:
+                    for got, want in zip(out_streams(variant), base_out):
+                        np.testing.assert_array_equal(got, want)
+                    checked += 1
+        assert checked > 0
+
+
+class TestCorpus:
+    def test_write_and_load_round_trip(self, tmp_path):
+        generated = build_corpus(3, 5)
+        manifest_path = write_corpus(tmp_path, generated)
+        manifest = load_manifest(tmp_path)
+        assert manifest_path.name == "manifest.json"
+        assert len(manifest["entries"]) == 5
+        for entry, gen in zip(manifest["entries"], generated):
+            assert entry["seed"] == gen.seed
+            text = (tmp_path / entry["file"]).read_text()
+            assert text == gen.text
+            reparsed = parse_design(text)
+            assert design_fingerprint(reparsed, reparsed.top) == (
+                entry["fingerprint"]
+            )
+
+    def test_entries_regenerate_from_seed_alone(self, tmp_path):
+        generated = build_corpus(3, 4)
+        write_corpus(tmp_path, generated)
+        manifest = load_manifest(tmp_path)
+        for entry in manifest["entries"]:
+            regen = generate_design(entry["seed"])
+            assert regen.text == (tmp_path / entry["file"]).read_text()
+
+    def test_manifest_is_stable_json(self, tmp_path):
+        generated = build_corpus(9, 3)
+        write_corpus(tmp_path / "a", generated)
+        write_corpus(tmp_path / "b", generated)
+        a = (tmp_path / "a" / "manifest.json").read_text()
+        b = (tmp_path / "b" / "manifest.json").read_text()
+        assert a == b
+        json.loads(a)  # well-formed
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        write_corpus(tmp_path, build_corpus(1, 1))
+        path = tmp_path / "manifest.json"
+        manifest = json.loads(path.read_text())
+        manifest["version"] = 999
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="version"):
+            load_manifest(tmp_path)

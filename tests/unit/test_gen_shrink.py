@@ -1,0 +1,90 @@
+"""Unit tests for failing-design minimization (repro.gen.shrink)."""
+
+import dataclasses
+
+from repro.dfg import validate_design
+from repro.dfg.ops import Operation
+from repro.gen import GenConfig, generate_design, shrink_design
+
+
+def _size(design):
+    return sum(len(dfg) for dfg in design.dfgs())
+
+
+class TestShrinkDesign:
+    def test_always_true_predicate_reaches_tiny_design(self):
+        gen = generate_design(17)
+        shrunk = shrink_design(gen.design, lambda d: True, max_checks=400)
+        validate_design(shrunk)
+        assert _size(shrunk) < _size(gen.design)
+        # With nothing constraining the reduction, the result collapses
+        # to at most a couple of nodes per remaining output.
+        assert _size(shrunk) <= 6
+
+    def test_result_always_validates(self):
+        for seed in range(5):
+            gen = generate_design(seed)
+            # Keep designs that still contain at least one multiply.
+            def has_mult(d):
+                return any(
+                    node.op is Operation.MULT
+                    for dfg in d.dfgs()
+                    for node in dfg.op_nodes()
+                )
+
+            shrunk = shrink_design(gen.design, has_mult, max_checks=100)
+            validate_design(shrunk)
+            if has_mult(gen.design):
+                assert has_mult(shrunk)
+
+    def test_predicate_false_returns_input(self):
+        gen = generate_design(3)
+        shrunk = shrink_design(gen.design, lambda d: False, max_checks=50)
+        assert shrunk is gen.design
+
+    def test_predicate_exception_counts_as_rejection(self):
+        gen = generate_design(3)
+
+        def explodes(d):
+            raise RuntimeError("unrelated crash")
+
+        shrunk = shrink_design(gen.design, explodes, max_checks=50)
+        assert shrunk is gen.design
+
+    def test_extra_variants_get_dropped(self):
+        config = dataclasses.replace(
+            GenConfig(), variants_per_behavior=(2, 3)
+        )
+        gen = generate_design(1, config)
+        n_variants = sum(
+            len(gen.design.variants(b)) for b in gen.design.behaviors()
+        )
+        assert n_variants > len(gen.design.behaviors())  # setup sanity
+        shrunk = shrink_design(gen.design, lambda d: True, max_checks=400)
+        for behavior in shrunk.behaviors():
+            assert len(shrunk.variants(behavior)) == 1
+
+    def test_max_checks_budget_respected(self):
+        gen = generate_design(17)
+        calls = 0
+
+        def counting(d):
+            nonlocal calls
+            calls += 1
+            return True
+
+        shrink_design(gen.design, counting, max_checks=5)
+        assert calls <= 5
+
+    def test_unreachable_behaviors_pruned(self):
+        gen = generate_design(17)
+        shrunk = shrink_design(gen.design, lambda d: True, max_checks=400)
+        used = {
+            node.behavior
+            for dfg in shrunk.dfgs()
+            for node in dfg.hier_nodes()
+        }
+        # Besides the top level's own implicit behavior, every surviving
+        # behavior must still be called somewhere.
+        top_behavior = shrunk.top.behavior
+        assert set(shrunk.behaviors()) <= used | {top_behavior}

@@ -100,3 +100,106 @@ class TestParser:
         text = "dfg a\n op o add ghost ghost\n output q o\nend"
         with pytest.raises(ParseError, match="unknown node"):
             parse_design(text)
+
+
+HIER_GOOD = """
+design d
+top main
+dfg bf behavior beh
+  input a
+  input b
+  op s add a b
+  op t sub a b
+  output o0 s
+  output o1 t
+end
+dfg main
+  input x
+  input y
+  hier h beh 2 x y
+  op m mult h.0 h.1
+  output out m
+end
+"""
+
+
+class TestParserHardening:
+    """Deliberate rejections carry statement context (file:line)."""
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            # Duplicate node ids within a block.
+            ("dfg a\n input x\n input x\nend", "duplicate node"),
+            ("dfg a\n input x\n const x 3\nend", "duplicate node"),
+            ("dfg a\n input x\n op x add x x\nend", "duplicate node"),
+            # Dangling reference (never defined anywhere in the block).
+            ("dfg a\n input x\n op o add x ghost\n output q o\nend", "unknown node"),
+            # Re-declaring an output id is a duplicate, not a re-drive.
+            (
+                "dfg a\n input x\n input y\n op o add x y\n"
+                " output q o\n output q x\nend",
+                "duplicate node",
+            ),
+            # Malformed integer fields name the field.
+            ("dfg a\n input x wide\nend", "input width must be an integer"),
+            ("dfg a\n const k three\nend", "const value must be an integer"),
+            # Structural statement-shape errors.
+            ("dfg a\n input\nend", "expected 'input"),
+            ("dfg a\n const k\nend", "expected 'const"),
+            ("dfg a\n output o\nend", "expected 'output"),
+            ("design a b", "exactly one name"),
+            ("design a\ndesign b", "duplicate 'design'"),
+            ("top a b", "exactly one DFG name"),
+            ("dfg", "expected 'dfg"),
+            ("end", "'end' outside"),
+        ],
+    )
+    def test_rejection(self, text, match):
+        with pytest.raises(ParseError, match=match):
+            parse_design(text)
+
+    def test_hier_input_arity_mismatch(self):
+        text = HIER_GOOD.replace("hier h beh 2 x y", "hier h beh 2 x")
+        with pytest.raises(ParseError, match="passes 1 inputs") as exc:
+            parse_design(text)
+        assert exc.value.line_no == 15
+
+    def test_hier_output_count_mismatch(self):
+        text = HIER_GOOD.replace("hier h beh 2 x y", "hier h beh 3 x y")
+        with pytest.raises(ParseError, match="declares 3 outputs") as exc:
+            parse_design(text)
+        assert exc.value.line_no == 15
+
+    def test_hier_mismatch_checked_against_later_definition(self):
+        # The behavior block comes *after* the hier site in the file.
+        text = (
+            "design d\ntop main\n"
+            "dfg main\n input x\n hier h beh 1 x x\n output o h\nend\n"
+            "dfg bf behavior beh\n input a\n output o a\nend\n"
+        )
+        with pytest.raises(ParseError, match="passes 2 inputs") as exc:
+            parse_design(text)
+        assert exc.value.line_no == 5
+
+    def test_undefined_behavior_left_to_validation(self):
+        # Behaviors not defined in the file may be supplied externally;
+        # the parser must not reject them.
+        text = "dfg main\n input x\n hier h ext 1 x\n output o h\nend\ntop main\n"
+        d = parse_design(text)
+        assert d.dfg("main").node("h").behavior == "ext"
+
+    def test_source_prefixes_message(self):
+        with pytest.raises(ParseError, match=r"bad\.dfg:2: ") as exc:
+            parse_design("dfg a\n weird x\nend", source="bad.dfg")
+        assert exc.value.source == "bad.dfg"
+        assert exc.value.line_no == 2
+
+    def test_duplicate_dfg_name_carries_block_line(self):
+        with pytest.raises(ParseError) as exc:
+            parse_design("dfg a\nend\n\ndfg a\nend\n", source="dup.dfg")
+        assert "dup.dfg:4" in str(exc.value)
+
+    def test_good_design_unaffected_by_source(self):
+        d = parse_design(HIER_GOOD, source="good.dfg")
+        validate_design(d)

@@ -193,3 +193,138 @@ class TestPersistentTier:
         assert not store.persistent
         store.put("module", "k", ("c",), 1)  # still works in memory
         assert store.get("module", "k") == 1
+
+
+def _corpus_keys(n: int, base_seed: int = 11) -> list[tuple[str, tuple]]:
+    """Content keys drawn from a generated-design corpus.
+
+    Fingerprints of seeded random designs are exactly the keyspace the
+    store sees under fuzzing/transfer-learning workloads: high-entropy,
+    collision-free, unordered.
+    """
+    from repro.dfg.canonical import design_fingerprint
+    from repro.gen import generate_batch
+
+    keys = []
+    for gen in generate_batch(base_seed, n):
+        fp = design_fingerprint(gen.design, gen.design.top)
+        keys.append((fp, ("corpus", fp)))
+    assert len({fp for fp, _c in keys}) == n  # sanity: no collisions
+    return keys
+
+
+class TestPersistentEviction:
+    def test_prune_keeps_newest_insertions(self, tmp_path):
+        store = SynthesisStore(cache_dir=str(tmp_path))
+        keys = _corpus_keys(8)
+        for i, (fp, content) in enumerate(keys):
+            store.put("module", fp, content, i)
+        assert store.prune_persistent(3) == 5
+        assert store.persistent_stats()["total_entries"] == 3
+        store.close()
+
+        # Survivors are exactly the three newest insertions, oldest gone.
+        reopened = SynthesisStore(cache_dir=str(tmp_path))
+        for i, (fp, content) in enumerate(keys):
+            value = reopened.fetch("module", fp, content)
+            if i < 5:
+                assert value is MISSING
+            else:
+                assert value == i
+        reopened.close()
+
+    def test_prune_orders_by_insertion_not_namespace(self, tmp_path):
+        store = SynthesisStore(cache_dir=str(tmp_path))
+        keys = _corpus_keys(6)
+        # Interleave namespaces so lexicographic ordering would differ
+        # from insertion ordering.
+        namespaces = ["schedule", "module", "resynth"] * 2
+        for i, ((fp, content), ns) in enumerate(zip(keys, namespaces)):
+            store.put(ns, fp, content, i)
+        assert store.prune_persistent(2) == 4
+        stats = store.persistent_stats()
+        assert stats["total_entries"] == 2
+        # The two newest inserts were resynth (i=5) and module (i=4).
+        assert stats["entries"] == {"module": 1, "resynth": 1}
+        counters = store.counters()["evictions"]
+        assert counters["persistent.schedule"] == 2
+        assert counters["persistent.module"] == 1
+        assert counters["persistent.resynth"] == 1
+        store.close()
+
+    def test_prune_noop_when_under_bound(self, tmp_path):
+        store = SynthesisStore(cache_dir=str(tmp_path))
+        for fp, content in _corpus_keys(3):
+            store.put("module", fp, content, 0)
+        assert store.prune_persistent(10) == 0
+        assert store.persistent_stats()["total_entries"] == 3
+        store.close()
+
+    def test_prune_to_zero_empties_store(self, tmp_path):
+        store = SynthesisStore(cache_dir=str(tmp_path))
+        for fp, content in _corpus_keys(3):
+            store.put("module", fp, content, 0)
+        assert store.prune_persistent(0) == 3
+        assert store.persistent_stats()["total_entries"] == 0
+        store.close()
+
+    def test_prune_rejects_negative_bound(self, tmp_path):
+        store = SynthesisStore(cache_dir=str(tmp_path))
+        with pytest.raises(ValueError, match="max_entries"):
+            store.prune_persistent(-1)
+        store.close()
+
+    def test_prune_without_db_is_zero(self):
+        assert SynthesisStore().prune_persistent(0) == 0
+
+
+_WRITER_SCRIPT = """
+import sys
+from repro.dfg.canonical import design_fingerprint
+from repro.gen import generate_batch
+from repro.synthesis.store import SynthesisStore
+
+cache_dir, base_seed, tag = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+store = SynthesisStore(cache_dir=cache_dir)
+# Writers share the same corpus keyspace: every put races with the
+# other process on identical (ns, key) pairs carrying identical bytes.
+for gen in generate_batch(base_seed, 40):
+    fp = design_fingerprint(gen.design, gen.design.top)
+    store.put("module", fp, ("corpus", fp), {"fp": fp, "seed": gen.seed})
+store.close()
+print(f"{tag} done")
+"""
+
+
+class TestConcurrentWriterProcesses:
+    def test_two_processes_one_sqlite_tier(self, tmp_path):
+        """Two independent writer processes race on one store.
+
+        Content addressing makes the race benign: both write the same
+        bytes for the same keys, so the merged tier must hold exactly
+        one intact entry per key.
+        """
+        import subprocess
+        import sys as _sys
+
+        procs = [
+            subprocess.Popen(
+                [_sys.executable, "-c", _WRITER_SCRIPT,
+                 str(tmp_path), "29", tag],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for tag in ("w1", "w2")
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert "done" in out
+
+        store = SynthesisStore(cache_dir=str(tmp_path))
+        assert store.persistent_stats()["total_entries"] == 40
+        for fp, content in _corpus_keys(40, base_seed=29):
+            value = store.fetch("module", fp, content)
+            assert value == {"fp": fp, "seed": value["seed"]}
+        store.close()
