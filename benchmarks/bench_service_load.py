@@ -1,0 +1,254 @@
+"""Job-server load benchmark: store hits, coalescing, throughput.
+
+Boots a real :class:`repro.service.server.SynthesisService` (thread
+workers, ephemeral port, fresh state directory) and drives it over HTTP
+with a corpus of small distinct designs, measuring the three paths a
+request can take (methodology: ``docs/PERFORMANCE.md``):
+
+* **cold vs. warm** — every corpus design synthesized once, then
+  resubmitted; repeats must be served from the persistent store and
+  complete >= 10x faster than cold synthesis;
+* **coalescing** — duplicate submissions racing one running job must
+  produce exactly one synthesis run and byte-identical result bodies;
+* **throughput vs. hit rate** — closed-loop clients submit mixes at
+  0.0 / 0.5 / 0.9 store-hit ratios; requests/s is recorded per mix.
+
+Writes ``results/service_load.txt`` (human-readable) and
+``results/BENCH_8.json`` (latencies, counters, requests/s per mix).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import shutil
+import statistics
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.service import ServiceClient
+from repro.service.server import ServiceConfig, SynthesisService
+
+from conftest import RESULTS_DIR, save_result
+
+_WORKERS = 4
+_WARM_SPEEDUP_TARGET = 10.0
+_DUPLICATES = 8
+_CORPUS = 6
+_MIX_REQUESTS = 10
+_HIT_RATES = (0.0, 0.5, 0.9)
+
+
+def _design_text(index: int) -> str:
+    """Small distinct flat designs: the op chain encodes the index.
+
+    Bit *i* of the index picks add vs. mult at chain position *i*, so
+    any two indices below 2**10 yield canonically distinct designs —
+    the fingerprints that drive coalescing/store-serving never collide
+    across the corpus, the duplicate set, and the fresh mixes.
+    """
+    lines = ["design load%d" % index, "top main", "", "dfg main",
+             "  input x", "  input y", "  op n0 mult x y"]
+    for i in range(1, 11):
+        op = "add" if (index >> (i - 1)) & 1 else "mult"
+        lines.append(f"  op n{i} {op} n{i - 1} y")
+    lines += ["  output out n10", "end", ""]
+    return "\n".join(lines)
+
+
+def _request(index: int) -> dict:
+    return {"design_text": _design_text(index), "laxity_factor": 2.0,
+            "samples": 8}
+
+
+class _LiveService:
+    """The service on a background event loop, plus an HTTP client."""
+
+    def __init__(self, cache_dir: str):
+        self.loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self.loop.run_forever, daemon=True
+        )
+        self._thread.start()
+
+        async def _boot() -> SynthesisService:
+            service = SynthesisService(ServiceConfig(
+                port=0, workers=_WORKERS, cache_dir=cache_dir,
+                use_processes=False,
+            ))
+            await service.start()
+            return service
+
+        self.service = asyncio.run_coroutine_threadsafe(
+            _boot(), self.loop
+        ).result(30)
+        self.client = ServiceClient(
+            f"http://127.0.0.1:{self.service.bound_port}"
+        )
+
+    def counters(self) -> dict:
+        return self.client.stats()["counters"]
+
+    def shutdown(self) -> None:
+        asyncio.run_coroutine_threadsafe(
+            self.service.close(), self.loop
+        ).result(60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=10)
+        self.loop.close()
+
+
+def _submit_and_wait(client: ServiceClient, request: dict) -> tuple[dict, float]:
+    """One closed-loop request; returns (receipt, wall seconds)."""
+    started = time.perf_counter()
+    receipt = client.submit(request)
+    if receipt["state"] not in ("done", "failed"):
+        final = client.wait(receipt["job_id"], timeout_s=300.0, poll_s=0.01)
+        assert final["state"] == "done", final["error"]
+    return receipt, time.perf_counter() - started
+
+
+def _mix_throughput(live: _LiveService, hit_rate: float,
+                    fresh_base: int) -> dict:
+    """Requests/s for a closed-loop mix at one store-hit ratio."""
+    n_hits = round(_MIX_REQUESTS * hit_rate)
+    requests = (
+        [_request(i % _CORPUS) for i in range(n_hits)]        # stored
+        + [_request(fresh_base + i)                           # cold
+           for i in range(_MIX_REQUESTS - n_hits)]
+    )
+    before = live.counters()
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        receipts = list(pool.map(
+            lambda r: _submit_and_wait(live.client, r), requests
+        ))
+    elapsed = time.perf_counter() - started
+    after = live.counters()
+    return {
+        "hit_rate": hit_rate,
+        "requests": _MIX_REQUESTS,
+        "elapsed_s": round(elapsed, 3),
+        "requests_per_s": round(_MIX_REQUESTS / elapsed, 2),
+        "store_hits": after["store_hits"] - before["store_hits"],
+        "synth_runs": after["synth_runs"] - before["synth_runs"],
+        "max_latency_s": round(max(s for _r, s in receipts), 4),
+    }
+
+
+def test_service_load(benchmark):
+    cache_dir = tempfile.mkdtemp(prefix="repro-service-bench-")
+    live = _LiveService(cache_dir)
+    try:
+        # --- cold pass: populate the store, measure full synthesis ---
+        cold_latencies = []
+        for i in range(_CORPUS):
+            receipt, seconds = _submit_and_wait(live.client, _request(i))
+            assert not receipt["served_from_store"]
+            cold_latencies.append(seconds)
+
+        # --- warm pass: every repeat must answer from the store ---
+        def _warm_pass():
+            latencies = []
+            for i in range(_CORPUS):
+                receipt, seconds = _submit_and_wait(
+                    live.client, _request(i)
+                )
+                assert receipt["served_from_store"], (
+                    "repeat request must be served from the store"
+                )
+                latencies.append(seconds)
+            return latencies
+
+        warm_latencies = benchmark.pedantic(
+            _warm_pass, rounds=1, iterations=1
+        )
+        cold_median = statistics.median(cold_latencies)
+        warm_median = statistics.median(warm_latencies)
+        warm_speedup = cold_median / max(warm_median, 1e-9)
+
+        # --- coalescing: duplicates race one running job ---
+        before = live.counters()
+        duplicate = _request(900)  # not in the store yet
+        with ThreadPoolExecutor(max_workers=_DUPLICATES) as pool:
+            results = list(pool.map(
+                lambda _i: _submit_and_wait(live.client, duplicate),
+                range(_DUPLICATES),
+            ))
+        after = live.counters()
+        job_ids = {receipt["job_id"] for receipt, _s in results}
+        synth_runs = after["synth_runs"] - before["synth_runs"]
+        coalesce_hits = after["coalesce_hits"] - before["coalesce_hits"]
+        store_hits = after["store_hits"] - before["store_hits"]
+        assert synth_runs == 1, (
+            f"{_DUPLICATES} duplicates must synthesize exactly once, "
+            f"got {synth_runs} runs"
+        )
+        assert coalesce_hits + store_hits == _DUPLICATES - 1
+        bodies = {
+            json.dumps(live.client.result(job_id)["result"], sort_keys=True)
+            for job_id in job_ids
+        }
+        assert len(bodies) == 1, "duplicate clients read different bytes"
+
+        # --- throughput at varying store-hit rates ---
+        mixes = [
+            _mix_throughput(live, rate, fresh_base=1000 + 100 * k)
+            for k, rate in enumerate(_HIT_RATES)
+        ]
+    finally:
+        live.shutdown()
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    lines = [
+        "Service load: store hits, coalescing, throughput",
+        "================================================",
+        f"server: {_WORKERS} thread workers, corpus of {_CORPUS} designs",
+        f"cold latency (median):  {cold_median * 1e3:8.1f} ms",
+        f"warm latency (median):  {warm_median * 1e3:8.1f} ms  "
+        "(served from persistent store)",
+        f"warm speedup:           {warm_speedup:8.1f}x  "
+        f"(target >= {_WARM_SPEEDUP_TARGET:g}x)",
+        f"coalescing: {_DUPLICATES} duplicates -> {synth_runs} synthesis "
+        f"run, {coalesce_hits} coalesce hits, {store_hits} store hits",
+        "",
+        "throughput vs. store-hit rate (closed loop, 4 clients):",
+    ]
+    for mix in mixes:
+        lines.append(
+            f"  hit rate {mix['hit_rate']:.1f}: "
+            f"{mix['requests_per_s']:7.2f} req/s "
+            f"({mix['requests']} requests in {mix['elapsed_s']:.2f} s, "
+            f"{mix['synth_runs']} synth runs)"
+        )
+    save_result("service_load", "\n".join(lines))
+
+    snapshot = {
+        "bench": "service_load",
+        "workers": _WORKERS,
+        "corpus": _CORPUS,
+        "cold_latency_s": [round(s, 4) for s in cold_latencies],
+        "warm_latency_s": [round(s, 4) for s in warm_latencies],
+        "cold_median_s": round(cold_median, 4),
+        "warm_median_s": round(warm_median, 4),
+        "warm_speedup": round(warm_speedup, 1),
+        "target_warm_speedup": _WARM_SPEEDUP_TARGET,
+        "coalescing": {
+            "duplicates": _DUPLICATES,
+            "synth_runs": synth_runs,
+            "coalesce_hits": coalesce_hits,
+            "store_hits": store_hits,
+            "identical_results": True,
+        },
+        "throughput": mixes,
+    }
+    (RESULTS_DIR / "BENCH_8.json").write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
+
+    assert warm_speedup >= _WARM_SPEEDUP_TARGET, (
+        f"expected store-served repeats >= {_WARM_SPEEDUP_TARGET}x faster "
+        f"than cold synthesis, got {warm_speedup:.1f}x"
+    )

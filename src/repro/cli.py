@@ -6,7 +6,10 @@ Subcommands
 ``synth``  — synthesize a textual design or a built-in benchmark and
              optionally write the datapath netlist and FSM controller;
 ``tables`` — regenerate the paper's Table 3/Table 4 for chosen circuits;
-``gen``    — emit seeded random hierarchical designs (fuzzing corpus).
+``gen``    — emit seeded random hierarchical designs (fuzzing corpus);
+``serve``  — run the synthesis job server (see ``docs/SERVICE.md``);
+``submit`` — send a job to a running server;
+``status`` — query a job (or the server's counters).
 
 Examples::
 
@@ -16,6 +19,9 @@ Examples::
     python -m repro synth mydesign.dfg --sampling-ns 400 --flatten
     python -m repro tables --circuits lat,test1 --laxity-factors 1.2,2.2
     python -m repro gen --seed 7 --count 20 --out-dir corpus/
+    python -m repro serve --port 8000 --workers 4 --cache-dir .repro-service
+    python -m repro submit --benchmark lat --laxity 2.2 --wait
+    python -m repro status 5c44bb0234854ce2
 """
 
 from __future__ import annotations
@@ -199,6 +205,95 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None, help="paired stimulus family")
     gen.add_argument("--samples", type=int, default=None,
                      help="samples per input in the paired stimulus")
+
+    serve = sub.add_parser(
+        "serve", help="run the synthesis job server (see docs/SERVICE.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port; 0 binds an ephemeral free port "
+                            "(the chosen port is printed at startup)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker processes synthesizing jobs concurrently")
+    serve.add_argument("--cache-dir", type=Path,
+                       default=Path(".repro-service"), metavar="DIR",
+                       help="service state directory: job registry, per-job "
+                            "artifacts, and the shared persistent store")
+    serve.add_argument("--store-shards", type=int, default=None,
+                       help="shard the persistent store across N SQLite "
+                            "files to spread writer contention (default: "
+                            "auto-detect the on-disk layout)")
+    serve.add_argument("--threads", action="store_true",
+                       help="thread workers instead of processes (hermetic "
+                            "tests, platforms without process pools)")
+    serve.add_argument("--prune-jobs", type=int, default=None, metavar="N",
+                       help="at boot, keep at most N finished jobs in the "
+                            "registry (oldest dropped, with their artifacts)")
+    serve.add_argument("--prune-store", type=int, default=None, metavar="N",
+                       help="at boot, keep at most N persistent-store "
+                            "entries (oldest-inserted evicted first)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a synthesis job to a running server"
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8000",
+                        help="base URL of the job server")
+    submit_source = submit.add_mutually_exclusive_group(required=True)
+    submit_source.add_argument("design", nargs="?", type=Path, default=None,
+                               help="textual .dfg design file (sent inline)")
+    submit_source.add_argument(
+        "--benchmark", choices=sorted(benchmark_names()), default=None,
+        help="use a built-in benchmark instead of a file",
+    )
+    submit_source.add_argument("--gen-seed", type=int, default=None,
+                               help="synthesize the seeded generated design "
+                                    "(repro.gen) with this seed")
+    submit_constraint = submit.add_mutually_exclusive_group(required=True)
+    submit_constraint.add_argument(
+        "--laxity", type=float, default=None,
+        help="laxity factor (multiple of the minimum period)")
+    submit_constraint.add_argument(
+        "--sampling-ns", type=float, default=None,
+        help="absolute sampling period in nanoseconds")
+    submit.add_argument("--objective", choices=("area", "power"),
+                        default="power")
+    submit.add_argument("--traces", choices=sorted(_TRACE_GENERATORS),
+                        default="speech")
+    submit.add_argument("--samples", type=int, default=48,
+                        help="trace length used for power estimation")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--effort", choices=("quick", "full"),
+                        default="quick")
+    submit.add_argument("--flatten", action="store_true",
+                        help="run the flattened baseline instead of "
+                             "hierarchical")
+    submit.add_argument("--verify", action="store_true",
+                        help="differentially verify the winning RTL on the "
+                             "server (a failing check fails the job)")
+    submit.add_argument("--trace", action="store_true",
+                        help="record the search trace server-side (fetch "
+                             "with `repro status <id> --trace FILE`)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes and print its "
+                             "outcome (exit 1 on a failed job)")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="seconds to wait with --wait before giving up")
+
+    status = sub.add_parser(
+        "status", help="query a job's status, or the server's counters"
+    )
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="job id from `repro submit`; omit to print "
+                             "server-wide counters and queue depth")
+    status.add_argument("--url", default="http://127.0.0.1:8000",
+                        help="base URL of the job server")
+    status.add_argument("--result", type=Path, default=None, metavar="JSON",
+                        help="write the job's full result JSON here "
+                             "(done jobs only)")
+    status.add_argument("--trace", type=Path, default=None, metavar="JSONL",
+                        help="write the job's recorded search trace here "
+                             "(jobs submitted with --trace only)")
 
     hier = sub.add_parser(
         "hierarchize",
@@ -391,6 +486,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         if args.cache_command == "stats":
             stats = store.persistent_stats()
             print(f"store:   {stats['path']}")
+            if stats.get("shards", 1) > 1:
+                print(f"shards:  {stats['shards']}")
             print(f"entries: {stats['total_entries']}")
             for ns, count in sorted(stats["entries"].items()):
                 print(f"  {ns}: {count}")
@@ -445,6 +542,108 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=str(args.cache_dir),
+        store_shards=args.store_shards,
+        use_processes=not args.threads,
+        prune_jobs=args.prune_jobs,
+        prune_store=args.prune_store,
+    )
+    return run_service(config)
+
+
+def _print_job_status(status: dict) -> None:
+    print(f"job {status['job_id']}: {status['state']}"
+          f"{' (served from store)' if status['served_from_store'] else ''}"
+          f" — {status['clients']} client(s)")
+    if status.get("error"):
+        print(f"error: {status['error']}")
+    summary = status.get("summary")
+    if summary:
+        print(f"area:   {summary['area']:.1f}")
+        print(f"power:  {summary['power']:.4f}")
+        print(f"supply: {summary['vdd']:.2f} V")
+        print(f"clock:  {summary['clk_ns']:.2f} ns")
+    for event in status.get("progress", []):
+        fields = {k: v for k, v in event.items() if k not in ("k", "ts")}
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+        print(f"  {event['k']}{': ' + detail if detail else ''}")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import JobRequest, ServiceClient
+
+    request = JobRequest(
+        design_text=args.design.read_text() if args.design else None,
+        benchmark=args.benchmark,
+        gen_seed=args.gen_seed,
+        objective=args.objective,
+        laxity_factor=args.laxity,
+        sampling_ns=args.sampling_ns,
+        traces=args.traces,
+        samples=args.samples,
+        seed=args.seed,
+        effort=args.effort,
+        flatten=args.flatten,
+        verify=args.verify,
+        trace=args.trace,
+    )
+    client = ServiceClient(args.url)
+    receipt = client.submit(request)
+    how = (
+        "coalesced onto a running job" if receipt["coalesced"]
+        else "served from store" if receipt["served_from_store"]
+        else "dispatched"
+    )
+    print(f"job {receipt['job_id']}: {receipt['state']} ({how})")
+    if args.wait:
+        final = client.wait(receipt["job_id"], timeout_s=args.timeout)
+        _print_job_status(final)
+        return 1 if final["state"] == "failed" else 0
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_id is None:
+        stats = client.stats()
+        print(f"workers: {stats['workers']}")
+        print("counters:")
+        for key, value in sorted(stats["counters"].items()):
+            print(f"  {key}: {value}")
+        queue = stats["queue"]
+        print(f"queue:   depth {queue['depth']} "
+              f"(queued {queue['queued']}, running {queue['running']}, "
+              f"done {queue['done']}, failed {queue['failed']})")
+        store = stats["store"]
+        if store:
+            print(f"store:   {store.get('total_entries', 0)} entries, "
+                  f"{store.get('bytes', 0)} bytes, "
+                  f"{store.get('shards', 1)} shard(s)")
+        return 0
+    status = client.status(args.job_id)
+    _print_job_status(status)
+    if args.result is not None:
+        import json as _json
+
+        result = client.result(args.job_id)["result"]
+        args.result.write_text(_json.dumps(result, indent=2, sort_keys=True)
+                               + "\n")
+        print(f"result written to {args.result}")
+    if args.trace is not None:
+        args.trace.write_text(client.trace(args.job_id))
+        print(f"trace written to {args.trace}")
+    return 1 if status["state"] == "failed" else 0
+
+
 def _cmd_hierarchize(args: argparse.Namespace) -> int:
     from .dfg import hierarchize, write_design
 
@@ -486,6 +685,12 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_cache(args)
         if args.command == "gen":
             return _cmd_gen(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "submit":
+            return _cmd_submit(args)
+        if args.command == "status":
+            return _cmd_status(args)
         if args.command == "hierarchize":
             return _cmd_hierarchize(args)
     except ReproError as exc:

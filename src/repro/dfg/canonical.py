@@ -344,6 +344,7 @@ _EXECUTION_ONLY_FIELDS = frozenset(
         "cache_dir",
         "persistent_cache",
         "run_cache_size",
+        "store_shards",
     }
 )
 

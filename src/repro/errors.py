@@ -58,3 +58,8 @@ class EmbeddingError(ReproError):
 
 class VerificationError(ReproError):
     """Differential RTL verification found (or could not run) a check."""
+
+
+class ServiceError(ReproError):
+    """Synthesis-service failure (bad job request, unreachable server,
+    job registry problem, or a job that finished in the failed state)."""

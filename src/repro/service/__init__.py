@@ -1,0 +1,52 @@
+"""Synthesis-as-a-service: async job server over the tiered store.
+
+The single-process engine (``repro.synthesis``) serves one caller; this
+package serves many.  ``repro serve`` runs an asyncio HTTP/JSON job
+server that accepts synthesis jobs (design text, built-in benchmark, or
+generated-corpus seed, plus library/constraint knobs), schedules them
+across a pool of worker processes, and answers status/result queries —
+with two sharing layers on top of the plain engine:
+
+* **request coalescing** — identical requests are keyed by the
+  canonical design fingerprint (:mod:`repro.dfg.canonical`) plus every
+  result-shaping request knob; while a job for that fingerprint is
+  queued or running, further submissions attach to it instead of
+  spawning duplicate work (:func:`repro.service.jobs.request_fingerprint`).
+* **store-served repeats** — completed results are written to the
+  ``service`` namespace of the persistent
+  :class:`~repro.synthesis.store.SynthesisStore` tier, so a repeat of a
+  finished request answers in milliseconds, byte-identical to the
+  original run, without touching the worker pool.
+
+Module map: :mod:`~repro.service.jobs` (request schema, states,
+fingerprints), :mod:`~repro.service.registry` (SQLite job registry),
+:mod:`~repro.service.worker` (process-pool job execution with per-job
+cache teardown), :mod:`~repro.service.server` (the asyncio HTTP
+server), :mod:`~repro.service.client` (stdlib HTTP client used by
+``repro submit``/``repro status``).  Operator guide: ``docs/SERVICE.md``.
+"""
+
+from .client import ServiceClient
+from .jobs import (
+    JOB_STATES,
+    JobRecord,
+    JobRequest,
+    request_fingerprint,
+    resolve_job_design,
+)
+from .registry import JobRegistry
+from .server import ServiceConfig, SynthesisService
+from .worker import run_job
+
+__all__ = [
+    "JOB_STATES",
+    "JobRecord",
+    "JobRegistry",
+    "JobRequest",
+    "ServiceClient",
+    "ServiceConfig",
+    "SynthesisService",
+    "request_fingerprint",
+    "resolve_job_design",
+    "run_job",
+]

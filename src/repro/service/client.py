@@ -1,0 +1,137 @@
+"""Stdlib HTTP client for the job server (``repro submit``/``status``).
+
+:class:`ServiceClient` is a thin, dependency-free wrapper over
+``urllib`` that speaks the server's JSON dialect: it submits
+:class:`~repro.service.jobs.JobRequest` payloads, polls job status, and
+fetches results/traces.  Server-side rejections (HTTP 4xx/5xx with an
+``{"error": ...}`` body) and unreachable servers both surface as
+:class:`~repro.errors.ServiceError` so CLI callers get one failure
+type.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from ..errors import ServiceError
+from .jobs import JobRequest
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Client for one server base URL (e.g. ``http://127.0.0.1:8000``)."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        if "://" not in self.base_url:
+            self.base_url = "http://" + self.base_url
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _call(
+        self, method: str, path: str, payload: Any = None, raw: bool = False
+    ) -> Any:
+        data = (
+            json.dumps(payload).encode() if payload is not None else None
+        )
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                body = response.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode(errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServiceError(
+                f"{method} {path} failed ({exc.code}): {detail}"
+            ) from exc
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc}"
+            ) from exc
+        if raw:
+            return body.decode()
+        try:
+            return json.loads(body.decode())
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"service returned non-JSON body for {path}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """``GET /healthz`` — liveness probe."""
+        return self._call("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        """``GET /stats`` — counters, queue depths, store stats."""
+        return self._call("GET", "/stats")
+
+    def submit(self, request: JobRequest | dict[str, Any]) -> dict[str, Any]:
+        """``POST /jobs`` — submit one job; returns the dispatch receipt.
+
+        The receipt carries ``job_id``, the initial ``state``, and how
+        the request was answered: ``coalesced`` (attached to a live
+        identical job) or ``served_from_store`` (finished instantly from
+        the persistent tier).
+        """
+        payload = (
+            request.to_dict() if isinstance(request, JobRequest) else request
+        )
+        return self._call("POST", "/jobs", payload)
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """``GET /jobs/<id>`` — lifecycle, progress events, summary."""
+        return self._call("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """``GET /jobs/<id>/result`` — the full result of a done job."""
+        return self._call("GET", f"/jobs/{job_id}/result")
+
+    def trace(self, job_id: str) -> str:
+        """``GET /jobs/<id>/trace`` — raw JSONL search trace text."""
+        return self._call("GET", f"/jobs/{job_id}/trace", raw=True)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.1,
+    ) -> dict[str, Any]:
+        """Poll until the job reaches ``done``/``failed``; return status.
+
+        Raises :class:`ServiceError` on timeout.  A ``failed`` terminal
+        state is returned, not raised — callers decide how fatal it is.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout_s:g}s waiting for job "
+                    f"{job_id} (last state: {status['state']})"
+                )
+            time.sleep(poll_s)

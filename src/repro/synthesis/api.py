@@ -386,9 +386,39 @@ def _synthesize(
     traces = _prepare_traces(design, traces, n_samples)
     input_streams = [traces[name] for name in top.inputs]
     env = SynthesisEnv(design, library, objective, config)
+    try:
+        return _synthesize_in_env(
+            env, design, top, traces, input_streams, sampling_ns, objective,
+            flatten_input, started,
+        )
+    finally:
+        # Run teardown — on the failure paths too: the activity memos
+        # pin simulated streams by id, and a long-lived process (job
+        # server worker, REPL) that survives a SynthesisError must not
+        # retain them, nor keep the run's persistent-store connections
+        # open.  Post-processing (voltage scaling, corner sweeps) simply
+        # repopulates the memos from the result's own sim.
+        reset_activity_caches()
+        _reset_energy_memos()
+        env.store.close()
+
+
+def _synthesize_in_env(
+    env: SynthesisEnv,
+    design: Design,
+    top,
+    traces: TraceSet,
+    input_streams: list,
+    sampling_ns: float,
+    objective: Objective,
+    flatten_input: bool,
+    started: float,
+) -> SynthesisResult:
+    """The run body of :func:`_synthesize`, between setup and teardown."""
     t_sim = time.perf_counter()
     sim = simulate_subgraph(design, top, input_streams)
     env.telemetry.add_time("simulate", time.perf_counter() - t_sim)
+    library = env.library
 
     vdds = candidate_vdds(design, library, sampling_ns)
     if objective == "area":
@@ -472,12 +502,6 @@ def _synthesize(
             # they would break byte-identical --no-trace-timings traces.
             store=(env.store.counters() if env.trace.timings else None),
         )
-    # Run teardown: the activity memos pin simulated streams by id; a
-    # long-lived process (job server, REPL) must not retain them after
-    # the run.  Post-processing (voltage scaling, corner sweeps) simply
-    # repopulates them from the result's own sim.
-    reset_activity_caches()
-    _reset_energy_memos()
     return SynthesisResult(
         solution=solution,
         metrics=metrics,
@@ -517,7 +541,8 @@ def _traced_config(config: SynthesisConfig) -> dict[str, Any]:
             "batch_activity",
             "trace", "trace_timings", "trace_evals",
             "trace_max_events", "trace_meta",
-            "cache_dir", "persistent_cache", "run_cache_size"}
+            "cache_dir", "persistent_cache", "run_cache_size",
+            "store_shards"}
     return {
         f.name: getattr(config, f.name)
         for f in dataclasses.fields(config)

@@ -134,6 +134,13 @@ class SynthesisConfig:
     #: (entries; each holds one pickled module/resynthesis/schedule
     #: result, shared across operating points within a run).
     run_cache_size: int = 4096
+    #: Shard count of the persistent store tier (``None`` auto-detects
+    #: the on-disk layout, which is 1 for fresh directories).  Sharding
+    #: splits the SQLite tier across several database files by digest
+    #: prefix so many concurrent writers — the job server's worker
+    #: fleet — do not serialize on one writer lock.  Execution knob
+    #: only: results are bit-identical at any count.
+    store_shards: int | None = None
 
 
 class SynthesisEnv:

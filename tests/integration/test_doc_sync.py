@@ -125,3 +125,122 @@ def test_examples_run_end_to_end(script, tmp_path):
     assert proc.returncode == 0, (
         f"{script} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
     )
+
+
+# ----------------------------------------------------------------------
+# Service docs (docs/SERVICE.md) ↔ service CLI surface
+# ----------------------------------------------------------------------
+
+SERVICE_DOC = ROOT / "docs" / "SERVICE.md"
+
+
+def _subcommand_option_strings(name: str) -> list[str]:
+    """Every option string of one repro subcommand (--help excluded)."""
+    import argparse
+
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    options = []
+    for action in subparsers.choices[name]._actions:
+        options.extend(
+            opt for opt in action.option_strings
+            if opt not in ("-h", "--help")
+        )
+    return options
+
+
+@pytest.mark.parametrize("subcommand", ["serve", "submit", "status"])
+def test_service_doc_covers_every_cli_flag(subcommand):
+    """docs/SERVICE.md must document the full serve/submit/status surface.
+
+    A flag added to the parser without a mention in the operator guide
+    (or a doc describing a removed flag) fails here.
+    """
+    text = SERVICE_DOC.read_text()
+    missing = [
+        opt for opt in _subcommand_option_strings(subcommand)
+        if f"`{opt}" not in text
+    ]
+    assert not missing, (
+        f"docs/SERVICE.md does not document repro {subcommand} "
+        f"flag(s): {missing}"
+    )
+
+
+def test_service_doc_json_examples_are_valid_json():
+    """Every ```json block in the service guide must parse."""
+    import json
+
+    blocks = re.findall(
+        r"```json\n(.*?)```", SERVICE_DOC.read_text(), flags=re.DOTALL
+    )
+    assert blocks, "docs/SERVICE.md shows no JSON examples"
+    for block in blocks:
+        try:
+            json.loads(block)
+        except json.JSONDecodeError as exc:
+            pytest.fail(
+                f"invalid JSON example in docs/SERVICE.md: {exc}\n{block}"
+            )
+
+
+def test_service_doc_names_every_endpoint():
+    """The route table in the guide matches the server's router."""
+    text = SERVICE_DOC.read_text()
+    for endpoint in ("/healthz", "/stats", "/jobs",
+                     "/jobs/<id>", "/jobs/<id>/result", "/jobs/<id>/trace"):
+        assert endpoint in text, (
+            f"docs/SERVICE.md does not document endpoint {endpoint}"
+        )
+
+
+@pytest.mark.slow
+def test_documented_serve_submit_status_flow_runs(tmp_path):
+    """Execute the guide's serve → submit → status flow for real."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", "--cache-dir", str(tmp_path / "svc")],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        ready = server.stdout.readline()
+        match = re.search(r"http://\S+", ready)
+        assert match, f"no listening line from repro serve: {ready!r}"
+        url = match.group(0)
+
+        def run(*args):
+            return subprocess.run(
+                [sys.executable, "-m", "repro", *args],
+                capture_output=True, text=True, env=env, timeout=300,
+            )
+
+        submit = run("submit", "--url", url, "--gen-seed", "5",
+                     "--laxity", "2.0", "--samples", "16",
+                     "--wait", "--timeout", "240")
+        assert submit.returncode == 0, submit.stderr
+        job_id = submit.stdout.split()[1].rstrip(":")
+
+        status = run("status", "--url", url, job_id,
+                     "--result", str(tmp_path / "result.json"))
+        assert status.returncode == 0, status.stderr
+        assert "done" in status.stdout
+        assert (tmp_path / "result.json").exists()
+
+        overview = run("status", "--url", url)
+        assert overview.returncode == 0, overview.stderr
+        assert "synth_runs: 1" in overview.stdout
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()

@@ -269,3 +269,76 @@ class TestSourceContext:
         assert code == 1
         err = capsys.readouterr().err
         assert "broken.dfg:2" in err
+
+
+class TestServiceParsers:
+    """Argument surface of the serve/submit/status subcommands."""
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8000
+        assert args.workers == 1
+        assert str(args.cache_dir) == ".repro-service"
+        assert args.store_shards is None
+        assert not args.threads
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4",
+             "--cache-dir", "svc", "--store-shards", "8", "--threads",
+             "--prune-jobs", "100", "--prune-store", "5000"]
+        )
+        assert args.port == 0 and args.workers == 4
+        assert args.store_shards == 8 and args.threads
+        assert args.prune_jobs == 100 and args.prune_store == 5000
+
+    def test_submit_needs_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--laxity", "2.0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["submit", "--benchmark", "lat", "--gen-seed", "3",
+                 "--laxity", "2.0"]
+            )
+
+    def test_submit_needs_exactly_one_constraint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--benchmark", "lat"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["submit", "--benchmark", "lat", "--laxity", "2.0",
+                 "--sampling-ns", "400"]
+            )
+
+    def test_submit_full_surface(self):
+        args = build_parser().parse_args(
+            ["submit", "--url", "http://h:1", "--gen-seed", "5",
+             "--laxity", "2.0", "--objective", "area", "--traces", "white",
+             "--samples", "16", "--seed", "3", "--effort", "full",
+             "--flatten", "--verify", "--trace", "--wait",
+             "--timeout", "30"]
+        )
+        assert args.gen_seed == 5 and args.objective == "area"
+        assert args.trace is True and args.wait and args.timeout == 30.0
+
+    def test_status_job_id_is_optional(self):
+        args = build_parser().parse_args(["status"])
+        assert args.job_id is None
+        args = build_parser().parse_args(
+            ["status", "abc123", "--result", "r.json",
+             "--trace", "t.jsonl"]
+        )
+        assert args.job_id == "abc123"
+        assert str(args.result) == "r.json"
+
+    def test_submit_unreachable_server_fails_cleanly(self, capsys):
+        code = main(["submit", "--url", "http://127.0.0.1:9",
+                     "--benchmark", "lat", "--laxity", "2.0"])
+        assert code == 1
+        assert "cannot reach service" in capsys.readouterr().err
+
+    def test_status_unreachable_server_fails_cleanly(self, capsys):
+        code = main(["status", "--url", "http://127.0.0.1:9"])
+        assert code == 1
+        assert "cannot reach service" in capsys.readouterr().err

@@ -328,3 +328,89 @@ class TestConcurrentWriterProcesses:
             value = store.fetch("module", fp, content)
             assert value == {"fp": fp, "seed": value["seed"]}
         store.close()
+
+class TestSharding:
+    """Persistent-tier sharding: layout, auto-detection, pruning."""
+
+    def test_sharded_layout_on_disk(self, tmp_path):
+        store = SynthesisStore(cache_dir=str(tmp_path), shards=4)
+        assert store.shards == 4
+        names = sorted(p.name for p in tmp_path.glob("*.sqlite"))
+        assert names == [f"synthesis_store.shard{i:02d}.sqlite"
+                         for i in range(4)]
+        store.close()
+
+    def test_round_trip_spreads_across_shards(self, tmp_path):
+        store = SynthesisStore(cache_dir=str(tmp_path), shards=4)
+        keys = _corpus_keys(24)
+        for i, (fp, content) in enumerate(keys):
+            store.put("module", fp, content, i)
+        stats = store.persistent_stats()
+        assert stats["shards"] == 4
+        assert stats["total_entries"] == 24
+        store.close()
+        # High-entropy digests must not all land in one shard file.
+        import sqlite3
+
+        per_shard = []
+        for path in sorted(tmp_path.glob("*.sqlite")):
+            db = sqlite3.connect(path)
+            per_shard.append(
+                db.execute("SELECT COUNT(*) FROM store").fetchone()[0]
+            )
+            db.close()
+        assert sum(per_shard) == 24
+        assert sum(1 for n in per_shard if n > 0) >= 2
+
+    def test_auto_detection_of_sharded_layout(self, tmp_path):
+        writer = SynthesisStore(cache_dir=str(tmp_path), shards=3)
+        keys = _corpus_keys(12)
+        for i, (fp, content) in enumerate(keys):
+            writer.put("module", fp, content, i)
+        writer.close()
+        # shards=None (the default) must find the 3-shard layout.
+        assert SynthesisStore.detect_shards(str(tmp_path)) == 3
+        reader = SynthesisStore(cache_dir=str(tmp_path))
+        assert reader.shards == 3
+        for i, (fp, content) in enumerate(keys):
+            assert reader.fetch("module", fp, content) == i
+        reader.close()
+
+    def test_detect_shards_defaults_to_one(self, tmp_path):
+        assert SynthesisStore.detect_shards(str(tmp_path)) == 1
+        store = SynthesisStore(cache_dir=str(tmp_path))  # legacy layout
+        store.put("module", "k", ("c",), 1)
+        store.close()
+        assert SynthesisStore.detect_shards(str(tmp_path)) == 1
+
+    def test_prune_respects_bound_across_shards(self, tmp_path):
+        store = SynthesisStore(cache_dir=str(tmp_path), shards=4)
+        keys = _corpus_keys(20)
+        for i, (fp, content) in enumerate(keys):
+            store.put("module", fp, content, i)
+        removed = store.prune_persistent(6)
+        kept = store.persistent_stats()["total_entries"]
+        assert removed + kept == 20
+        assert kept <= 6
+        store.close()
+
+    def test_clear_empties_every_shard(self, tmp_path):
+        store = SynthesisStore(cache_dir=str(tmp_path), shards=4)
+        for fp, content in _corpus_keys(10):
+            store.put("module", fp, content, fp)
+        assert store.clear_persistent() == 10
+        assert store.persistent_stats()["total_entries"] == 0
+        store.close()
+
+    def test_shard_count_is_execution_only_for_results(self, tmp_path):
+        """The same (key, content) round-trips across shard counts."""
+        one = SynthesisStore(cache_dir=str(tmp_path / "s1"), shards=1)
+        many = SynthesisStore(cache_dir=str(tmp_path / "s4"), shards=4)
+        for fp, content in _corpus_keys(8):
+            one.put("module", fp, content, {"fp": fp})
+            many.put("module", fp, content, {"fp": fp})
+        for fp, content in _corpus_keys(8):
+            assert one.fetch("module", fp, content) == \
+                many.fetch("module", fp, content)
+        one.close()
+        many.close()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""CI smoke test for the synthesis job server (``repro serve``).
+
+Boots the real server as a subprocess (process-pool workers, ephemeral
+port), pushes one small generated design through the documented flow —
+submit with differential verification and search tracing, poll to
+completion, fetch the result — and checks every step:
+
+* the ready line announces the bound URL;
+* the job completes ``done`` with a passing verification verdict;
+* a resubmission is answered from the persistent store with
+  byte-identical result JSON;
+* the job's search-trace artifact exists and is valid JSONL.
+
+Exits nonzero (with the server's stderr) on any failure.  The job
+trace is left at ``<state-dir>/jobs/<job_id>.trace.jsonl`` for CI to
+upload; its path is printed on the last line.
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py [--state-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--state-dir", type=Path,
+                        default=Path(".repro-service-smoke"),
+                        help="service cache/registry directory")
+    parser.add_argument("--gen-seed", type=int, default=5,
+                        help="seeded generated design to synthesize")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="seconds to wait for the job")
+    args = parser.parse_args()
+
+    from repro.service import ServiceClient
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2", "--cache-dir", str(args.state_dir)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        ready = server.stdout.readline()
+        match = re.search(r"http://\S+", ready)
+        if not match:
+            err = server.stderr.read() if server.poll() is not None else ""
+            print(f"FAIL: no ready line from repro serve: {ready!r}\n{err}",
+                  file=sys.stderr)
+            return 1
+        url = match.group(0)
+        print(f"server ready at {url}")
+        client = ServiceClient(url)
+
+        request = {"gen_seed": args.gen_seed, "laxity_factor": 2.0,
+                   "samples": 16, "verify": True, "trace": True}
+        receipt = client.submit(request)
+        print(f"submitted job {receipt['job_id']} ({receipt['state']})")
+        final = client.wait(receipt["job_id"], timeout_s=args.timeout)
+        if final["state"] != "done":
+            print(f"FAIL: job ended {final['state']}: {final['error']}",
+                  file=sys.stderr)
+            return 1
+        result = client.result(receipt["job_id"])["result"]
+        verification = result.get("verification")
+        if not (verification and verification.get("ok")):
+            print(f"FAIL: verification verdict missing or failing: "
+                  f"{verification}", file=sys.stderr)
+            return 1
+        print(f"job done: area {result['area']}, power {result['power']}, "
+              f"verified over {verification['n_samples']} samples")
+
+        repeat = client.submit(request)
+        if not repeat["served_from_store"]:
+            print("FAIL: resubmission was not served from the store",
+                  file=sys.stderr)
+            return 1
+        repeat_result = client.result(repeat["job_id"])["result"]
+        if json.dumps(result, sort_keys=True) != \
+                json.dumps(repeat_result, sort_keys=True):
+            print("FAIL: store-served repeat differs from original result",
+                  file=sys.stderr)
+            return 1
+        print("store-served repeat is byte-identical")
+
+        trace_path = (args.state_dir / "jobs"
+                      / f"{receipt['job_id']}.trace.jsonl")
+        if not trace_path.exists():
+            print(f"FAIL: trace artifact missing at {trace_path}",
+                  file=sys.stderr)
+            return 1
+        events = trace_path.read_text().splitlines()
+        for line in events:
+            json.loads(line)
+        print(f"trace artifact OK ({len(events)} events)")
+
+        stats = client.stats()["counters"]
+        print(f"counters: {json.dumps(stats, sort_keys=True)}")
+        if stats["synth_runs"] != 1 or stats["store_hits"] != 1:
+            print("FAIL: expected exactly one synthesis run and one "
+                  "store hit", file=sys.stderr)
+            return 1
+
+        print(f"TRACE_ARTIFACT={trace_path}")
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
