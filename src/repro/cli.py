@@ -115,6 +115,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="price candidate activities one stream set at a "
                             "time instead of through the batched kernel "
                             "(results are bit-identical either way)")
+    synth.add_argument("--no-relational", action="store_true",
+                       help="discover candidate moves with the legacy "
+                            "per-pair Python loops instead of the relational "
+                            "engine's batched joins + lazy materialization "
+                            "(results are bit-identical either way)")
+    synth.add_argument("--saturate", action="store_true",
+                       help="before synthesis, saturate each non-top "
+                            "behavior with bit-true algebraic rewrites "
+                            "(commutativity, sub->add+neg, associativity) "
+                            "to a bounded fixpoint, enlarging the move-A "
+                            "anisomorphic-variant space; every discovered "
+                            "variant is verified bit-true before use")
     synth.add_argument("--corners", action="store_true",
                        help="after synthesis, re-price every explored "
                             "architecture across the ±10%% supply × "
@@ -342,11 +354,22 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     config.validate_incremental = args.validate_incremental
     config.prune = not args.no_prune
     config.batch_activity = not args.no_batch_activity
+    config.relational = not args.no_relational
     config.verify_moves = args.verify
     # Set before the library build so module pre-characterization also
     # warm-starts from (and feeds) the persistent store.
     config.cache_dir = str(args.cache_dir) if args.cache_dir else None
     config.persistent_cache = not args.no_persistent_cache
+    if args.saturate:
+        # Saturation runs before the library build: every verified
+        # variant registers as an anisomorphic alternative of its
+        # behavior, and build_complex_library then characterizes it
+        # into the complex-module library move A draws from.
+        from .synthesis.saturate import saturate_design
+
+        n_new = saturate_design(design)
+        print(f"equivalence saturation: {n_new} new bit-true variant(s)",
+              file=sys.stderr)
     library = default_library()
     built_library = False
     if not args.no_library and not args.flatten and any(

@@ -336,6 +336,7 @@ _EXECUTION_ONLY_FIELDS = frozenset(
         "n_workers",
         "score_workers",
         "validate_incremental",
+        "relational",
         "trace",
         "trace_timings",
         "trace_evals",

@@ -526,6 +526,7 @@ def _traced_config(config: SynthesisConfig) -> dict[str, Any]:
 
     Execution-only fields are excluded: ``n_workers``,
     ``score_workers``, ``validate_incremental``, ``batch_activity``,
+    ``relational``,
     the ``trace_*`` family and the store knobs (``cache_dir``,
     ``persistent_cache``, ``run_cache_size``) do not change what the
     search does (or what its
@@ -538,7 +539,7 @@ def _traced_config(config: SynthesisConfig) -> dict[str, Any]:
     provenance field.
     """
     skip = {"n_workers", "score_workers", "validate_incremental",
-            "batch_activity",
+            "batch_activity", "relational",
             "trace", "trace_timings", "trace_evals",
             "trace_max_events", "trace_meta",
             "cache_dir", "persistent_cache", "run_cache_size",

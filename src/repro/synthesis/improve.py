@@ -14,6 +14,7 @@ and it is what lets the algorithm climb out of local minima.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,6 +38,7 @@ from .moves import (
     splitting_candidates,
     type_a_b_candidates,
 )
+from .relational import RelationalView
 from .solution import Solution
 
 __all__ = ["ScoredMove", "improve_solution", "resynthesize_module", "PassRecord"]
@@ -57,6 +59,27 @@ class PassRecord:
     moves: list[str]
     costs: list[float]
     committed_prefix: int
+
+
+def _tally_discovered(
+    tel: Telemetry, candidates: list[Candidate], discovered: dict[str, int]
+) -> None:
+    """Count freshly generated candidates (pre-pruning), by kind.
+
+    Feeds both the run telemetry and the per-step ``discovered`` trace
+    field.  Eager candidates (legacy loops and the shared module/chain
+    helpers) count as materialized right here; lazy (relational)
+    candidates report materialization through their build callback, so
+    the discovered/materialized gap measures the clones laziness
+    avoided.  The counts themselves are engine-independent: both
+    discovery paths emit identical candidate multisets.
+    """
+    for cand in candidates:
+        kind = cand.kind
+        discovered[kind] = discovered.get(kind, 0) + 1
+        tel.count_move_discovered(kind)
+        if cand.is_materialized:
+            tel.count_move_materialized(kind)
 
 
 def _best(
@@ -161,8 +184,16 @@ def improve_solution(
             # (evicted) simply means candidates price from scratch.
             base = ctx.breakdown_of(work) if config.incremental else None
             workers = config.score_workers
-            cands_ab = type_a_b_candidates(env, work, sim, locked)
-            cands_c = sharing_candidates(env, work, sim, locked)
+            discovered: dict[str, int] = {}
+            t_disc = time.perf_counter()
+            view = (
+                RelationalView(env, work, locked) if config.relational else None
+            )
+            cands_ab = type_a_b_candidates(env, work, sim, locked, view=view)
+            cands_c = sharing_candidates(env, work, sim, locked, view=view)
+            ctx.telemetry.add_time("discovery", time.perf_counter() - t_disc)
+            _tally_discovered(ctx.telemetry, cands_ab, discovered)
+            _tally_discovered(ctx.telemetry, cands_c, discovered)
             cands_d: list[Candidate] = []
             if config.prune:
                 cands_ab = prune_candidates(env, work, cands_ab)
@@ -171,7 +202,12 @@ def improve_solution(
             m3 = _best(ctx, cands_c, base=base, workers=workers)
             work_cost = sequence[-1][1] if sequence else current_cost
             if m3 is None or (work_cost - m3.cost_after) < 0:
-                cands_d = splitting_candidates(env, work, sim, locked)
+                t_disc = time.perf_counter()
+                cands_d = splitting_candidates(env, work, sim, locked, view=view)
+                ctx.telemetry.add_time(
+                    "discovery", time.perf_counter() - t_disc
+                )
+                _tally_discovered(ctx.telemetry, cands_d, discovered)
                 if config.prune:
                     cands_d = prune_candidates(env, work, cands_d)
                 m4 = _best(ctx, cands_d, base=base, workers=workers)
@@ -188,7 +224,7 @@ def improve_solution(
             if rec is not None:
                 _emit_step(
                     rec, ctx, _pass, _step, work, work_cost, chosen,
-                    cands_ab + cands_c + cands_d, ev0, t_step,
+                    cands_ab + cands_c + cands_d, discovered, ev0, t_step,
                 )
             work = chosen.candidate.solution
             locked = locked | chosen.candidate.touched
@@ -244,6 +280,7 @@ def _emit_step(
     work_cost: float,
     chosen: ScoredMove,
     candidates: list[Candidate],
+    discovered: dict[str, int],
     ev0: tuple[int, int, int, int, int],
     t_step,
 ) -> None:
@@ -281,6 +318,10 @@ def _emit_step(
         d_power=after.power - before.power,
         d_area=after.area - before.area,
         d_cycles=after.schedule_length - before.schedule_length,
+        # Pre-pruning generation counts by full kind: identical between
+        # the relational and legacy discovery engines (equal candidate
+        # multisets), so the field is safe for trace byte-identity.
+        discovered=dict(sorted(discovered.items())),
         tried=dict(sorted(tried.items())),
         eval=evals,
         dur_ns=rec.elapsed_ns(t_step),

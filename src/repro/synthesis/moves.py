@@ -15,29 +15,37 @@
   new optimization opportunities and cut switched capacitance by
   un-interleaving streams.
 
-Every generator returns *candidates* — cloned, mutated solutions — that
-the iterative-improvement driver prices with the cost function (by
-delta against the current solution for local moves; see
-:mod:`repro.synthesis.incremental`).  Generators respect the KL
-*locked* set so a pass cannot ping-pong on the same resources.
-:func:`prune_candidates` discards provably dominated or structurally
-hopeless candidates before any of them are priced.
+Every generator returns *candidates* that the iterative-improvement
+driver prices with the cost function (by delta against the current
+solution for local moves; see :mod:`repro.synthesis.incremental`).
+A :class:`Candidate` either carries an eagerly mutated clone or — when
+discovered by the relational engine
+(:mod:`repro.synthesis.relational`) — a lazy *descriptor*: an edit
+recipe plus a precomputed structural fingerprint, with the
+``Solution.clone()`` deferred until the candidate is actually priced.
+Generators respect the KL *locked* set so a pass cannot ping-pong on
+the same resources.  :func:`prune_candidates` discards provably
+dominated or structurally hopeless candidates before any of them are
+priced (and, for lazy candidates, before any of them are cloned).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Callable
 
 from ..dfg.graph import NodeKind, Signal
 from ..dfg.ops import Operation
+from ..errors import SynthesisError
 from ..library.cells import LibraryCell
 from ..power.simulate import SimTrace
+from .caching import HashedKey
 from .context import SynthesisEnv, ensure_behavior
 from .modulegen import merge_modules
 from .solution import Solution
 
 __all__ = [
     "Candidate",
+    "register_lifetimes",
     "type_a_b_candidates",
     "sharing_candidates",
     "splitting_candidates",
@@ -46,25 +54,100 @@ __all__ = [
 ]
 
 
-@dataclass
 class Candidate:
-    """One tentative move: a mutated clone plus bookkeeping."""
+    """One tentative move: a mutated clone (or a recipe for one) plus
+    bookkeeping.
 
-    kind: str
-    description: str
-    solution: Solution
-    touched: frozenset[str]
-    #: Touched-resource footprint of a *local* move — one whose effects
-    #: on the cost are confined to the named instances/registers plus
-    #: cheap structural terms (muxes, wiring, controller).  ``None``
-    #: marks a global move (resynthesis, chain formation, module
-    #: merges, ...) that must always be priced from scratch: those can
-    #: change the schedule length or the register-conflict set
-    #: wholesale.  Only footprinted candidates are delta-priced against
-    #: the current solution's breakdown; correctness never depends on
-    #: the footprint (per-term keys catch every side effect), it is
-    #: purely the gate that decides when delta pricing is attempted.
-    footprint: frozenset[str] | None = None
+    Two construction modes:
+
+    * **eager** — ``solution=`` carries the already-mutated clone (the
+      legacy generators' idiom);
+    * **lazy** — ``build=`` is a zero-argument callable producing the
+      clone on first access to :attr:`solution`, and ``fingerprint=``
+      is the precomputed :class:`~repro.synthesis.caching.HashedKey`
+      of the solution that *would* be built.  The relational discovery
+      engine emits these so :func:`prune_candidates` can discard
+      duplicates, dominated swaps and hopeless structures without a
+      single ``Solution.clone()``.
+
+    The precomputed fingerprint must equal the built solution's
+    ``fingerprint_key()`` exactly — pruning and cost-cache decisions
+    key on it, and the bit-identity of the relational and legacy paths
+    rests on that equality (asserted by the test suite).
+    """
+
+    __slots__ = (
+        "kind", "description", "touched", "footprint", "replacement_cell",
+        "_solution", "_build", "_fingerprint", "_on_materialize",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        description: str,
+        solution: Solution | None = None,
+        touched: frozenset[str] = frozenset(),
+        footprint: frozenset[str] | None = None,
+        *,
+        build: Callable[[], Solution] | None = None,
+        fingerprint: HashedKey | None = None,
+        replacement_cell: LibraryCell | None = None,
+        on_materialize: Callable[[str], None] | None = None,
+    ):
+        if (solution is None) == (build is None):
+            raise SynthesisError(
+                "candidate needs exactly one of solution= (eager) or "
+                "build= (lazy)"
+            )
+        self.kind = kind
+        self.description = description
+        self.touched = touched
+        #: Touched-resource footprint of a *local* move — one whose
+        #: effects on the cost are confined to the named instances/
+        #: registers plus cheap structural terms (muxes, wiring,
+        #: controller).  ``None`` marks a global move (resynthesis,
+        #: chain formation, module merges, ...) that must always be
+        #: priced from scratch: those can change the schedule length or
+        #: the register-conflict set wholesale.  Only footprinted
+        #: candidates are delta-priced against the current solution's
+        #: breakdown; correctness never depends on the footprint
+        #: (per-term keys catch every side effect), it is purely the
+        #: gate that decides when delta pricing is attempted.
+        self.footprint = footprint
+        #: For ``A-cell`` swaps: the cell the instance would switch to.
+        #: Lets pruning rule 2 compare timing/area/cap without
+        #: materializing the clone.
+        self.replacement_cell = replacement_cell
+        self._solution = solution
+        self._build = build
+        self._fingerprint = fingerprint
+        self._on_materialize = on_materialize
+
+    @property
+    def solution(self) -> Solution:
+        """The mutated solution (built on first access for lazy candidates)."""
+        if self._solution is None:
+            assert self._build is not None
+            self._solution = self._build()
+            self._build = None
+            if self._on_materialize is not None:
+                self._on_materialize(self.kind)
+        return self._solution
+
+    @property
+    def is_materialized(self) -> bool:
+        """True once the mutated solution exists (always, when eager)."""
+        return self._solution is not None
+
+    def fingerprint_key(self) -> HashedKey:
+        """Structural fingerprint — precomputed for lazy candidates."""
+        if self._fingerprint is not None:
+            return self._fingerprint
+        return self.solution.fingerprint_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "built" if self.is_materialized else "lazy"
+        return f"Candidate({self.kind!r}, {self.description!r}, {state})"
 
 
 # ----------------------------------------------------------------------
@@ -91,6 +174,24 @@ def normalize_registers(solution: Solution) -> None:
     for signal in needed - bound:
         solution.add_register([signal])
     solution.invalidate()
+
+
+def register_lifetimes(
+    solution: Solution, regs: list[str]
+) -> dict[str, list[tuple[int, int]]]:
+    """Interval index: register id → sorted half-open signal lifetimes.
+
+    The shared basis of register-sharing discovery on both engines: the
+    legacy loop checks pairwise disjointness over these intervals, and
+    the relational engine loads the same rows into its ``life`` table
+    for the interval-overlap anti-join.  Intervals are half-open
+    ``[birth, death)`` cycles — two overlap iff
+    ``b1 < d2 and b2 < d1``.
+    """
+    return {
+        r: sorted(solution.signal_lifetime(s) for s in solution.reg_signals[r])
+        for r in regs
+    }
 
 
 def _ops_of_instance(solution: Solution, inst_id: str) -> set[Operation]:
@@ -213,6 +314,12 @@ def prune_candidates(
 
     Pruned candidates are counted per family in telemetry
     (``moves_pruned``); the surviving list preserves generation order.
+
+    All three rules work on :meth:`Candidate.fingerprint_key` and
+    :attr:`Candidate.replacement_cell`, so lazy (relational-engine)
+    candidates are pruned without ever cloning a solution — the clones
+    the legacy eager path wasted on pruned candidates simply never
+    happen.
     """
     if len(candidates) < 2:
         return candidates
@@ -233,7 +340,7 @@ def prune_candidates(
     # Rule 1: duplicate fingerprints.
     best_by_fp: dict = {}
     for idx, cand in enumerate(candidates):
-        fp = cand.solution.fingerprint_key()
+        fp = cand.fingerprint_key()
         prior = best_by_fp.get(fp)
         if prior is None:
             best_by_fp[fp] = idx
@@ -253,8 +360,10 @@ def prune_candidates(
     for indices in swap_groups.values():
         cells = []
         for i in indices:
-            (inst_id,) = candidates[i].touched
-            cell = candidates[i].solution.instances[inst_id].cell
+            cell = candidates[i].replacement_cell
+            if cell is None:
+                (inst_id,) = candidates[i].touched
+                cell = candidates[i].solution.instances[inst_id].cell
             assert cell is not None
             cells.append(
                 (
@@ -280,11 +389,19 @@ def prune_candidates(
                     drop.add(i)
                     break
 
-    # Rule 3: schedule length provably hopeless.
+    # Rule 3: schedule length provably hopeless.  Every move preserves
+    # the operating point, so the base solution's deadline applies to
+    # all candidates; the memo is probed by the candidate's (possibly
+    # precomputed) fingerprint first, so repeat structures never
+    # materialize a lazy candidate just to re-derive a known bound.
+    deadline = 2 * solution.deadline_cycles
     for idx, cand in enumerate(candidates):
         if idx in drop:
             continue
-        if _min_schedule_length(cand.solution) > 2 * cand.solution.deadline_cycles:
+        bound = _MIN_LEN_MEMO.get(cand.fingerprint_key())
+        if bound is None:
+            bound = _min_schedule_length(cand.solution)
+        if bound > deadline:
             drop.add(idx)
 
     if not drop:
@@ -313,8 +430,17 @@ def type_a_b_candidates(
     solution: Solution,
     sim: SimTrace,
     locked: frozenset[str],
+    view=None,
 ) -> list[Candidate]:
-    """Module-selection moves (Figure 5): replacement and resynthesis."""
+    """Module-selection moves (Figure 5): replacement and resynthesis.
+
+    *view* — a :class:`~repro.synthesis.relational.RelationalView` of
+    *solution* — routes the ``A-cell`` family through one batched
+    capability join instead of a per-instance library rescan; module
+    replacement/re-embedding and move B stay on the shared Python
+    helpers in both modes (their candidate counts are bounded by the
+    library, not by the solution size).
+    """
     config = env.config
 
     # Module group formation: target the heaviest unlocked instances.
@@ -327,6 +453,7 @@ def type_a_b_candidates(
     targets = targets[: config.max_ab_targets]
 
     candidates: list[Candidate] = []
+    simple_targets: list[str] = []
     resynth_budget = 2 if config.enable_resynthesis else 0
     for inst_id in targets:
         inst = solution.instances[inst_id]
@@ -340,8 +467,12 @@ def type_a_b_candidates(
                 if resynth is not None:
                     candidates.append(resynth)
                     resynth_budget -= 1
+        elif view is not None:
+            simple_targets.append(inst_id)
         else:
             candidates.extend(_cell_replacements(env, solution, inst_id))
+    if view is not None and simple_targets:
+        candidates.extend(view.cell_replacements(simple_targets))
     return candidates
 
 
@@ -367,6 +498,7 @@ def _cell_replacements(
                 solution=clone,
                 touched=frozenset({inst_id}),
                 footprint=frozenset({inst_id}),
+                replacement_cell=cell,
             )
         )
     return out
@@ -529,14 +661,39 @@ def sharing_candidates(
     solution: Solution,
     sim: SimTrace,
     locked: frozenset[str],
+    view=None,
 ) -> list[Candidate]:
-    """Merging moves: FU pairs, register pairs, module pairs, chains."""
+    """Merging moves: FU pairs, register pairs, module pairs, chains.
+
+    The candidate budget is apportioned *per family* — FU pairs up to
+    ``max_share_pairs``, register pairs up to ``max_share_pairs // 2``,
+    module pairs up to ``max(1, max_share_pairs // 2)``, chain
+    formation with its own small internal caps — rather than one global
+    truncation over the concatenated list, which used to let a full FU/
+    register harvest silently starve module sharing and chain formation
+    out of the round entirely.  Per-family discovery counts land in
+    ``telemetry.moves_discovered`` (kind-keyed), making the
+    apportionment observable.
+
+    With *view* set (a :class:`~repro.synthesis.relational.
+    RelationalView` of *solution*), the FU and register families come
+    from batched SQL joins emitting lazy candidates; module sharing and
+    chain formation are library-/DFG-bounded and stay on the shared
+    Python helpers in both modes.
+    """
+    config = env.config
     out: list[Candidate] = []
-    out.extend(_fu_sharing(env, solution, locked))
-    out.extend(_register_sharing(env, solution, locked))
-    out.extend(_module_sharing(env, solution, locked))
+    if view is not None:
+        out.extend(view.fu_sharing())
+        out.extend(view.register_sharing())
+    else:
+        out.extend(_fu_sharing(env, solution, locked))
+        out.extend(_register_sharing(env, solution, locked))
+    out.extend(
+        _module_sharing(env, solution, locked)[: max(1, config.max_share_pairs // 2)]
+    )
     out.extend(_chain_formation(env, solution, locked))
-    return out[: env.config.max_share_pairs * 2]
+    return out
 
 
 def _unlocked_simple(solution: Solution, locked: frozenset[str]) -> list[str]:
@@ -600,11 +757,7 @@ def _register_sharing(
     env: SynthesisEnv, solution: Solution, locked: frozenset[str]
 ) -> list[Candidate]:
     regs = [r for r in solution.reg_signals if r not in locked]
-    lifetimes: dict[str, list[tuple[int, int]]] = {}
-    for reg_id in regs:
-        lifetimes[reg_id] = sorted(
-            solution.signal_lifetime(s) for s in solution.reg_signals[reg_id]
-        )
+    lifetimes = register_lifetimes(solution, regs)
 
     def disjoint(a: str, b: str) -> bool:
         merged = sorted(lifetimes[a] + lifetimes[b])
@@ -612,12 +765,14 @@ def _register_sharing(
             b2 >= d1 for (_b1, d1), (b2, _d2) in zip(merged, merged[1:])
         )
 
-    # Sort by end-of-life so adjacent candidates likely fit (left-edge
-    # flavour); examine a bounded window of pairs.
+    # Sort by end-of-life (left-edge flavour: early-dying registers pair
+    # first) and enumerate *all* pairs in that order up to the family
+    # cap — the old 4-wide window missed valid disjoint pairs whenever
+    # a compatible partner sorted more than four slots away.
     regs.sort(key=lambda r: lifetimes[r][-1][1])
     out: list[Candidate] = []
     for i, a in enumerate(regs):
-        for b in regs[i + 1 : i + 5]:
+        for b in regs[i + 1 :]:
             if len(out) >= env.config.max_share_pairs // 2:
                 return out
             if not disjoint(a, b):
@@ -797,51 +952,61 @@ def splitting_candidates(
     solution: Solution,
     sim: SimTrace,
     locked: frozenset[str],
+    view=None,
 ) -> list[Candidate]:
-    """Splitting moves: un-share instances, registers and chains."""
+    """Splitting moves: un-share instances, registers and chains.
+
+    With *view* set, the FU-split and register-split families come from
+    the relational engine as lazy candidates (one ordered scan each);
+    chain dissolution stays on the shared Python helper below.
+    """
     out: list[Candidate] = []
 
-    shared = [
-        inst_id
-        for inst_id in solution.instances
-        if inst_id not in locked and len(solution.executions[inst_id]) >= 2
-    ]
-    shared.sort(key=lambda i: -len(solution.executions[i]))
-    for inst_id in shared[: env.config.max_split_candidates]:
-        execs = solution.executions[inst_id]
-        half = max(1, len(execs) // 2)
-        moved = execs[half:]
-        clone = solution.clone()
-        twin = clone.split_instance(inst_id, list(moved))
-        out.append(
-            Candidate(
-                kind="D-split-fu",
-                description=f"split {inst_id} ({len(execs)} execs) -> {twin}",
-                solution=clone,
-                touched=frozenset({inst_id, twin}),
-                footprint=frozenset({inst_id, twin}),
+    if view is not None:
+        out.extend(view.fu_splits())
+        out.extend(view.register_splits())
+    else:
+        shared = [
+            inst_id
+            for inst_id in solution.instances
+            if inst_id not in locked and len(solution.executions[inst_id]) >= 2
+        ]
+        shared.sort(key=lambda i: -len(solution.executions[i]))
+        for inst_id in shared[: env.config.max_split_candidates]:
+            execs = solution.executions[inst_id]
+            half = max(1, len(execs) // 2)
+            moved = execs[half:]
+            clone = solution.clone()
+            twin = clone.split_instance(inst_id, list(moved))
+            out.append(
+                Candidate(
+                    kind="D-split-fu",
+                    description=f"split {inst_id} ({len(execs)} execs) -> {twin}",
+                    solution=clone,
+                    touched=frozenset({inst_id, twin}),
+                    footprint=frozenset({inst_id, twin}),
+                )
             )
-        )
 
-    shared_regs = [
-        reg_id
-        for reg_id, signals in solution.reg_signals.items()
-        if reg_id not in locked and len(signals) >= 2
-    ]
-    for reg_id in shared_regs[: env.config.max_split_candidates // 2]:
-        signals = solution.reg_signals[reg_id]
-        moved = signals[len(signals) // 2 :]
-        clone = solution.clone(carry_timing=True)
-        twin = clone.split_register(reg_id, list(moved))
-        out.append(
-            Candidate(
-                kind="D-split-reg",
-                description=f"split register {reg_id} -> {twin}",
-                solution=clone,
-                touched=frozenset({reg_id, twin}),
-                footprint=frozenset({reg_id, twin}),
+        shared_regs = [
+            reg_id
+            for reg_id, signals in solution.reg_signals.items()
+            if reg_id not in locked and len(signals) >= 2
+        ]
+        for reg_id in shared_regs[: env.config.max_split_candidates // 2]:
+            signals = solution.reg_signals[reg_id]
+            moved = signals[len(signals) // 2 :]
+            clone = solution.clone(carry_timing=True)
+            twin = clone.split_register(reg_id, list(moved))
+            out.append(
+                Candidate(
+                    kind="D-split-reg",
+                    description=f"split register {reg_id} -> {twin}",
+                    solution=clone,
+                    touched=frozenset({reg_id, twin}),
+                    footprint=frozenset({reg_id, twin}),
+                )
             )
-        )
 
     # Chain dissolution: break a chained execution into singletons.
     for inst_id, inst in solution.instances.items():

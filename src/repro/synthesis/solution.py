@@ -107,6 +107,22 @@ class Solution:
             if candidate not in self.instances and candidate not in self.reg_signals:
                 return candidate
 
+    def peek_fresh_id(self, prefix: str) -> str:
+        """The id :meth:`fresh_id` *would* mint, without mutating state.
+
+        A clone of this solution starts from the same ``_counter``, so
+        the first ``fresh_id(prefix)`` called on the clone returns
+        exactly this value — which lets the relational engine
+        precompute the fingerprint of a split candidate (the twin's id
+        appears in it) before deciding whether to build the clone.
+        """
+        counter = self._counter
+        while True:
+            counter += 1
+            candidate = f"{prefix}{counter}"
+            if candidate not in self.instances and candidate not in self.reg_signals:
+                return candidate
+
     @property
     def deadline_cycles(self) -> int:
         """Cycle budget implied by the sampling period at this clock."""

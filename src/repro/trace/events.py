@@ -25,8 +25,11 @@ __all__ = ["SCHEMA_VERSION", "span_kinds"]
 #: Bump when an event kind gains/loses/renames a field.  Consumers
 #: (report, replay) check it and refuse traces from a different major.
 #: Version 2 added the optional ``store`` field (tiered synthesis-store
-#: counters) to ``run_end``.
-SCHEMA_VERSION = 2
+#: counters) to ``run_end``.  Version 3 added ``discovered`` to
+#: ``step``: pre-pruning candidate-generation counts keyed by full move
+#: kind (``"A-cell"``, ``"C-share-fu"``, ...), identical whichever
+#: discovery engine (relational or legacy loops) produced the set.
+SCHEMA_VERSION = 3
 
 #: kind → (one-line description, tuple of field names in emission order).
 #: Fields marked with a trailing ``?`` are optional: timing fields appear
@@ -52,9 +55,12 @@ _SPAN_KINDS: dict[str, tuple[str, tuple[str, ...]]] = {
     ),
     "step": (
         "one move chosen and applied inside a pass (Figure 4's inner "
-        "loop); gain components attribute the cost delta",
+        "loop); gain components attribute the cost delta; discovered "
+        "counts generated candidates by kind before pruning, tried "
+        "counts priced candidates by family after pruning",
         ("point", "pass", "step", "kind", "move", "cost", "gain",
-         "d_power", "d_area", "d_cycles", "tried", "eval", "dur_ns?"),
+         "d_power", "d_area", "d_cycles", "discovered", "tried", "eval",
+         "dur_ns?"),
     ),
     "pass_end": (
         "pass finished; the best prefix of its move sequence committed",

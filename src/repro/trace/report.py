@@ -148,6 +148,7 @@ def _family_rollup(
         e["pass"]: e["committed"]
         for e in _point_events(by_kind, "pass_end", point)
     }
+    discovered: dict[str, int] = {}
     tried: dict[str, int] = {}
     chosen: dict[str, int] = {}
     committed: dict[str, int] = {}
@@ -155,6 +156,11 @@ def _family_rollup(
     negative: dict[str, int] = {}
     for e in steps:
         family = move_family(e["kind"])
+        # Schema v3 counts generated candidates by full kind before
+        # pruning; absent in older traces, hence the default.
+        for kind, n in e.get("discovered", {}).items():
+            fam = move_family(kind)
+            discovered[fam] = discovered.get(fam, 0) + n
         for fam, n in e.get("tried", {}).items():
             tried[fam] = tried.get(fam, 0) + n
         chosen[family] = chosen.get(family, 0) + 1
@@ -166,9 +172,10 @@ def _family_rollup(
     if not steps:
         return None
     rows = []
-    for family in sorted(set(tried) | set(chosen)):
+    for family in sorted(set(discovered) | set(tried) | set(chosen)):
         rows.append((
             _FAMILY_LABELS.get(family, family),
+            discovered.get(family, 0),
             tried.get(family, 0),
             chosen.get(family, 0),
             committed.get(family, 0),
@@ -176,8 +183,8 @@ def _family_rollup(
             _fmt_gain(gain.get(family, 0.0)),
         ))
     return render_table(
-        ("move family", "tried", "chosen", "committed", "neg-gain",
-         "committed gain"),
+        ("move family", "discovered", "tried", "chosen", "committed",
+         "neg-gain", "committed gain"),
         rows,
         title=f"gain attribution by move family (point {point})",
     )

@@ -1,0 +1,140 @@
+"""Unit tests for move-A equivalence saturation.
+
+:mod:`repro.synthesis.saturate` grows a behavior's variant pool with
+anisomorphic-but-bit-true implementations found by bounded equality
+saturation over a hash-consed expression table.  The tests pin the
+load-bearing properties: determinism, bit-trueness against the white-
+noise oracle, the saturation bound, hierarchical-node bailout, and
+idempotent naming across repeated passes.
+"""
+
+import numpy as np
+
+from repro.dfg import Design, GraphBuilder
+from repro.dfg.canonical import canonical_fingerprint
+from repro.power.simulate import simulate_dfg
+from repro.power.traces import white_traces
+from repro.synthesis.saturate import saturate_design, saturate_dfg
+
+from tests.designs import make_butterfly_design
+
+
+def _sub_add_dfg(name: str = "toy"):
+    """(a - b) + c — rich in commutations and the SUB lowering."""
+    b = GraphBuilder(name)
+    a, x, c = b.inputs("a", "b", "c")
+    d = b.sub(a, x, name="d")
+    s = b.add(d, c, name="s")
+    b.output("o", s)
+    dfg = b.build()
+    dfg.behavior = "toybeh"
+    return dfg
+
+
+def _outputs_equal(base, variant, n=64):
+    traces = white_traces(base, n, seed=0)
+    sim_a = simulate_dfg(base, traces)
+    sim_b = simulate_dfg(variant, traces)
+    for out in base.outputs:
+        (edge_a,) = base.in_edges(out)
+        (edge_b,) = variant.in_edges(out)
+        if not np.array_equal(
+            sim_a.stream((), edge_a.signal), sim_b.stream((), edge_b.signal)
+        ):
+            return False
+    return True
+
+
+class TestSaturateDfg:
+    def test_finds_anisomorphic_variants(self):
+        base = _sub_add_dfg()
+        variants = saturate_dfg(base, max_variants=4)
+        assert variants
+        fps = {canonical_fingerprint(v) for v in variants}
+        assert len(fps) == len(variants)
+        assert canonical_fingerprint(base) not in fps
+
+    def test_variants_are_bit_true(self):
+        base = _sub_add_dfg()
+        for variant in saturate_dfg(base, max_variants=4):
+            assert _outputs_equal(base, variant)
+
+    def test_deterministic(self):
+        a = saturate_dfg(_sub_add_dfg(), max_variants=4)
+        b = saturate_dfg(_sub_add_dfg(), max_variants=4)
+        assert [v.name for v in a] == [v.name for v in b]
+        assert [canonical_fingerprint(v) for v in a] == [
+            canonical_fingerprint(v) for v in b
+        ]
+
+    def test_respects_max_variants(self):
+        assert len(saturate_dfg(_sub_add_dfg(), max_variants=1)) == 1
+
+    def test_zero_rounds_yields_nothing(self):
+        # Without a rewrite round every e-class is a singleton, so the
+        # only extractable implementation is the base itself.
+        assert saturate_dfg(_sub_add_dfg(), rounds=0) == []
+
+    def test_known_fingerprints_are_skipped(self):
+        base = _sub_add_dfg()
+        first = saturate_dfg(base, max_variants=4)
+        known = {canonical_fingerprint(v) for v in first}
+        again = saturate_dfg(base, max_variants=4, known=known)
+        assert not known & {canonical_fingerprint(v) for v in again}
+
+    def test_name_offset_shifts_suffix(self):
+        base = _sub_add_dfg()
+        variants = saturate_dfg(base, max_variants=2, name_offset=3)
+        assert [v.name for v in variants] == [
+            f"{base.name}__sat4",
+            f"{base.name}__sat5",
+        ][: len(variants)]
+
+    def test_hierarchical_dfg_bails_out(self):
+        design = make_butterfly_design()
+        # The butterfly top instantiates modules; saturation only
+        # handles flat graphs and must decline, not crash.
+        assert saturate_dfg(design.top) == []
+
+    def test_preserves_ports_and_behavior(self):
+        base = _sub_add_dfg()
+        for variant in saturate_dfg(base, max_variants=2):
+            assert variant.inputs == base.inputs
+            assert variant.outputs == base.outputs
+            assert variant.behavior == base.behavior
+
+
+class TestSaturateDesign:
+    def test_grows_non_top_behaviors(self):
+        design = make_butterfly_design()
+        before = {b: len(design.variants(b)) for b in design.behaviors()}
+        added = saturate_design(design)
+        assert added > 0
+        after = {b: len(design.variants(b)) for b in design.behaviors()}
+        top_behavior = design.top.behavior
+        assert after[top_behavior] == before[top_behavior]
+        assert sum(after.values()) == sum(before.values()) + added
+        design.check_hierarchy()
+
+    def test_repeated_saturation_registers_unique_names(self):
+        design = make_butterfly_design()
+        saturate_design(design)
+        # A second pass must not collide with __sat names already taken
+        # (add_dfg raises on duplicates) and must not re-register an
+        # existing implementation.
+        saturate_design(design, max_variants=4)
+        names = [v.name for b in design.behaviors() for v in design.variants(b)]
+        assert len(names) == len(set(names))
+        fps = [
+            canonical_fingerprint(v)
+            for b in design.behaviors()
+            for v in design.variants(b)
+        ]
+        assert len(fps) == len(set(fps))
+
+    def test_variants_share_behavior_of_base(self):
+        design = make_butterfly_design()
+        saturate_design(design)
+        for behavior in design.behaviors():
+            for variant in design.variants(behavior):
+                assert variant.behavior == behavior
