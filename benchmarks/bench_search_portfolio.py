@@ -1,0 +1,254 @@
+"""Portfolio-search quality gate and priors-transfer benchmark.
+
+Two claims from the search-policy layer, measured end to end:
+
+* **Portfolio never worse.**  For every bench-suite design, a
+  3-member/2-generation cross-pollinating portfolio must reach a final
+  cost no worse than the plain single-search baseline (member 0 of
+  generation 0 *is* the baseline policy on a cold slate, so this is a
+  structural guarantee — the bench holds the line and records the
+  wall-clock price paid for the extra members).
+
+* **Priors transfer.**  A priors-guided search warm-started from
+  statistics mined on one design must converge in fewer pricing
+  evaluations than the same search cold on a *structurally similar*
+  design — here an identifier-renamed clone, which the iso-invariant
+  fingerprints from ``repro.dfg.canonical`` map to the same priors
+  entry.  Final metrics are recorded so quality regressions are
+  visible alongside the evaluation savings.
+
+Writes ``results/search_portfolio.txt`` (human-readable) and
+``results/BENCH_10.json`` (per-design costs, wall clocks, and the
+cold/warm evaluation counts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+
+from repro.bench_suite import benchmark_names, get_benchmark
+from repro.dfg import parse_design
+from repro.dfg.canonical import design_fingerprint
+from repro.gen import GenConfig, generate_design
+from repro.search import portfolio_synthesize
+from repro.search.priors import mine_events, save_priors
+from repro.synthesis import SynthesisConfig, synthesize
+from repro.synthesis.store import SynthesisStore
+
+from conftest import RESULTS_DIR, save_result
+
+_LAXITY = 2.2
+_SAMPLES = 8
+_MEMBERS = 3
+_GENERATIONS = 2
+_PRIORS_SEED = 7
+_PRIORS_SAMPLING_NS = 600.0
+_PRIORS_SAMPLES = 12
+
+
+def _config(**overrides) -> SynthesisConfig:
+    base = SynthesisConfig(
+        max_passes=2,
+        max_moves=6,
+        max_ab_targets=4,
+        max_share_pairs=8,
+        max_split_candidates=4,
+        n_clocks=2,
+        resynth_passes=1,
+        resynth_moves=4,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+def _is_number(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True
+
+
+def _rename_clone(text: str) -> str:
+    """Systematically rename every identifier in a design text.
+
+    The clone is graph-isomorphic to the original but shares no names
+    with it — the strongest "structurally similar, textually distinct"
+    design we can construct, and exactly the case the iso-invariant
+    priors fingerprint must see through.
+    """
+    renamed = []
+    for line in text.splitlines():
+        tokens = line.split()
+        if not tokens:
+            renamed.append(line)
+            continue
+        head = tokens[0]
+
+        def _rn(token: str) -> str:
+            return token if _is_number(token) else "q" + token
+
+        if head in ("design", "top"):
+            tokens = [head] + [_rn(t) for t in tokens[1:]]
+        elif head == "dfg":
+            new = [head, _rn(tokens[1])]
+            rest = tokens[2:]
+            i = 0
+            while i < len(rest):
+                if rest[i] == "behavior":
+                    new += ["behavior", _rn(rest[i + 1])]
+                    i += 2
+                else:
+                    new.append(rest[i])
+                    i += 1
+            tokens = new
+        elif head in ("input", "const"):
+            tokens = [head, "q" + tokens[1]] + tokens[2:]
+        elif head == "op":
+            tokens = [head, "q" + tokens[1], tokens[2]]
+            tokens += [_rn(t) for t in line.split()[3:]]
+        elif head in ("hier", "output"):
+            tokens = [head] + [_rn(t) for t in tokens[1:]]
+        renamed.append(" ".join(tokens))
+    return "\n".join(renamed) + "\n"
+
+
+def _portfolio_sweep():
+    rows = []
+    for name in benchmark_names():
+        design = get_benchmark(name)
+        started = time.perf_counter()
+        base = synthesize(
+            design, laxity_factor=_LAXITY, objective="power",
+            config=_config(), n_samples=_SAMPLES,
+        )
+        base_s = time.perf_counter() - started
+        base_cost = base.metrics.objective_value("power")
+
+        started = time.perf_counter()
+        outcome = portfolio_synthesize(
+            design, laxity_factor=_LAXITY, objective="power",
+            config=_config(n_workers=1), n_samples=_SAMPLES,
+            n_members=_MEMBERS, generations=_GENERATIONS,
+        )
+        portfolio_s = time.perf_counter() - started
+        rows.append({
+            "design": name,
+            "baseline_cost": base_cost,
+            "baseline_s": round(base_s, 3),
+            "portfolio_cost": outcome.cost,
+            "portfolio_s": round(portfolio_s, 3),
+            "winner_policy": outcome.winner.policy,
+            "winner_generation": outcome.winner.generation,
+            "improvement": round(
+                (base_cost - outcome.cost) / base_cost, 5
+            ) if base_cost else 0.0,
+        })
+    return rows
+
+
+def _priors_transfer():
+    gen = generate_design(_PRIORS_SEED, GenConfig())
+    clone = parse_design(_rename_clone(gen.text), source="<renamed clone>")
+    fp_original = design_fingerprint(gen.design, gen.design.top)
+    fp_clone = design_fingerprint(clone, clone.top)
+    assert fp_original == fp_clone, (
+        "the renamed clone must hash to the original's iso-invariant "
+        "fingerprint — priors transfer depends on it"
+    )
+
+    cold_config = _config(search_policy="priors", trace=True,
+                          trace_timings=False)
+    started = time.perf_counter()
+    cold = synthesize(
+        gen.design, sampling_ns=_PRIORS_SAMPLING_NS, objective="power",
+        config=cold_config, n_samples=_PRIORS_SAMPLES,
+    )
+    cold_s = time.perf_counter() - started
+
+    store = SynthesisStore()
+    table = mine_events(cold.trace_events)
+    save_priors(store, fp_original, table)
+
+    started = time.perf_counter()
+    warm = synthesize(
+        clone, sampling_ns=_PRIORS_SAMPLING_NS, objective="power",
+        config=_config(search_policy="priors"), n_samples=_PRIORS_SAMPLES,
+        store=store,
+    )
+    warm_s = time.perf_counter() - started
+
+    return {
+        "gen_seed": _PRIORS_SEED,
+        "fingerprint": fp_original,
+        "mined_stats": len(table.stats),
+        "cold_evaluations": cold.telemetry.evaluations,
+        "warm_evaluations": warm.telemetry.evaluations,
+        "cold_cost": cold.metrics.objective_value("power"),
+        "warm_cost": warm.metrics.objective_value("power"),
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+    }
+
+
+def test_search_portfolio(benchmark):
+    rows = benchmark.pedantic(_portfolio_sweep, rounds=1, iterations=1)
+    transfer = _priors_transfer()
+
+    lines = [
+        "Portfolio search vs. single-search baseline (bench suite)",
+        "=========================================================",
+        f"{_MEMBERS} members x {_GENERATIONS} generations, laxity "
+        f"{_LAXITY:g}, {_SAMPLES} samples, serial members",
+        "",
+        f"{'design':<18} {'baseline':>10} {'portfolio':>10} {'gain':>7} "
+        f"{'winner':>12} {'base s':>7} {'port s':>7}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['design']:<18} {row['baseline_cost']:>10.4f} "
+            f"{row['portfolio_cost']:>10.4f} {row['improvement']:>6.1%} "
+            f"{row['winner_policy']:>12} {row['baseline_s']:>7.2f} "
+            f"{row['portfolio_s']:>7.2f}"
+        )
+    lines += [
+        "",
+        "Priors transfer (gen design -> identifier-renamed clone)",
+        "--------------------------------------------------------",
+        f"seed {transfer['gen_seed']}, sampling "
+        f"{_PRIORS_SAMPLING_NS:g} ns, {_PRIORS_SAMPLES} samples, "
+        f"{transfer['mined_stats']} mined (regime, kind) entries",
+        f"cold evaluations: {transfer['cold_evaluations']}   "
+        f"(cost {transfer['cold_cost']:.4f}, {transfer['cold_s']:.2f} s)",
+        f"warm evaluations: {transfer['warm_evaluations']}   "
+        f"(cost {transfer['warm_cost']:.4f}, {transfer['warm_s']:.2f} s)",
+        f"saved: {transfer['cold_evaluations'] - transfer['warm_evaluations']}"
+        " pricing evaluations",
+    ]
+    save_result("search_portfolio", "\n".join(lines))
+
+    snapshot = {
+        "bench": "search_portfolio",
+        "laxity": _LAXITY,
+        "n_samples": _SAMPLES,
+        "n_members": _MEMBERS,
+        "generations": _GENERATIONS,
+        "designs": rows,
+        "priors_transfer": transfer,
+    }
+    (RESULTS_DIR / "BENCH_10.json").write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
+
+    for row in rows:
+        assert row["portfolio_cost"] <= row["baseline_cost"], (
+            f"portfolio must never price worse than the single-search "
+            f"baseline on {row['design']}: {row['portfolio_cost']} > "
+            f"{row['baseline_cost']}"
+        )
+    assert transfer["warm_evaluations"] < transfer["cold_evaluations"], (
+        "priors-warm search must converge in fewer pricing evaluations "
+        f"than cold: warm {transfer['warm_evaluations']} >= cold "
+        f"{transfer['cold_evaluations']}"
+    )

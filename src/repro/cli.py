@@ -43,6 +43,7 @@ from .reporting import (
     run_sweep,
 )
 from .rtl import emit_controller, emit_netlist
+from .search import available_policies
 from .synthesis import SynthesisConfig, synthesize, synthesize_flat, voltage_scale
 from .synthesis.library_gen import build_complex_library
 
@@ -82,6 +83,21 @@ def build_parser() -> argparse.ArgumentParser:
     constraint.add_argument("--sampling-ns", type=float, default=None,
                             help="absolute sampling period in nanoseconds")
     synth.add_argument("--objective", choices=("area", "power"), default="power")
+    synth.add_argument("--policy", choices=available_policies(), default=None,
+                       metavar="NAME",
+                       help="search policy biasing the improvement driver "
+                            "(default: the paper's fixed scheme; see "
+                            "docs/SEARCH.md; choices: "
+                            f"{', '.join(available_policies())})")
+    synth.add_argument("--portfolio", type=int, default=None, metavar="N",
+                       help="run N differently-biased search policies as a "
+                            "cross-pollinating portfolio and keep the best "
+                            "result (never worse than the single search; "
+                            "incompatible with --flatten)")
+    synth.add_argument("--priors", action="store_true",
+                       help="search with trace-mined move priors and, after "
+                            "the run, mine this run's trace back into the "
+                            "priors store (persists with --cache-dir)")
     synth.add_argument("--flatten", action="store_true",
                        help="run the flattened baseline instead of hierarchical")
     synth.add_argument("--no-library", action="store_true",
@@ -280,6 +296,16 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--flatten", action="store_true",
                         help="run the flattened baseline instead of "
                              "hierarchical")
+    submit.add_argument("--policy", choices=available_policies(),
+                        default=None, metavar="NAME",
+                        help="search policy biasing the improvement driver "
+                             "(see docs/SEARCH.md)")
+    submit.add_argument("--portfolio", type=int, default=None, metavar="N",
+                        help="run N differently-biased policies as a "
+                             "cross-pollinating portfolio on the server")
+    submit.add_argument("--priors", action="store_true",
+                        help="search with the server's trace-mined move "
+                             "priors and mine this run back into them")
     submit.add_argument("--verify", action="store_true",
                         help="differentially verify the winning RTL on the "
                              "server (a failing check fails the job)")
@@ -347,6 +373,15 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     else:
         design = _load_design(args.design)
 
+    if args.portfolio is not None:
+        if args.flatten:
+            print("error: --portfolio is incompatible with --flatten",
+                  file=sys.stderr)
+            return 2
+        if args.portfolio < 1:
+            print("error: --portfolio needs N >= 1", file=sys.stderr)
+            return 2
+
     config = quick_config() if args.effort == "quick" else SynthesisConfig()
     config.n_workers = args.workers
     config.score_workers = args.score_workers
@@ -360,6 +395,13 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     # warm-starts from (and feeds) the persistent store.
     config.cache_dir = str(args.cache_dir) if args.cache_dir else None
     config.persistent_cache = not args.no_persistent_cache
+    if args.policy:
+        config.search_policy = args.policy
+    elif args.priors:
+        config.search_policy = "priors"
+    if args.priors and not args.cache_dir:
+        print("note: --priors without --cache-dir starts from empty priors "
+              "and persists nothing", file=sys.stderr)
     if args.saturate:
         # Saturation runs before the library build: every verified
         # variant registers as an anisomorphic alternative of its
@@ -394,6 +436,10 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             "samples": args.samples,
             "built_library": built_library,
         }
+    elif args.priors:
+        # Priors are mined from the structured trace, so record it even
+        # when no trace file was requested.
+        config.trace = True
 
     trace_gen = _TRACE_GENERATORS[args.traces]
     traces = trace_gen(design.top, n=args.samples, seed=args.seed)
@@ -404,17 +450,34 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
-    run = synthesize_flat if args.flatten else synthesize
-    result = run(
-        design,
-        library,
-        sampling_ns=args.sampling_ns,
-        laxity_factor=args.laxity,
-        objective=args.objective,
-        traces=traces,
-        config=config,
-        n_samples=args.samples,
-    )
+    portfolio = None
+    if args.portfolio is not None:
+        from .search import portfolio_synthesize
+
+        portfolio = portfolio_synthesize(
+            design,
+            library,
+            sampling_ns=args.sampling_ns,
+            laxity_factor=args.laxity,
+            objective=args.objective,
+            traces=traces,
+            config=config,
+            n_samples=args.samples,
+            n_members=args.portfolio,
+        )
+        result = portfolio.result
+    else:
+        run = synthesize_flat if args.flatten else synthesize
+        result = run(
+            design,
+            library,
+            sampling_ns=args.sampling_ns,
+            laxity_factor=args.laxity,
+            objective=args.objective,
+            traces=traces,
+            config=config,
+            n_samples=args.samples,
+        )
     if args.voltage_scale:
         result = voltage_scale(result, continuous=True)
     if profiler is not None:
@@ -432,6 +495,12 @@ def _cmd_synth(args: argparse.Namespace) -> int:
           f"(budget {result.solution.deadline_cycles})")
     print(f"sampling:       {result.sampling_ns:.1f} ns")
     print(f"synthesis time: {result.elapsed_s:.2f} s")
+    if portfolio is not None and portfolio.winner is not None:
+        winner = portfolio.winner
+        print(f"portfolio:      {args.portfolio} member(s) × "
+              f"{portfolio.generations} generation(s), winner "
+              f"{winner.policy!r} (generation {winner.generation}, "
+              f"member {winner.member}) in {portfolio.elapsed_s:.2f} s")
     if args.verify:
         check = result.verify()
         if not check.ok:
@@ -460,12 +529,40 @@ def _cmd_synth(args: argparse.Namespace) -> int:
         print(render_corner_report(report))
     if args.stats:
         print()
-        print(render_stats(result.telemetry))
+        print(render_stats(result.telemetry, history=result.history))
+        if portfolio is not None:
+            print()
+            print("portfolio members:")
+            for m in portfolio.members:
+                print(f"  generation {m.generation} member {m.member} "
+                      f"({m.policy}): cost {m.cost:.4g}, "
+                      f"{m.evaluations} evaluations, {m.elapsed_s:.2f} s")
     if args.trace:
         from .trace import write_trace
 
         n_events = write_trace(result.trace_events, args.trace)
         print(f"trace written to {args.trace} ({n_events} events)")
+    if args.priors:
+        from .dfg.canonical import design_fingerprint
+        from .search.priors import mine_events, save_priors
+
+        table = mine_events(result.trace_events or [])
+        if config.cache_dir:
+            from .synthesis.store import SynthesisStore
+
+            store = SynthesisStore.from_config(config)
+            try:
+                fingerprint = design_fingerprint(
+                    result.design, result.design.top
+                )
+                save_priors(store, fingerprint, table)
+            finally:
+                store.close()
+            print(f"priors: mined {len(table.stats)} (regime, kind) "
+                  f"statistics into {args.cache_dir}")
+        else:
+            print(f"priors: mined {len(table.stats)} (regime, kind) "
+                  f"statistics (not persisted; no --cache-dir)")
     if args.profile:
         print(f"profile written to {args.profile}")
 
@@ -616,6 +713,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         flatten=args.flatten,
         verify=args.verify,
         trace=args.trace,
+        policy=args.policy,
+        portfolio=args.portfolio,
+        priors=args.priors,
     )
     client = ServiceClient(args.url)
     receipt = client.submit(request)

@@ -346,6 +346,14 @@ _EXECUTION_ONLY_FIELDS = frozenset(
         "persistent_cache",
         "run_cache_size",
         "store_shards",
+        # The search policy biases which final solution the outer
+        # search reaches, but every *stored* sub-result is policy-
+        # independent: nested move-B resynthesis always runs the
+        # default scheme, and schedules/metrics are pure evaluation.
+        # Excluding these lets differently-biased portfolio members
+        # share one cache.
+        "search_policy",
+        "policy_params",
     }
 )
 

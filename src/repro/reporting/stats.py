@@ -10,8 +10,13 @@ harness uses.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..telemetry import Telemetry
 from .tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..synthesis.improve import PassRecord
 
 __all__ = ["render_stats"]
 
@@ -23,8 +28,42 @@ _FAMILY_LABELS = {
 }
 
 
-def render_stats(telemetry: Telemetry, title: str = "Synthesis statistics") -> str:
-    """Render telemetry counters as a plain-text table."""
+def _history_rows(
+    history: "dict[tuple[float, float], list[PassRecord]]",
+) -> list[tuple[str, object]]:
+    """Per-pass rows from the sweep's improvement-pass records.
+
+    Each explored operating point contributes one row per pass showing
+    how deep the variable-depth sequence went, how much of it committed,
+    and the cost the committed prefix reached.
+    """
+    rows: list[tuple[str, object]] = []
+    for (vdd, clk_ns), records in sorted(history.items()):
+        for idx, record in enumerate(records):
+            if record.committed_prefix:
+                cost = record.costs[record.committed_prefix - 1]
+                value = (
+                    f"{len(record.moves)} moves, "
+                    f"{record.committed_prefix} committed, cost {cost:.4g}"
+                )
+            else:
+                value = f"{len(record.moves)} moves, none committed"
+            rows.append((f"pass {vdd:.2f}V/{clk_ns:.1f}ns #{idx}", value))
+    return rows
+
+
+def render_stats(
+    telemetry: Telemetry,
+    title: str = "Synthesis statistics",
+    history: "dict[tuple[float, float], list[PassRecord]] | None" = None,
+) -> str:
+    """Render telemetry counters as a plain-text table.
+
+    *history* (``SynthesisResult.history``) appends one row per
+    improvement pass of every explored operating point — the
+    variable-depth search's per-pass depth, committed prefix and
+    committed move kinds.
+    """
     rows: list[tuple[str, object]] = [
         ("evaluations", telemetry.evaluations),
         ("cost-cache hits", telemetry.cache_hits),
@@ -86,6 +125,8 @@ def render_stats(telemetry: Telemetry, title: str = "Synthesis statistics") -> s
         if evictions:
             value += f" / {evictions} evicted"
         rows.append((f"store {key}", value))
+    if history:
+        rows.extend(_history_rows(history))
     for stage, seconds in sorted(telemetry.stage_s.items()):
         rows.append((f"time: {stage}", f"{seconds:.3f} s"))
     return render_table(("counter", "value"), rows, title=title)

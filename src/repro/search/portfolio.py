@@ -1,0 +1,382 @@
+"""Cross-pollinating portfolio search over differently-biased policies.
+
+A portfolio run launches N members — each a full :func:`repro.
+synthesis.api.synthesize` call under a different search policy — over
+``generations`` rounds.  Members share one synthesis store: besides the
+usual policy-independent memo traffic (modules, resynthesis,
+schedules), every member publishes its best solution per operating
+point into the store's ``portfolio`` namespace and seeds its points
+from the best solution *any* member has published (the base policy's
+``pollinate`` hook), so generation 2 restarts every biased search from
+the generation-1 incumbent frontier.
+
+Member 0 of generation 1 always runs the unmodified default policy on
+a cold incumbent slate, so the portfolio's winner is **never worse**
+than the single-search baseline — the remaining members can only add
+improvements.  Ties resolve to the earliest member (strict ``<``), so
+a portfolio that finds nothing better returns the baseline result
+bit for bit.
+
+Execution reuses the operating-point sweep's worker pattern: members of
+one generation fan out over a :class:`~concurrent.futures.
+ProcessPoolExecutor` when ``config.n_workers > 1`` (the knob is
+consumed here; members sweep their own points serially).  Workers
+rebuild a store from the config, absorb the incumbent slate the parent
+ships in, and return their own slate; the parent merges slates
+cost-monotonically between generations.  Pool failures fall back to
+the serial path, which shares the parent's store object directly.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dfg.hierarchy import Design
+    from ..library.library import ModuleLibrary
+    from ..power.traces import TraceSet
+    from ..synthesis.api import SynthesisResult
+    from ..synthesis.context import SynthesisConfig
+    from ..synthesis.store import SynthesisStore
+
+__all__ = [
+    "DEFAULT_ROSTER",
+    "MemberReport",
+    "PortfolioResult",
+    "portfolio_synthesize",
+]
+
+#: Policy roster, in launch order.  Position 0 is deliberately the
+#: default policy: it anchors the portfolio to the single-search
+#: baseline.  ``priors`` rides last — with no mined table it degrades
+#: to the default policy, so it only earns a slot in larger portfolios.
+DEFAULT_ROSTER: tuple[str, ...] = (
+    "default", "share-first", "deep", "greedy", "split-eager", "priors",
+)
+
+#: One cross-pollinated incumbent: ``(vdd, clk_ns) → (cost, blob)``
+#: where the blob pickles the store value ``(cost, solution)``.
+_Slate = dict
+
+
+@dataclass
+class MemberReport:
+    """Summary of one portfolio member's run."""
+
+    generation: int
+    member: int
+    policy: str
+    #: Winning objective value of this member's own sweep.
+    cost: float
+    vdd: float
+    clk_ns: float
+    elapsed_s: float
+    #: Total cost evaluations the member spent.
+    evaluations: int
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of a portfolio run: the winner plus per-member reports."""
+
+    #: The best member's full synthesis result (ties → earliest member).
+    result: "SynthesisResult"
+    #: The winning member's report (also present in :attr:`members`).
+    winner: MemberReport | None = None
+    members: list[MemberReport] = field(default_factory=list)
+    generations: int = 1
+    #: Cross-pollination token the run shared incumbents under.
+    token: str = ""
+    #: Wall-clock of the whole portfolio (all members, all generations).
+    elapsed_s: float = 0.0
+
+    @property
+    def cost(self) -> float:
+        """Winning objective value."""
+        return self.result.metrics.objective_value(self.result.objective)
+
+
+def _roster(n_members: int, roster: tuple[str, ...]) -> list[str]:
+    """First *n_members* policies, cycling when the roster is shorter."""
+    return [roster[i % len(roster)] for i in range(n_members)]
+
+
+def _member_config(
+    config: "SynthesisConfig", policy: str, token: str
+) -> "SynthesisConfig":
+    params = dict(config.policy_params or {})
+    params["pollinate"] = token
+    return replace(
+        config,
+        search_policy=policy,
+        policy_params=params,
+        # Members parallelize across each other; nested point pools on
+        # top would oversubscribe the machine.
+        n_workers=1,
+    )
+
+
+def _slot_content(token: str, vdd: float, clk_ns: float,
+                  sampling_ns: float) -> tuple:
+    """Content key of one operating point's shared incumbent slot.
+
+    Must match :meth:`repro.search.policy.SearchPolicy.
+    _pollination_key` — workers and policies address the same slots.
+    """
+    return ("portfolio", token, vdd, clk_ns, sampling_ns)
+
+
+def _collect_slate(
+    store: "SynthesisStore",
+    token: str,
+    points: "list[tuple[float, float]]",
+    sampling_ns: float,
+) -> _Slate:
+    """Read the incumbent of every known operating point from *store*."""
+    from ..synthesis.store import MISSING
+
+    slate: _Slate = {}
+    for vdd, clk_ns in points:
+        value = store.load("portfolio", _slot_content(token, vdd, clk_ns,
+                                                      sampling_ns))
+        if value is not MISSING:
+            slate[(vdd, clk_ns)] = (
+                value[0],
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+    return slate
+
+
+def _install_slate(
+    store: "SynthesisStore", token: str, sampling_ns: float, slate: _Slate
+) -> None:
+    """Cost-monotonically merge *slate* into *store*'s incumbent slots."""
+    from ..synthesis.store import MISSING
+
+    for (vdd, clk_ns), (cost, blob) in slate.items():
+        content = _slot_content(token, vdd, clk_ns, sampling_ns)
+        held = store.load("portfolio", content)
+        if held is MISSING or cost < held[0]:
+            store.replace("portfolio", content, pickle.loads(blob))
+
+
+def _merge_slates(into: _Slate, other: _Slate) -> None:
+    """Fold *other* into *into*, keeping the cheaper incumbent per point."""
+    for point, (cost, blob) in other.items():
+        if point not in into or cost < into[point][0]:
+            into[point] = (cost, blob)
+
+
+def _run_member(
+    design: "Design",
+    library: "ModuleLibrary | None",
+    sampling_ns: float,
+    objective: str,
+    traces: "TraceSet | None",
+    config: "SynthesisConfig",
+    n_samples: int,
+    store: "SynthesisStore | None",
+) -> "SynthesisResult":
+    from ..synthesis.api import synthesize
+
+    return synthesize(
+        design,
+        library=library,
+        sampling_ns=sampling_ns,
+        objective=objective,
+        traces=traces,
+        config=config,
+        n_samples=n_samples,
+        store=store,
+    )
+
+
+def _member_worker(payload: tuple) -> tuple:
+    """Process-pool entry: one member against a process-local store.
+
+    The parent's incumbent slate arrives pickled; the worker installs
+    it before synthesizing and returns its own post-run slate (every
+    operating point its sweep explored) for the parent to merge.
+    """
+    (design, library, sampling_ns, objective, traces, config, n_samples,
+     slate, token) = payload
+    from ..errors import SynthesisError
+    from ..synthesis.store import SynthesisStore
+
+    store = SynthesisStore.from_config(config)
+    _install_slate(store, token, sampling_ns, slate)
+    result = None
+    try:
+        try:
+            result = _run_member(
+                design, library, sampling_ns, objective, traces, config,
+                n_samples, store,
+            )
+        except SynthesisError:
+            # An infeasible member must not sink the portfolio: another
+            # bias may still find an implementation.
+            return None, {}
+        points = sorted(result.history)
+        out = _collect_slate(store, token, points, result.sampling_ns)
+    finally:
+        store.close()
+    return result, out
+
+
+def portfolio_synthesize(
+    design: "Design",
+    library: "ModuleLibrary | None" = None,
+    sampling_ns: float | None = None,
+    laxity_factor: float | None = None,
+    objective: str = "power",
+    traces: "TraceSet | None" = None,
+    config: "SynthesisConfig | None" = None,
+    n_samples: int = 48,
+    n_members: int = 3,
+    generations: int = 2,
+    roster: tuple[str, ...] = DEFAULT_ROSTER,
+    token: str | None = None,
+) -> PortfolioResult:
+    """Run an N-member cross-pollinating portfolio search.
+
+    Arguments mirror :func:`repro.synthesis.api.synthesize`; the extras
+    select the portfolio shape (*n_members* policies from *roster*,
+    repeated for *generations* rounds).  See the module docstring for
+    the execution model and the never-worse-than-baseline guarantee.
+    """
+    from ..errors import SynthesisError
+    from ..library.library import default_library
+    from ..synthesis.context import SynthesisConfig
+    from ..synthesis.pruning import laxity_sampling_ns
+    from ..synthesis.store import SynthesisStore
+
+    started = time.perf_counter()
+    config = config or SynthesisConfig()
+    if n_members < 1:
+        raise ValueError(f"n_members must be >= 1, got {n_members}")
+    if generations < 1:
+        raise ValueError(f"generations must be >= 1, got {generations}")
+    if (sampling_ns is None) == (laxity_factor is None):
+        raise ValueError("give exactly one of sampling_ns / laxity_factor")
+    if sampling_ns is None:
+        sampling_ns = laxity_sampling_ns(
+            design, library or default_library(), laxity_factor
+        )
+    if token is None:
+        # Incumbent slots are additionally keyed by operating point and
+        # sampling period, so a design/objective-scoped token is
+        # collision-safe across runs sharing a persistent cache.
+        token = f"{design.name}:{objective}:{sampling_ns:.6g}"
+
+    policies = _roster(n_members, roster)
+    shared = SynthesisStore.from_config(config)
+    parallel = max(1, config.n_workers)
+    reports: list[MemberReport] = []
+    best: "tuple[float, SynthesisResult, MemberReport] | None" = None
+    #: Every operating point any member has explored — the slots worth
+    #: probing when shipping the slate to the next generation.
+    known_points: set[tuple[float, float]] = set()
+    try:
+        for generation in range(generations):
+            configs = [
+                _member_config(config, policy, token) for policy in policies
+            ]
+            results = _run_generation(
+                design, library, sampling_ns, objective, traces, configs,
+                n_samples, shared, token, parallel, known_points,
+            )
+            for member, result in enumerate(results):
+                if result is None:
+                    continue
+                known_points.update(result.history)
+                cost = result.metrics.objective_value(result.objective)
+                report = MemberReport(
+                    generation=generation,
+                    member=member,
+                    policy=policies[member],
+                    cost=cost,
+                    vdd=result.vdd,
+                    clk_ns=result.clk_ns,
+                    elapsed_s=result.elapsed_s,
+                    evaluations=result.telemetry.evaluations,
+                )
+                reports.append(report)
+                if best is None or cost < best[0]:
+                    best = (cost, result, report)
+    finally:
+        shared.close()
+
+    if best is None:
+        raise SynthesisError(
+            f"no portfolio member found a feasible implementation for "
+            f"{design.name!r} at sampling period {sampling_ns:.1f} ns"
+        )
+    return PortfolioResult(
+        result=best[1],
+        winner=best[2],
+        members=reports,
+        generations=generations,
+        token=token,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def _run_generation(
+    design: "Design",
+    library: "ModuleLibrary | None",
+    sampling_ns: float,
+    objective: str,
+    traces: "TraceSet | None",
+    configs: "list[SynthesisConfig]",
+    n_samples: int,
+    shared: "SynthesisStore",
+    token: str,
+    parallel: int,
+    known_points: set,
+) -> "list[SynthesisResult | None]":
+    """Run one generation's members; returns per-member results.
+
+    A member whose sweep finds nothing feasible yields ``None`` instead
+    of failing the portfolio (another bias may still succeed).
+    """
+    from ..errors import SynthesisError
+
+    if parallel > 1 and len(configs) > 1:
+        slate = _collect_slate(
+            shared, token, sorted(known_points), sampling_ns
+        )
+        payloads = [
+            (design, library, sampling_ns, objective, traces, member_config,
+             n_samples, slate, token)
+            for member_config in configs
+        ]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(parallel, len(configs))
+            ) as pool:
+                paired = list(pool.map(_member_worker, payloads))
+        except (OSError, ImportError, BrokenProcessPool,
+                pickle.PicklingError):
+            paired = None
+        if paired is not None:
+            merged: _Slate = {}
+            for _result, out_slate in paired:
+                _merge_slates(merged, out_slate)
+            _install_slate(shared, token, sampling_ns, merged)
+            return [result for result, _slate in paired]
+
+    results: "list[SynthesisResult | None]" = []
+    for member_config in configs:
+        try:
+            results.append(_run_member(
+                design, library, sampling_ns, objective, traces,
+                member_config, n_samples, shared,
+            ))
+        except SynthesisError:
+            results.append(None)
+    return results

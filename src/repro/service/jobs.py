@@ -72,6 +72,15 @@ class JobRequest:
     #: Record the search trace; the server keeps it per job and serves
     #: it at ``GET /jobs/<id>/trace``.
     trace: bool = False
+    #: Search policy biasing the improvement driver (``None`` = the
+    #: paper's default scheme; see :mod:`repro.search.policy`).
+    policy: str | None = None
+    #: Run N differently-biased policies as a cross-pollinating
+    #: portfolio and keep the best result (``None`` = single search).
+    portfolio: int | None = None
+    #: Search with trace-mined move priors and mine this run's trace
+    #: back into the server's priors store after it finishes.
+    priors: bool = False
 
     def validate(self) -> None:
         """Reject structurally invalid requests before any work starts."""
@@ -95,6 +104,21 @@ class JobRequest:
             raise ServiceError(f"unknown effort {self.effort!r}")
         if self.samples < 1:
             raise ServiceError(f"samples must be >= 1, got {self.samples}")
+        if self.policy is not None:
+            from ..search import available_policies
+
+            if self.policy not in available_policies():
+                raise ServiceError(
+                    f"unknown search policy {self.policy!r}; available: "
+                    f"{', '.join(available_policies())}"
+                )
+        if self.portfolio is not None:
+            if self.portfolio < 1:
+                raise ServiceError(
+                    f"portfolio must be >= 1, got {self.portfolio}"
+                )
+            if self.flatten:
+                raise ServiceError("portfolio is incompatible with flatten")
 
     def to_dict(self) -> dict[str, Any]:
         """Wire form (JSON object body of ``POST /jobs``)."""
@@ -172,6 +196,9 @@ def request_fingerprint(
             request.flatten,
             request.verify,
             request.trace,
+            request.policy,
+            request.portfolio,
+            request.priors,
         )
     )
 

@@ -162,12 +162,16 @@ def synthesize(
     traces: TraceSet | None = None,
     config: SynthesisConfig | None = None,
     n_samples: int = 48,
+    store: "Any | None" = None,
 ) -> SynthesisResult:
     """Synthesize a hierarchical design under a throughput constraint.
 
     Exactly one of ``sampling_ns`` (absolute period) or ``laxity_factor``
     (multiple of the minimum achievable period, as in Table 3) must be
-    given.
+    given.  *store* optionally supplies an externally owned
+    :class:`~repro.synthesis.store.SynthesisStore` shared across several
+    runs (the portfolio driver pollinates members through one); the
+    caller keeps responsibility for closing it.
     """
     return _synthesize(
         design,
@@ -179,6 +183,7 @@ def synthesize(
         config=config,
         n_samples=n_samples,
         flatten_input=False,
+        store=store,
     )
 
 
@@ -368,6 +373,7 @@ def _synthesize(
     config: SynthesisConfig | None,
     n_samples: int,
     flatten_input: bool,
+    store: "Any | None" = None,
 ) -> SynthesisResult:
     started = time.perf_counter()
     library = library or default_library()
@@ -385,7 +391,7 @@ def _synthesize(
     top = design.top
     traces = _prepare_traces(design, traces, n_samples)
     input_streams = [traces[name] for name in top.inputs]
-    env = SynthesisEnv(design, library, objective, config)
+    env = SynthesisEnv(design, library, objective, config, store=store)
     try:
         return _synthesize_in_env(
             env, design, top, traces, input_streams, sampling_ns, objective,
@@ -397,10 +403,13 @@ def _synthesize(
         # server worker, REPL) that survives a SynthesisError must not
         # retain them, nor keep the run's persistent-store connections
         # open.  Post-processing (voltage scaling, corner sweeps) simply
-        # repopulates the memos from the result's own sim.
+        # repopulates the memos from the result's own sim.  An
+        # externally supplied store outlives the run by contract — its
+        # owner (the portfolio driver) closes it after the last member.
         reset_activity_caches()
         _reset_energy_memos()
-        env.store.close()
+        if store is None:
+            env.store.close()
 
 
 def _synthesize_in_env(
@@ -450,6 +459,13 @@ def _synthesize_in_env(
             n_points=len(points),
             config=_traced_config(env.config),
             provenance=env.config.trace_meta,
+            # Optional v3 header field: absent (and byte-invisible) for
+            # the default policy, so pre-policy goldens stay valid.
+            policy=(
+                env.config.search_policy
+                if env.config.search_policy != "default"
+                else None
+            ),
         )
 
     t_sweep = time.perf_counter()
@@ -543,7 +559,13 @@ def _traced_config(config: SynthesisConfig) -> dict[str, Any]:
             "trace", "trace_timings", "trace_evals",
             "trace_max_events", "trace_meta",
             "cache_dir", "persistent_cache", "run_cache_size",
-            "store_shards"}
+            "store_shards",
+            # Policy selection rides as run_start's optional ``policy``
+            # field instead (absent for the default policy), keeping
+            # default-policy traces byte-identical to pre-policy ones;
+            # replay re-executes recorded committed moves, which is
+            # policy-independent.
+            "search_policy", "policy_params"}
     return {
         f.name: getattr(config, f.name)
         for f in dataclasses.fields(config)

@@ -21,6 +21,7 @@ from ..dfg.hierarchy import Design
 from ..errors import LibraryError
 from ..library.library import ModuleLibrary
 from ..power.activity import reset_activity_caches
+from ..search import make_policy
 from .incremental import _reset_energy_memos
 from ..power.simulate import SimTrace, simulate_subgraph
 from ..rtl.module import RTLModule
@@ -148,6 +149,16 @@ class SynthesisConfig:
     #: fleet — do not serialize on one writer lock.  Execution knob
     #: only: results are bit-identical at any count.
     store_shards: int | None = None
+    #: Search policy driving the improvement loop's discretionary
+    #: decisions (family order, candidate ranking, restarts, early
+    #: termination).  ``"default"`` reproduces the paper's fixed scheme
+    #: byte-identically; see :mod:`repro.search.policy` for the biased
+    #: alternatives (``repro synth --policy``, ``--portfolio``).
+    search_policy: str = "default"
+    #: Keyword parameters of the selected policy (e.g. a mined priors
+    #: table, the portfolio cross-pollination token).  Plain JSON-able
+    #: values only.
+    policy_params: dict | None = None
 
 
 class SynthesisEnv:
@@ -187,6 +198,15 @@ class SynthesisEnv:
         #: Invalidation signature shared by every content key this env
         #: writes: schema version + library + search-shaping config.
         self.store_signature = context_signature(library, self.config)
+        #: The search policy steering the improvement driver.  Resolved
+        #: from the registry *after* the store exists: a priors policy
+        #: loads its mined table from the store at bind time.  Store
+        #: content keys stay policy-independent (nested resynthesis
+        #: always runs the default scheme), so differently-biased envs
+        #: can share one store.
+        self.policy = make_policy(
+            self.config.search_policy, self.config.policy_params
+        ).bind(self)
         #: Modules synthesized on demand, keyed by (behavior, clk, vdd).
         #: This *is* the store's point tier for the "module" namespace —
         #: the attribute is kept for its legacy name.

@@ -9,6 +9,15 @@ the prefix of the move sequence with the best cumulative gain is
 committed; passes repeat while they improve the solution.  This is the
 classic Kernighan–Lin / variable-depth scheme the paper cites ([11]),
 and it is what lets the algorithm climb out of local minima.
+
+Every discretionary decision in that loop — the family plan, candidate
+ranking, the splitting fallback, pass/step termination, and seeding —
+is delegated to the env's :class:`~repro.search.policy.SearchPolicy`.
+The default policy's hooks are exact no-ops, which keeps this driver
+byte-identical to the pre-policy monolith (golden-trace tested);
+nested move-B resynthesis always runs the default scheme regardless of
+the configured policy, because its result is memoized in the store and
+must not vary with the outer search's bias.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ import numpy as np
 from ..dfg.canonical import stream_digest
 from ..power.simulate import SimTrace
 from ..rtl.module import RTLModule
+from ..search.policy import DefaultPolicy, SearchPolicy
 from ..telemetry import Telemetry, move_family
 from .caching import HashedKey
 from .context import SynthesisEnv
@@ -133,6 +143,43 @@ def _best(
     return best
 
 
+#: Candidate generator of each policy family tag.
+_DISCOVER = {
+    "ab": type_a_b_candidates,
+    "share": sharing_candidates,
+    "split": splitting_candidates,
+}
+
+#: Shared fallback policy for nested resynthesis: move-B results are
+#: memoized in the store under policy-independent content keys, so the
+#: nested driver must run the fixed default scheme no matter how the
+#: outer search is biased.  Never bound to an env (no hook needs one).
+_DEFAULT_POLICY = DefaultPolicy()
+
+
+def _discover_family(
+    env: SynthesisEnv,
+    ctx: EvaluationContext,
+    policy: SearchPolicy,
+    family: str,
+    work: Solution,
+    sim: SimTrace,
+    locked: frozenset[str],
+    view: RelationalView | None,
+    discovered: dict[str, int],
+    pass_idx: int,
+    step_idx: int,
+) -> list[Candidate]:
+    """Generate, tally, prune and rank one family's candidates."""
+    t_disc = time.perf_counter()
+    cands = _DISCOVER[family](env, work, sim, locked, view=view)
+    ctx.telemetry.add_time("discovery", time.perf_counter() - t_disc)
+    _tally_discovered(ctx.telemetry, cands, discovered)
+    if env.config.prune:
+        cands = prune_candidates(env, work, cands)
+    return list(policy.rank_candidates(family, cands, pass_idx, step_idx))
+
+
 def improve_solution(
     env: SynthesisEnv,
     solution: Solution,
@@ -145,7 +192,9 @@ def improve_solution(
 
     Returns the best solution found (the input solution if nothing
     improved).  ``history`` — when supplied — receives one
-    :class:`PassRecord` per executed pass.
+    :class:`PassRecord` per executed pass.  Discretionary decisions
+    route through ``env.policy`` (see :mod:`repro.search.policy`); the
+    default policy reproduces the paper's fixed scheme exactly.
     """
     config = env.config
     max_passes = max_passes if max_passes is not None else config.max_passes
@@ -153,13 +202,21 @@ def improve_solution(
     ctx = env.context(sim)
     # Nested move-B resynthesis runs this same driver one level down;
     # its passes are an implementation detail of pricing one candidate,
-    # so only the top-level search is traced.
-    rec = env.trace if not env._resynth_active else None
+    # so only the top-level search is traced — and only the top-level
+    # search is policy-biased (see _DEFAULT_POLICY).
+    nested = env._resynth_active
+    rec = env.trace if not nested else None
+    policy = env.policy if not nested else _DEFAULT_POLICY
+    max_passes, max_moves = policy.budgets(max_passes, max_moves)
+    plan = policy.family_order()
 
     current = solution
     current_cost = ctx.cost(current)
+    current, current_cost = policy.seed_solution(ctx, current, current_cost)
 
     for _pass in range(max_passes):
+        if policy.stop_pass(_pass, current_cost):
+            break
         locked: frozenset[str] = frozenset()
         work = current
         sequence: list[tuple[Candidate, float]] = []
@@ -185,46 +242,51 @@ def improve_solution(
             base = ctx.breakdown_of(work) if config.incremental else None
             workers = config.score_workers
             discovered: dict[str, int] = {}
-            t_disc = time.perf_counter()
             view = (
                 RelationalView(env, work, locked) if config.relational else None
             )
-            cands_ab = type_a_b_candidates(env, work, sim, locked, view=view)
-            cands_c = sharing_candidates(env, work, sim, locked, view=view)
-            ctx.telemetry.add_time("discovery", time.perf_counter() - t_disc)
-            _tally_discovered(ctx.telemetry, cands_ab, discovered)
-            _tally_discovered(ctx.telemetry, cands_c, discovered)
-            cands_d: list[Candidate] = []
-            if config.prune:
-                cands_ab = prune_candidates(env, work, cands_ab)
-                cands_c = prune_candidates(env, work, cands_c)
-            m1 = _best(ctx, cands_ab, base=base, workers=workers)
-            m3 = _best(ctx, cands_c, base=base, workers=workers)
-            work_cost = sequence[-1][1] if sequence else current_cost
-            if m3 is None or (work_cost - m3.cost_after) < 0:
-                t_disc = time.perf_counter()
-                cands_d = splitting_candidates(env, work, sim, locked, view=view)
-                ctx.telemetry.add_time(
-                    "discovery", time.perf_counter() - t_disc
+            groups: dict[str, list[Candidate]] = {}
+            scored: dict[str, ScoredMove | None] = {}
+            for family in plan:
+                groups[family] = _discover_family(
+                    env, ctx, policy, family, work, sim, locked, view,
+                    discovered, _pass, _step,
                 )
-                _tally_discovered(ctx.telemetry, cands_d, discovered)
-                if config.prune:
-                    cands_d = prune_candidates(env, work, cands_d)
-                m4 = _best(ctx, cands_d, base=base, workers=workers)
+            for family in plan:
+                scored[family] = _best(
+                    ctx, groups[family], base=base, workers=workers
+                )
+            work_cost = sequence[-1][1] if sequence else current_cost
+            if "split" not in plan and policy.try_split(
+                scored.get("share"), work_cost
+            ):
+                groups["split"] = _discover_family(
+                    env, ctx, policy, "split", work, sim, locked, view,
+                    discovered, _pass, _step,
+                )
+                m4 = _best(ctx, groups["split"], base=base, workers=workers)
+                # The split winner competes in the sharing slot — the
+                # paper's rule: splitting substitutes for a failed
+                # sharing move, it does not outrank type A/B on ties.
+                m3 = scored.get("share")
                 if m4 is not None and (m3 is None or m4.cost_after < m3.cost_after):
-                    m3 = m4
+                    scored["share"] = m4
             chosen = None
-            for move in (m1, m3):
+            for family in scored:
+                move = scored[family]
                 if move is None:
                     continue
                 if chosen is None or move.cost_after < chosen.cost_after:
                     chosen = move
             if chosen is None:
                 break
+            if policy.stop_step(chosen, work_cost, _step):
+                break
             if rec is not None:
                 _emit_step(
                     rec, ctx, _pass, _step, work, work_cost, chosen,
-                    cands_ab + cands_c + cands_d, discovered, ev0, t_step,
+                    [c for fam in groups.values() for c in fam],
+                    discovered, ev0, t_step,
                 )
             work = chosen.candidate.solution
             locked = locked | chosen.candidate.touched
@@ -257,17 +319,19 @@ def improve_solution(
             rec.emit("pass_end", point=rec.point, **{"pass": _pass},
                      steps=len(sequence), committed=committed,
                      cost=current_cost, dur_ns=rec.elapsed_ns(t_pass))
-        if history is not None:
-            history.append(
-                PassRecord(
-                    moves=[c.description for c, _ in sequence],
-                    costs=[cost for _, cost in sequence],
-                    committed_prefix=committed,
-                )
+        if history is not None or policy.observes:
+            record = PassRecord(
+                moves=[c.description for c, _ in sequence],
+                costs=[cost for _, cost in sequence],
+                committed_prefix=committed,
             )
+            if history is not None:
+                history.append(record)
+            policy.observe_pass(record, current_cost)
         if committed == 0:
             break
 
+    policy.publish(current, current_cost)
     return current
 
 

@@ -34,6 +34,15 @@ and persistent tiers.  :data:`MISSING` distinguishes "absent" from a
 stored ``None`` (the resynthesis memo stores ``None`` for infeasible
 budgets).
 
+Two namespaces hold **mutable aggregates** rather than immutable
+results: ``priors`` (trace-mined move statistics, see
+:mod:`repro.search.priors`) and ``portfolio`` (cross-pollinated
+best-so-far solutions, see :mod:`repro.search.portfolio`).  They use
+the content-only :meth:`load`/:meth:`replace` pair — replace-semantics
+writes, no point tier — and are only ever read by the search policies
+that opt into them, so populating them cannot perturb a default run's
+lookup sequence.
+
 Per-tier hit/miss/eviction counters are written into the bound
 :class:`~repro.telemetry.Telemetry` (``store_hits``/``store_misses``/
 ``store_evictions``, keyed ``"{tier}.{namespace}"``) and surface in
@@ -475,6 +484,50 @@ class SynthesisStore:
             self._db_put(blob_key, blob)
             self._fresh.append((ns, blob_key[1], blob))
 
+    def load(self, ns: str, content: tuple) -> Any:
+        """Content-only probe of the run and persistent tiers.
+
+        For namespaces addressed purely by content (no per-point live
+        key): ``priors`` tables and ``portfolio`` incumbents.  Returns a
+        fresh unpickled copy, or :data:`MISSING` — without installing
+        anything into a point tier, so these reads can never perturb the
+        point-keyed namespaces' hit sequences.
+        """
+        blob_key = (ns, self._digest(content))
+        with self._lock:
+            blob = self._run.get(blob_key)
+            if blob is not None:
+                self._tick(self._hits, f"run.{ns}")
+            else:
+                self._tick(self._misses, f"run.{ns}")
+                blob = self._db_get(blob_key)
+                if blob is not None:
+                    self._run_put(blob_key, blob)
+        if blob is None:
+            return MISSING
+        return pickle.loads(blob)
+
+    def replace(self, ns: str, content: tuple, value: Any) -> None:
+        """Store *value* under *content*, overwriting any previous value.
+
+        The mutable-aggregate counterpart of :meth:`put`: most
+        namespaces hold immutable content-addressed results (``INSERT
+        OR IGNORE``), but priors tables and portfolio incumbents are
+        *updated in place* under a stable address, so this path writes
+        ``INSERT OR REPLACE`` and overwrites the run-tier blob.
+        Last-writer-wins under concurrency — acceptable for advisory
+        aggregates, never used for priced results.
+        """
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob_key = (ns, self._digest(content))
+        with self._lock:
+            self._run_put(blob_key, blob)
+            self._db_write(
+                "INSERT OR REPLACE INTO store VALUES (?, ?, ?)",
+                blob_key, blob,
+            )
+            self._fresh.append((ns, blob_key[1], blob))
+
     def _point_put(self, ns: str, key, value: Any) -> None:
         tier = self.point_tier(ns)
         if key not in tier and 0 < tier.maxsize <= len(tier):
@@ -611,20 +664,25 @@ class SynthesisStore:
         return None
 
     def _db_put(self, blob_key: tuple[str, str], blob: bytes) -> None:
+        self._db_write(
+            "INSERT OR IGNORE INTO store VALUES (?, ?, ?)", blob_key, blob
+        )
+
+    def _db_write(
+        self, sql: str, blob_key: tuple[str, str], blob: bytes
+    ) -> None:
         db = self._shard_for(blob_key[1])
         if db is None:
             return
         for attempt in range(_WRITE_RETRIES):
             try:
-                db.execute(
-                    "INSERT OR IGNORE INTO store VALUES (?, ?, ?)",
-                    (blob_key[0], blob_key[1], blob),
-                )
+                db.execute(sql, (blob_key[0], blob_key[1], blob))
                 db.commit()
                 return
             except sqlite3.OperationalError as exc:
                 # Transient writer contention (WAL serializes writers);
-                # entries are immutable, so retrying is always sound.
+                # ignore-writes are immutable and replace-writes are
+                # last-writer-wins aggregates, so retrying is sound.
                 if "locked" not in str(exc) and "busy" not in str(exc):
                     return
                 try:

@@ -13,6 +13,8 @@ Layout
 ------
 :mod:`repro.trace.events`    — the JSONL schema (kinds, fields, version);
 :mod:`repro.trace.recorder`  — bounded in-memory recorder + JSONL I/O;
+:mod:`repro.trace.reader`    — shared ingestion accepting every schema
+                               version this build can read (v1→current);
 :mod:`repro.trace.report`    — per-pass gain-attribution rendering;
 :mod:`repro.trace.replay`    — deterministic re-execution of a recorded
                                move sequence, cross-checked against the
@@ -29,15 +31,25 @@ regardless of ``n_workers`` (when timings are disabled).  See
 """
 
 from .events import SCHEMA_VERSION, span_kinds
+from .reader import (
+    MIN_SCHEMA_VERSION,
+    TraceSchemaError,
+    iter_events,
+    read_events,
+)
 from .recorder import TraceRecorder, dumps_trace, load_trace, write_trace
 
 __all__ = [
+    "MIN_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "ReplayError",
     "ReplayResult",
     "TraceRecorder",
+    "TraceSchemaError",
     "dumps_trace",
+    "iter_events",
     "load_trace",
+    "read_events",
     "render_profile",
     "render_report",
     "replay_trace",

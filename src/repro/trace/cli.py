@@ -27,7 +27,7 @@ import sys
 from pathlib import Path
 
 from ..errors import ReproError
-from .recorder import load_trace
+from .reader import read_events
 
 __all__ = ["main", "build_parser"]
 
@@ -69,7 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .report import render_report
 
-    events = load_trace(args.trace)
+    events = read_events(args.trace)
     print(render_report(events, all_points=args.all_points))
     return 0
 
@@ -77,7 +77,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_replay(args: argparse.Namespace) -> int:
     from .replay import replay_trace
 
-    events = load_trace(args.trace)
+    events = read_events(args.trace)
     result = replay_trace(events, verify=not args.no_verify)
     print(result.describe())
     return 0 if result.ok else 1
@@ -86,7 +86,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     from .report import render_profile
 
-    events = load_trace(args.trace)
+    events = read_events(args.trace)
     print(render_profile(events))
     return 0
 

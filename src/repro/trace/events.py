@@ -28,7 +28,10 @@ __all__ = ["SCHEMA_VERSION", "span_kinds"]
 #: counters) to ``run_end``.  Version 3 added ``discovered`` to
 #: ``step``: pre-pruning candidate-generation counts keyed by full move
 #: kind (``"A-cell"``, ``"C-share-fu"``, ...), identical whichever
-#: discovery engine (relational or legacy loops) produced the set.
+#: discovery engine (relational or legacy loops) produced the set —
+#: and, later, the optional ``policy`` header field on ``run_start``
+#: (the non-default search-policy name; absent for default-policy runs,
+#: which therefore serialize exactly as before the field existed).
 SCHEMA_VERSION = 3
 
 #: kind → (one-line description, tuple of field names in emission order).
@@ -37,9 +40,10 @@ SCHEMA_VERSION = 3
 #: (or a caller) attached run metadata for replay.
 _SPAN_KINDS: dict[str, tuple[str, tuple[str, ...]]] = {
     "run_start": (
-        "one synthesis run begins (after Vdd/clock pruning)",
+        "one synthesis run begins (after Vdd/clock pruning); policy "
+        "names the non-default search policy when one is configured",
         ("schema", "design", "objective", "sampling_ns", "flattened",
-         "n_points", "config", "provenance?"),
+         "n_points", "config", "provenance?", "policy?"),
     ),
     "point_start": (
         "one (Vdd, clock) operating point begins",

@@ -44,7 +44,7 @@ from ..synthesis.moves import (
     type_a_b_candidates,
 )
 from ..synthesis.solution import Solution
-from .events import SCHEMA_VERSION
+from .reader import TraceSchemaError, check_schema
 
 __all__ = ["ReplayError", "ReplayResult", "replay_trace"]
 
@@ -100,11 +100,13 @@ def _parse(events: Sequence[dict[str, Any]]) -> dict[str, Any]:
     run_start = next((e for e in events if e["k"] == "run_start"), None)
     if run_start is None:
         raise ReplayError("not a synthesis trace: no run_start event")
-    if run_start.get("schema") != SCHEMA_VERSION:
-        raise ReplayError(
-            f"trace schema {run_start.get('schema')!r} is not supported "
-            f"(this build replays schema {SCHEMA_VERSION})"
-        )
+    try:
+        # Replay only consumes fields present since schema v1 (committed
+        # prefixes and the recorded config), so every version the shared
+        # reader accepts replays.
+        check_schema(run_start.get("schema"))
+    except TraceSchemaError as exc:
+        raise ReplayError(str(exc)) from exc
     run_end = next((e for e in events if e["k"] == "run_end"), None)
     if run_end is None:
         raise ReplayError("trace is incomplete: no run_end event")

@@ -19,7 +19,7 @@ from typing import Any, Iterable, Sequence
 
 from ..reporting.tables import render_table
 from ..telemetry import move_family
-from .events import SCHEMA_VERSION
+from .reader import check_schema
 
 __all__ = ["render_profile", "render_report", "run_overview"]
 
@@ -40,12 +40,10 @@ def _index(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
     if not starts:
         raise ValueError("not a synthesis trace: no run_start event")
     run_start = starts[0]
-    schema = run_start.get("schema")
-    if schema != SCHEMA_VERSION:
-        raise ValueError(
-            f"trace schema {schema!r} is not supported "
-            f"(this build reads schema {SCHEMA_VERSION})"
-        )
+    # Older schemas (v1/v2) differ from the current one only by absent
+    # optional fields, which every consumer below defaults — so any
+    # version the shared reader accepts renders here.
+    check_schema(run_start.get("schema"))
     return {
         "run_start": run_start,
         "run_end": by_kind.get("run_end", [None])[-1],

@@ -1,0 +1,155 @@
+"""Integration tests for portfolio search and non-default policies.
+
+The portfolio's headline guarantee is structural: member 0 of
+generation 1 runs the unmodified default policy on a cold incumbent
+slate, so the portfolio winner can never price worse than the plain
+single-search baseline.  These tests run the real engine end to end on
+a small benchmark to hold that line, exercise the serial and pooled
+execution paths, and pin the ``policy`` run_start trace field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.bench_suite import get_benchmark
+from repro.search import portfolio_synthesize
+from repro.synthesis import SynthesisConfig, synthesize
+
+SAMPLING_NS = 400.0
+N_SAMPLES = 8
+
+
+def _config(**overrides) -> SynthesisConfig:
+    base = SynthesisConfig(
+        max_passes=2,
+        max_moves=6,
+        max_ab_targets=4,
+        max_share_pairs=8,
+        max_split_candidates=4,
+        n_clocks=2,
+        resynth_passes=1,
+        resynth_moves=4,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+def _baseline_cost() -> float:
+    result = synthesize(
+        get_benchmark("paulin"),
+        sampling_ns=SAMPLING_NS,
+        objective="power",
+        config=_config(),
+        n_samples=N_SAMPLES,
+    )
+    return result.metrics.objective_value(result.objective)
+
+
+@pytest.fixture(scope="module")
+def baseline_cost() -> float:
+    return _baseline_cost()
+
+
+class TestPortfolio:
+    def test_serial_portfolio_never_worse_than_baseline(self, baseline_cost):
+        outcome = portfolio_synthesize(
+            get_benchmark("paulin"),
+            sampling_ns=SAMPLING_NS,
+            objective="power",
+            config=_config(n_workers=1),
+            n_samples=N_SAMPLES,
+            n_members=3,
+            generations=2,
+        )
+        assert outcome.cost <= baseline_cost
+        # Member 0 of generation 0 is the unmodified default search on a
+        # cold slate — it must reproduce the baseline exactly.
+        anchor = outcome.members[0]
+        assert (anchor.generation, anchor.member) == (0, 0)
+        assert anchor.policy == "default"
+        assert anchor.cost == baseline_cost
+        assert outcome.winner is not None
+        assert outcome.winner.cost == outcome.cost
+        assert len(outcome.members) == 6
+        assert outcome.generations == 2
+
+    def test_pooled_portfolio_never_worse_than_baseline(self, baseline_cost):
+        outcome = portfolio_synthesize(
+            get_benchmark("paulin"),
+            sampling_ns=SAMPLING_NS,
+            objective="power",
+            config=_config(n_workers=2),
+            n_samples=N_SAMPLES,
+            n_members=2,
+            generations=2,
+        )
+        assert outcome.cost <= baseline_cost
+        assert outcome.members[0].cost == baseline_cost
+
+    def test_single_member_single_generation_is_the_baseline(
+        self, baseline_cost
+    ):
+        outcome = portfolio_synthesize(
+            get_benchmark("paulin"),
+            sampling_ns=SAMPLING_NS,
+            objective="power",
+            config=_config(n_workers=1),
+            n_samples=N_SAMPLES,
+            n_members=1,
+            generations=1,
+        )
+        assert outcome.cost == baseline_cost
+        assert [m.policy for m in outcome.members] == ["default"]
+
+    def test_rejects_invalid_shapes(self):
+        with pytest.raises(ValueError, match="n_members"):
+            portfolio_synthesize(
+                get_benchmark("paulin"), sampling_ns=SAMPLING_NS, n_members=0
+            )
+        with pytest.raises(ValueError, match="generations"):
+            portfolio_synthesize(
+                get_benchmark("paulin"), sampling_ns=SAMPLING_NS,
+                generations=0,
+            )
+        with pytest.raises(ValueError, match="sampling_ns"):
+            portfolio_synthesize(get_benchmark("paulin"))
+
+
+class TestPolicyRuns:
+    @pytest.mark.parametrize("policy", ["share-first", "greedy", "priors"])
+    def test_biased_policies_produce_feasible_results(self, policy):
+        result = synthesize(
+            get_benchmark("paulin"),
+            sampling_ns=SAMPLING_NS,
+            objective="power",
+            config=_config(search_policy=policy),
+            n_samples=N_SAMPLES,
+        )
+        assert result.metrics.objective_value(result.objective) > 0
+        assert result.solution.schedule().length \
+            <= result.solution.deadline_cycles
+
+    def test_run_start_carries_nondefault_policy_name(self):
+        result = synthesize(
+            get_benchmark("paulin"),
+            sampling_ns=SAMPLING_NS,
+            objective="power",
+            config=_config(search_policy="greedy", trace=True,
+                           trace_timings=False),
+            n_samples=N_SAMPLES,
+        )
+        run_start = result.trace_events[0]
+        assert run_start["k"] == "run_start"
+        assert run_start["policy"] == "greedy"
+
+    def test_default_policy_trace_has_no_policy_field(self):
+        result = synthesize(
+            get_benchmark("paulin"),
+            sampling_ns=SAMPLING_NS,
+            objective="power",
+            config=_config(trace=True, trace_timings=False),
+            n_samples=N_SAMPLES,
+        )
+        assert "policy" not in result.trace_events[0]

@@ -1,0 +1,133 @@
+"""Byte-identity of the default search policy against pre-refactor goldens.
+
+The ``repro.search`` refactor moved candidate-family ordering, ranking,
+restart scheduling and early termination behind a
+:class:`~repro.search.policy.SearchPolicy` seam.  The contract for the
+default policy is absolute: the refactored driver must reproduce the
+pre-refactor engine **byte for byte** — same moves, same telemetry-fed
+eval counters, same trace JSONL.  These goldens were generated from the
+engine as it stood before the seam existed (timings disabled, so the
+traces are deterministic), and every case runs on both discovery
+engines (``relational`` on and off).
+
+When a change *intentionally* moves the search (a new move family, a
+cost-model fix), regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_search_goldens.py \
+        --update-goldens
+
+and commit the refreshed JSONL files under
+``tests/integration/goldens/traces/``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.bench_suite import get_benchmark
+from repro.gen import GenConfig, generate_design
+from repro.power import speech_traces
+from repro.synthesis import SynthesisConfig, synthesize
+from repro.trace import dumps_trace
+
+GOLDEN_DIR = Path(__file__).parent / "goldens" / "traces"
+
+#: Stimulus pinning for the benchmark cases.
+TRACE_SEED = 3
+TRACE_SAMPLES = 16
+LAXITY = 2.2
+
+#: Generated-corpus shape: hierarchical and flat designs, with
+#: anisomorphic variants so move A's module swaps are exercised.
+GEN_SEEDS = tuple(range(12))
+GEN_CONFIG = dataclasses.replace(
+    GenConfig(),
+    ops_per_dfg=(4, 14),
+    n_behaviors=(0, 2),
+    variants_per_behavior=(1, 2),
+    n_samples=12,
+)
+GEN_LAXITY = 2.0
+
+
+def _trace_config(relational: bool) -> SynthesisConfig:
+    return SynthesisConfig(
+        max_moves=6,
+        max_passes=2,
+        max_ab_targets=4,
+        max_share_pairs=8,
+        max_split_candidates=4,
+        n_clocks=2,
+        resynth_passes=1,
+        resynth_moves=4,
+        relational=relational,
+        trace=True,
+        trace_timings=False,
+    )
+
+
+def _run_benchmark(name: str, relational: bool) -> str:
+    design = get_benchmark(name)
+    traces = speech_traces(design.top, n=TRACE_SAMPLES, seed=TRACE_SEED)
+    result = synthesize(
+        design,
+        laxity_factor=LAXITY,
+        objective="power",
+        traces=traces,
+        config=_trace_config(relational),
+        n_samples=TRACE_SAMPLES,
+    )
+    return dumps_trace(result.trace_events)
+
+
+def _run_generated(seed: int, relational: bool) -> str:
+    generated = generate_design(seed, GEN_CONFIG)
+    result = synthesize(
+        generated.design,
+        laxity_factor=GEN_LAXITY,
+        objective="power",
+        traces=generated.traces,
+        config=_trace_config(relational),
+        n_samples=GEN_CONFIG.n_samples,
+    )
+    return dumps_trace(result.trace_events)
+
+
+CASES: dict[str, object] = {
+    "paulin": lambda relational: _run_benchmark("paulin", relational),
+    "test1": lambda relational: _run_benchmark("test1", relational),
+}
+for _seed in GEN_SEEDS:
+    CASES[f"gen{_seed:02d}"] = (
+        lambda relational, seed=_seed: _run_generated(seed, relational)
+    )
+
+
+def _golden_path(name: str, relational: bool) -> Path:
+    engine = "relational" if relational else "legacy"
+    return GOLDEN_DIR / f"{name}.{engine}.jsonl"
+
+
+@pytest.mark.parametrize("relational", (True, False),
+                         ids=("relational", "legacy"))
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_default_policy_trace_matches_pre_refactor_golden(
+    name, relational, update_goldens
+):
+    observed = CASES[name](relational)
+    path = _golden_path(name, relational)
+    if update_goldens:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(observed)
+        pytest.skip(f"golden updated: {path}")
+    assert path.exists(), (
+        f"missing golden {path}; generate it with pytest --update-goldens"
+    )
+    expected = path.read_text()
+    assert observed == expected, (
+        f"default-policy trace for {name} ({'relational' if relational else 'legacy'} "
+        f"engine) diverged from the pre-refactor golden {path.name}"
+    )

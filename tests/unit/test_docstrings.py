@@ -3,8 +3,8 @@
 CI runs ``ruff check`` with the ``D1`` rules selected in pyproject.toml;
 this test enforces the same contract with the stdlib ``ast`` module so
 it also holds in environments without ruff.  Scope: the synthesis
-engine, the trace package and the telemetry module — the subsystems this
-documentation effort covers.
+engine, the search-policy layer, the trace package and the telemetry
+module — the subsystems this documentation effort covers.
 
 Mirrors ruff's defaults: modules, public classes and public functions /
 methods need docstrings; ``_private`` names, ``__init__``/dunders
@@ -20,6 +20,7 @@ SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 
 #: The packages whose docstring coverage is under contract.
 SCOPE = [
+    SRC / "search",
     SRC / "synthesis",
     SRC / "trace",
     SRC / "telemetry.py",

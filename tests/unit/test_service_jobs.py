@@ -49,11 +49,22 @@ class TestJobRequestValidation:
     @pytest.mark.parametrize(
         "field,value",
         [("objective", "speed"), ("traces", "pink"), ("effort", "extreme"),
-         ("samples", 0)],
+         ("samples", 0), ("policy", "no-such-policy"), ("portfolio", 0)],
     )
     def test_rejects_bad_knobs(self, field, value):
         with pytest.raises(ServiceError):
             _request(**{field: value}).validate()
+
+    def test_accepts_registered_policies(self):
+        from repro.search import available_policies
+
+        for policy in available_policies():
+            _request(policy=policy).validate()
+
+    def test_portfolio_incompatible_with_flatten(self):
+        _request(portfolio=3).validate()
+        with pytest.raises(ServiceError, match="flatten"):
+            _request(portfolio=3, flatten=True).validate()
 
 
 class TestJobRequestWireFormat:
@@ -117,7 +128,8 @@ class TestRequestFingerprint:
         [dict(objective="area"), dict(samples=32), dict(seed=1),
          dict(traces="white"), dict(verify=True), dict(trace=True),
          dict(flatten=True), dict(laxity_factor=3.0),
-         dict(laxity_factor=None, sampling_ns=500.0)],
+         dict(laxity_factor=None, sampling_ns=500.0),
+         dict(policy="greedy"), dict(portfolio=3), dict(priors=True)],
     )
     def test_result_shaping_knobs_change_identity(self, override):
         assert self._fingerprint(_request(**override)) != \
